@@ -1,0 +1,52 @@
+// Ablation: the Gaussian-process baseline the paper cites but does not
+// re-run ([17], Duplyakin et al.) — GEIST had already been shown to beat
+// GP regression, so §V compares only against GEIST. This bench closes the
+// loop: GP-EI vs GEIST vs HiPerBOt vs Random on the Kripke execution-time
+// dataset.
+#include <fstream>
+#include <iostream>
+
+#include "apps/kripke.hpp"
+#include "baselines/gp_tuner.hpp"
+#include "eval/experiment.hpp"
+#include "eval/methods.hpp"
+#include "eval/report.hpp"
+#include "figure_common.hpp"
+
+int main() {
+  const std::size_t reps = hpb::eval::reps_from_env(5);
+  auto dataset = hpb::apps::make_kripke_exec();
+
+  hpb::eval::SelectionExperimentConfig config;
+  config.sample_sizes = {32, 64, 96, 128};
+  config.reps = reps;
+  config.recall_percentile = 5.0;
+  config.seed = 0xAB69;
+
+  const auto methods = hpb::eval::make_standard_methods(dataset);
+  hpb::eval::TunerFactory gp = [&](std::uint64_t seed) {
+    hpb::baselines::GpConfig gc;
+    gc.candidate_subsample = 512;
+    return std::make_unique<hpb::baselines::GpTuner>(dataset.space_ptr(), gc,
+                                                     seed, methods.pool);
+  };
+
+  std::cout << "Ablation: GP-EI baseline on Kripke execution time (reps "
+            << reps << ")\n";
+  std::vector<hpb::eval::MethodCurve> curves;
+  curves.push_back(hpb::eval::run_selection_experiment(dataset, "Random",
+                                                       methods.random, config));
+  curves.push_back(
+      hpb::eval::run_selection_experiment(dataset, "GP-EI", gp, config));
+  curves.push_back(
+      hpb::eval::run_selection_experiment(dataset, "GEIST", methods.geist,
+                                          config));
+  curves.push_back(hpb::eval::run_selection_experiment(
+      dataset, "HiPerBOt", methods.hiperbot, config));
+  hpb::eval::print_curves(std::cout, "GP ablation (Kripke exec)", curves,
+                          dataset.size(), dataset.best_value(),
+                          /*show_recall=*/true);
+  hpb::eval::write_curves_csv(hpb::benchfig::csv_path("ablation_gp"), curves);
+  std::cout << "wrote " << hpb::benchfig::csv_path("ablation_gp") << '\n';
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation: the transfer-prior weight w (eq. 9–10) and the source→target
+// correlation ρ. Sweeps both knobs on the Kripke transfer pair and reports
+// Recall R(10%) of the selected set — showing when a source prior helps
+// (correlated source, moderate w) and when it hurts (uncorrelated source,
+// large w: negative transfer).
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "apps/transfer.hpp"
+#include "core/hiperbot.hpp"
+#include "core/loop.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "figure_common.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+hpb::stats::RunningStats run_with_weight(hpb::apps::TransferPair& pair,
+                                         double weight, std::size_t budget,
+                                         std::size_t reps) {
+  hpb::stats::RunningStats out;
+  const auto pool =
+      std::make_shared<const std::vector<hpb::space::Configuration>>(
+          pair.target.configs().begin(), pair.target.configs().end());
+  hpb::Rng seeder(0xAB7E);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    hpb::core::HiPerBOtConfig config;
+    config.transfer_weight = weight;
+    hpb::core::HiPerBOt tuner(pair.target.space_ptr(), config,
+                              seeder.next_u64(), pool);
+    if (weight > 0.0) {
+      tuner.set_transfer_prior(hpb::core::make_transfer_prior(
+          pair.source.space_ptr(), pair.source.configs(),
+          pair.source.values(), config.quantile));
+    }
+    const auto result = hpb::core::run_tuning(tuner, pair.target, budget);
+    out.add(hpb::eval::recall_tolerance(pair.target, result.history, budget,
+                                        0.10));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t reps = hpb::eval::reps_from_env(3);
+  std::ofstream csv(hpb::benchfig::csv_path("ablation_transfer_weight"));
+  csv << "correlation,weight,recall_mean,recall_std\n";
+
+  const std::vector<double> correlations = {0.0, 0.5, 0.9, 1.0};
+  const std::vector<double> weights = {0.0, 0.5, 2.0, 8.0};
+  constexpr std::size_t kBudget = 200;
+
+  std::cout << "Ablation: transfer prior weight w (rows) x source "
+               "correlation rho (cols)\n"
+            << "metric: Recall R(10%) on the Kripke transfer target, budget "
+            << kBudget << ", reps " << reps << "\n\n";
+  std::cout << std::left << std::setw(10) << "w \\ rho";
+  for (double rho : correlations) {
+    std::cout << std::setw(18) << rho;
+  }
+  std::cout << '\n';
+
+  // Build one pair per correlation (the target surface depends on rho).
+  std::vector<hpb::apps::TransferPair> pairs;
+  pairs.reserve(correlations.size());
+  for (double rho : correlations) {
+    pairs.push_back(hpb::apps::make_kripke_transfer(rho));
+  }
+
+  for (double w : weights) {
+    std::cout << std::left << std::setw(10) << w;
+    for (std::size_t i = 0; i < correlations.size(); ++i) {
+      const auto stats = run_with_weight(pairs[i], w, kBudget, reps);
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(3) << stats.mean() << " ± "
+           << stats.stddev();
+      std::cout << std::setw(18) << cell.str();
+      csv << correlations[i] << ',' << w << ',' << stats.mean() << ','
+          << stats.stddev() << '\n';
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nwrote " << hpb::benchfig::csv_path("ablation_transfer_weight")
+            << '\n';
+  return 0;
+}

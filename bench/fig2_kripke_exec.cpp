@@ -1,0 +1,17 @@
+// Figure 2: Kripke execution-time study — best configuration found and
+// Recall vs sample size {32, 64, 96, 128, 160, 192}, HiPerBOt vs GEIST vs
+// Random vs exhaustive best.
+#include "apps/kripke.hpp"
+#include "figure_common.hpp"
+
+int main() {
+  auto dataset = hpb::apps::make_kripke_exec();
+  hpb::benchfig::FigureSpec spec;
+  spec.title = "Figure 2: Kripke execution time";
+  spec.csv_name = "fig2_kripke_exec";
+  spec.sample_sizes = {32, 64, 96, 128, 160, 192};
+  spec.recall_percentile = 5.0;
+  spec.reference_value = 15.2;
+  spec.reference_label = "expert loop-ordering choice";
+  return hpb::benchfig::run_selection_figure(dataset, spec);
+}

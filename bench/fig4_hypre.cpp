@@ -1,0 +1,14 @@
+// Figure 4: HYPRE new_ij — best configuration and Recall vs sample size
+// {41, 141, 241, 341, 441} over the 6-parameter solver space.
+#include "apps/hypre.hpp"
+#include "figure_common.hpp"
+
+int main() {
+  auto dataset = hpb::apps::make_hypre();
+  hpb::benchfig::FigureSpec spec;
+  spec.title = "Figure 4: HYPRE new_ij";
+  spec.csv_name = "fig4_hypre";
+  spec.sample_sizes = {41, 141, 241, 341, 441};
+  spec.recall_percentile = 5.0;
+  return hpb::benchfig::run_selection_figure(dataset, spec);
+}

@@ -1,0 +1,16 @@
+// Figure 5: LULESH compiler flags — best configuration and Recall vs
+// sample size {46, 146, 246, 346, 446} over the 11-flag space.
+#include "apps/lulesh.hpp"
+#include "figure_common.hpp"
+
+int main() {
+  auto dataset = hpb::apps::make_lulesh();
+  hpb::benchfig::FigureSpec spec;
+  spec.title = "Figure 5: LULESH compiler flags";
+  spec.csv_name = "fig5_lulesh";
+  spec.sample_sizes = {46, 146, 246, 346, 446};
+  spec.recall_percentile = 5.0;
+  spec.reference_value = 6.02;
+  spec.reference_label = "-O3 default flags";
+  return hpb::benchfig::run_selection_figure(dataset, spec);
+}

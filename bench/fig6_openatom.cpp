@@ -1,0 +1,17 @@
+// Figure 6: OpenAtom decomposition parameters — best configuration and
+// Recall vs sample size {39, 139, 239, 339, 439} over the 8-parameter
+// Charm++ over-decomposition space.
+#include "apps/openatom.hpp"
+#include "figure_common.hpp"
+
+int main() {
+  auto dataset = hpb::apps::make_openatom();
+  hpb::benchfig::FigureSpec spec;
+  spec.title = "Figure 6: OpenAtom";
+  spec.csv_name = "fig6_openatom";
+  spec.sample_sizes = {39, 139, 239, 339, 439};
+  spec.recall_percentile = 5.0;
+  spec.reference_value = 1.6;
+  spec.reference_label = "expert symmetric decomposition";
+  return hpb::benchfig::run_selection_figure(dataset, spec);
+}

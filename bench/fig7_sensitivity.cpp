@@ -1,0 +1,108 @@
+// Figure 7: sensitivity of HiPerBOt to its two hyperparameters across all
+// five application datasets.
+//   (a) number of initial random samples, swept 10..100 with the total
+//       budget fixed at 150;
+//   (b) quantile threshold for the good/bad split, swept 0.01..0.5.
+// The y-metric is the ratio (best value selected by HiPerBOt) /
+// (exhaustive best) — 1.0 is optimal, as in the paper.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "core/hiperbot.hpp"
+#include "core/loop.hpp"
+#include "eval/experiment.hpp"
+#include "eval/report.hpp"
+#include "figure_common.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+constexpr std::size_t kTotalBudget = 150;
+
+/// Mean best/exhaustive ratio over reps for one dataset and config.
+hpb::stats::RunningStats run_ratio(hpb::tabular::TabularObjective& dataset,
+                                   const hpb::core::HiPerBOtConfig& config,
+                                   std::size_t reps, std::uint64_t seed) {
+  hpb::stats::RunningStats out;
+  hpb::Rng seeder(seed);
+  const auto pool =
+      std::make_shared<const std::vector<hpb::space::Configuration>>(
+          dataset.configs().begin(), dataset.configs().end());
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    hpb::core::HiPerBOt tuner(dataset.space_ptr(), config, seeder.next_u64(),
+                              pool);
+    const auto result = hpb::core::run_tuning(tuner, dataset, kTotalBudget);
+    out.add(result.best_value / dataset.best_value());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t reps = hpb::eval::reps_from_env(10);
+  std::ofstream csv(hpb::benchfig::csv_path("fig7_sensitivity"));
+  csv << "sweep,dataset,value,ratio_mean,ratio_std\n";
+
+  std::cout << "Figure 7: HiPerBOt hyperparameter sensitivity (total budget "
+            << kTotalBudget << ", reps " << reps << ")\n";
+  std::cout << "metric: best-selected / exhaustive-best (1.0 = optimal)\n\n";
+
+  const std::vector<std::size_t> initial_sweep = {10, 20, 40, 60, 80, 100};
+  const std::vector<double> threshold_sweep = {0.01, 0.05, 0.1,
+                                               0.2,  0.3,  0.4, 0.5};
+
+  std::cout << "(a) initial sample size (threshold fixed at 0.2):\n";
+  std::cout << "dataset        ";
+  for (std::size_t v : initial_sweep) {
+    std::cout << "  n=" << v << "\t";
+  }
+  std::cout << '\n';
+  for (const auto& info : hpb::apps::dataset_registry()) {
+    auto dataset = info.make();
+    std::cout << info.name << std::string(15 - std::min<std::size_t>(
+                                                    15, info.name.size()),
+                                          ' ');
+    for (std::size_t v : initial_sweep) {
+      hpb::core::HiPerBOtConfig config;
+      config.initial_samples = v;
+      config.quantile = 0.2;
+      const auto stats = run_ratio(dataset, config, reps, 0xF16'7A + v);
+      std::cout << "  " << hpb::eval::format_mean_std(stats) << "\t";
+      csv << "initial," << info.name << ',' << v << ',' << stats.mean() << ','
+          << stats.stddev() << '\n';
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\n(b) quantile threshold (initial samples fixed at 20):\n";
+  std::cout << "dataset        ";
+  for (double v : threshold_sweep) {
+    std::cout << "  a=" << v << "\t";
+  }
+  std::cout << '\n';
+  for (const auto& info : hpb::apps::dataset_registry()) {
+    auto dataset = info.make();
+    std::cout << info.name << std::string(15 - std::min<std::size_t>(
+                                                    15, info.name.size()),
+                                          ' ');
+    for (double v : threshold_sweep) {
+      hpb::core::HiPerBOtConfig config;
+      config.initial_samples = 20;
+      config.quantile = v;
+      const auto stats = run_ratio(
+          dataset, config, reps,
+          0xF16'7B + static_cast<std::uint64_t>(v * 1000));
+      std::cout << "  " << hpb::eval::format_mean_std(stats) << "\t";
+      csv << "threshold," << info.name << ',' << v << ',' << stats.mean()
+          << ',' << stats.stddev() << '\n';
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\nwrote " << hpb::benchfig::csv_path("fig7_sensitivity")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Figure 8: transfer learning — HiPerBOt (source-domain densities as
+// priors, eq. 9–10) vs PerfNet (deep-regression ranker) on the Kripke and
+// HYPRE source→target pairs. Recall R(γ) (eq. 12) at tolerance thresholds
+// γ ∈ {5, 10, 15, 20}%, with the "number of good cases" annotated per
+// threshold as in the paper's x-axis.
+//
+// Budget protocol follows §VII: each method touches 1% of the target
+// configurations plus 100 more.
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "apps/transfer.hpp"
+#include "baselines/perfnet.hpp"
+#include "core/hiperbot.hpp"
+#include "core/loop.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "figure_common.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using hpb::apps::TransferPair;
+
+constexpr double kGammas[] = {0.05, 0.10, 0.15, 0.20};
+
+struct TransferResult {
+  hpb::stats::RunningStats recall[4];
+};
+
+TransferResult run_hiperbot(TransferPair& pair, std::size_t budget,
+                            std::size_t reps) {
+  TransferResult out;
+  const auto pool =
+      std::make_shared<const std::vector<hpb::space::Configuration>>(
+          pair.target.configs().begin(), pair.target.configs().end());
+  // Prior densities from the full (cheap) source dataset.
+  hpb::Rng seeder(0xF188);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    hpb::core::HiPerBOtConfig config;
+    config.transfer_weight = 2.0;
+    hpb::core::HiPerBOt tuner(pair.target.space_ptr(), config,
+                              seeder.next_u64(), pool);
+    tuner.set_transfer_prior(hpb::core::make_transfer_prior(
+        pair.source.space_ptr(), pair.source.configs(), pair.source.values(),
+        config.quantile));
+    const auto result = hpb::core::run_tuning(tuner, pair.target, budget);
+    for (int g = 0; g < 4; ++g) {
+      out.recall[g].add(hpb::eval::recall_tolerance(pair.target,
+                                                    result.history, budget,
+                                                    kGammas[g]));
+    }
+  }
+  return out;
+}
+
+TransferResult run_perfnet(const TransferPair& pair, std::size_t budget,
+                           std::size_t reps) {
+  TransferResult out;
+  hpb::Rng seeder(0xF189);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    hpb::baselines::PerfNet net({}, seeder.next_u64());
+    net.train(pair.source, pair.target, budget);
+    const auto selection = net.selection();
+    for (int g = 0; g < 4; ++g) {
+      out.recall[g].add(hpb::eval::recall_tolerance_indices(
+          pair.target, selection, kGammas[g]));
+    }
+  }
+  return out;
+}
+
+void report(std::ostream& csv, const std::string& name,
+            TransferPair& pair, std::size_t reps) {
+  const std::size_t budget = pair.target.size() / 100 + 100;  // 1% + 100
+  std::cout << "== " << name << " ==\n"
+            << "source " << pair.source.size() << " configs, target "
+            << pair.target.size() << " configs, budget " << budget
+            << " target samples, reps " << reps << '\n';
+  std::cout << std::left << std::setw(12) << "threshold";
+  for (double g : kGammas) {
+    std::ostringstream head;
+    head << static_cast<int>(g * 100) << "% ("
+         << hpb::eval::good_case_count(pair.target, g) << " good)";
+    std::cout << std::setw(18) << head.str();
+  }
+  std::cout << '\n';
+
+  const TransferResult perfnet = run_perfnet(pair, budget, reps);
+  const TransferResult hiperbot = run_hiperbot(pair, budget, reps);
+  auto row = [&](const char* method, const TransferResult& r) {
+    std::cout << std::left << std::setw(12) << method;
+    for (int g = 0; g < 4; ++g) {
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(3) << r.recall[g].mean()
+           << " ± " << r.recall[g].stddev();
+      std::cout << std::setw(18) << cell.str();
+      csv << name << ',' << method << ',' << kGammas[g] << ','
+          << hpb::eval::good_case_count(pair.target, kGammas[g]) << ','
+          << r.recall[g].mean() << ',' << r.recall[g].stddev() << '\n';
+    }
+    std::cout << '\n';
+  };
+  row("PerfNet", perfnet);
+  row("HiPerBOt", hiperbot);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t reps = hpb::eval::reps_from_env(3);
+  std::ofstream csv(hpb::benchfig::csv_path("fig8_transfer"));
+  csv << "dataset,method,gamma,good_cases,recall_mean,recall_std\n";
+
+  std::cout << "Figure 8: transfer learning, Recall R(gamma) vs tolerance\n\n";
+  {
+    TransferPair kripke = hpb::apps::make_kripke_transfer();
+    report(csv, "Kripke (16 -> 64 nodes)", kripke, reps);
+  }
+  {
+    TransferPair hypre = hpb::apps::make_hypre_transfer();
+    report(csv, "HYPRE (16 -> 64 nodes)", hypre, reps);
+  }
+  std::cout << "wrote " << hpb::benchfig::csv_path("fig8_transfer") << '\n';
+  return 0;
+}

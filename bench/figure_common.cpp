@@ -1,0 +1,77 @@
+#include "figure_common.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "common/thread_pool.hpp"
+#include "eval/experiment.hpp"
+#include "eval/methods.hpp"
+#include "eval/report.hpp"
+
+namespace hpb::benchfig {
+namespace {
+
+std::size_t threads_from_env() {
+  if (const char* env = std::getenv("HPB_THREADS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 1) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::string csv_path(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results/" + name + ".csv";
+}
+
+int run_selection_figure(tabular::TabularObjective& dataset,
+                         const FigureSpec& spec) {
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+
+  eval::SelectionExperimentConfig config;
+  config.sample_sizes = spec.sample_sizes;
+  config.reps = eval::reps_from_env(spec.default_reps);
+  config.recall_percentile = spec.recall_percentile;
+  config.seed = spec.seed;
+  const std::size_t threads = threads_from_env();
+  ThreadPool pool(threads);
+  config.pool = threads > 1 ? &pool : nullptr;
+
+  const eval::StandardMethods methods = eval::make_standard_methods(dataset);
+
+  std::vector<eval::MethodCurve> curves;
+  curves.push_back(eval::run_selection_experiment(dataset, "Random",
+                                                  methods.random, config));
+  curves.push_back(
+      eval::run_selection_experiment(dataset, "GEIST", methods.geist, config));
+  curves.push_back(eval::run_selection_experiment(dataset, "HiPerBOt",
+                                                  methods.hiperbot, config));
+
+  std::cout << spec.title << "\n"
+            << "dataset: " << dataset.name() << ", " << dataset.size()
+            << " configurations, exhaustive best " << dataset.best_value()
+            << ", reps " << config.reps << ", recall ell "
+            << spec.recall_percentile << "%\n";
+  if (spec.reference_value >= 0.0) {
+    std::cout << "paper reference (" << spec.reference_label
+              << "): " << spec.reference_value << '\n';
+  }
+  eval::print_curves(std::cout, spec.title, curves, dataset.size(),
+                     dataset.best_value(), /*show_recall=*/true);
+  eval::write_curves_csv(csv_path(spec.csv_name), curves);
+
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  std::cout << "wrote " << csv_path(spec.csv_name) << "  (" << seconds
+            << " s)\n";
+  return 0;
+}
+
+}  // namespace hpb::benchfig

@@ -1,0 +1,39 @@
+// Shared driver for the Fig. 2–6 configuration-selection benchmarks: runs
+// HiPerBOt vs GEIST vs Random on one dataset at the paper's sample-size
+// checkpoints, prints the figure's two panels (best configuration, recall)
+// as tables, and writes a tidy CSV under bench_results/.
+//
+// Environment:
+//   HPB_REPS     replications per method (default 20; the paper uses 50).
+//   HPB_THREADS  worker threads for replicated runs (default 1 = serial;
+//                results are identical regardless).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::benchfig {
+
+struct FigureSpec {
+  std::string title;            // e.g. "Figure 2: Kripke execution time"
+  std::string csv_name;         // e.g. "fig2_kripke_exec"
+  std::vector<std::size_t> sample_sizes;
+  double recall_percentile = 5.0;  // ℓ of eq. 11
+  std::size_t default_reps = 20;
+  std::uint64_t seed = 0x5eedbeef;
+  /// Paper-quoted reference (expert / -O3) value to print, if any.
+  double reference_value = -1.0;
+  std::string reference_label;
+};
+
+/// Run the three §V methods and report. Returns 0 (main()-compatible).
+int run_selection_figure(tabular::TabularObjective& dataset,
+                         const FigureSpec& spec);
+
+/// Create bench_results/ (if needed) and return "bench_results/<name>.csv".
+[[nodiscard]] std::string csv_path(const std::string& name);
+
+}  // namespace hpb::benchfig

@@ -1,0 +1,96 @@
+// Microbenchmarks (google-benchmark) for the baseline substrates: GEIST
+// graph construction, CAMLP propagation, GP refits, and MLP training
+// epochs. These are the costs that dominate the figure-level harnesses.
+#include <benchmark/benchmark.h>
+
+#include "apps/kripke.hpp"
+#include "baselines/camlp.hpp"
+#include "baselines/config_graph.hpp"
+#include "baselines/gp_tuner.hpp"
+#include "nn/mlp.hpp"
+
+namespace {
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto ds = hpb::apps::make_kripke_exec();
+  const std::vector<hpb::space::Configuration> pool(ds.configs().begin(),
+                                                    ds.configs().end());
+  for (auto _ : state) {
+    hpb::baselines::ConfigGraph g(ds.space(), pool);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pool.size()));
+}
+BENCHMARK(BM_GraphBuild)->Unit(benchmark::kMillisecond);
+
+void BM_CamlpPropagation(benchmark::State& state) {
+  const auto ds = hpb::apps::make_kripke_exec();
+  const std::vector<hpb::space::Configuration> pool(ds.configs().begin(),
+                                                    ds.configs().end());
+  const hpb::baselines::ConfigGraph g(ds.space(), pool);
+  hpb::baselines::Labels labels(pool.size(), -1);
+  hpb::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    labels[rng.index(pool.size())] = static_cast<std::int8_t>(rng.index(2));
+  }
+  hpb::baselines::CamlpConfig config;
+  config.max_iters = static_cast<std::size_t>(state.range(0));
+  config.tolerance = 0.0;  // force the full iteration count
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hpb::baselines::camlp_propagate(g, labels, config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_CamlpPropagation)->Arg(10)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_GpRefit(benchmark::State& state) {
+  const auto ds = hpb::apps::make_kripke_exec();
+  const auto pool =
+      std::make_shared<const std::vector<hpb::space::Configuration>>(
+          ds.configs().begin(), ds.configs().end());
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  hpb::baselines::GpConfig config;
+  config.initial_samples = n;  // refit happens on the n-th observe
+  hpb::Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    hpb::baselines::GpTuner tuner(ds.space_ptr(), config, rng.next_u64(),
+                                  pool);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto& c = (*pool)[rng.index(pool->size())];
+      tuner.observe(c, ds.value_of(c));  // below threshold: no refit yet
+    }
+    const auto& last = (*pool)[rng.index(pool->size())];
+    state.ResumeTiming();
+    tuner.observe(last, ds.value_of(last));  // triggers the O(n³) refit
+  }
+}
+BENCHMARK(BM_GpRefit)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_MlpTrainEpoch(benchmark::State& state) {
+  hpb::Rng rng(3);
+  const std::size_t width = 32;
+  hpb::nn::Mlp net({width, 64, 32, 1}, rng);
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  hpb::linalg::Matrix x(rows, width);
+  std::vector<double> y(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      x(r, c) = rng.normal();
+    }
+    y[r] = rng.normal();
+  }
+  hpb::nn::TrainConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.train_epoch(x, y, config, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_MlpTrainEpoch)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Microbenchmarks (google-benchmark) for the live mini-applications:
+// per-layout timings of the MiniSweep transport kernel (the measured
+// analogue of Kripke's nesting study) and per-solver timings of the
+// MiniSolver Poisson suite.
+#include <benchmark/benchmark.h>
+
+#include "apps/minisolver.hpp"
+#include "apps/minisweep.hpp"
+
+namespace {
+
+void BM_MiniSweepLayout(benchmark::State& state) {
+  hpb::apps::MiniSweepWorkload workload;
+  workload.zones = 32;
+  workload.groups = 16;
+  workload.directions = 8;
+  workload.sweeps = 1;
+  workload.repeats = 1;
+  hpb::apps::MiniSweepObjective obj(workload);
+  // Configuration: the chosen nesting with unblocked group/direction loops.
+  hpb::space::Configuration c(std::vector<double>{
+      static_cast<double>(state.range(0)), 0, 0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.evaluate(c));
+  }
+  state.SetLabel(obj.space().param(0).level_label(
+      static_cast<std::size_t>(state.range(0))));
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(workload.zones * workload.zones *
+                           workload.groups * workload.directions));
+}
+BENCHMARK(BM_MiniSweepLayout)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_MiniSweepBlocking(benchmark::State& state) {
+  hpb::apps::MiniSweepWorkload workload;
+  workload.zones = 32;
+  workload.groups = 16;
+  workload.directions = 8;
+  workload.sweeps = 1;
+  workload.repeats = 1;
+  hpb::apps::MiniSweepObjective obj(workload);
+  // DGZ nesting with varying group-set blocking.
+  hpb::space::Configuration c(std::vector<double>{
+      0, static_cast<double>(state.range(0)), 0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.evaluate(c));
+  }
+  state.SetLabel("Gset=" + obj.space().param(1).level_label(
+                               static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_MiniSweepBlocking)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_MiniSolverMethod(benchmark::State& state) {
+  hpb::apps::MiniSolverWorkload workload;
+  workload.grid = 32;
+  workload.tolerance = 1e-6;
+  workload.max_iters = 4000;
+  workload.repeats = 1;
+  hpb::apps::MiniSolverObjective obj(workload);
+  hpb::space::Configuration c(std::vector<double>{
+      static_cast<double>(state.range(0)), /*omega=1.4*/ 3, /*sweeps=*/0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obj.evaluate(c));
+  }
+  state.SetLabel(obj.space().param(0).level_label(
+                     static_cast<std::size_t>(state.range(0))) +
+                 " iters=" + std::to_string(obj.last_iterations()));
+}
+BENCHMARK(BM_MiniSolverMethod)
+    ->DenseRange(0, 6)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

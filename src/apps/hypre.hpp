@@ -1,0 +1,33 @@
+// Simulated HYPRE new_ij datasets (§IV-A, §V-B, §VII-B).
+//
+// HYPRE's new_ij benchmark exercises the BoomerAMG solver stack. The paper
+// tunes solver, smoother, MPI ranks, OpenMP threads, and the AMG cycle
+// parameters MU (cycle type) and PMX (interpolation max elements) — the
+// Table I parameter set — over ~4589 configurations; the transfer-learning
+// study uses a larger space (~57313 source / ~50395 target configurations).
+#pragma once
+
+#include <cstdint>
+
+#include "space/parameter_space.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::apps {
+
+inline constexpr std::uint64_t kHypreSeed = 0xC0FFEE02;
+
+/// Configuration-selection space: Solver (4) × Smoother (6) × Ranks (6) ×
+/// OMP (4) × MU (4) × PMX (2) = 4608 configurations (paper: 4589).
+[[nodiscard]] space::SpacePtr hypre_space();
+
+/// The configuration-selection dataset; best calibrated to 3.45 s (Fig. 4a's
+/// exhaustive-best line) with a heavy right tail up to ~12 s.
+[[nodiscard]] tabular::TabularObjective make_hypre(
+    std::uint64_t seed = kHypreSeed);
+
+/// Extended space for the transfer study: Solver (4) × Smoother (8) ×
+/// Ranks (6) × OMP (5) × MU (4) × PMX (3) × Coarsen (5) = 57600
+/// configurations (paper: 57313 source / 50395 target).
+[[nodiscard]] space::SpacePtr hypre_transfer_space();
+
+}  // namespace hpb::apps

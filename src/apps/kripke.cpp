@@ -1,0 +1,144 @@
+#include "apps/kripke.hpp"
+
+#include "surface/surface.hpp"
+
+namespace hpb::apps {
+namespace {
+
+using space::Configuration;
+using space::Parameter;
+using space::ParameterSpace;
+
+void add_exec_params(ParameterSpace& s) {
+  s.add(Parameter::categorical(
+      "Nesting", {"DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD"}));
+  s.add(Parameter::categorical_numeric("Gset", {1, 2, 4, 8, 16}));
+  s.add(Parameter::categorical_numeric("Dset", {1, 2, 4, 8}));
+  s.add(Parameter::categorical_numeric("OMP", {1, 2, 4, 8}));
+  s.add(Parameter::categorical_numeric("Ranks", {1, 2, 4, 8, 16}));
+  // Full-node occupancy: the study ran on fixed 32-core nodes; configs must
+  // populate at least a quarter of a node and may not oversubscribe it.
+  s.add_constraint(
+      [](const ParameterSpace& sp, const Configuration& c) {
+        const double omp = sp.param(sp.index_of("OMP")).level_value(
+            c.level(sp.index_of("OMP")));
+        const double ranks = sp.param(sp.index_of("Ranks")).level_value(
+            c.level(sp.index_of("Ranks")));
+        const double total = omp * ranks;
+        return total >= 8.0 && total <= 32.0;
+      },
+      "8 <= Ranks * OMP <= 32 (full-node occupancy)");
+}
+
+/// Shared multiplicative structure of the Kripke runtime. Strengths are
+/// tuned so the full-dataset JS-divergence ranking reproduces Table I
+/// (exec: Ranks > OMP > Dset ~ Gset > Nesting).
+surface::SurfaceBuilder exec_surface_builder(space::SpacePtr sp,
+                                             std::uint64_t seed) {
+  surface::SurfaceBuilder b(std::move(sp), seed);
+  b.base(1.0)
+      .random_main_effect("Ranks", 0.40)
+      .random_main_effect("OMP", 0.25)
+      .random_main_effect("Dset", 0.18)
+      .random_main_effect("Gset", 0.17)
+      .random_main_effect("Nesting", 0.12)
+      .random_interaction("Nesting", "OMP", 0.06)
+      .random_interaction("Gset", "Dset", 0.08)
+      .random_interaction("Ranks", "OMP", 0.10)
+      .noise(0.03);
+  return b;
+}
+
+}  // namespace
+
+space::SpacePtr kripke_exec_space() {
+  auto s = std::make_shared<ParameterSpace>();
+  add_exec_params(*s);
+  return s;
+}
+
+Configuration kripke_exec_expert(const ParameterSpace& space) {
+  // The §V-A expert tests each loop ordering with a few group/energy sets:
+  // they find a good Nesting but keep conventional set/threads choices.
+  Configuration c(std::vector<double>(space.num_params(), 0.0));
+  c.set_level(space.index_of("Nesting"), 0);  // DGZ (production default)
+  c.set_level(space.index_of("Gset"), 2);     // 4 group sets
+  c.set_level(space.index_of("Dset"), 2);     // 4 direction sets
+  c.set_level(space.index_of("OMP"), 2);      // 4 threads
+  c.set_level(space.index_of("Ranks"), 3);    // 8 ranks (8*4 = full node)
+  return c;
+}
+
+tabular::TabularObjective make_kripke_exec(std::uint64_t seed) {
+  auto sp = kripke_exec_space();
+  const surface::Surface surf = exec_surface_builder(sp, seed).build();
+  return surface::calibrate_to_anchor("kripke", surf, 8.43,
+                                      kripke_exec_expert(*sp), 15.2);
+}
+
+space::SpacePtr kripke_energy_space() {
+  auto s = std::make_shared<ParameterSpace>();
+  add_exec_params(*s);
+  s->add(Parameter::categorical_numeric(
+      "PKG_LIMIT", {50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150}));
+  return s;
+}
+
+Configuration kripke_energy_expert(const ParameterSpace& space) {
+  Configuration c(std::vector<double>(space.num_params(), 0.0));
+  c.set_level(space.index_of("Nesting"), 0);
+  c.set_level(space.index_of("Gset"), 2);
+  c.set_level(space.index_of("Dset"), 2);
+  c.set_level(space.index_of("OMP"), 2);
+  c.set_level(space.index_of("Ranks"), 3);
+  // §V-A: the expert choice for energy is the 2nd-highest power level.
+  c.set_level(space.index_of("PKG_LIMIT"), 9);  // 140 W
+  return c;
+}
+
+tabular::TabularObjective make_kripke_energy(std::uint64_t seed) {
+  auto sp = kripke_energy_space();
+  surface::SurfaceBuilder b = exec_surface_builder(sp, seed);
+  // Energy = power × time: capping power reduces draw but slows the run.
+  // The U-shaped energy-vs-cap curve makes mid-range caps optimal, and the
+  // cap interacts with thread count (more threads → higher package draw).
+  b.main_effect("PKG_LIMIT", {1.30, 1.12, 1.00, 0.92, 0.88, 0.87, 0.90, 0.96,
+                              1.04, 1.14, 1.25})
+      .random_interaction("PKG_LIMIT", "OMP", 0.08)
+      .random_interaction("PKG_LIMIT", "Nesting", 0.10);
+  const surface::Surface surf = b.build();
+  return surface::calibrate_to_anchor("kripke_energy", surf, 2447.0,
+                                      kripke_energy_expert(*sp), 4742.0);
+}
+
+KripkeTimeEnergy make_kripke_time_energy(std::uint64_t seed) {
+  auto sp = kripke_energy_space();
+
+  // Time: the exec-surface structure plus the power-cap slowdown — capping
+  // from 150 W down to 50 W stretches the runtime by up to ~60%.
+  surface::SurfaceBuilder time_builder = exec_surface_builder(sp, seed);
+  time_builder.main_effect(
+      "PKG_LIMIT",
+      {1.60, 1.42, 1.28, 1.18, 1.11, 1.06, 1.03, 1.01, 1.00, 1.00, 1.00});
+  const surface::Surface time_surface = time_builder.build();
+
+  // Energy ≈ average power × time: the power term grows with the cap, so
+  // the product is low at mid/low caps where the slowdown has not yet
+  // eaten the savings.
+  const surface::Surface energy_surface = [&] {
+    surface::SurfaceBuilder b = exec_surface_builder(sp, seed);
+    b.main_effect("PKG_LIMIT", {1.60 * 0.45, 1.42 * 0.50, 1.28 * 0.56,
+                                1.18 * 0.62, 1.11 * 0.69, 1.06 * 0.76,
+                                1.03 * 0.83, 1.01 * 0.89, 1.00 * 0.94,
+                                1.00 * 0.97, 1.00 * 1.00})
+        .random_interaction("PKG_LIMIT", "OMP", 0.06);
+    return b.build();
+  }();
+
+  return {surface::calibrate_to_range("kripke_time", time_surface, 8.43,
+                                      38.0),
+          surface::calibrate_to_range("kripke_joules", energy_surface, 2447.0,
+                                      11200.0)};
+}
+
+}  // namespace hpb::apps

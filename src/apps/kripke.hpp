@@ -1,0 +1,62 @@
+// Simulated Kripke datasets (§IV-A, §V-A).
+//
+// Kripke is LLNL's discrete-ordinates SN transport proxy app. The paper
+// tunes data-layout nesting, group/direction set counts, OpenMP threads and
+// MPI ranks (execution-time study, ~1609 configurations) and additionally a
+// hardware power cap (energy study, ~17815 configurations).
+//
+// Parameter names and the relative importance ordering follow Table I;
+// best/expert anchors follow §V-A: best execution time 8.43 s vs. expert
+// choice 15.2 s; expert energy 4742 J at the 2nd-highest power level.
+#pragma once
+
+#include <cstdint>
+
+#include "space/parameter_space.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::apps {
+
+inline constexpr std::uint64_t kKripkeSeed = 0xC0FFEE01;
+
+/// Parameter space of the execution-time study: Nesting (6 layouts),
+/// Gset {1,2,4,8,16}, Dset {1,2,4,8}, OMP {1,2,4,8}, Ranks {1,2,4,8,16},
+/// constrained to full-node occupancy 8 <= Ranks × OMP <= 32.
+[[nodiscard]] space::SpacePtr kripke_exec_space();
+
+/// The execution-time dataset, calibrated to best = 8.43 s and the expert
+/// configuration (best nesting at default sets/threads) = 15.2 s.
+[[nodiscard]] tabular::TabularObjective make_kripke_exec(
+    std::uint64_t seed = kKripkeSeed);
+
+/// Expert choice of §V-A: manually picked loop ordering with default
+/// group/direction sets (objective value 15.2 s after calibration).
+[[nodiscard]] space::Configuration kripke_exec_expert(
+    const space::ParameterSpace& space);
+
+/// Parameter space of the energy study: the execution-time parameters plus
+/// an 11-level package power cap PKG_LIMIT {50..150 W}.
+[[nodiscard]] space::SpacePtr kripke_energy_space();
+
+/// The energy dataset, calibrated to best = 2447 J and the expert choice
+/// (2nd-highest power level, default layout) = 4742 J.
+[[nodiscard]] tabular::TabularObjective make_kripke_energy(
+    std::uint64_t seed = kKripkeSeed + 1);
+
+[[nodiscard]] space::Configuration kripke_energy_expert(
+    const space::ParameterSpace& space);
+
+/// Bi-objective Kripke: execution time AND energy over the same
+/// power-capped space, from one coupled surface family — capping the
+/// package power slows the run (time up) while cutting draw (energy down
+/// until the runtime stretch dominates), so the two objectives genuinely
+/// trade off along the PKG_LIMIT axis. Used by bench/pareto_kripke.
+struct KripkeTimeEnergy {
+  tabular::TabularObjective time;    // seconds
+  tabular::TabularObjective energy;  // joules
+};
+
+[[nodiscard]] KripkeTimeEnergy make_kripke_time_energy(
+    std::uint64_t seed = kKripkeSeed + 2);
+
+}  // namespace hpb::apps

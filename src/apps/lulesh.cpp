@@ -1,0 +1,73 @@
+#include "apps/lulesh.hpp"
+
+#include "surface/surface.hpp"
+
+namespace hpb::apps {
+namespace {
+
+using space::Configuration;
+using space::Parameter;
+using space::ParameterSpace;
+
+}  // namespace
+
+space::SpacePtr lulesh_space() {
+  auto s = std::make_shared<ParameterSpace>();
+  s->add(Parameter::categorical("level", {"O1", "O2", "O3", "Ofast"}));
+  s->add(Parameter::categorical("unroll", {"none", "enable", "aggressive"}));
+  s->add(Parameter::categorical("malloc", {"default", "optimized"}));
+  s->add(Parameter::categorical("builtin", {"off", "on"}));
+  s->add(Parameter::categorical("force", {"off", "on"}));
+  s->add(Parameter::categorical("noipo", {"off", "on"}));
+  s->add(Parameter::categorical("strategy", {"basic", "aggressive"}));
+  s->add(Parameter::categorical("functions", {"default", "expanded"}));
+  s->add(Parameter::categorical("fpmodel", {"precise", "fast"}));
+  s->add(Parameter::categorical("prefetch", {"off", "on"}));
+  s->add(Parameter::categorical("simd", {"off", "on"}));
+  // Aggressive unrolling is only accepted at -O2 and above.
+  s->add_constraint(
+      [](const ParameterSpace& sp, const Configuration& c) {
+        const std::size_t level = c.level(sp.index_of("level"));
+        const std::size_t unroll = c.level(sp.index_of("unroll"));
+        return !(level == 0 && unroll == 2);
+      },
+      "unroll=aggressive requires -O2 or higher");
+  return s;
+}
+
+Configuration lulesh_default_o3(const ParameterSpace& space) {
+  Configuration c(std::vector<double>(space.num_params(), 0.0));
+  c.set_level(space.index_of("level"), 2);  // -O3, every other flag default
+  return c;
+}
+
+tabular::TabularObjective make_lulesh(std::uint64_t seed) {
+  auto sp = lulesh_space();
+  surface::SurfaceBuilder b(sp, seed);
+  // Effect sizes follow Table I's full-dataset ranking: builtin (0.21) >
+  // malloc (0.17) > unroll (0.13) > level (0.04) > force (0.03) >
+  // noipo (0.01) > strategy, functions (~0). Explicit tables rather than
+  // seed-derived draws pin the ranking exactly; the -O3-default anchor of
+  // 6.02 s vs best 2.72 s emerges from the product of the "good flag"
+  // speedups (builtin·malloc·unroll·force·fpmodel·simd ≈ 0.40).
+  b.base(1.0)
+      .main_effect("builtin", {1.00, 0.70})
+      .main_effect("malloc", {1.00, 0.75})
+      .main_effect("unroll", {1.00, 0.88, 0.81})
+      .main_effect("level", {1.09, 1.03, 1.00, 0.99})
+      .main_effect("force", {1.00, 0.95})
+      .main_effect("noipo", {1.00, 1.025})
+      .main_effect("strategy", {1.00, 1.006})
+      .main_effect("functions", {1.00, 1.004})
+      .main_effect("fpmodel", {1.00, 0.965})
+      .main_effect("prefetch", {1.00, 0.985})
+      .main_effect("simd", {1.00, 0.96})
+      .random_interaction("builtin", "unroll", 0.04)
+      .random_interaction("malloc", "level", 0.03)
+      .noise(0.02);
+  const surface::Surface surf = b.build();
+  return surface::calibrate_to_anchor("lulesh", surf, 2.72,
+                                      lulesh_default_o3(*sp), 6.02);
+}
+
+}  // namespace hpb::apps

@@ -1,0 +1,33 @@
+// Simulated LULESH compiler-flag dataset (§IV-A, §V-C).
+//
+// LULESH is the LLNL shock-hydrodynamics proxy app; the paper tunes eleven
+// compiler-flag options (~4800 configurations). Users default to -O3, which
+// the paper reports at 6.02 s versus a best of 2.72 s — both are used as
+// calibration anchors here. Flag names follow Table I (level, malloc,
+// force, builtin, unroll, noipo, strategy, functions) plus three extra
+// binary flags to reach the paper's eleven.
+#pragma once
+
+#include <cstdint>
+
+#include "space/parameter_space.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::apps {
+
+inline constexpr std::uint64_t kLuleshSeed = 0xC0FFEE03;
+
+/// 11 flags: level (4) × unroll (3) × 9 binary flags, constrained so that
+/// aggressive unrolling requires at least -O2 → 5632 configurations
+/// (paper: 4800).
+[[nodiscard]] space::SpacePtr lulesh_space();
+
+/// The dataset, calibrated to best = 2.72 s and -O3 defaults = 6.02 s.
+[[nodiscard]] tabular::TabularObjective make_lulesh(
+    std::uint64_t seed = kLuleshSeed);
+
+/// The "-O3 with default flags" configuration quoted in §V-C.
+[[nodiscard]] space::Configuration lulesh_default_o3(
+    const space::ParameterSpace& space);
+
+}  // namespace hpb::apps

@@ -1,0 +1,80 @@
+// MiniSolver: a real (live) miniature of HYPRE's new_ij benchmark — a
+// from-scratch sparse linear-solver suite on a 2-D Poisson problem, with
+// HYPRE-like tunables:
+//
+//   Solver   {Jacobi-iter, GS-iter, SOR-iter, CG, PCG-Jacobi, PCG-SSOR}
+//   Smoother relaxation weight ω for the SOR/SSOR variants
+//   MaxLevel two-grid (multigrid-lite) preconditioning depth {0, 1}
+//
+// evaluate() assembles the 5-point Laplacian, runs the configured solver
+// to a fixed residual tolerance, and returns measured wall-clock seconds
+// (divergent/over-budget configurations return their full elapsed time —
+// slow configurations are simply bad, as on the real machine).
+// last_residual()/iterations() expose convergence for tests, and every
+// converging configuration reaches the same solution (checksummed).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "space/parameter_space.hpp"
+#include "tabular/objective.hpp"
+
+namespace hpb::apps {
+
+struct MiniSolverWorkload {
+  std::size_t grid = 64;       // unknowns: grid × grid interior points
+  double tolerance = 1e-8;     // relative residual target
+  std::size_t max_iters = 4000;
+  std::size_t repeats = 1;     // timed repetitions; minimum taken
+};
+
+class MiniSolverObjective final : public tabular::Objective {
+ public:
+  explicit MiniSolverObjective(MiniSolverWorkload workload = {});
+
+  [[nodiscard]] const space::ParameterSpace& space() const override {
+    return *space_;
+  }
+  [[nodiscard]] space::SpacePtr space_ptr() const { return space_; }
+
+  [[nodiscard]] double evaluate(const space::Configuration& c) override;
+
+  [[nodiscard]] std::string name() const override { return "minisolver"; }
+
+  // Introspection for tests --------------------------------------------
+  [[nodiscard]] double last_residual() const noexcept { return residual_; }
+  [[nodiscard]] std::size_t last_iterations() const noexcept {
+    return iterations_;
+  }
+  [[nodiscard]] bool last_converged() const noexcept { return converged_; }
+  /// Sum of the solution vector (identical across converging configs).
+  [[nodiscard]] double last_checksum() const noexcept { return checksum_; }
+
+ private:
+  // 5-point Laplacian matvec on the grid: y = A x.
+  void apply(const std::vector<double>& x, std::vector<double>& y) const;
+  // One weighted-Jacobi / SOR forward / SOR backward pass on A x = b.
+  void jacobi_pass(std::vector<double>& x, const std::vector<double>& b,
+                   double omega) const;
+  void sor_pass(std::vector<double>& x, const std::vector<double>& b,
+                double omega, bool forward) const;
+  // Two-grid V-cycle (full-weighting restriction, bilinear prolongation,
+  // SOR smoothing) used as the "MG" preconditioner.
+  void vcycle(std::vector<double>& x, const std::vector<double>& b,
+              double omega) const;
+  // Preconditioner application z = M⁻¹ r, per the configuration.
+  void precondition(std::size_t kind, double omega,
+                    const std::vector<double>& r, std::vector<double>& z) const;
+
+  MiniSolverWorkload workload_;
+  space::SpacePtr space_;
+  std::vector<double> rhs_;
+  double rhs_norm_ = 1.0;
+  double residual_ = 0.0;
+  std::size_t iterations_ = 0;
+  bool converged_ = false;
+  double checksum_ = 0.0;
+};
+
+}  // namespace hpb::apps

@@ -1,0 +1,249 @@
+#include "apps/minisweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace hpb::apps {
+namespace {
+
+using space::Parameter;
+
+space::SpacePtr make_sweep_space(const MiniSweepWorkload& w) {
+  auto s = std::make_shared<space::ParameterSpace>();
+  s->add(Parameter::categorical(
+      "Nesting", {"DGZ", "DZG", "GDZ", "GZD", "ZDG", "ZGD"}));
+  // Block sizes must divide the group/direction counts.
+  std::vector<double> gsets, dsets;
+  for (std::size_t b = 1; b <= w.groups; b *= 2) {
+    if (w.groups % b == 0) {
+      gsets.push_back(static_cast<double>(w.groups / b));
+    }
+  }
+  for (std::size_t b = 1; b <= w.directions; b *= 2) {
+    if (w.directions % b == 0) {
+      dsets.push_back(static_cast<double>(w.directions / b));
+    }
+  }
+  s->add(Parameter::categorical_numeric("Gset", gsets));
+  s->add(Parameter::categorical_numeric("Dset", dsets));
+#ifdef _OPENMP
+  s->add(Parameter::categorical_numeric(
+      "Threads",
+      {1.0, 2.0, static_cast<double>(std::min(4, omp_get_max_threads()))}));
+#else
+  s->add(Parameter::categorical_numeric("Threads", {1.0}));
+#endif
+  return s;
+}
+
+/// Storage strides of psi for one of the six (D, G, Z)-nesting layouts:
+/// index(z, g, d) = z·sz + g·sg + d·sd. The first letter is the slowest
+/// (outermost) storage dimension.
+struct Strides {
+  std::size_t sz, sg, sd;
+};
+
+Strides layout_strides(std::size_t nesting, std::size_t nz, std::size_t ng,
+                       std::size_t nd) {
+  switch (nesting) {
+    case 0:  // DGZ: d slowest, then g, z fastest
+      return {1, nz, ng * nz};
+    case 1:  // DZG
+      return {ng, 1, nz * ng};
+    case 2:  // GDZ
+      return {1, nd * nz, nz};
+    case 3:  // GZD
+      return {nd, nz * nd, 1};
+    case 4:  // ZDG
+      return {nd * ng, 1, ng};
+    default:  // ZGD
+      return {ng * nd, nd, 1};
+  }
+}
+
+}  // namespace
+
+MiniSweepObjective::MiniSweepObjective(MiniSweepWorkload workload)
+    : workload_(workload), space_(make_sweep_space(workload)) {
+  HPB_REQUIRE(workload_.zones >= 4, "MiniSweep: grid too small");
+  HPB_REQUIRE(workload_.groups >= 1 && workload_.directions >= 1,
+              "MiniSweep: need groups and directions");
+  HPB_REQUIRE(workload_.sweeps >= 1 && workload_.repeats >= 1,
+              "MiniSweep: sweeps and repeats must be >= 1");
+  const std::size_t nz = workload_.zones * workload_.zones;
+  psi_.resize(nz * workload_.groups * workload_.directions);
+  phi_.resize(nz * workload_.groups);
+  sigma_.resize(nz * workload_.groups);
+  source_.resize(nz * workload_.groups);
+  // Deterministic heterogeneous material: cross sections and sources from
+  // hash noise (same for every configuration).
+  for (std::size_t i = 0; i < sigma_.size(); ++i) {
+    sigma_[i] = 1.0 + 0.5 * hash_to_unit(splitmix64(0x51634A + i));
+    source_[i] = 0.5 + hash_to_unit(splitmix64(0x50136CE + i));
+  }
+}
+
+double MiniSweepObjective::evaluate(const space::Configuration& c) {
+  const std::size_t n = workload_.zones;
+  const std::size_t ng = workload_.groups;
+  const std::size_t nd = workload_.directions;
+  const std::size_t nz = n * n;
+
+  const std::size_t nesting = c.level(0);
+  const auto gset = static_cast<std::size_t>(
+      space_->param(1).level_value(c.level(1)));
+  const auto dset = static_cast<std::size_t>(
+      space_->param(2).level_value(c.level(2)));
+  const int threads =
+      static_cast<int>(space_->param(3).level_value(c.level(3)));
+#ifndef _OPENMP
+  (void)threads;
+#endif
+  const Strides st = layout_strides(nesting, nz, ng, nd);
+
+  // Ordinates: mu_d, eta_d > 0 (one quadrant), equal weights.
+  std::vector<double> mu(nd), eta(nd), weight(nd, 1.0 / static_cast<double>(nd));
+  for (std::size_t d = 0; d < nd; ++d) {
+    const double angle =
+        (static_cast<double>(d) + 0.5) / static_cast<double>(nd) *
+        1.5707963267948966;  // (0, pi/2)
+    mu[d] = std::cos(angle);
+    eta[d] = std::sin(angle);
+  }
+  const double dx = 1.0 / static_cast<double>(n);
+
+  // Upwind edge fluxes: left[(g,d)] for the current row position, and
+  // bottom[(i,g,d)] persisting across rows. Works for every loop nesting
+  // because left is reset whenever a (g,d) pair starts a row (i == 0) and
+  // bottom cells are written exactly once per row before the next row
+  // reads them.
+  std::vector<double> left(ng * nd);
+  std::vector<double> bottom(n * ng * nd);
+
+  double best = 0.0;
+  for (std::size_t rep = 0; rep < workload_.repeats; ++rep) {
+    std::fill(phi_.begin(), phi_.end(), 0.0);
+    const auto start = std::chrono::steady_clock::now();
+
+    for (std::size_t sweep = 0; sweep < workload_.sweeps; ++sweep) {
+      std::fill(bottom.begin(), bottom.end(), 1.0);  // boundary flux
+
+      // One diamond-difference cell update; psi is stored in the layout
+      // order so the Nesting choice changes the store/load stride pattern.
+      auto update_cell =
+          [&](std::size_t i, std::size_t j, std::size_t g, std::size_t d) {
+            if (i == 0) {
+              left[g * nd + d] = 1.0;  // boundary flux at row start
+            }
+            const std::size_t z = j * n + i;
+            const double psi_l = left[g * nd + d];
+            const double psi_b = bottom[(i * ng + g) * nd + d];
+            const double cm = 2.0 * mu[d] / dx;
+            const double ce = 2.0 * eta[d] / dx;
+            const double q = source_[z * ng + g] +
+                             0.3 * phi_[z * ng + g];  // scattering feedback
+            const double psi =
+                (q + cm * psi_l + ce * psi_b) /
+                (sigma_[z * ng + g] + cm + ce);
+            psi_[z * st.sz + g * st.sg + d * st.sd] = psi;
+            left[g * nd + d] = std::max(2.0 * psi - psi_l, 0.0);
+            bottom[(i * ng + g) * nd + d] = std::max(2.0 * psi - psi_b, 0.0);
+          };
+
+      // Blocked loops over group-sets and direction-sets; within a block
+      // the Nesting decides the loop order (zone traversal is always
+      // j-then-i to honor the wavefront dependency). Blocks partition the
+      // (group, direction) plane and touch disjoint psi/left/bottom
+      // slices, so the block grid parallelizes safely for every nesting.
+      const std::size_t n_gblocks = (ng + gset - 1) / gset;
+      const std::size_t n_dblocks = (nd + dset - 1) / dset;
+      const std::size_t n_blocks = n_gblocks * n_dblocks;
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(threads) schedule(static)
+#endif
+      for (std::size_t block = 0; block < n_blocks; ++block) {
+        const std::size_t g0 = (block / n_dblocks) * gset;
+        {
+          const std::size_t d0 = (block % n_dblocks) * dset;
+          const std::size_t g1 = std::min(g0 + gset, ng);
+          const std::size_t d1 = std::min(d0 + dset, nd);
+          switch (nesting) {
+            case 0:  // DGZ
+              for (std::size_t d = d0; d < d1; ++d)
+                for (std::size_t g = g0; g < g1; ++g)
+                  for (std::size_t j = 0; j < n; ++j)
+                    for (std::size_t i = 0; i < n; ++i)
+                      update_cell(i, j, g, d);
+              break;
+            case 1:  // DZG
+              for (std::size_t d = d0; d < d1; ++d)
+                for (std::size_t j = 0; j < n; ++j)
+                  for (std::size_t i = 0; i < n; ++i)
+                    for (std::size_t g = g0; g < g1; ++g)
+                      update_cell(i, j, g, d);
+              break;
+            case 2:  // GDZ
+              for (std::size_t g = g0; g < g1; ++g)
+                for (std::size_t d = d0; d < d1; ++d)
+                  for (std::size_t j = 0; j < n; ++j)
+                    for (std::size_t i = 0; i < n; ++i)
+                      update_cell(i, j, g, d);
+              break;
+            case 3:  // GZD
+              for (std::size_t g = g0; g < g1; ++g)
+                for (std::size_t j = 0; j < n; ++j)
+                  for (std::size_t i = 0; i < n; ++i)
+                    for (std::size_t d = d0; d < d1; ++d)
+                      update_cell(i, j, g, d);
+              break;
+            case 4:  // ZDG
+              for (std::size_t j = 0; j < n; ++j)
+                for (std::size_t i = 0; i < n; ++i)
+                  for (std::size_t d = d0; d < d1; ++d)
+                    for (std::size_t g = g0; g < g1; ++g)
+                      update_cell(i, j, g, d);
+              break;
+            default:  // ZGD
+              for (std::size_t j = 0; j < n; ++j)
+                for (std::size_t i = 0; i < n; ++i)
+                  for (std::size_t g = g0; g < g1; ++g)
+                    for (std::size_t d = d0; d < d1; ++d)
+                      update_cell(i, j, g, d);
+              break;
+          }
+        }
+      }
+
+      // Scalar flux moment: phi(z, g) = Σ_d w_d ψ(z, g, d).
+      std::fill(phi_.begin(), phi_.end(), 0.0);
+      for (std::size_t z = 0; z < nz; ++z) {
+        for (std::size_t g = 0; g < ng; ++g) {
+          double acc = 0.0;
+          for (std::size_t d = 0; d < nd; ++d) {
+            acc += weight[d] * psi_[z * st.sz + g * st.sg + d * st.sd];
+          }
+          phi_[z * ng + g] = acc;
+        }
+      }
+    }
+
+    const auto stop = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(stop - start).count();
+    best = (rep == 0) ? elapsed : std::min(best, elapsed);
+  }
+
+  checksum_ = 0.0;
+  for (double v : phi_) {
+    checksum_ += v;
+  }
+  return best;
+}
+
+}  // namespace hpb::apps

@@ -1,0 +1,70 @@
+// MiniSweep: a real (live) miniature of Kripke's discrete-ordinates
+// transport sweep, with the same headline tunable — the data-layout
+// *Nesting* — actually changing the memory layout and loop order of the
+// kernel.
+//
+// The kernel solves one source-iteration sweep of 2-D SN transport on an
+// N×N grid with G energy groups and D ordinate directions per quadrant:
+// for each direction, cells are visited in wavefront order and the angular
+// flux is updated from the upwind fluxes (diamond-difference closure).
+// The psi array holds N·N·G·D values whose storage order is one of the six
+// permutations of (Direction, Group, Zone) — Kripke's DGZ...ZGD layouts.
+// Group-set and direction-set blocking tile the G and D loops, as in
+// Kripke's Gset/Dset parameters; with OpenMP enabled, a Threads parameter
+// parallelizes across (group-set, direction-set) blocks — distinct blocks
+// touch disjoint angular-flux and edge-flux slices, so this is safe for
+// every nesting, and the available parallelism genuinely depends on the
+// blocking choice (one big block = no parallelism), as on the real code.
+//
+// Because only the iteration order and layout change, every configuration
+// computes the same fluxes — evaluate() returns measured seconds and
+// last_checksum() lets tests verify bitwise-stable physics.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "space/parameter_space.hpp"
+#include "tabular/objective.hpp"
+
+namespace hpb::apps {
+
+struct MiniSweepWorkload {
+  std::size_t zones = 48;      // grid is zones × zones
+  std::size_t groups = 16;     // energy groups
+  std::size_t directions = 8;  // ordinate directions per quadrant
+  std::size_t sweeps = 2;      // source iterations per evaluation
+  std::size_t repeats = 2;     // timed repetitions; minimum taken
+};
+
+class MiniSweepObjective final : public tabular::Objective {
+ public:
+  explicit MiniSweepObjective(MiniSweepWorkload workload = {});
+
+  [[nodiscard]] const space::ParameterSpace& space() const override {
+    return *space_;
+  }
+  [[nodiscard]] space::SpacePtr space_ptr() const { return space_; }
+
+  /// Runs the sweep with the configuration's layout/blocking and returns
+  /// the best wall-clock seconds over `repeats` runs.
+  [[nodiscard]] double evaluate(const space::Configuration& c) override;
+
+  [[nodiscard]] std::string name() const override { return "minisweep"; }
+
+  /// Sum of the scalar flux after the last evaluation; identical for every
+  /// configuration (layout must not change the physics).
+  [[nodiscard]] double last_checksum() const noexcept { return checksum_; }
+
+ private:
+  MiniSweepWorkload workload_;
+  space::SpacePtr space_;
+  std::vector<double> psi_;     // angular flux, laid out per Nesting
+  std::vector<double> phi_;     // scalar flux accumulator (zone, group)
+  std::vector<double> sigma_;   // total cross section per zone/group
+  std::vector<double> source_;  // external source per zone/group
+  double checksum_ = 0.0;
+};
+
+}  // namespace hpb::apps

@@ -1,0 +1,33 @@
+#include "apps/registry.hpp"
+
+#include "apps/hypre.hpp"
+#include "apps/kripke.hpp"
+#include "apps/lulesh.hpp"
+#include "apps/openatom.hpp"
+#include "common/error.hpp"
+
+namespace hpb::apps {
+
+const std::vector<DatasetInfo>& dataset_registry() {
+  static const std::vector<DatasetInfo> registry = {
+      {"kripke", [] { return make_kripke_exec(); }, 15.2, "expert"},
+      {"kripke_energy", [] { return make_kripke_energy(); }, 4742.0,
+       "expert"},
+      {"hypre", [] { return make_hypre(); }, std::nullopt, ""},
+      {"lulesh", [] { return make_lulesh(); }, 6.02, "-O3"},
+      {"openAtom", [] { return make_openatom(); }, 1.6, "expert"},
+  };
+  return registry;
+}
+
+const DatasetInfo& dataset_by_name(const std::string& name) {
+  for (const auto& info : dataset_registry()) {
+    if (info.name == name) {
+      return info;
+    }
+  }
+  HPB_REQUIRE(false, "dataset_by_name: unknown dataset '" + name + "'");
+  return dataset_registry().front();  // unreachable
+}
+
+}  // namespace hpb::apps

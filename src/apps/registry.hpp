@@ -1,0 +1,30 @@
+// Name-indexed access to all simulated datasets, used by the benchmark
+// harnesses (fig7_sensitivity and table1_importance iterate over every
+// application) and by tests.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::apps {
+
+struct DatasetInfo {
+  std::string name;  // "kripke", "kripke_energy", "hypre", "lulesh", "openAtom"
+  std::function<tabular::TabularObjective()> make;
+  /// The paper's quoted reference value for a hand-tuned/default choice
+  /// (expert choice or -O3), if §V quotes one.
+  std::optional<double> reference_value;
+  std::string reference_label;  // "expert", "-O3", ...
+};
+
+/// All five configuration-selection datasets of §V in paper order.
+[[nodiscard]] const std::vector<DatasetInfo>& dataset_registry();
+
+/// Look up a dataset factory by name; throws on unknown names.
+[[nodiscard]] const DatasetInfo& dataset_by_name(const std::string& name);
+
+}  // namespace hpb::apps

@@ -1,0 +1,116 @@
+#include "apps/stencil.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace hpb::apps {
+namespace {
+
+using space::Parameter;
+
+space::SpacePtr make_stencil_space() {
+  auto s = std::make_shared<space::ParameterSpace>();
+  s->add(Parameter::categorical_numeric("tile_i", {8, 16, 32, 64, 128}));
+  s->add(Parameter::categorical_numeric("tile_j", {16, 32, 64, 128, 256}));
+  s->add(Parameter::categorical_numeric("unroll", {1, 2, 4}));
+#ifdef _OPENMP
+  s->add(Parameter::categorical_numeric(
+      "threads",
+      {1.0, 2.0, static_cast<double>(std::min(4, omp_get_max_threads()))}));
+#else
+  s->add(Parameter::categorical_numeric("threads", {1}));
+#endif
+  return s;
+}
+
+/// One tiled Jacobi sweep src -> dst on an n×n grid (interior points only).
+void sweep(const double* src, double* dst, std::size_t n, std::size_t tile_i,
+           std::size_t tile_j, std::size_t unroll, int threads) {
+#ifndef _OPENMP
+  (void)threads;
+#endif
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(threads) schedule(static)
+#endif
+  for (std::ptrdiff_t bi = 1; bi < static_cast<std::ptrdiff_t>(n) - 1;
+       bi += static_cast<std::ptrdiff_t>(tile_i)) {
+    for (std::size_t bj = 1; bj + 1 < n; bj += tile_j) {
+      const std::size_t i_end =
+          std::min<std::size_t>(static_cast<std::size_t>(bi) + tile_i, n - 1);
+      const std::size_t j_end = std::min<std::size_t>(bj + tile_j, n - 1);
+      for (std::size_t i = static_cast<std::size_t>(bi); i < i_end; ++i) {
+        const double* up = src + (i - 1) * n;
+        const double* mid = src + i * n;
+        const double* down = src + (i + 1) * n;
+        double* out = dst + i * n;
+        std::size_t j = bj;
+        // Unrolled inner loop; the remainder falls through to the scalar
+        // loop below.
+        for (; j + unroll <= j_end; j += unroll) {
+          for (std::size_t u = 0; u < unroll; ++u) {
+            const std::size_t jj = j + u;
+            out[jj] = 0.25 * (up[jj] + down[jj] + mid[jj - 1] + mid[jj + 1]);
+          }
+        }
+        for (; j < j_end; ++j) {
+          out[j] = 0.25 * (up[j] + down[j] + mid[j - 1] + mid[j + 1]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StencilObjective::StencilObjective(StencilWorkload workload)
+    : workload_(workload), space_(make_stencil_space()) {
+  HPB_REQUIRE(workload_.grid >= 8, "StencilObjective: grid too small");
+  HPB_REQUIRE(workload_.sweeps >= 1, "StencilObjective: need >= 1 sweep");
+  HPB_REQUIRE(workload_.repeats >= 1, "StencilObjective: need >= 1 repeat");
+}
+
+double StencilObjective::evaluate(const space::Configuration& c) {
+  const std::size_t n = workload_.grid;
+  const auto tile_i = static_cast<std::size_t>(
+      space_->param(0).level_value(c.level(0)));
+  const auto tile_j = static_cast<std::size_t>(
+      space_->param(1).level_value(c.level(1)));
+  const auto unroll = static_cast<std::size_t>(
+      space_->param(2).level_value(c.level(2)));
+  const int threads =
+      static_cast<int>(space_->param(3).level_value(c.level(3)));
+
+  double best = 0.0;
+  for (std::size_t rep = 0; rep < workload_.repeats; ++rep) {
+    // Deterministic initial condition: hot boundary, cold interior.
+    grid_a_.assign(n * n, 0.0);
+    grid_b_.assign(n * n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      grid_a_[j] = grid_b_[j] = 1.0;
+      grid_a_[(n - 1) * n + j] = grid_b_[(n - 1) * n + j] = 1.0;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    double* src = grid_a_.data();
+    double* dst = grid_b_.data();
+    for (std::size_t s = 0; s < workload_.sweeps; ++s) {
+      sweep(src, dst, n, tile_i, tile_j, unroll, threads);
+      std::swap(src, dst);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(stop - start).count();
+    best = (rep == 0) ? elapsed : std::min(best, elapsed);
+    checksum_ = 0.0;
+    for (std::size_t i = 0; i < n * n; ++i) {
+      checksum_ += src[i];
+    }
+  }
+  return best;
+}
+
+}  // namespace hpb::apps

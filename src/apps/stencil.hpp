@@ -1,0 +1,50 @@
+// Live (non-tabular) tuning objective: a real 2-D Jacobi stencil kernel
+// whose cache blocking, inner-loop unrolling, and (when OpenMP is enabled)
+// thread count are tunable. Unlike the frozen app datasets, evaluate()
+// actually runs the kernel and returns measured wall-clock seconds —
+// demonstrating the tuner on the paper's primary use case: tuning a code
+// you can execute, not a table you can index.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "space/parameter_space.hpp"
+#include "tabular/objective.hpp"
+
+namespace hpb::apps {
+
+struct StencilWorkload {
+  std::size_t grid = 384;     // grid is grid×grid points
+  std::size_t sweeps = 12;    // Jacobi sweeps per evaluation
+  std::size_t repeats = 3;    // timed repetitions; minimum taken
+};
+
+class StencilObjective final : public tabular::Objective {
+ public:
+  explicit StencilObjective(StencilWorkload workload = {});
+
+  [[nodiscard]] const space::ParameterSpace& space() const override {
+    return *space_;
+  }
+  [[nodiscard]] space::SpacePtr space_ptr() const { return space_; }
+
+  /// Runs the stencil with the configuration's blocking/unroll/threads and
+  /// returns the best wall-clock time over `repeats` runs, in seconds.
+  [[nodiscard]] double evaluate(const space::Configuration& c) override;
+
+  [[nodiscard]] std::string name() const override { return "stencil"; }
+
+  /// Checksum of the last run's grid (guards against dead-code elimination
+  /// and lets tests verify all configurations compute the same result).
+  [[nodiscard]] double last_checksum() const noexcept { return checksum_; }
+
+ private:
+  StencilWorkload workload_;
+  space::SpacePtr space_;
+  std::vector<double> grid_a_;
+  std::vector<double> grid_b_;
+  double checksum_ = 0.0;
+};
+
+}  // namespace hpb::apps

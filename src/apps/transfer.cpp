@@ -1,0 +1,110 @@
+#include "apps/transfer.hpp"
+
+#include <cmath>
+
+#include "apps/hypre.hpp"
+#include "apps/kripke.hpp"
+#include "surface/surface.hpp"
+
+namespace hpb::apps {
+namespace {
+
+/// Build the target dataset as the log-space blend of the shared and
+/// private surfaces, then calibrate to [best, worst].
+tabular::TabularObjective blend_and_calibrate(
+    std::string name, const surface::Surface& shared,
+    const surface::Surface& private_surface, double correlation, double best,
+    double worst) {
+  HPB_REQUIRE(correlation >= 0.0 && correlation <= 1.0,
+              "transfer: correlation must be in [0,1]");
+  auto raw = [&](const space::Configuration& c) {
+    return std::exp(correlation * std::log(shared.raw(c)) +
+                    (1.0 - correlation) * std::log(private_surface.raw(c)));
+  };
+  // Two-pass affine calibration identical to calibrate_to_range but over
+  // the blended values.
+  double raw_min = 0.0, raw_max = 0.0;
+  bool first = true;
+  for (const auto& c : shared.space().enumerate()) {
+    const double v = raw(c);
+    raw_min = first ? v : std::min(raw_min, v);
+    raw_max = first ? v : std::max(raw_max, v);
+    first = false;
+  }
+  const double scale = (worst - best) / (raw_max - raw_min);
+  const double offset = best - scale * raw_min;
+  return tabular::TabularObjective::from_function(
+      std::move(name), shared.space_ptr(),
+      [&raw, scale, offset](const space::Configuration& c) {
+        return offset + scale * raw(c);
+      });
+}
+
+/// Kripke-at-scale surface structure; `seed` controls all random effects so
+/// shared/private variants come from different seeds.
+surface::Surface kripke_scale_surface(space::SpacePtr sp, std::uint64_t seed) {
+  surface::SurfaceBuilder b(sp, seed);
+  b.base(1.0)
+      .random_main_effect("Ranks", 0.38)
+      .random_main_effect("OMP", 0.24)
+      .random_main_effect("Dset", 0.18)
+      .random_main_effect("Gset", 0.16)
+      .random_main_effect("Nesting", 0.14)
+      .random_main_effect("PKG_LIMIT", 0.10)
+      .random_interaction("Ranks", "OMP", 0.10)
+      .random_interaction("Gset", "Dset", 0.07)
+      .random_interaction("PKG_LIMIT", "OMP", 0.05)
+      .noise(0.025);
+  return b.build();
+}
+
+surface::Surface hypre_scale_surface(space::SpacePtr sp, std::uint64_t seed) {
+  surface::SurfaceBuilder b(sp, seed);
+  b.base(1.0)
+      .random_main_effect("Ranks", 0.50)
+      .random_main_effect("OMP", 0.34)
+      .random_main_effect("Solver", 0.28)
+      .random_main_effect("Coarsen", 0.10)
+      .random_main_effect("Smoother", 0.05)
+      .random_main_effect("MU", 0.02)
+      .random_main_effect("PMX", 0.02)
+      .random_interaction("Ranks", "OMP", 0.12)
+      .random_interaction("Solver", "Coarsen", 0.06)
+      .noise(0.025);
+  return b.build();
+}
+
+}  // namespace
+
+TransferPair make_kripke_transfer(double correlation, std::uint64_t seed) {
+  auto sp = kripke_energy_space();
+  const surface::Surface shared = kripke_scale_surface(sp, seed);
+  const surface::Surface priv = kripke_scale_surface(sp, splitmix64(seed));
+  // Source: 16-node small problem (fast runs, cheap to collect). The wide
+  // worst/best ratio mirrors the measured datasets: a badly configured
+  // transport run at scale is tens of times slower than the best one, which
+  // is what makes the paper's "good case" counts (2-18 configurations of
+  // ~17k within 5-20%% of the best, Fig. 8a) so small.
+  tabular::TabularObjective source =
+      surface::calibrate_to_range("kripke_src16", shared, 5.0, 120.0);
+  // Target: 64-node production problem.
+  tabular::TabularObjective target = blend_and_calibrate(
+      "kripke_tgt64", shared, priv, correlation, 20.0, 500.0);
+  return {std::move(source), std::move(target)};
+}
+
+TransferPair make_hypre_transfer(double correlation, std::uint64_t seed) {
+  auto sp = hypre_transfer_space();
+  const surface::Surface shared = hypre_scale_surface(sp, seed);
+  const surface::Surface priv = hypre_scale_surface(sp, splitmix64(seed));
+  // HYPRE's good-case counts in Fig. 8b (8-190 of ~50k) imply a slightly
+  // denser near-optimal region than Kripke's; the narrower ratio here
+  // reproduces that.
+  tabular::TabularObjective source =
+      surface::calibrate_to_range("hypre_src16", shared, 1.2, 90.0);
+  tabular::TabularObjective target = blend_and_calibrate(
+      "hypre_tgt64", shared, priv, correlation, 4.4, 330.0);
+  return {std::move(source), std::move(target)};
+}
+
+}  // namespace hpb::apps

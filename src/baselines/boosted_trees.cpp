@@ -1,0 +1,295 @@
+#include "baselines/boosted_trees.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace hpb::baselines {
+
+BoostedTrees::BoostedTrees(GbtConfig config) : config_(config) {
+  HPB_REQUIRE(config_.rounds >= 1, "BoostedTrees: rounds must be >= 1");
+  HPB_REQUIRE(config_.max_depth >= 1, "BoostedTrees: max_depth must be >= 1");
+  HPB_REQUIRE(config_.learning_rate > 0.0 && config_.learning_rate <= 1.0,
+              "BoostedTrees: learning_rate in (0,1]");
+  HPB_REQUIRE(config_.min_samples_leaf >= 1,
+              "BoostedTrees: min_samples_leaf must be >= 1");
+  HPB_REQUIRE(config_.subsample > 0.0 && config_.subsample <= 1.0,
+              "BoostedTrees: subsample in (0,1]");
+}
+
+namespace {
+
+double mean_of(std::span<const double> values,
+               std::span<const std::size_t> rows) {
+  double acc = 0.0;
+  for (std::size_t r : rows) {
+    acc += values[r];
+  }
+  return acc / static_cast<double>(rows.size());
+}
+
+/// Best split of `rows` on one feature by exact scan: returns the squared-
+/// error reduction and the threshold, or gain 0 if no valid split exists.
+struct SplitCandidate {
+  double gain = 0.0;
+  double threshold = 0.0;
+};
+
+SplitCandidate best_split_on_feature(const hpb::linalg::Matrix& x,
+                                     std::span<const double> residuals,
+                                     std::span<const std::size_t> rows,
+                                     std::size_t feature,
+                                     std::size_t min_leaf) {
+  // Sort row indices by feature value.
+  std::vector<std::size_t> order(rows.begin(), rows.end());
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return x(a, feature) < x(b, feature);
+  });
+
+  const std::size_t n = order.size();
+  double total = 0.0, total_sq = 0.0;
+  for (std::size_t r : order) {
+    total += residuals[r];
+    total_sq += residuals[r] * residuals[r];
+  }
+  const double parent_sse = total_sq - total * total / static_cast<double>(n);
+
+  SplitCandidate best;
+  double left_sum = 0.0, left_sq = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double v = residuals[order[i]];
+    left_sum += v;
+    left_sq += v * v;
+    // Can only split between distinct feature values.
+    if (x(order[i], feature) == x(order[i + 1], feature)) {
+      continue;
+    }
+    const std::size_t nl = i + 1;
+    const std::size_t nr = n - nl;
+    if (nl < min_leaf || nr < min_leaf) {
+      continue;
+    }
+    const double right_sum = total - left_sum;
+    const double right_sq = total_sq - left_sq;
+    const double sse =
+        (left_sq - left_sum * left_sum / static_cast<double>(nl)) +
+        (right_sq - right_sum * right_sum / static_cast<double>(nr));
+    const double gain = parent_sse - sse;
+    if (gain > best.gain) {
+      best.gain = gain;
+      best.threshold =
+          0.5 * (x(order[i], feature) + x(order[i + 1], feature));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void BoostedTrees::build_tree(Tree& tree, const linalg::Matrix& x,
+                              std::span<const double> residuals,
+                              std::vector<std::size_t>& rows,
+                              std::size_t depth) {
+  const auto node_index = static_cast<std::int32_t>(tree.size());
+  tree.emplace_back();
+  tree[node_index].value = mean_of(residuals, rows);
+
+  if (depth == 0 || rows.size() < 2 * config_.min_samples_leaf) {
+    return;  // leaf
+  }
+
+  // Exhaustive split search over all features.
+  double best_gain = 0.0;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    const SplitCandidate cand = best_split_on_feature(
+        x, residuals, rows, f, config_.min_samples_leaf);
+    if (cand.gain > best_gain) {
+      best_gain = cand.gain;
+      best_feature = f;
+      best_threshold = cand.threshold;
+    }
+  }
+  if (best_gain <= 1e-12) {
+    return;  // no useful split: leaf
+  }
+  split_gain_[best_feature] += best_gain;
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (std::size_t r : rows) {
+    (x(r, best_feature) <= best_threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  tree[node_index].feature = static_cast<std::int32_t>(best_feature);
+  tree[node_index].threshold = best_threshold;
+  tree[node_index].left = static_cast<std::int32_t>(tree.size());
+  build_tree(tree, x, residuals, left_rows, depth - 1);
+  tree[node_index].right = static_cast<std::int32_t>(tree.size());
+  build_tree(tree, x, residuals, right_rows, depth - 1);
+}
+
+void BoostedTrees::fit(const linalg::Matrix& x, std::span<const double> y,
+                       std::uint64_t seed) {
+  HPB_REQUIRE(x.rows() == y.size(), "BoostedTrees::fit: size mismatch");
+  HPB_REQUIRE(x.rows() >= 2, "BoostedTrees::fit: need >= 2 rows");
+  trees_.clear();
+  num_features_ = x.cols();
+  split_gain_.assign(num_features_, 0.0);
+
+  base_prediction_ =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(y.size());
+  std::vector<double> residuals(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    residuals[i] = y[i] - base_prediction_;
+  }
+
+  Rng rng(seed);
+  const auto n_sub = std::max<std::size_t>(
+      2, static_cast<std::size_t>(config_.subsample *
+                                  static_cast<double>(x.rows())));
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    std::vector<std::size_t> rows;
+    if (n_sub >= x.rows()) {
+      rows.resize(x.rows());
+      std::iota(rows.begin(), rows.end(), std::size_t{0});
+    } else {
+      rows = rng.sample_without_replacement(x.rows(), n_sub);
+    }
+    Tree tree;
+    build_tree(tree, x, residuals, rows, config_.max_depth);
+    // Update residuals with the shrunken tree prediction over ALL rows.
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      residuals[r] -=
+          config_.learning_rate * predict_tree(tree, x.row(r));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double BoostedTrees::predict_tree(const Tree& tree,
+                                  std::span<const double> features) {
+  std::int32_t node = 0;
+  while (tree[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = tree[static_cast<std::size_t>(node)];
+    node = features[static_cast<std::size_t>(n.feature)] <= n.threshold
+               ? n.left
+               : n.right;
+  }
+  return tree[static_cast<std::size_t>(node)].value;
+}
+
+double BoostedTrees::predict(std::span<const double> features) const {
+  HPB_REQUIRE(fitted_, "BoostedTrees::predict: fit() first");
+  HPB_REQUIRE(features.size() == num_features_,
+              "BoostedTrees::predict: feature width mismatch");
+  double acc = base_prediction_;
+  for (const Tree& tree : trees_) {
+    acc += config_.learning_rate * predict_tree(tree, features);
+  }
+  return acc;
+}
+
+double BoostedTrees::evaluate_mse(const linalg::Matrix& x,
+                                  std::span<const double> y) const {
+  HPB_REQUIRE(x.rows() == y.size(), "evaluate_mse: size mismatch");
+  HPB_REQUIRE(x.rows() > 0, "evaluate_mse: empty dataset");
+  double acc = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double diff = predict(x.row(r)) - y[r];
+    acc += diff * diff;
+  }
+  return acc / static_cast<double>(x.rows());
+}
+
+std::vector<double> BoostedTrees::feature_importance() const {
+  HPB_REQUIRE(fitted_, "feature_importance: fit() first");
+  std::vector<double> importance = split_gain_;
+  const double total =
+      std::accumulate(importance.begin(), importance.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importance) {
+      v /= total;
+    }
+  }
+  return importance;
+}
+
+// ------------------------------------------------------------------ BrtTuner
+BrtTuner::BrtTuner(space::SpacePtr space, BrtTunerConfig config,
+                   std::uint64_t seed)
+    : BrtTuner(space, config, seed,
+               std::make_shared<const std::vector<space::Configuration>>(
+                   space->enumerate())) {}
+
+BrtTuner::BrtTuner(space::SpacePtr space, BrtTunerConfig config,
+                   std::uint64_t seed,
+                   std::shared_ptr<const std::vector<space::Configuration>> pool)
+    : space_(std::move(space)),
+      config_(config),
+      rng_(seed),
+      pool_(std::move(pool)),
+      model_(config.model) {
+  HPB_REQUIRE(space_ != nullptr, "BrtTuner: null space");
+  HPB_REQUIRE(pool_ != nullptr && !pool_->empty(), "BrtTuner: empty pool");
+  HPB_REQUIRE(config_.initial_samples >= 2, "BrtTuner: need >= 2 initial");
+  HPB_REQUIRE(config_.epsilon >= 0.0 && config_.epsilon <= 1.0,
+              "BrtTuner: epsilon in [0,1]");
+  HPB_REQUIRE(config_.refit_every >= 1, "BrtTuner: refit_every >= 1");
+}
+
+space::Configuration BrtTuner::random_unevaluated() {
+  HPB_REQUIRE(evaluated_.size() < pool_->size(), "BrtTuner: pool exhausted");
+  for (;;) {
+    const auto& c = (*pool_)[rng_.index(pool_->size())];
+    if (!evaluated_.contains(space_->ordinal_of(c))) {
+      return c;
+    }
+  }
+}
+
+void BrtTuner::refit() {
+  linalg::Matrix x(x_.size(), space_->encoded_size());
+  for (std::size_t r = 0; r < x_.size(); ++r) {
+    std::copy(x_[r].begin(), x_[r].end(), x.row(r).begin());
+  }
+  model_.fit(x, y_, rng_.next_u64());
+  observations_at_fit_ = y_.size();
+}
+
+space::Configuration BrtTuner::suggest() {
+  if (y_.size() < config_.initial_samples || rng_.bernoulli(config_.epsilon)) {
+    return random_unevaluated();
+  }
+  if (!model_.is_fitted() ||
+      y_.size() >= observations_at_fit_ + config_.refit_every) {
+    refit();
+  }
+  const space::Configuration* best = nullptr;
+  double best_pred = 0.0;
+  for (const auto& c : *pool_) {
+    if (evaluated_.contains(space_->ordinal_of(c))) {
+      continue;
+    }
+    const double pred = model_.predict(space_->encode(c));
+    if (best == nullptr || pred < best_pred) {
+      best = &c;
+      best_pred = pred;
+    }
+  }
+  HPB_REQUIRE(best != nullptr, "BrtTuner: pool exhausted");
+  return *best;
+}
+
+void BrtTuner::observe(const space::Configuration& config, double y) {
+  evaluated_.insert(space_->ordinal_of(config));
+  x_.push_back(space_->encode(config));
+  y_.push_back(y);
+}
+
+}  // namespace hpb::baselines

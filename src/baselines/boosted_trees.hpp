@@ -1,0 +1,123 @@
+// Gradient-boosted regression trees and the model-based tuner built on
+// them — the "boosted regression trees for predictive auto-tuning"
+// approach of Bergstra et al. [2] that the paper cites as prior supervised
+// autotuning work (§VIII).
+//
+// The learner is a classic least-squares gradient booster over shallow
+// axis-aligned trees; features are the one-hot configuration encoding, so
+// a depth-d tree captures interactions between up to d parameters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/tuner.hpp"
+#include "linalg/matrix.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::baselines {
+
+struct GbtConfig {
+  std::size_t rounds = 100;        // number of boosted trees
+  std::size_t max_depth = 3;       // depth of each tree
+  double learning_rate = 0.15;     // shrinkage per tree
+  std::size_t min_samples_leaf = 2;
+  /// Fraction of rows sampled (without replacement) per tree; 1.0 disables
+  /// stochastic boosting.
+  double subsample = 1.0;
+};
+
+/// Least-squares gradient-boosted trees: fit on an n×d feature matrix,
+/// predict scalar targets.
+class BoostedTrees {
+ public:
+  explicit BoostedTrees(GbtConfig config = {});
+
+  /// Fit to (x, y); any previous model is discarded. Deterministic given
+  /// the seed (used only when subsample < 1).
+  void fit(const linalg::Matrix& x, std::span<const double> y,
+           std::uint64_t seed = 0);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  /// Mean squared error over a dataset.
+  [[nodiscard]] double evaluate_mse(const linalg::Matrix& x,
+                                    std::span<const double> y) const;
+
+  [[nodiscard]] bool is_fitted() const noexcept { return fitted_; }
+  [[nodiscard]] std::size_t num_trees() const noexcept {
+    return trees_.size();
+  }
+
+  /// Total squared-error reduction attributed to splits on each feature —
+  /// the classic impurity-based feature importance (normalized to sum 1).
+  [[nodiscard]] std::vector<double> feature_importance() const;
+
+ private:
+  /// Flat node array per tree; leaves have feature == kLeaf.
+  struct Node {
+    std::int32_t feature = -1;   // -1 marks a leaf
+    double threshold = 0.0;      // goes left when x[feature] <= threshold
+    double value = 0.0;          // leaf prediction
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+  using Tree = std::vector<Node>;
+
+  void build_tree(Tree& tree, const linalg::Matrix& x,
+                  std::span<const double> residuals,
+                  std::vector<std::size_t>& rows, std::size_t depth);
+  [[nodiscard]] static double predict_tree(const Tree& tree,
+                                           std::span<const double> features);
+
+  GbtConfig config_;
+  double base_prediction_ = 0.0;
+  std::vector<Tree> trees_;
+  std::vector<double> split_gain_;  // per feature
+  std::size_t num_features_ = 0;
+  bool fitted_ = false;
+};
+
+struct BrtTunerConfig {
+  std::size_t initial_samples = 20;
+  GbtConfig model;
+  /// Exploration rate: fraction of model-phase suggestions drawn uniformly
+  /// instead of from the model's argmin.
+  double epsilon = 0.1;
+  /// Refit cadence: rebuild the model every `refit_every` observations.
+  std::size_t refit_every = 8;
+};
+
+/// Active-learning tuner: fit boosted trees to the history, evaluate the
+/// un-tried configuration with the smallest predicted objective (with
+/// ε-greedy exploration).
+class BrtTuner final : public core::Tuner {
+ public:
+  BrtTuner(space::SpacePtr space, BrtTunerConfig config, std::uint64_t seed);
+  BrtTuner(space::SpacePtr space, BrtTunerConfig config, std::uint64_t seed,
+           std::shared_ptr<const std::vector<space::Configuration>> pool);
+
+  [[nodiscard]] space::Configuration suggest() override;
+  void observe(const space::Configuration& config, double y) override;
+  [[nodiscard]] std::string name() const override { return "BoostedTrees"; }
+
+ private:
+  [[nodiscard]] space::Configuration random_unevaluated();
+  void refit();
+
+  space::SpacePtr space_;
+  BrtTunerConfig config_;
+  Rng rng_;
+  std::shared_ptr<const std::vector<space::Configuration>> pool_;
+  std::unordered_set<std::uint64_t> evaluated_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;
+  BoostedTrees model_;
+  std::size_t observations_at_fit_ = 0;
+};
+
+}  // namespace hpb::baselines

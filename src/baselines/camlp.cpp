@@ -1,0 +1,43 @@
+#include "baselines/camlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpb::baselines {
+
+std::vector<double> camlp_propagate(const ConfigGraph& graph,
+                                    const Labels& labels,
+                                    const CamlpConfig& config) {
+  const std::size_t n = graph.num_nodes();
+  HPB_REQUIRE(labels.size() == n, "camlp_propagate: label size mismatch");
+  HPB_REQUIRE(config.beta > 0.0, "camlp_propagate: beta must be positive");
+
+  // Priors b_i: one-hot for labeled nodes, uniform (0.5) otherwise.
+  std::vector<double> prior(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    prior[i] = labels[i] < 0 ? 0.5 : static_cast<double>(labels[i]);
+  }
+
+  std::vector<double> belief = prior;
+  std::vector<double> next(n);
+  for (std::size_t iter = 0; iter < config.max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = prior[i];
+      for (std::uint32_t j : graph.neighbors(i)) {
+        acc += config.beta * belief[j];
+      }
+      next[i] = acc / (1.0 + config.beta * static_cast<double>(graph.degree(i)));
+      max_delta = std::max(max_delta, std::abs(next[i] - belief[i]));
+    }
+    belief.swap(next);
+    if (max_delta < config.tolerance) {
+      break;
+    }
+  }
+  return belief;
+}
+
+}  // namespace hpb::baselines

@@ -1,0 +1,37 @@
+// CAMLP: Confidence-Aware Modulated Label Propagation [Yamaguchi, Faloutsos,
+// Kitagawa, SDM'16], the propagation engine inside GEIST.
+//
+// For two classes (good / bad) with a homophilous modulation matrix, the
+// belief of node i is iterated as
+//
+//   F_i ← (b_i + β Σ_{j ∈ N(i)} F_j) / (1 + β d_i)
+//
+// where b_i is the one-hot prior of labeled nodes (uniform for unlabeled
+// nodes) and d_i the degree. Iteration converges because the update is a
+// contraction; we stop at max_iters or when the max belief change falls
+// below tolerance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/config_graph.hpp"
+
+namespace hpb::baselines {
+
+struct CamlpConfig {
+  double beta = 0.1;          // propagation strength
+  std::size_t max_iters = 30;
+  double tolerance = 1e-6;
+};
+
+/// Node label: -1 unlabeled, 0 bad, 1 good.
+using Labels = std::vector<std::int8_t>;
+
+/// Run CAMLP and return each node's belief of being "good" in [0, 1].
+[[nodiscard]] std::vector<double> camlp_propagate(const ConfigGraph& graph,
+                                                  const Labels& labels,
+                                                  const CamlpConfig& config);
+
+}  // namespace hpb::baselines

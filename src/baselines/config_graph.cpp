@@ -1,0 +1,62 @@
+#include "baselines/config_graph.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace hpb::baselines {
+
+ConfigGraph::ConfigGraph(const space::ParameterSpace& space,
+                         std::span<const space::Configuration> pool) {
+  HPB_REQUIRE(space.is_finite(), "ConfigGraph: space must be finite");
+  HPB_REQUIRE(!pool.empty(), "ConfigGraph: empty pool");
+  HPB_REQUIRE(pool.size() < (1ULL << 32), "ConfigGraph: pool too large");
+
+  std::unordered_map<std::uint64_t, std::uint32_t> by_ordinal;
+  by_ordinal.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const auto [it, inserted] =
+        by_ordinal.emplace(space.ordinal_of(pool[i]),
+                           static_cast<std::uint32_t>(i));
+    HPB_REQUIRE(inserted, "ConfigGraph: duplicate configuration in pool");
+  }
+
+  // Two passes: count degrees, then fill the CSR arrays.
+  const std::size_t n = pool.size();
+  std::vector<std::size_t> degree(n, 0);
+  auto for_each_neighbor = [&](std::size_t i, auto&& fn) {
+    space::Configuration probe = pool[i];
+    for (std::size_t p = 0; p < space.num_params(); ++p) {
+      const std::size_t original = probe.level(p);
+      const std::size_t levels = space.param(p).num_levels();
+      for (std::size_t l = 0; l < levels; ++l) {
+        if (l == original) {
+          continue;
+        }
+        probe.set_level(p, l);
+        const auto it = by_ordinal.find(space.ordinal_of(probe));
+        if (it != by_ordinal.end()) {
+          fn(it->second);
+        }
+      }
+      probe.set_level(p, original);
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for_each_neighbor(i, [&](std::uint32_t) { ++degree[i]; });
+  }
+  offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets_[i + 1] = offsets_[i] + degree[i];
+  }
+  neighbors_.resize(offsets_.back());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for_each_neighbor(i, [&](std::uint32_t j) {
+      neighbors_[cursor[i]++] = j;
+    });
+  }
+}
+
+}  // namespace hpb::baselines

@@ -1,0 +1,45 @@
+// Parameter-space graph used by the GEIST baseline [Thiagarajan et al.,
+// ICS'18]: one node per valid configuration, edges between configurations
+// that differ in exactly one parameter level (Hamming distance 1).
+// Stored in CSR form for cache-friendly label propagation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "space/parameter_space.hpp"
+
+namespace hpb::baselines {
+
+class ConfigGraph {
+ public:
+  /// Build the Hamming-1 graph over the given pool of configurations. The
+  /// pool must contain distinct configurations of the (finite) space.
+  ConfigGraph(const space::ParameterSpace& space,
+              std::span<const space::Configuration> pool);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return neighbors_.size() / 2;  // undirected; stored both directions
+  }
+
+  /// Neighbor node ids of node i.
+  [[nodiscard]] std::span<const std::uint32_t> neighbors(std::size_t i) const {
+    return {neighbors_.data() + offsets_[i],
+            offsets_[i + 1] - offsets_[i]};
+  }
+
+  [[nodiscard]] std::size_t degree(std::size_t i) const noexcept {
+    return offsets_[i + 1] - offsets_[i];
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;    // CSR row offsets (num_nodes + 1)
+  std::vector<std::uint32_t> neighbors_;
+};
+
+}  // namespace hpb::baselines

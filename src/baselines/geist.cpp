@@ -1,0 +1,118 @@
+#include "baselines/geist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/quantile.hpp"
+
+namespace hpb::baselines {
+namespace {
+
+constexpr double kUnobserved = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+Geist::Geist(space::SpacePtr space, GeistConfig config, std::uint64_t seed)
+    : Geist(space, config, seed,
+            std::make_shared<const std::vector<space::Configuration>>(
+                space->enumerate()),
+            nullptr) {}
+
+Geist::Geist(space::SpacePtr space, GeistConfig config, std::uint64_t seed,
+             std::shared_ptr<const std::vector<space::Configuration>> pool,
+             std::shared_ptr<const ConfigGraph> graph)
+    : space_(std::move(space)),
+      config_(config),
+      rng_(seed),
+      pool_(std::move(pool)),
+      graph_(std::move(graph)) {
+  HPB_REQUIRE(space_ != nullptr, "Geist: null space");
+  HPB_REQUIRE(pool_ != nullptr && !pool_->empty(), "Geist: empty pool");
+  HPB_REQUIRE(config_.initial_samples >= 2, "Geist: need >= 2 initial samples");
+  HPB_REQUIRE(config_.batch_size >= 1, "Geist: batch_size must be >= 1");
+  if (graph_ == nullptr) {
+    graph_ = std::make_shared<const ConfigGraph>(*space_, *pool_);
+  }
+  HPB_REQUIRE(graph_->num_nodes() == pool_->size(),
+              "Geist: graph/pool size mismatch");
+  node_of_ordinal_.reserve(pool_->size());
+  for (std::size_t i = 0; i < pool_->size(); ++i) {
+    node_of_ordinal_.emplace(space_->ordinal_of((*pool_)[i]),
+                             static_cast<std::uint32_t>(i));
+  }
+  observed_.assign(pool_->size(), kUnobserved);
+}
+
+void Geist::propagate_and_refill_queue() {
+  // Label observed nodes by the quantile threshold on observed values.
+  std::vector<double> values;
+  values.reserve(observed_nodes_.size());
+  for (std::uint32_t node : observed_nodes_) {
+    values.push_back(observed_[node]);
+  }
+  const double threshold = stats::split_threshold(values, config_.quantile);
+
+  Labels labels(pool_->size(), -1);
+  for (std::uint32_t node : observed_nodes_) {
+    labels[node] = observed_[node] < threshold ? std::int8_t{1} : std::int8_t{0};
+  }
+  beliefs_ = camlp_propagate(*graph_, labels, config_.camlp);
+
+  // Queue the top unlabeled nodes by good-belief (random tie-breaking via a
+  // tiny hash jitter keyed on this round's RNG draw).
+  const std::uint64_t jitter_key = rng_.next_u64();
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(pool_->size() - observed_nodes_.size());
+  for (std::uint32_t i = 0; i < pool_->size(); ++i) {
+    if (std::isnan(observed_[i])) {
+      candidates.push_back(i);
+    }
+  }
+  HPB_REQUIRE(!candidates.empty(), "Geist: pool exhausted");
+  const std::size_t take = std::min<std::size_t>(config_.batch_size,
+                                                 candidates.size());
+  auto score = [&](std::uint32_t node) {
+    return beliefs_[node] +
+           1e-12 * hash_to_unit(hash_combine(jitter_key, node));
+  };
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<std::ptrdiff_t>(take),
+                    candidates.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      return score(a) > score(b);
+                    });
+  queue_.assign(candidates.begin(),
+                candidates.begin() + static_cast<std::ptrdiff_t>(take));
+}
+
+space::Configuration Geist::suggest() {
+  if (observed_nodes_.size() < config_.initial_samples) {
+    HPB_REQUIRE(observed_nodes_.size() < pool_->size(),
+                "Geist: pool exhausted");
+    for (;;) {
+      const std::size_t i = rng_.index(pool_->size());
+      if (std::isnan(observed_[i])) {
+        return (*pool_)[i];
+      }
+    }
+  }
+  if (queue_.empty()) {
+    propagate_and_refill_queue();
+  }
+  const std::uint32_t node = queue_.front();
+  queue_.pop_front();
+  return (*pool_)[node];
+}
+
+void Geist::observe(const space::Configuration& config, double y) {
+  const auto it = node_of_ordinal_.find(space_->ordinal_of(config));
+  HPB_REQUIRE(it != node_of_ordinal_.end(),
+              "Geist::observe: configuration not in pool");
+  const std::uint32_t node = it->second;
+  if (std::isnan(observed_[node])) {
+    observed_nodes_.push_back(node);
+  }
+  observed_[node] = y;
+}
+
+}  // namespace hpb::baselines

@@ -1,0 +1,70 @@
+// GEIST baseline [Thiagarajan et al., ICS'18]: semi-supervised adaptive
+// sampling over the parameter-space graph.
+//
+// Bootstraps with uniformly random evaluations, labels evaluated nodes good
+// or bad by a quantile threshold on the observed objective values, runs
+// CAMLP label propagation over the Hamming-1 configuration graph, and
+// selects the next batch of samples as the unlabeled nodes with the highest
+// propagated "good" belief.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/camlp.hpp"
+#include "baselines/config_graph.hpp"
+#include "common/rng.hpp"
+#include "core/tuner.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::baselines {
+
+struct GeistConfig {
+  std::size_t initial_samples = 20;
+  /// Quantile of observed values labeling a node "good".
+  double quantile = 0.2;
+  /// Nodes selected per propagation round. GEIST is a batch method (its
+  /// published protocol refreshes labels between batches of samples);
+  /// larger batches amortize the propagation cost.
+  std::size_t batch_size = 16;
+  CamlpConfig camlp;
+};
+
+class Geist final : public core::Tuner {
+ public:
+  /// Builds the configuration graph internally.
+  Geist(space::SpacePtr space, GeistConfig config, std::uint64_t seed);
+
+  /// Reuses a pre-built pool + graph (replicated experiment runs share one
+  /// graph; building it is the dominant cost on large datasets).
+  Geist(space::SpacePtr space, GeistConfig config, std::uint64_t seed,
+        std::shared_ptr<const std::vector<space::Configuration>> pool,
+        std::shared_ptr<const ConfigGraph> graph);
+
+  [[nodiscard]] space::Configuration suggest() override;
+  void observe(const space::Configuration& config, double y) override;
+  [[nodiscard]] std::string name() const override { return "GEIST"; }
+
+  /// Latest propagated good-beliefs (empty before the first propagation).
+  [[nodiscard]] const std::vector<double>& beliefs() const noexcept {
+    return beliefs_;
+  }
+
+ private:
+  void propagate_and_refill_queue();
+
+  space::SpacePtr space_;
+  GeistConfig config_;
+  Rng rng_;
+  std::shared_ptr<const std::vector<space::Configuration>> pool_;
+  std::shared_ptr<const ConfigGraph> graph_;
+  std::unordered_map<std::uint64_t, std::uint32_t> node_of_ordinal_;
+  std::vector<double> observed_;      // value per node (NaN = unobserved)
+  std::vector<std::uint32_t> observed_nodes_;
+  std::vector<double> beliefs_;
+  std::deque<std::uint32_t> queue_;   // planned suggestions
+};
+
+}  // namespace hpb::baselines

@@ -1,0 +1,173 @@
+#include "baselines/gp_tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "stats/summary.hpp"
+
+namespace hpb::baselines {
+namespace {
+
+double std_normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double std_normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+}  // namespace
+
+GpTuner::GpTuner(space::SpacePtr space, GpConfig config, std::uint64_t seed)
+    : GpTuner(space, config, seed,
+              std::make_shared<const std::vector<space::Configuration>>(
+                  space->enumerate())) {}
+
+GpTuner::GpTuner(space::SpacePtr space, GpConfig config, std::uint64_t seed,
+                 std::shared_ptr<const std::vector<space::Configuration>> pool)
+    : space_(std::move(space)),
+      config_(config),
+      rng_(seed),
+      pool_(std::move(pool)) {
+  HPB_REQUIRE(space_ != nullptr, "GpTuner: null space");
+  HPB_REQUIRE(pool_ != nullptr && !pool_->empty(), "GpTuner: empty pool");
+  HPB_REQUIRE(config_.initial_samples >= 2, "GpTuner: need >= 2 initial");
+  HPB_REQUIRE(config_.length_scale > 0.0, "GpTuner: length_scale > 0");
+  HPB_REQUIRE(config_.noise_variance > 0.0, "GpTuner: noise_variance > 0");
+}
+
+double GpTuner::kernel(std::span<const double> a,
+                       std::span<const double> b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return config_.signal_variance *
+         std::exp(-0.5 * d2 / (config_.length_scale * config_.length_scale));
+}
+
+void GpTuner::refit() {
+  const std::size_t n = x_.size();
+  const auto stats = stats::summarize(y_);
+  y_mean_ = stats.mean();
+  y_std_ = std::max(stats.stddev(), 1e-12);
+
+  linalg::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel(x_[i], x_[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += config_.noise_variance;
+  }
+  chol_ = linalg::cholesky(k);
+  linalg::Vector centered(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    centered[i] = (y_[i] - y_mean_) / y_std_;
+  }
+  alpha_ = linalg::cholesky_solve(chol_, centered);
+  fitted_ = true;
+}
+
+GpTuner::Posterior GpTuner::posterior_encoded(std::span<const double> x) const {
+  const std::size_t n = x_.size();
+  linalg::Vector k_star(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k_star[i] = kernel(x, x_[i]);
+  }
+  const double mean_std = linalg::dot(k_star, alpha_);
+  const linalg::Vector v = linalg::solve_lower(chol_, k_star);
+  const double var_std =
+      std::max(kernel(x, x) - linalg::dot(v, v), 1e-12);
+  return {y_mean_ + y_std_ * mean_std, y_std_ * y_std_ * var_std};
+}
+
+GpTuner::Posterior GpTuner::posterior(const space::Configuration& c) {
+  HPB_REQUIRE(fitted_, "GpTuner::posterior: call after enough observations");
+  return posterior_encoded(space_->encode(c));
+}
+
+double GpTuner::expected_improvement(const space::Configuration& c,
+                                     double y_best) const {
+  const Posterior post = posterior_encoded(space_->encode(c));
+  const double sigma = std::sqrt(post.variance);
+  const double z = (y_best - post.mean) / sigma;
+  return (y_best - post.mean) * std_normal_cdf(z) + sigma * std_normal_pdf(z);
+}
+
+space::Configuration GpTuner::suggest() {
+  HPB_REQUIRE(evaluated_.size() < pool_->size(), "GpTuner: pool exhausted");
+  if (y_.size() < config_.initial_samples) {
+    for (;;) {
+      const auto& c = (*pool_)[rng_.index(pool_->size())];
+      if (!evaluated_.contains(space_->ordinal_of(c))) {
+        return c;
+      }
+    }
+  }
+  if (!fitted_) {
+    refit();
+  }
+  const double y_best = *std::min_element(y_.begin(), y_.end());
+
+  // Score either the whole pool or a random subsample of unevaluated
+  // candidates.
+  const space::Configuration* best = nullptr;
+  double best_ei = -1.0;
+  auto consider = [&](const space::Configuration& c) {
+    if (evaluated_.contains(space_->ordinal_of(c))) {
+      return;
+    }
+    const double ei = expected_improvement(c, y_best);
+    if (best == nullptr || ei > best_ei) {
+      best = &c;
+      best_ei = ei;
+    }
+  };
+  if (config_.candidate_subsample == 0 ||
+      config_.candidate_subsample >= pool_->size()) {
+    for (const auto& c : *pool_) {
+      consider(c);
+    }
+  } else {
+    for (std::size_t k = 0; k < config_.candidate_subsample; ++k) {
+      consider((*pool_)[rng_.index(pool_->size())]);
+    }
+  }
+  if (best == nullptr) {
+    // Subsample hit only evaluated configs; fall back to random.
+    for (;;) {
+      const auto& c = (*pool_)[rng_.index(pool_->size())];
+      if (!evaluated_.contains(space_->ordinal_of(c))) {
+        return c;
+      }
+    }
+  }
+  return *best;
+}
+
+void GpTuner::observe(const space::Configuration& config, double y) {
+  evaluated_.insert(space_->ordinal_of(config));
+  x_.push_back(space_->encode(config));
+  y_.push_back(y);
+  if (y_.size() > config_.max_history) {
+    // Drop the oldest observation unless it is the incumbent best.
+    std::size_t drop = 0;
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(y_.begin(), y_.end()) - y_.begin());
+    if (drop == best) {
+      drop = 1;
+    }
+    x_.erase(x_.begin() + static_cast<std::ptrdiff_t>(drop));
+    y_.erase(y_.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  fitted_ = false;
+  if (y_.size() >= config_.initial_samples) {
+    refit();
+  }
+}
+
+}  // namespace hpb::baselines

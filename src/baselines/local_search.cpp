@@ -1,0 +1,175 @@
+#include "baselines/local_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace hpb::baselines {
+namespace {
+
+constexpr int kMaxDraws = 100000;
+
+}  // namespace
+
+// ------------------------------------------------------- SimulatedAnnealing
+SimulatedAnnealing::SimulatedAnnealing(space::SpacePtr space,
+                                       AnnealingConfig config,
+                                       std::uint64_t seed)
+    : space_(std::move(space)), config_(config), rng_(seed) {
+  HPB_REQUIRE(space_ != nullptr, "SimulatedAnnealing: null space");
+  HPB_REQUIRE(space_->is_finite(), "SimulatedAnnealing: finite spaces only");
+  HPB_REQUIRE(config_.initial_samples >= 2,
+              "SimulatedAnnealing: need >= 2 initial samples");
+  HPB_REQUIRE(config_.cooling_rate > 0.0 && config_.cooling_rate < 1.0,
+              "SimulatedAnnealing: cooling_rate in (0,1)");
+}
+
+space::Configuration SimulatedAnnealing::random_unevaluated() {
+  for (int attempt = 0; attempt < kMaxDraws; ++attempt) {
+    space::Configuration c = space_->sample_uniform(rng_);
+    if (!evaluated_.contains(space_->ordinal_of(c))) {
+      return c;
+    }
+  }
+  HPB_REQUIRE(false, "SimulatedAnnealing: space exhausted");
+  return {};  // unreachable
+}
+
+space::Configuration SimulatedAnnealing::mutate(
+    const space::Configuration& c) {
+  // Change one random parameter to a random different level, retrying until
+  // the result is valid and unevaluated (falling back to uniform sampling).
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    space::Configuration probe = c;
+    const std::size_t p = rng_.index(space_->num_params());
+    const std::size_t levels = space_->param(p).num_levels();
+    if (levels < 2) {
+      continue;
+    }
+    std::size_t l = rng_.index(levels - 1);
+    if (l >= probe.level(p)) {
+      ++l;  // skip the current level
+    }
+    probe.set_level(p, l);
+    if (space_->satisfies(probe) &&
+        !evaluated_.contains(space_->ordinal_of(probe))) {
+      return probe;
+    }
+  }
+  return random_unevaluated();
+}
+
+space::Configuration SimulatedAnnealing::suggest() {
+  HPB_REQUIRE(!has_pending_,
+              "SimulatedAnnealing: observe() the previous suggestion first");
+  space::Configuration next;
+  if (initial_values_.size() < config_.initial_samples || !has_current_) {
+    next = random_unevaluated();
+  } else {
+    next = mutate(current_);
+  }
+  pending_ = next;
+  has_pending_ = true;
+  return next;
+}
+
+void SimulatedAnnealing::observe(const space::Configuration& config,
+                                 double y) {
+  evaluated_[space_->ordinal_of(config)] = y;
+  has_pending_ = false;
+
+  if (initial_values_.size() < config_.initial_samples) {
+    initial_values_.push_back(y);
+    if (!has_current_ || y < current_value_) {
+      current_ = config;
+      current_value_ = y;
+      has_current_ = true;
+    }
+    if (initial_values_.size() == config_.initial_samples) {
+      const auto stats = stats::summarize(initial_values_);
+      temperature_ = std::max(config_.initial_temperature_factor *
+                                  stats.stddev(),
+                              1e-12);
+    }
+    return;
+  }
+
+  // Metropolis acceptance on the proposed move.
+  const double delta = y - current_value_;
+  if (delta <= 0.0 || rng_.uniform() < std::exp(-delta / temperature_)) {
+    current_ = config;
+    current_value_ = y;
+  }
+  temperature_ = std::max(temperature_ * config_.cooling_rate, 1e-12);
+}
+
+// -------------------------------------------------------------- HillClimbing
+HillClimbing::HillClimbing(space::SpacePtr space, HillClimbConfig config,
+                           std::uint64_t seed)
+    : space_(std::move(space)), config_(config), rng_(seed) {
+  HPB_REQUIRE(space_ != nullptr, "HillClimbing: null space");
+  HPB_REQUIRE(space_->is_finite(), "HillClimbing: finite spaces only");
+  HPB_REQUIRE(config_.initial_samples >= 1,
+              "HillClimbing: need >= 1 initial sample");
+}
+
+space::Configuration HillClimbing::random_unevaluated() {
+  for (int attempt = 0; attempt < kMaxDraws; ++attempt) {
+    space::Configuration c = space_->sample_uniform(rng_);
+    if (!evaluated_.contains(space_->ordinal_of(c))) {
+      return c;
+    }
+  }
+  HPB_REQUIRE(false, "HillClimbing: space exhausted");
+  return {};  // unreachable
+}
+
+void HillClimbing::refill_neighbors() {
+  neighbors_.clear();
+  for (std::size_t p = 0; p < space_->num_params(); ++p) {
+    const std::size_t original = incumbent_.level(p);
+    for (std::size_t l = 0; l < space_->param(p).num_levels(); ++l) {
+      if (l == original) {
+        continue;
+      }
+      space::Configuration probe = incumbent_;
+      probe.set_level(p, l);
+      if (space_->satisfies(probe) &&
+          !evaluated_.contains(space_->ordinal_of(probe))) {
+        neighbors_.push_back(std::move(probe));
+      }
+    }
+  }
+  rng_.shuffle(neighbors_);
+}
+
+space::Configuration HillClimbing::suggest() {
+  if (evaluated_.size() < config_.initial_samples || !has_incumbent_) {
+    return random_unevaluated();
+  }
+  if (neighbors_.empty()) {
+    refill_neighbors();
+    if (neighbors_.empty()) {
+      // Local optimum with a fully explored neighborhood: restart.
+      ++restarts_;
+      has_incumbent_ = false;
+      return random_unevaluated();
+    }
+  }
+  space::Configuration next = std::move(neighbors_.back());
+  neighbors_.pop_back();
+  return next;
+}
+
+void HillClimbing::observe(const space::Configuration& config, double y) {
+  evaluated_[space_->ordinal_of(config)] = y;
+  if (!has_incumbent_ || y < incumbent_value_) {
+    incumbent_ = config;
+    incumbent_value_ = y;
+    has_incumbent_ = true;
+    neighbors_.clear();  // new incumbent: explore its neighborhood instead
+  }
+}
+
+}  // namespace hpb::baselines

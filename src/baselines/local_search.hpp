@@ -1,0 +1,91 @@
+// Local-search baselines over the Hamming-1 configuration neighborhood:
+// simulated annealing and (restarting) greedy hill climbing. These are the
+// classic search strategies used by autotuners such as OpenTuner; the paper
+// cites directed-search autotuning (§I, §VIII) as the pre-model-based state
+// of practice, and these close the comparison.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/tuner.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::baselines {
+
+struct AnnealingConfig {
+  /// Initial acceptance temperature relative to the spread of the first
+  /// random samples (T0 = factor × stddev of initial values).
+  double initial_temperature_factor = 1.0;
+  /// Multiplicative cooling per evaluation.
+  double cooling_rate = 0.97;
+  std::size_t initial_samples = 5;
+};
+
+/// Simulated annealing with single-parameter mutations. Finite spaces only;
+/// already-evaluated configurations are skipped (the budget never re-runs a
+/// measurement), matching how the other tuners are charged.
+class SimulatedAnnealing final : public core::Tuner {
+ public:
+  SimulatedAnnealing(space::SpacePtr space, AnnealingConfig config,
+                     std::uint64_t seed);
+
+  [[nodiscard]] space::Configuration suggest() override;
+  void observe(const space::Configuration& config, double y) override;
+  [[nodiscard]] std::string name() const override { return "SimAnneal"; }
+
+  [[nodiscard]] double temperature() const noexcept { return temperature_; }
+
+ private:
+  [[nodiscard]] space::Configuration mutate(const space::Configuration& c);
+  [[nodiscard]] space::Configuration random_unevaluated();
+
+  space::SpacePtr space_;
+  AnnealingConfig config_;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, double> evaluated_;
+  std::vector<double> initial_values_;
+  space::Configuration current_;
+  double current_value_ = 0.0;
+  bool has_current_ = false;
+  double temperature_ = 0.0;
+  space::Configuration pending_;  // suggestion whose result we await
+  bool has_pending_ = false;
+};
+
+struct HillClimbConfig {
+  std::size_t initial_samples = 5;
+};
+
+/// Greedy first-improvement hill climbing with random restarts: walk the
+/// Hamming-1 neighborhood of the incumbent; when every neighbor has been
+/// tried without improvement, restart from a fresh random configuration.
+class HillClimbing final : public core::Tuner {
+ public:
+  HillClimbing(space::SpacePtr space, HillClimbConfig config,
+               std::uint64_t seed);
+
+  [[nodiscard]] space::Configuration suggest() override;
+  void observe(const space::Configuration& config, double y) override;
+  [[nodiscard]] std::string name() const override { return "HillClimb"; }
+
+  [[nodiscard]] std::size_t restarts() const noexcept { return restarts_; }
+
+ private:
+  void refill_neighbors();
+  [[nodiscard]] space::Configuration random_unevaluated();
+
+  space::SpacePtr space_;
+  HillClimbConfig config_;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, double> evaluated_;
+  space::Configuration incumbent_;
+  double incumbent_value_ = 0.0;
+  bool has_incumbent_ = false;
+  std::vector<space::Configuration> neighbors_;  // untried, shuffled
+  std::size_t restarts_ = 0;
+};
+
+}  // namespace hpb::baselines

@@ -1,0 +1,104 @@
+#include "baselines/perfnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "stats/quantile.hpp"
+#include "stats/summary.hpp"
+
+namespace hpb::baselines {
+
+PerfNet::PerfNet(PerfNetConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+double PerfNet::normalize(double y) const {
+  return (std::log(std::max(y, 1e-12)) - log_mean_) / log_std_;
+}
+
+void PerfNet::train(const tabular::TabularObjective& source,
+                    const tabular::TabularObjective& target,
+                    std::size_t budget) {
+  HPB_REQUIRE(source.space().encoded_size() == target.space().encoded_size(),
+              "PerfNet: source/target encoding width mismatch");
+  HPB_REQUIRE(budget >= 2, "PerfNet: budget must be >= 2");
+  HPB_REQUIRE(budget <= target.size(), "PerfNet: budget exceeds target size");
+  target_ = &target;
+
+  // Normalization statistics from the (cheap, fully observed) source domain.
+  {
+    stats::RunningStats log_stats;
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      log_stats.add(std::log(std::max(source.value(i), 1e-12)));
+    }
+    log_mean_ = log_stats.mean();
+    log_std_ = std::max(log_stats.stddev(), 1e-12);
+  }
+
+  // Build the pre-training matrix from (possibly subsampled) source rows.
+  std::vector<std::size_t> source_rows;
+  if (config_.max_source_rows > 0 && source.size() > config_.max_source_rows) {
+    source_rows =
+        rng_.sample_without_replacement(source.size(), config_.max_source_rows);
+  } else {
+    source_rows.resize(source.size());
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      source_rows[i] = i;
+    }
+  }
+  const std::size_t width = source.space().encoded_size();
+  linalg::Matrix x_src(source_rows.size(), width);
+  std::vector<double> y_src(source_rows.size());
+  for (std::size_t r = 0; r < source_rows.size(); ++r) {
+    const auto enc = source.space().encode(source.config(source_rows[r]));
+    std::copy(enc.begin(), enc.end(), x_src.row(r).begin());
+    y_src[r] = normalize(source.value(source_rows[r]));
+  }
+
+  std::vector<std::size_t> sizes;
+  sizes.push_back(width);
+  for (std::size_t h : config_.hidden_sizes) {
+    sizes.push_back(h);
+  }
+  sizes.push_back(1);
+  net_ = std::make_unique<nn::Mlp>(sizes, rng_);
+  net_->fit(x_src, y_src, config_.pretrain, rng_);
+
+  // Fine-tune on randomly observed target samples.
+  const std::size_t n_observe = std::max<std::size_t>(
+      2, static_cast<std::size_t>(config_.observe_fraction *
+                                  static_cast<double>(budget)));
+  const std::vector<std::size_t> observed =
+      rng_.sample_without_replacement(target.size(),
+                                      std::min(n_observe, budget));
+  linalg::Matrix x_tgt(observed.size(), width);
+  std::vector<double> y_tgt(observed.size());
+  for (std::size_t r = 0; r < observed.size(); ++r) {
+    const auto enc = target.space().encode(target.config(observed[r]));
+    std::copy(enc.begin(), enc.end(), x_tgt.row(r).begin());
+    y_tgt[r] = normalize(target.value(observed[r]));
+  }
+  net_->fit(x_tgt, y_tgt, config_.finetune, rng_);
+
+  // Selection: observed samples + top-predicted remainder.
+  selection_ = observed;
+  std::unordered_set<std::size_t> taken(observed.begin(), observed.end());
+  std::vector<double> predicted(target.size());
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    predicted[i] = taken.contains(i)
+                       ? std::numeric_limits<double>::infinity()
+                       : net_->predict(target.space().encode(target.config(i)));
+  }
+  const std::size_t remaining = budget - selection_.size();
+  for (std::size_t idx : stats::smallest_k_indices(predicted, remaining)) {
+    selection_.push_back(idx);
+  }
+}
+
+double PerfNet::predict(const space::Configuration& c) const {
+  HPB_REQUIRE(net_ != nullptr, "PerfNet::predict: call train() first");
+  HPB_REQUIRE(target_ != nullptr, "PerfNet::predict: call train() first");
+  return net_->predict(target_->space().encode(c));
+}
+
+}  // namespace hpb::baselines

@@ -1,0 +1,71 @@
+// PerfNet baseline [Marathe et al., SC'17] re-implemented at simulator
+// scale: a deep-learning transfer approach that trains a regression network
+// on plentiful source-domain (small-scale) measurements, fine-tunes it on a
+// small number of target-domain (large-scale) measurements, and then ranks
+// the target configuration space by predicted performance.
+//
+// Evaluation protocol (§VII): the model receives a total budget of B target
+// samples. A fraction is spent on randomly drawn target observations used
+// for fine-tuning; the remaining budget is filled with the configurations
+// the network predicts to be fastest. The selected set H is scored with the
+// tolerance-based Recall of eq. 12.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::baselines {
+
+struct PerfNetConfig {
+  std::vector<std::size_t> hidden_sizes = {64, 32};
+  nn::TrainConfig pretrain{{1e-3, 0.9, 0.999, 1e-8}, 32, 60};
+  nn::TrainConfig finetune{{3e-4, 0.9, 0.999, 1e-8}, 16, 60};
+  /// Cap on source rows used for pre-training (subsampled uniformly);
+  /// 0 = use all. Keeps epoch cost bounded on 50k-row source datasets.
+  std::size_t max_source_rows = 4000;
+  /// Fraction of the selection budget spent on random fine-tuning samples.
+  double observe_fraction = 0.33;
+};
+
+class PerfNet {
+ public:
+  PerfNet(PerfNetConfig config, std::uint64_t seed);
+
+  /// Pre-train on the full source dataset, draw fine-tuning samples from the
+  /// target, and fine-tune. Source and target must share a parameter-space
+  /// structure (identical encoding width). `budget` is the total number of
+  /// target samples the model may touch (observed + selected).
+  void train(const tabular::TabularObjective& source,
+             const tabular::TabularObjective& target, std::size_t budget);
+
+  /// Predicted (normalized log) objective for a target configuration;
+  /// lower = predicted faster. Only the ordering is meaningful.
+  [[nodiscard]] double predict(const space::Configuration& c) const;
+
+  /// The selected set H: the observed fine-tuning samples plus the
+  /// top-predicted remaining configurations, |H| == budget. Indices into
+  /// the target dataset.
+  [[nodiscard]] std::vector<std::size_t> selection() const {
+    return selection_;
+  }
+
+  [[nodiscard]] std::string name() const { return "PerfNet"; }
+
+ private:
+  [[nodiscard]] double normalize(double y) const;
+
+  PerfNetConfig config_;
+  Rng rng_;
+  std::unique_ptr<nn::Mlp> net_;
+  const tabular::TabularObjective* target_ = nullptr;
+  double log_mean_ = 0.0;
+  double log_std_ = 1.0;
+  std::vector<std::size_t> selection_;
+};
+
+}  // namespace hpb::baselines

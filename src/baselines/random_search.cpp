@@ -1,0 +1,44 @@
+#include "baselines/random_search.hpp"
+
+namespace hpb::baselines {
+
+RandomSearch::RandomSearch(space::SpacePtr space, std::uint64_t seed)
+    : RandomSearch(space, seed, nullptr) {}
+
+RandomSearch::RandomSearch(
+    space::SpacePtr space, std::uint64_t seed,
+    std::shared_ptr<const std::vector<space::Configuration>> pool)
+    : space_(std::move(space)), rng_(seed), pool_(std::move(pool)) {
+  HPB_REQUIRE(space_ != nullptr, "RandomSearch: null space");
+}
+
+space::Configuration RandomSearch::suggest() {
+  if (pool_ != nullptr) {
+    HPB_REQUIRE(evaluated_.size() < pool_->size(),
+                "RandomSearch: pool exhausted");
+    for (;;) {
+      const auto& c = (*pool_)[rng_.index(pool_->size())];
+      if (!evaluated_.contains(space_->ordinal_of(c))) {
+        return c;
+      }
+    }
+  }
+  if (space_->is_finite()) {
+    for (int attempt = 0; attempt < 100000; ++attempt) {
+      space::Configuration c = space_->sample_uniform(rng_);
+      if (!evaluated_.contains(space_->ordinal_of(c))) {
+        return c;
+      }
+    }
+    HPB_REQUIRE(false, "RandomSearch: space exhausted");
+  }
+  return space_->sample_uniform(rng_);
+}
+
+void RandomSearch::observe(const space::Configuration& config, double) {
+  if (space_->is_finite()) {
+    evaluated_.insert(space_->ordinal_of(config));
+  }
+}
+
+}  // namespace hpb::baselines

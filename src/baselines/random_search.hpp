@@ -1,0 +1,32 @@
+// Random selection baseline (§V): configurations drawn uniformly at random
+// from the parameter space, without replacement on finite spaces.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/tuner.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::baselines {
+
+class RandomSearch final : public core::Tuner {
+ public:
+  RandomSearch(space::SpacePtr space, std::uint64_t seed);
+  RandomSearch(space::SpacePtr space, std::uint64_t seed,
+               std::shared_ptr<const std::vector<space::Configuration>> pool);
+
+  [[nodiscard]] space::Configuration suggest() override;
+  void observe(const space::Configuration& config, double y) override;
+  [[nodiscard]] std::string name() const override { return "Random"; }
+
+ private:
+  space::SpacePtr space_;
+  Rng rng_;
+  std::shared_ptr<const std::vector<space::Configuration>> pool_;
+  std::unordered_set<std::uint64_t> evaluated_;
+};
+
+}  // namespace hpb::baselines

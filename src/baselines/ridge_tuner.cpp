@@ -1,0 +1,127 @@
+#include "baselines/ridge_tuner.hpp"
+
+#include <algorithm>
+
+namespace hpb::baselines {
+
+RidgeTuner::RidgeTuner(space::SpacePtr space, RidgeConfig config,
+                       std::uint64_t seed)
+    : RidgeTuner(space, config, seed,
+                 std::make_shared<const std::vector<space::Configuration>>(
+                     space->enumerate())) {}
+
+RidgeTuner::RidgeTuner(
+    space::SpacePtr space, RidgeConfig config, std::uint64_t seed,
+    std::shared_ptr<const std::vector<space::Configuration>> pool)
+    : space_(std::move(space)),
+      config_(config),
+      rng_(seed),
+      pool_(std::move(pool)) {
+  HPB_REQUIRE(space_ != nullptr, "RidgeTuner: null space");
+  HPB_REQUIRE(pool_ != nullptr && !pool_->empty(), "RidgeTuner: empty pool");
+  HPB_REQUIRE(config_.initial_samples >= 2, "RidgeTuner: need >= 2 initial");
+  HPB_REQUIRE(config_.regularization > 0.0,
+              "RidgeTuner: regularization must be > 0");
+  HPB_REQUIRE(config_.epsilon >= 0.0 && config_.epsilon <= 1.0,
+              "RidgeTuner: epsilon in [0,1]");
+  HPB_REQUIRE(config_.refit_every >= 1, "RidgeTuner: refit_every >= 1");
+}
+
+space::Configuration RidgeTuner::random_unevaluated() {
+  HPB_REQUIRE(evaluated_.size() < pool_->size(), "RidgeTuner: pool exhausted");
+  for (;;) {
+    const auto& c = (*pool_)[rng_.index(pool_->size())];
+    if (!evaluated_.contains(space_->ordinal_of(c))) {
+      return c;
+    }
+  }
+}
+
+void RidgeTuner::refit() {
+  const std::size_t n = x_.size();
+  const std::size_t d = space_->encoded_size() + 1;  // + intercept
+  // Normal equations with ridge: (XᵀX + λI) β = Xᵀ y.
+  linalg::Matrix gram(d, d, 0.0);
+  linalg::Vector xty(d, 0.0);
+  std::vector<double> row(d, 1.0);  // last slot stays 1 (intercept)
+  for (std::size_t r = 0; r < n; ++r) {
+    std::copy(x_[r].begin(), x_[r].end(), row.begin());
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        gram(i, j) += row[i] * row[j];
+      }
+      xty[i] += row[i] * y_[r];
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) {
+      gram(i, j) = gram(j, i);
+    }
+    gram(i, i) += config_.regularization;
+  }
+  beta_ = linalg::cholesky_solve(linalg::cholesky(gram), xty);
+  fitted_ = true;
+  observations_at_fit_ = n;
+}
+
+double RidgeTuner::predict(const space::Configuration& c) const {
+  HPB_REQUIRE(fitted_, "RidgeTuner::predict: not fitted yet");
+  const auto enc = space_->encode(c);
+  double acc = beta_.back();  // intercept
+  for (std::size_t i = 0; i < enc.size(); ++i) {
+    acc += beta_[i] * enc[i];
+  }
+  return acc;
+}
+
+space::Configuration RidgeTuner::suggest() {
+  if (y_.size() < config_.initial_samples || rng_.bernoulli(config_.epsilon)) {
+    return random_unevaluated();
+  }
+  if (!fitted_ || y_.size() >= observations_at_fit_ + config_.refit_every) {
+    refit();
+  }
+  const space::Configuration* best = nullptr;
+  double best_pred = 0.0;
+  for (const auto& c : *pool_) {
+    if (evaluated_.contains(space_->ordinal_of(c))) {
+      continue;
+    }
+    const double pred = predict(c);
+    if (best == nullptr || pred < best_pred) {
+      best = &c;
+      best_pred = pred;
+    }
+  }
+  HPB_REQUIRE(best != nullptr, "RidgeTuner: pool exhausted");
+  return *best;
+}
+
+void RidgeTuner::observe(const space::Configuration& config, double y) {
+  evaluated_.insert(space_->ordinal_of(config));
+  x_.push_back(space_->encode(config));
+  y_.push_back(y);
+}
+
+ExhaustiveTuner::ExhaustiveTuner(space::SpacePtr space)
+    : ExhaustiveTuner(space,
+                      std::make_shared<const std::vector<space::Configuration>>(
+                          space->enumerate())) {}
+
+ExhaustiveTuner::ExhaustiveTuner(
+    space::SpacePtr space,
+    std::shared_ptr<const std::vector<space::Configuration>> pool)
+    : pool_(std::move(pool)) {
+  HPB_REQUIRE(space != nullptr, "ExhaustiveTuner: null space");
+  HPB_REQUIRE(pool_ != nullptr && !pool_->empty(),
+              "ExhaustiveTuner: empty pool");
+}
+
+space::Configuration ExhaustiveTuner::suggest() {
+  HPB_REQUIRE(next_ < pool_->size(), "ExhaustiveTuner: pool exhausted");
+  return (*pool_)[next_++];
+}
+
+void ExhaustiveTuner::observe(const space::Configuration&, double) {}
+
+}  // namespace hpb::baselines

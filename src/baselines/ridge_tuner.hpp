@@ -1,0 +1,77 @@
+// Linear-model baselines.
+//
+// RidgeTuner: ridge regression on the one-hot configuration encoding with
+// ε-greedy argmin selection — the simplest "response surface" autotuner,
+// standing in for the linear/CCA-style modeling the paper cites via
+// Ganapathi et al. [18]. Its failure mode (cannot express interactions)
+// is exactly what motivates the nonlinear models.
+//
+// ExhaustiveTuner: evaluates the whole pool in storage order — the
+// "Exhaustive best" line of Figs. 2–6 as an ask/tell tuner.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/tuner.hpp"
+#include "linalg/matrix.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::baselines {
+
+struct RidgeConfig {
+  std::size_t initial_samples = 20;
+  double regularization = 1e-2;  // lambda of (XᵀX + λI)β = Xᵀy
+  double epsilon = 0.1;          // exploration rate
+  std::size_t refit_every = 8;
+};
+
+class RidgeTuner final : public core::Tuner {
+ public:
+  RidgeTuner(space::SpacePtr space, RidgeConfig config, std::uint64_t seed);
+  RidgeTuner(space::SpacePtr space, RidgeConfig config, std::uint64_t seed,
+             std::shared_ptr<const std::vector<space::Configuration>> pool);
+
+  [[nodiscard]] space::Configuration suggest() override;
+  void observe(const space::Configuration& config, double y) override;
+  [[nodiscard]] std::string name() const override { return "Ridge"; }
+
+  /// Prediction for a configuration (fitted model required).
+  [[nodiscard]] double predict(const space::Configuration& c) const;
+  [[nodiscard]] bool is_fitted() const noexcept { return fitted_; }
+
+ private:
+  [[nodiscard]] space::Configuration random_unevaluated();
+  void refit();
+
+  space::SpacePtr space_;
+  RidgeConfig config_;
+  Rng rng_;
+  std::shared_ptr<const std::vector<space::Configuration>> pool_;
+  std::unordered_set<std::uint64_t> evaluated_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;
+  linalg::Vector beta_;  // includes intercept as the last coefficient
+  bool fitted_ = false;
+  std::size_t observations_at_fit_ = 0;
+};
+
+/// Deterministic full enumeration of the candidate pool, in order.
+class ExhaustiveTuner final : public core::Tuner {
+ public:
+  explicit ExhaustiveTuner(space::SpacePtr space);
+  ExhaustiveTuner(space::SpacePtr space,
+                  std::shared_ptr<const std::vector<space::Configuration>> pool);
+
+  [[nodiscard]] space::Configuration suggest() override;
+  void observe(const space::Configuration& config, double y) override;
+  [[nodiscard]] std::string name() const override { return "Exhaustive"; }
+
+ private:
+  std::shared_ptr<const std::vector<space::Configuration>> pool_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace hpb::baselines

@@ -1,0 +1,200 @@
+#include "common/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace hpb::cli {
+namespace {
+
+const char* kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "string";
+    case 1:
+      return "size";
+    case 2:
+      return "double";
+    default:
+      return "bool";
+  }
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+ArgParser& ArgParser::add(const std::string& name, Kind kind,
+                          std::string default_value, std::string help) {
+  HPB_REQUIRE(!name.empty() && name[0] != '-',
+              "ArgParser: flag names must not start with '-'");
+  const auto [it, inserted] = options_.emplace(
+      name, Option{kind, default_value, std::move(default_value),
+                   std::move(help), false});
+  HPB_REQUIRE(inserted, "ArgParser: duplicate flag --" + name);
+  return *this;
+}
+
+ArgParser& ArgParser::add_string(const std::string& name,
+                                 std::string default_value, std::string help) {
+  return add(name, Kind::kString, std::move(default_value), std::move(help));
+}
+
+ArgParser& ArgParser::add_size(const std::string& name,
+                               std::size_t default_value, std::string help) {
+  return add(name, Kind::kSize, std::to_string(default_value),
+             std::move(help));
+}
+
+ArgParser& ArgParser::add_double(const std::string& name, double default_value,
+                                 std::string help) {
+  std::ostringstream os;
+  os << default_value;
+  return add(name, Kind::kDouble, os.str(), std::move(help));
+}
+
+ArgParser& ArgParser::add_bool(const std::string& name, bool default_value,
+                               std::string help) {
+  return add(name, Kind::kBool, default_value ? "true" : "false",
+             std::move(help));
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    args.emplace_back(argv[i]);
+  }
+  parse(args);
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  bool flags_done = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || arg.empty() || arg[0] != '-' || arg == "-") {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    HPB_REQUIRE(arg.size() > 2 && arg[1] == '-',
+                "ArgParser: expected --flag, got '" + arg + "'");
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_inline_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline_value = true;
+    }
+    const auto it = options_.find(name);
+    HPB_REQUIRE(it != options_.end(), "ArgParser: unknown flag --" + name);
+    Option& option = it->second;
+
+    if (!has_inline_value) {
+      if (option.kind == Kind::kBool) {
+        // Optional value: --flag or --flag true/false.
+        if (i + 1 < args.size() &&
+            (args[i + 1] == "true" || args[i + 1] == "false")) {
+          value = args[++i];
+        } else {
+          value = "true";
+        }
+      } else {
+        HPB_REQUIRE(i + 1 < args.size(),
+                    "ArgParser: --" + name + " needs a value");
+        value = args[++i];
+      }
+    }
+
+    // Validate by type.
+    switch (option.kind) {
+      case Kind::kString:
+        break;
+      case Kind::kSize: {
+        std::size_t parsed = 0;
+        const auto [ptr, ec] = std::from_chars(
+            value.data(), value.data() + value.size(), parsed);
+        HPB_REQUIRE(ec == std::errc{} && ptr == value.data() + value.size(),
+                    "ArgParser: --" + name + " expects a non-negative "
+                    "integer, got '" + value + "'");
+        break;
+      }
+      case Kind::kDouble: {
+        double parsed = 0.0;
+        const auto [ptr, ec] = std::from_chars(
+            value.data(), value.data() + value.size(), parsed);
+        HPB_REQUIRE(ec == std::errc{} && ptr == value.data() + value.size(),
+                    "ArgParser: --" + name + " expects a number, got '" +
+                        value + "'");
+        break;
+      }
+      case Kind::kBool:
+        HPB_REQUIRE(value == "true" || value == "false",
+                    "ArgParser: --" + name + " expects true/false");
+        break;
+    }
+    option.value = value;
+    option.set = true;
+  }
+}
+
+ArgParser::Option& ArgParser::find(const std::string& name, Kind kind) {
+  const auto it = options_.find(name);
+  HPB_REQUIRE(it != options_.end(), "ArgParser: no flag --" + name);
+  HPB_REQUIRE(it->second.kind == kind,
+              "ArgParser: --" + name + " is not a " +
+                  kind_name(static_cast<int>(kind)) + " flag");
+  return it->second;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name,
+                                         Kind kind) const {
+  return const_cast<ArgParser*>(this)->find(name, kind);
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+std::size_t ArgParser::get_size(const std::string& name) const {
+  const std::string& value = find(name, Kind::kSize).value;
+  std::size_t parsed = 0;
+  (void)std::from_chars(value.data(), value.data() + value.size(), parsed);
+  return parsed;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string& value = find(name, Kind::kDouble).value;
+  double parsed = 0.0;
+  (void)std::from_chars(value.data(), value.data() + value.size(), parsed);
+  return parsed;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  return find(name, Kind::kBool).value == "true";
+}
+
+bool ArgParser::was_set(const std::string& name) const {
+  const auto it = options_.find(name);
+  HPB_REQUIRE(it != options_.end(), "ArgParser: no flag --" + name);
+  return it->second.set;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags] [args...]\n";
+  if (!description_.empty()) {
+    os << description_ << "\n";
+  }
+  os << "flags:\n";
+  for (const auto& [name, option] : options_) {
+    os << "  --" << name << " (default: " << option.default_value << ")  "
+       << option.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hpb::cli

@@ -1,0 +1,70 @@
+// Minimal command-line flag parser for the tools and bench harnesses:
+// typed --name value flags with defaults, boolean switches, positional
+// arguments, and generated usage text. Throws hpb::Error on malformed or
+// unknown input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpb::cli {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description = "");
+
+  ArgParser& add_string(const std::string& name, std::string default_value,
+                        std::string help);
+  ArgParser& add_size(const std::string& name, std::size_t default_value,
+                      std::string help);
+  ArgParser& add_double(const std::string& name, double default_value,
+                        std::string help);
+  /// Boolean switch: present => true; also accepts --name true/false.
+  ArgParser& add_bool(const std::string& name, bool default_value,
+                      std::string help);
+
+  /// Parse argv-style input (argv[0] is skipped). Throws on unknown flags,
+  /// missing values, or type errors. `--` ends flag parsing.
+  void parse(int argc, const char* const* argv);
+  void parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] std::size_t get_size(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// True when the flag was explicitly provided (vs its default).
+  [[nodiscard]] bool was_set(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kString, kSize, kDouble, kBool };
+  struct Option {
+    Kind kind;
+    std::string value;  // canonical string form
+    std::string default_value;
+    std::string help;
+    bool set = false;
+  };
+
+  Option& find(const std::string& name, Kind kind);
+  [[nodiscard]] const Option& find(const std::string& name, Kind kind) const;
+  ArgParser& add(const std::string& name, Kind kind, std::string default_value,
+                 std::string help);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hpb::cli

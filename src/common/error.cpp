@@ -1,0 +1,18 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace hpb::detail {
+
+void throw_error(const char* cond, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "hiperbot: requirement failed: (" << cond << ") at " << file << ':'
+     << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace hpb::detail

@@ -1,0 +1,32 @@
+// Error-handling utilities shared across all hiperbot libraries.
+//
+// Library code reports contract violations with HPB_REQUIRE (throws
+// hpb::Error) rather than asserting, so harnesses and tests can observe and
+// recover from misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hpb {
+
+/// Exception type thrown on any contract violation inside hiperbot.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* cond, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace hpb
+
+/// Check a precondition; throws hpb::Error with location info on failure.
+#define HPB_REQUIRE(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::hpb::detail::throw_error(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,47 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace hpb {
+
+double hash_to_normal(std::uint64_t key) noexcept {
+  const double u1 = hash_to_unit(splitmix64(key));
+  const double u2 = hash_to_unit(splitmix64(key ^ 0xabcdef0123456789ULL));
+  // Guard u1 away from zero so log() is finite.
+  const double r = std::sqrt(-2.0 * std::log(u1 + 1e-300));
+  return r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  HPB_REQUIRE(!weights.empty(), "categorical: weights must be non-empty");
+  double total = 0.0;
+  for (double w : weights) {
+    HPB_REQUIRE(w >= 0.0, "categorical: weights must be non-negative");
+    total += w;
+  }
+  HPB_REQUIRE(total > 0.0, "categorical: weights must not all be zero");
+  double u = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // Floating-point slack: return the last index.
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  HPB_REQUIRE(k <= n, "sample_without_replacement: k must be <= n");
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    std::swap(pool[i], pool[i + index(n - i)]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace hpb

@@ -1,0 +1,112 @@
+// Deterministic random number generation.
+//
+// All stochastic components in hiperbot draw from hpb::Rng so that every
+// experiment is exactly reproducible from a single 64-bit seed. Seeds are
+// derived (never reused) via splitmix64, which also powers the deterministic
+// per-configuration noise in the synthetic performance surfaces.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpb {
+
+/// splitmix64 step: maps a 64-bit state to a well-mixed 64-bit output.
+/// Used for seed derivation and for hash-based deterministic noise.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine two 64-bit values into one (order-sensitive), for keyed noise.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Map a 64-bit hash to a uniform double in [0, 1).
+[[nodiscard]] constexpr double hash_to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Standard-normal variate derived deterministically from a 64-bit key
+/// (Box–Muller on two splitmix64 streams). Used for frozen dataset noise.
+[[nodiscard]] double hash_to_normal(std::uint64_t key) noexcept;
+
+/// Seeded pseudo-random generator wrapping mt19937_64 with convenience
+/// sampling methods. Copyable; copies evolve independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL)
+      : engine_(splitmix64(seed)) {}
+
+  /// Derive an independent child generator; successive calls give distinct
+  /// streams (used to hand sub-seeds to replicated experiment runs).
+  [[nodiscard]] Rng split() { return Rng(next_u64()); }
+
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return hash_to_unit(engine_());
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    HPB_REQUIRE(lo <= hi, "uniform: lo must be <= hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    HPB_REQUIRE(n > 0, "index: n must be positive");
+    return static_cast<std::size_t>(
+        std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t integer(std::int64_t lo, std::int64_t hi) {
+    HPB_REQUIRE(lo <= hi, "integer: lo must be <= hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal variate.
+  [[nodiscard]] double normal() {
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) {
+    HPB_REQUIRE(stddev >= 0.0, "normal: stddev must be non-negative");
+    return mean + stddev * normal();
+  }
+
+  /// Bernoulli draw with probability p of true.
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Sample an index from unnormalized non-negative weights.
+  [[nodiscard]] std::size_t categorical(const std::vector<double>& weights);
+
+  /// Sample k distinct indices from [0, n) uniformly (partial Fisher–Yates).
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hpb

@@ -1,0 +1,114 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hpb {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  HPB_REQUIRE(static_cast<bool>(task), "ThreadPool::submit: empty task");
+  {
+    std::unique_lock lock(mutex_);
+    HPB_REQUIRE(!stopping_, "ThreadPool::submit: pool is shutting down");
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+void parallel_for_indexed(ThreadPool* pool, std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  HPB_REQUIRE(static_cast<bool>(fn), "parallel_for_indexed: empty function");
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) {
+        return;
+      }
+      {
+        std::scoped_lock lock(error_mutex);
+        if (first_error) {
+          return;  // stop starting new work after a failure
+        }
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+  // One drain task per worker; each pulls indices from the shared counter.
+  for (std::size_t t = 0; t < pool->size(); ++t) {
+    pool->submit(drain);
+  }
+  pool->wait_idle();
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace hpb

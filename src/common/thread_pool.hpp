@@ -1,0 +1,59 @@
+// Minimal fixed-size thread pool and a deterministic parallel-for.
+//
+// The replicated experiment runner executes independent tuning runs (one
+// per seed); parallel_for_indexed distributes them across workers while
+// each index writes only its own output slot, so results are bitwise
+// identical to the serial order regardless of scheduling. Exceptions from
+// tasks are captured and rethrown on the caller's thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hpb {
+
+class ThreadPool {
+ public:
+  /// Start `threads` workers; 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue one task; returns immediately. Tasks must not throw past the
+  /// pool — use parallel_for_indexed for exception-safe batches.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run fn(0) … fn(n-1) across the pool and wait for completion. Each index
+/// runs exactly once; the first exception (by completion order) is
+/// rethrown on the calling thread after all indices finish or are skipped.
+/// With a null pool (or a single worker) execution is serial in order.
+void parallel_for_indexed(ThreadPool* pool, std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
+
+}  // namespace hpb

@@ -1,0 +1,116 @@
+#include "core/density.hpp"
+
+#include <cmath>
+
+namespace hpb::core {
+
+FactorizedDensity::FactorizedDensity(
+    space::SpacePtr space, std::span<const space::Configuration> configs,
+    const DensityConfig& config)
+    : space_(std::move(space)), config_(config) {
+  HPB_REQUIRE(space_ != nullptr, "FactorizedDensity: null space");
+  const std::size_t n_params = space_->num_params();
+  marginals_.reserve(n_params);
+  for (std::size_t i = 0; i < n_params; ++i) {
+    const auto& p = space_->param(i);
+    if (p.is_discrete()) {
+      stats::HistogramDensity hist(p.num_levels(), config_.histogram_smoothing);
+      for (const auto& c : configs) {
+        hist.add(c.level(i));
+      }
+      marginals_.emplace_back(std::move(hist));
+    } else {
+      std::vector<double> samples;
+      samples.reserve(configs.size());
+      for (const auto& c : configs) {
+        samples.push_back(c[i]);
+      }
+      marginals_.emplace_back(stats::KernelDensity(
+          samples, p.lo(), p.hi(), config_.kde_bandwidth));
+    }
+  }
+}
+
+double FactorizedDensity::log_density(const space::Configuration& c) const {
+  HPB_REQUIRE(c.size() == marginals_.size(), "log_density: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < marginals_.size(); ++i) {
+    if (const auto* hist = std::get_if<stats::HistogramDensity>(&marginals_[i])) {
+      acc += hist->log_pmf(c.level(i));
+    } else {
+      acc += std::get<stats::KernelDensity>(marginals_[i]).log_pdf(c[i]);
+    }
+  }
+  return acc;
+}
+
+double FactorizedDensity::density(const space::Configuration& c) const {
+  return std::exp(log_density(c));
+}
+
+space::Configuration FactorizedDensity::sample(Rng& rng) const {
+  std::vector<double> values(marginals_.size(), 0.0);
+  for (std::size_t i = 0; i < marginals_.size(); ++i) {
+    if (const auto* hist = std::get_if<stats::HistogramDensity>(&marginals_[i])) {
+      values[i] = static_cast<double>(rng.categorical(hist->probabilities()));
+    } else {
+      values[i] = std::get<stats::KernelDensity>(marginals_[i]).sample(rng);
+    }
+  }
+  return space::Configuration(std::move(values));
+}
+
+void FactorizedDensity::mix_in(const FactorizedDensity& prior, double weight) {
+  HPB_REQUIRE(prior.marginals_.size() == marginals_.size(),
+              "mix_in: parameter count mismatch");
+  HPB_REQUIRE(weight >= 0.0, "mix_in: negative weight");
+  for (std::size_t i = 0; i < marginals_.size(); ++i) {
+    if (auto* hist = std::get_if<stats::HistogramDensity>(&marginals_[i])) {
+      const auto* prior_hist =
+          std::get_if<stats::HistogramDensity>(&prior.marginals_[i]);
+      HPB_REQUIRE(prior_hist != nullptr, "mix_in: marginal kind mismatch");
+      hist->mix_in(*prior_hist, weight);
+    } else {
+      auto& kde = std::get<stats::KernelDensity>(marginals_[i]);
+      const auto* prior_kde =
+          std::get_if<stats::KernelDensity>(&prior.marginals_[i]);
+      HPB_REQUIRE(prior_kde != nullptr, "mix_in: marginal kind mismatch");
+      kde.mix_in(*prior_kde, weight);
+    }
+  }
+}
+
+std::vector<double> FactorizedDensity::marginal_probabilities(
+    std::size_t param) const {
+  HPB_REQUIRE(param < marginals_.size(),
+              "marginal_probabilities: index out of range");
+  if (const auto* hist =
+          std::get_if<stats::HistogramDensity>(&marginals_[param])) {
+    return hist->probabilities();
+  }
+  const auto& kde = std::get<stats::KernelDensity>(marginals_[param]);
+  const std::size_t bins = std::max<std::size_t>(2, config_.importance_bins);
+  std::vector<double> probs(bins, 0.0);
+  const double width = (kde.hi() - kde.lo()) / static_cast<double>(bins);
+  double total = 0.0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double mid = kde.lo() + (static_cast<double>(b) + 0.5) * width;
+    probs[b] = kde.pdf(mid) * width;
+    total += probs[b];
+  }
+  HPB_REQUIRE(total > 0.0, "marginal_probabilities: degenerate KDE");
+  for (double& p : probs) {
+    p /= total;
+  }
+  return probs;
+}
+
+const stats::HistogramDensity& FactorizedDensity::histogram(
+    std::size_t param) const {
+  HPB_REQUIRE(param < marginals_.size(), "histogram: index out of range");
+  const auto* hist = std::get_if<stats::HistogramDensity>(&marginals_[param]);
+  HPB_REQUIRE(hist != nullptr, "histogram: parameter is continuous");
+  return *hist;
+}
+
+}  // namespace hpb::core

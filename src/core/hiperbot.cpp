@@ -1,0 +1,244 @@
+#include "core/hiperbot.hpp"
+
+#include <algorithm>
+
+#include "space/sampling.hpp"
+
+namespace hpb::core {
+namespace {
+
+constexpr std::uint64_t kMaxEagerEnumeration = 1ULL << 24;
+
+std::shared_ptr<const std::vector<space::Configuration>> enumerate_pool(
+    const space::SpacePtr& space) {
+  if (!space->is_finite() ||
+      space->cross_product_size() > kMaxEagerEnumeration) {
+    return nullptr;
+  }
+  return std::make_shared<const std::vector<space::Configuration>>(
+      space->enumerate());
+}
+
+}  // namespace
+
+HiPerBOt::HiPerBOt(space::SpacePtr space, HiPerBOtConfig config,
+                   std::uint64_t seed)
+    : HiPerBOt(space, config, seed, enumerate_pool(space)) {}
+
+HiPerBOt::HiPerBOt(
+    space::SpacePtr space, HiPerBOtConfig config, std::uint64_t seed,
+    std::shared_ptr<const std::vector<space::Configuration>> pool)
+    : space_(std::move(space)),
+      config_(config),
+      rng_(seed),
+      pool_(std::move(pool)) {
+  HPB_REQUIRE(space_ != nullptr, "HiPerBOt: null space");
+  HPB_REQUIRE(config_.initial_samples >= 2,
+              "HiPerBOt: need at least 2 initial samples");
+  HPB_REQUIRE(config_.quantile > 0.0 && config_.quantile < 1.0,
+              "HiPerBOt: quantile must be in (0,1)");
+  if (config_.strategy == SelectionStrategy::kRanking) {
+    HPB_REQUIRE(pool_ != nullptr,
+                "HiPerBOt: Ranking strategy needs a finite candidate pool");
+    HPB_REQUIRE(!pool_->empty(), "HiPerBOt: empty candidate pool");
+  }
+}
+
+void HiPerBOt::set_transfer_prior(TransferPrior prior) {
+  prior_ = std::move(prior);
+}
+
+bool HiPerBOt::is_evaluated(const space::Configuration& c) const {
+  if (!space_->is_finite()) {
+    return false;  // continuous spaces: duplicates have measure zero
+  }
+  return evaluated_.contains(space_->ordinal_of(c));
+}
+
+space::Configuration HiPerBOt::random_unevaluated() {
+  if (pool_ != nullptr) {
+    HPB_REQUIRE(evaluated_.size() < pool_->size(),
+                "HiPerBOt: candidate pool exhausted");
+    for (;;) {
+      const auto& c = (*pool_)[rng_.index(pool_->size())];
+      if (!is_evaluated(c)) {
+        return c;
+      }
+    }
+  }
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    space::Configuration c = space_->sample_uniform(rng_);
+    if (!is_evaluated(c)) {
+      return c;
+    }
+  }
+  HPB_REQUIRE(false, "HiPerBOt: could not sample an unevaluated config");
+  return {};  // unreachable
+}
+
+space::Configuration HiPerBOt::suggest_ranking(const TpeSurrogate& s) {
+  const space::Configuration* best = nullptr;
+  double best_score = 0.0;
+  for (const auto& c : *pool_) {
+    if (is_evaluated(c)) {
+      continue;
+    }
+    const double score = s.acquisition(c);
+    if (best == nullptr || score > best_score) {
+      best = &c;
+      best_score = score;
+    }
+  }
+  HPB_REQUIRE(best != nullptr, "HiPerBOt: candidate pool exhausted");
+  return *best;
+}
+
+space::Configuration HiPerBOt::suggest_proposal(const TpeSurrogate& s) {
+  std::optional<space::Configuration> best;
+  double best_score = 0.0;
+  for (std::size_t k = 0; k < config_.proposal_candidates; ++k) {
+    space::Configuration c = s.good().sample(rng_);
+    if (!space_->satisfies(c) || is_evaluated(c)) {
+      continue;
+    }
+    const double score = s.acquisition(c);
+    if (!best || score > best_score) {
+      best = std::move(c);
+      best_score = score;
+    }
+  }
+  if (!best) {
+    // All proposals were invalid or duplicates — fall back to exploration.
+    return random_unevaluated();
+  }
+  return *best;
+}
+
+space::Configuration HiPerBOt::initial_suggestion() {
+  if (config_.initial_design == InitialDesign::kLatinHypercube) {
+    if (initial_queue_.empty() && history_.empty()) {
+      initial_queue_ = space::latin_hypercube(
+          *space_, config_.initial_samples, rng_);
+    }
+    while (!initial_queue_.empty()) {
+      space::Configuration c = std::move(initial_queue_.back());
+      initial_queue_.pop_back();
+      if (!is_evaluated(c)) {
+        return c;
+      }
+    }
+  }
+  return random_unevaluated();
+}
+
+space::Configuration HiPerBOt::suggest() {
+  if (history_.size() < config_.initial_samples) {
+    return initial_suggestion();
+  }
+  const TpeSurrogate surrogate = fit_surrogate();
+  if (config_.strategy == SelectionStrategy::kRanking) {
+    return suggest_ranking(surrogate);
+  }
+  return suggest_proposal(surrogate);
+}
+
+std::vector<space::Configuration> HiPerBOt::suggest_batch(std::size_t k) {
+  HPB_REQUIRE(k > 0, "suggest_batch: k must be positive");
+  std::vector<space::Configuration> batch;
+  std::unordered_set<std::uint64_t> taken;  // within-batch dedup (finite)
+  auto is_taken = [&](const space::Configuration& c) {
+    return space_->is_finite() && taken.contains(space_->ordinal_of(c));
+  };
+  auto take = [&](space::Configuration c) {
+    if (space_->is_finite()) {
+      taken.insert(space_->ordinal_of(c));
+    }
+    batch.push_back(std::move(c));
+  };
+
+  if (history_.size() < config_.initial_samples) {
+    while (batch.size() < k) {
+      space::Configuration c = initial_suggestion();
+      if (is_taken(c)) {
+        // random_unevaluated can repeat within a batch; skip and retry, but
+        // bail out if the pool is nearly exhausted.
+        if (pool_ != nullptr &&
+            evaluated_.size() + batch.size() >= pool_->size()) {
+          break;
+        }
+        continue;
+      }
+      take(std::move(c));
+    }
+    return batch;
+  }
+
+  const TpeSurrogate surrogate = fit_surrogate();
+  if (config_.strategy == SelectionStrategy::kRanking) {
+    // Top-k unevaluated candidates by acquisition.
+    std::vector<std::pair<double, const space::Configuration*>> scored;
+    for (const auto& c : *pool_) {
+      if (!is_evaluated(c)) {
+        scored.emplace_back(surrogate.acquisition(c), &c);
+      }
+    }
+    const std::size_t take_n = std::min(k, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(take_n),
+                      scored.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (std::size_t i = 0; i < take_n; ++i) {
+      take(*scored[i].second);
+    }
+    return batch;
+  }
+
+  // Proposal: oversample candidates, keep the k best distinct ones.
+  std::vector<std::pair<double, space::Configuration>> scored;
+  for (std::size_t i = 0; i < config_.proposal_candidates * k; ++i) {
+    space::Configuration c = surrogate.good().sample(rng_);
+    if (!space_->satisfies(c) || is_evaluated(c) || is_taken(c)) {
+      continue;
+    }
+    scored.emplace_back(surrogate.acquisition(c), std::move(c));
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (auto& [score, c] : scored) {
+    if (batch.size() >= k) {
+      break;
+    }
+    if (!is_taken(c)) {
+      take(std::move(c));
+    }
+  }
+  while (batch.size() < k) {
+    space::Configuration c = random_unevaluated();
+    if (!is_taken(c)) {
+      take(std::move(c));
+    }
+  }
+  return batch;
+}
+
+void HiPerBOt::observe(const space::Configuration& config, double y) {
+  HPB_REQUIRE(config.size() == space_->num_params(),
+              "HiPerBOt::observe: configuration size mismatch");
+  if (space_->is_finite()) {
+    evaluated_.insert(space_->ordinal_of(config));
+  }
+  history_.add(config, y);
+}
+
+TpeSurrogate HiPerBOt::fit_surrogate() const {
+  return TpeSurrogate(space_, history_, config_.quantile, config_.density,
+                      prior_ ? &*prior_ : nullptr,
+                      prior_ ? config_.transfer_weight : 0.0);
+}
+
+std::vector<double> HiPerBOt::parameter_importance() const {
+  return fit_surrogate().parameter_importance();
+}
+
+}  // namespace hpb::core

@@ -1,0 +1,52 @@
+#include "core/history.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hpb::core {
+
+void History::add(space::Configuration config, double y) {
+  HPB_REQUIRE(std::isfinite(y), "History::add: objective must be finite");
+  if (obs_.empty() || y < obs_[best_index_].y) {
+    best_index_ = obs_.size();
+  }
+  obs_.push_back({std::move(config), y});
+}
+
+double History::best_value() const {
+  HPB_REQUIRE(!obs_.empty(), "History::best_value: empty history");
+  return obs_[best_index_].y;
+}
+
+const space::Configuration& History::best_config() const {
+  HPB_REQUIRE(!obs_.empty(), "History::best_config: empty history");
+  return obs_[best_index_].config;
+}
+
+HistorySplit History::split(double alpha) const {
+  HPB_REQUIRE(alpha > 0.0 && alpha < 1.0, "History::split: alpha in (0,1)");
+  HPB_REQUIRE(obs_.size() >= 2, "History::split: need >= 2 observations");
+  const std::size_t n = obs_.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a,
+                                                      std::size_t b) {
+    return obs_[a].y < obs_[b].y;
+  });
+  std::size_t n_good = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(alpha * static_cast<double>(n))));
+  n_good = std::min(n_good, n - 1);
+
+  HistorySplit split;
+  split.good.assign(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(n_good));
+  split.bad.assign(order.begin() + static_cast<std::ptrdiff_t>(n_good),
+                   order.end());
+  split.threshold = obs_[order[n_good]].y;  // first value ranked "bad"
+  return split;
+}
+
+}  // namespace hpb::core

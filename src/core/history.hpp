@@ -1,0 +1,47 @@
+// Observation history H_t and its α-quantile good/bad split (§III-C step 2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tuner.hpp"
+
+namespace hpb::core {
+
+/// Result of splitting a history at the α-quantile threshold y(τ): indices
+/// of "good" observations (y < y(τ)) and "bad" observations (y >= y(τ)).
+struct HistorySplit {
+  std::vector<std::size_t> good;
+  std::vector<std::size_t> bad;
+  double threshold = 0.0;  // y(τ)
+};
+
+class History {
+ public:
+  void add(space::Configuration config, double y);
+
+  [[nodiscard]] std::size_t size() const noexcept { return obs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return obs_.empty(); }
+  [[nodiscard]] const Observation& operator[](std::size_t i) const {
+    return obs_[i];
+  }
+  [[nodiscard]] const std::vector<Observation>& observations() const noexcept {
+    return obs_;
+  }
+
+  /// Best (smallest) observed objective value; throws when empty.
+  [[nodiscard]] double best_value() const;
+  [[nodiscard]] const space::Configuration& best_config() const;
+
+  /// Split at the α-quantile. The good group always receives at least one
+  /// and at most size()-1 observations (ranked by value, ties broken by
+  /// insertion order), matching the paper's "y(τ) defined via α-quantile for
+  /// stability".
+  [[nodiscard]] HistorySplit split(double alpha) const;
+
+ private:
+  std::vector<Observation> obs_;
+  std::size_t best_index_ = 0;
+};
+
+}  // namespace hpb::core

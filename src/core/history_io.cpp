@@ -1,0 +1,141 @@
+#include "core/history_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpb::core {
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) {
+    const auto begin = field.find_first_not_of(" \t\r");
+    const auto end = field.find_last_not_of(" \t\r");
+    fields.push_back(begin == std::string::npos
+                         ? std::string{}
+                         : field.substr(begin, end - begin + 1));
+  }
+  return fields;
+}
+
+}  // namespace
+
+void write_history_csv(std::ostream& out, const space::ParameterSpace& space,
+                       std::span<const Observation> observations) {
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    out << space.param(p).name() << ',';
+  }
+  out << "objective\n";
+  for (const auto& obs : observations) {
+    HPB_REQUIRE(obs.config.size() == space.num_params(),
+                "write_history_csv: configuration size mismatch");
+    for (std::size_t p = 0; p < space.num_params(); ++p) {
+      if (space.param(p).is_discrete()) {
+        out << space.param(p).level_label(obs.config.level(p));
+      } else {
+        out << obs.config[p];
+      }
+      out << ',';
+    }
+    out << obs.y << '\n';
+  }
+}
+
+void write_history_csv(const std::string& path,
+                       const space::ParameterSpace& space,
+                       std::span<const Observation> observations) {
+  std::ofstream out(path);
+  HPB_REQUIRE(out.good(), "write_history_csv: cannot open '" + path + "'");
+  write_history_csv(out, space, observations);
+}
+
+std::size_t warm_start_from_csv(std::istream& in,
+                                const space::ParameterSpace& space,
+                                Tuner& tuner) {
+  std::string line;
+  HPB_REQUIRE(static_cast<bool>(std::getline(in, line)),
+              "warm_start_from_csv: missing header");
+  const auto header = split_line(line);
+  HPB_REQUIRE(header.size() == space.num_params() + 1,
+              "warm_start_from_csv: header has " +
+                  std::to_string(header.size()) + " columns, expected " +
+                  std::to_string(space.num_params() + 1));
+  // Columns may be reordered relative to the space; map by name.
+  std::vector<std::size_t> param_of_column(header.size() - 1);
+  for (std::size_t c = 0; c + 1 < header.size(); ++c) {
+    param_of_column[c] = space.index_of(header[c]);
+  }
+
+  // Label -> level index per parameter, built lazily.
+  std::vector<std::unordered_map<std::string, std::size_t>> level_of(
+      space.num_params());
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    if (!space.param(p).is_discrete()) {
+      continue;
+    }
+    for (std::size_t l = 0; l < space.param(p).num_levels(); ++l) {
+      level_of[p].emplace(space.param(p).level_label(l), l);
+    }
+  }
+
+  std::size_t replayed = 0;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    const auto fields = split_line(line);
+    HPB_REQUIRE(fields.size() == header.size(),
+                "warm_start_from_csv: bad field count on line " +
+                    std::to_string(line_no));
+    std::vector<double> values(space.num_params(), 0.0);
+    for (std::size_t c = 0; c + 1 < fields.size(); ++c) {
+      const std::size_t p = param_of_column[c];
+      const std::string& cell = fields[c];
+      if (space.param(p).is_discrete()) {
+        const auto it = level_of[p].find(cell);
+        HPB_REQUIRE(it != level_of[p].end(),
+                    "warm_start_from_csv: unknown level '" + cell +
+                        "' for parameter " + space.param(p).name());
+        values[p] = static_cast<double>(it->second);
+      } else {
+        double v = 0.0;
+        const auto [ptr, ec] =
+            std::from_chars(cell.data(), cell.data() + cell.size(), v);
+        HPB_REQUIRE(ec == std::errc{} && ptr == cell.data() + cell.size(),
+                    "warm_start_from_csv: bad continuous value '" + cell +
+                        "'");
+        values[p] = v;
+      }
+    }
+    double y = 0.0;
+    const std::string& y_cell = fields.back();
+    const auto [ptr, ec] =
+        std::from_chars(y_cell.data(), y_cell.data() + y_cell.size(), y);
+    HPB_REQUIRE(ec == std::errc{} && ptr == y_cell.data() + y_cell.size(),
+                "warm_start_from_csv: bad objective '" + y_cell + "'");
+    tuner.observe(space::Configuration(std::move(values)), y);
+    ++replayed;
+  }
+  return replayed;
+}
+
+std::size_t warm_start_from_csv(const std::string& path,
+                                const space::ParameterSpace& space,
+                                Tuner& tuner) {
+  std::ifstream in(path);
+  HPB_REQUIRE(in.good(), "warm_start_from_csv: cannot open '" + path + "'");
+  return warm_start_from_csv(in, space, tuner);
+}
+
+}  // namespace hpb::core

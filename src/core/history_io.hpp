@@ -1,0 +1,37 @@
+// Persistence for observation histories: save a tuning session's
+// (configuration, value) pairs as CSV and load them back to warm-start a
+// later session (the CLI's --history-out / --warm-start flags). The format
+// matches TabularObjective CSV: parameter columns (level labels), objective
+// last.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/history.hpp"
+#include "core/tuner.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::core {
+
+/// Write a sequence of observations as CSV (header row from the space's
+/// parameter names). Accepts History::observations() or TuneResult::history.
+void write_history_csv(const std::string& path,
+                       const space::ParameterSpace& space,
+                       std::span<const Observation> observations);
+void write_history_csv(std::ostream& out, const space::ParameterSpace& space,
+                       std::span<const Observation> observations);
+
+/// Read a history CSV previously written by write_history_csv (or any CSV
+/// whose parameter columns use the space's level labels / numeric values)
+/// and replay each observation into the tuner via observe().
+/// Returns the number of observations replayed.
+std::size_t warm_start_from_csv(const std::string& path,
+                                const space::ParameterSpace& space,
+                                Tuner& tuner);
+std::size_t warm_start_from_csv(std::istream& in,
+                                const space::ParameterSpace& space,
+                                Tuner& tuner);
+
+}  // namespace hpb::core

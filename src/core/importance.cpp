@@ -1,0 +1,50 @@
+#include "core/importance.hpp"
+
+#include <algorithm>
+
+#include "stats/divergence.hpp"
+#include "stats/quantile.hpp"
+
+namespace hpb::core {
+
+std::vector<ImportanceEntry> parameter_importance(
+    space::SpacePtr space, std::span<const space::Configuration> configs,
+    std::span<const double> values, double alpha,
+    const DensityConfig& density_config) {
+  HPB_REQUIRE(space != nullptr, "parameter_importance: null space");
+  HPB_REQUIRE(configs.size() == values.size(),
+              "parameter_importance: size mismatch");
+  HPB_REQUIRE(configs.size() >= 2, "parameter_importance: need >= 2 samples");
+
+  const double threshold = stats::split_threshold(values, alpha);
+  std::vector<space::Configuration> good_configs;
+  std::vector<space::Configuration> bad_configs;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    (values[i] < threshold ? good_configs : bad_configs)
+        .push_back(configs[i]);
+  }
+  const FactorizedDensity good(space, good_configs, density_config);
+  const FactorizedDensity bad(space, bad_configs, density_config);
+
+  std::vector<ImportanceEntry> entries;
+  entries.reserve(space->num_params());
+  for (std::size_t i = 0; i < space->num_params(); ++i) {
+    entries.push_back({space->param(i).name(),
+                       stats::js_divergence(good.marginal_probabilities(i),
+                                            bad.marginal_probabilities(i))});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const ImportanceEntry& a, const ImportanceEntry& b) {
+                     return a.js_divergence > b.js_divergence;
+                   });
+  return entries;
+}
+
+std::vector<ImportanceEntry> dataset_importance(
+    const tabular::TabularObjective& dataset, double alpha,
+    const DensityConfig& density_config) {
+  return parameter_importance(dataset.space_ptr(), dataset.configs(),
+                              dataset.values(), alpha, density_config);
+}
+
+}  // namespace hpb::core

@@ -1,0 +1,36 @@
+// Dataset-level parameter-importance analysis (§VI, Table I).
+//
+// The surrogate's good/bad densities give a JS-divergence importance score
+// per parameter. Table I reports this both from a partial sample (10% of
+// the dataset, surrogate-selected) and from the full dataset ("actual
+// ranking"); these helpers compute either.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/density.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::core {
+
+struct ImportanceEntry {
+  std::string parameter;
+  double js_divergence = 0.0;
+};
+
+/// Importance from an arbitrary sample of (configuration, value) pairs:
+/// split at alpha, estimate pg/pb, return JS divergence per parameter,
+/// sorted descending (Table I's presentation order).
+[[nodiscard]] std::vector<ImportanceEntry> parameter_importance(
+    space::SpacePtr space, std::span<const space::Configuration> configs,
+    std::span<const double> values, double alpha,
+    const DensityConfig& density_config = {});
+
+/// Importance from the full dataset (Table I's "All samples" column).
+[[nodiscard]] std::vector<ImportanceEntry> dataset_importance(
+    const tabular::TabularObjective& dataset, double alpha,
+    const DensityConfig& density_config = {});
+
+}  // namespace hpb::core

@@ -1,0 +1,28 @@
+// Tuning-loop driver: wires any Tuner to any Objective for a fixed
+// evaluation budget and records the trajectory needed by the paper's
+// metrics (best-so-far curve and the full selected-sample set H).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tuner.hpp"
+#include "tabular/objective.hpp"
+
+namespace hpb::core {
+
+struct TuneResult {
+  /// All evaluated observations in evaluation order (the set H of eq. 11).
+  std::vector<Observation> history;
+  /// best_so_far[t] = min objective value over the first t+1 evaluations
+  /// (the "Best Performing Configuration" metric, §IV-B1).
+  std::vector<double> best_so_far;
+  space::Configuration best_config;
+  double best_value = 0.0;
+};
+
+/// Run `budget` evaluations of the objective, driven by the tuner.
+[[nodiscard]] TuneResult run_tuning(Tuner& tuner, tabular::Objective& objective,
+                                    std::size_t budget);
+
+}  // namespace hpb::core

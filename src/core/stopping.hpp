@@ -1,0 +1,40 @@
+// Termination conditions for the tuning loop (§III-C step 5): "determined
+// either by the number of objective function evaluations that can be
+// performed, or based on the quality of the samples obtained as the
+// iteration progresses."
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "core/loop.hpp"
+
+namespace hpb::core {
+
+struct StopConfig {
+  /// Hard cap on evaluations (always enforced).
+  std::size_t max_evaluations = 100;
+  /// Stop after this many consecutive evaluations without a (relative)
+  /// improvement of the best value; 0 disables stagnation detection.
+  std::size_t stagnation_patience = 0;
+  /// An improvement counts only if it shrinks the best value by at least
+  /// this relative fraction (guards against epsilon-sized "improvements"
+  /// resetting the patience forever).
+  double min_relative_improvement = 1e-6;
+  /// Stop as soon as the best value is <= target (-inf disables).
+  double target_value = -std::numeric_limits<double>::infinity();
+};
+
+enum class StopReason { kBudgetExhausted, kStagnation, kTargetReached };
+
+struct StoppedTuneResult {
+  TuneResult result;
+  StopReason reason = StopReason::kBudgetExhausted;
+};
+
+/// Run the tuning loop until a stopping condition fires.
+[[nodiscard]] StoppedTuneResult run_tuning_until(Tuner& tuner,
+                                                 tabular::Objective& objective,
+                                                 const StopConfig& config);
+
+}  // namespace hpb::core

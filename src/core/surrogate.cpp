@@ -1,0 +1,85 @@
+#include "core/surrogate.hpp"
+
+#include "stats/divergence.hpp"
+#include "stats/quantile.hpp"
+
+namespace hpb::core {
+namespace {
+
+/// Gather the configurations at the given history indices.
+std::vector<space::Configuration> gather(const History& history,
+                                         std::span<const std::size_t> idx) {
+  std::vector<space::Configuration> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) {
+    out.push_back(history[i].config);
+  }
+  return out;
+}
+
+}  // namespace
+
+TransferPrior make_transfer_prior(space::SpacePtr space,
+                                  std::span<const space::Configuration> configs,
+                                  std::span<const double> values, double alpha,
+                                  const DensityConfig& density_config) {
+  HPB_REQUIRE(space != nullptr, "make_transfer_prior: null space");
+  HPB_REQUIRE(configs.size() == values.size(),
+              "make_transfer_prior: size mismatch");
+  HPB_REQUIRE(configs.size() >= 2, "make_transfer_prior: need >= 2 samples");
+  const double threshold = stats::split_threshold(values, alpha);
+  std::vector<space::Configuration> good_configs;
+  std::vector<space::Configuration> bad_configs;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (values[i] < threshold) {
+      good_configs.push_back(configs[i]);
+    } else {
+      bad_configs.push_back(configs[i]);
+    }
+  }
+  // Degenerate ties (many equal values) can empty the good group; fall back
+  // to the single best observation so the prior is always usable.
+  if (good_configs.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      if (values[i] < values[best]) {
+        best = i;
+      }
+    }
+    good_configs.push_back(configs[best]);
+  }
+  return TransferPrior{
+      FactorizedDensity(space, good_configs, density_config),
+      FactorizedDensity(space, bad_configs, density_config)};
+}
+
+TpeSurrogate::TpeSurrogate(space::SpacePtr space, const History& history,
+                           double alpha, const DensityConfig& density_config,
+                           const TransferPrior* prior, double prior_weight)
+    : good_(space, {}, density_config), bad_(space, {}, density_config) {
+  const HistorySplit split = history.split(alpha);
+  threshold_ = split.threshold;
+  const auto good_configs = gather(history, split.good);
+  const auto bad_configs = gather(history, split.bad);
+  good_ = FactorizedDensity(space, good_configs, density_config);
+  bad_ = FactorizedDensity(space, bad_configs, density_config);
+  if (prior != nullptr && prior_weight > 0.0) {
+    good_.mix_in(prior->good, prior_weight);
+    bad_.mix_in(prior->bad, prior_weight);
+  }
+}
+
+double TpeSurrogate::acquisition(const space::Configuration& c) const {
+  return good_.log_density(c) - bad_.log_density(c);
+}
+
+std::vector<double> TpeSurrogate::parameter_importance() const {
+  std::vector<double> importance(good_.num_params(), 0.0);
+  for (std::size_t i = 0; i < importance.size(); ++i) {
+    importance[i] = stats::js_divergence(good_.marginal_probabilities(i),
+                                         bad_.marginal_probabilities(i));
+  }
+  return importance;
+}
+
+}  // namespace hpb::core

@@ -1,0 +1,63 @@
+// TPE surrogate model (§II, §III).
+//
+// Splits the observation history at the α-quantile threshold y(τ) into good
+// and bad observations, estimates the factorized densities pg(x) and pb(x)
+// (eq. 7–8), and scores candidates with the expected-improvement surrogate:
+// by eq. 5, EI is monotone in pg(x)/pb(x), so the acquisition function is
+// log pg(x) − log pb(x). Optionally mixes in transfer-learning priors with
+// weight w (eq. 9–10).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/density.hpp"
+#include "core/history.hpp"
+
+namespace hpb::core {
+
+/// Source-domain densities used as transfer priors (eq. 9–10).
+struct TransferPrior {
+  FactorizedDensity good;
+  FactorizedDensity bad;
+};
+
+/// Build a TransferPrior from a fully observed source domain: split the
+/// source observations at alpha and estimate good/bad densities.
+[[nodiscard]] TransferPrior make_transfer_prior(
+    space::SpacePtr space, std::span<const space::Configuration> configs,
+    std::span<const double> values, double alpha,
+    const DensityConfig& density_config = {});
+
+class TpeSurrogate {
+ public:
+  /// Fit the surrogate to a history (needs >= 2 observations). When `prior`
+  /// is non-null its densities are mixed in with weight `prior_weight`.
+  TpeSurrogate(space::SpacePtr space, const History& history, double alpha,
+               const DensityConfig& density_config = {},
+               const TransferPrior* prior = nullptr,
+               double prior_weight = 0.0);
+
+  /// Acquisition score: log pg(x) − log pb(x); maximizing it maximizes the
+  /// expected improvement of eq. 5.
+  [[nodiscard]] double acquisition(const space::Configuration& c) const;
+
+  /// Good/bad split threshold y(τ) used for this fit.
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+  [[nodiscard]] const FactorizedDensity& good() const noexcept { return good_; }
+  [[nodiscard]] const FactorizedDensity& bad() const noexcept { return bad_; }
+
+  /// Per-parameter Jensen–Shannon divergence between the good and bad
+  /// marginals (§VI): the importance score reported in Table I.
+  [[nodiscard]] std::vector<double> parameter_importance() const;
+
+ private:
+  FactorizedDensity good_;
+  FactorizedDensity bad_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace hpb::core

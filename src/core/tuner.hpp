@@ -1,0 +1,37 @@
+// Ask/tell tuner interface shared by HiPerBOt and every baseline.
+//
+// A tuner repeatedly suggests one configuration to evaluate (§III-A: the
+// argmax of the surrogate's expected improvement) and is then told the
+// observed objective value. Drivers in core/loop.hpp wire a Tuner to an
+// Objective for a fixed evaluation budget.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "space/configuration.hpp"
+
+namespace hpb::core {
+
+/// One evaluated (configuration, objective value) pair — an element of the
+/// observation history H_t.
+struct Observation {
+  space::Configuration config;
+  double y = 0.0;
+};
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+
+  /// Propose the next configuration to evaluate.
+  [[nodiscard]] virtual space::Configuration suggest() = 0;
+
+  /// Record the objective value of a previously suggested configuration.
+  virtual void observe(const space::Configuration& config, double y) = 0;
+
+  /// Short identifier used in reports ("HiPerBOt", "GEIST", "Random", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace hpb::core

@@ -1,0 +1,71 @@
+#include "eval/experiment.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "eval/metrics.hpp"
+
+namespace hpb::eval {
+
+MethodCurve run_selection_experiment(tabular::TabularObjective& dataset,
+                                     const std::string& method_name,
+                                     const TunerFactory& factory,
+                                     const SelectionExperimentConfig& config) {
+  HPB_REQUIRE(!config.sample_sizes.empty(),
+              "run_selection_experiment: no sample sizes");
+  HPB_REQUIRE(config.reps >= 1, "run_selection_experiment: reps must be >= 1");
+  const std::size_t budget =
+      *std::max_element(config.sample_sizes.begin(), config.sample_sizes.end());
+  HPB_REQUIRE(budget <= dataset.size(),
+              "run_selection_experiment: budget exceeds dataset size");
+
+  MethodCurve curve;
+  curve.method = method_name;
+  curve.sample_sizes = config.sample_sizes;
+  curve.best_value.resize(config.sample_sizes.size());
+  curve.recall.resize(config.sample_sizes.size());
+
+  // Pre-draw one seed per rep so the curves are independent of scheduling.
+  Rng seeder(config.seed);
+  std::vector<std::uint64_t> seeds(config.reps);
+  for (auto& s : seeds) {
+    s = seeder.next_u64();
+  }
+  // Each rep writes its own metric slots; the reduction below runs in rep
+  // order, so parallel and serial execution produce identical statistics.
+  std::vector<std::vector<double>> best_per_rep(config.reps);
+  std::vector<std::vector<double>> recall_per_rep(config.reps);
+  parallel_for_indexed(config.pool, config.reps, [&](std::size_t rep) {
+    auto tuner = factory(seeds[rep]);
+    const core::TuneResult result = core::run_tuning(*tuner, dataset, budget);
+    auto& bests = best_per_rep[rep];
+    auto& recalls = recall_per_rep[rep];
+    bests.reserve(config.sample_sizes.size());
+    recalls.reserve(config.sample_sizes.size());
+    for (const std::size_t n : config.sample_sizes) {
+      bests.push_back(best_of_first(result.history, n));
+      recalls.push_back(recall_percentile(dataset, result.history, n,
+                                          config.recall_percentile));
+    }
+  });
+  for (std::size_t rep = 0; rep < config.reps; ++rep) {
+    for (std::size_t k = 0; k < config.sample_sizes.size(); ++k) {
+      curve.best_value[k].add(best_per_rep[rep][k]);
+      curve.recall[k].add(recall_per_rep[rep][k]);
+    }
+  }
+  return curve;
+}
+
+std::size_t reps_from_env(std::size_t fallback) {
+  if (const char* env = std::getenv("HPB_REPS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 1) {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace hpb::eval

@@ -1,0 +1,58 @@
+// Replicated configuration-selection experiments (§V protocol): run each
+// method `reps` times with independent seeds and report mean ± std of the
+// best-configuration and Recall metrics at a series of sample-size
+// checkpoints — the data behind Figs. 2–6.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/loop.hpp"
+#include "core/tuner.hpp"
+#include "stats/summary.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::eval {
+
+/// Factory producing a fresh tuner for one replicated run.
+using TunerFactory =
+    std::function<std::unique_ptr<core::Tuner>(std::uint64_t seed)>;
+
+struct SelectionExperimentConfig {
+  /// Sample-size checkpoints (the x-axis of Figs. 2–6); the tuning budget
+  /// is the largest entry.
+  std::vector<std::size_t> sample_sizes;
+  /// Replications per method (the paper uses 50). Overridable via the
+  /// HPB_REPS environment variable in the bench harnesses.
+  std::size_t reps = 20;
+  /// Recall percentile ℓ of eq. 11.
+  double recall_percentile = 5.0;
+  std::uint64_t seed = 0x5eedbeef;
+  /// Optional worker pool: replicated runs execute concurrently (results
+  /// are reduced in seed order, so curves are identical to a serial run).
+  /// Requires a thread-safe objective — true for TabularObjective — and
+  /// tuner factories whose products share only immutable state.
+  ThreadPool* pool = nullptr;
+};
+
+struct MethodCurve {
+  std::string method;
+  std::vector<std::size_t> sample_sizes;
+  /// Per checkpoint: distribution over reps of the best value found.
+  std::vector<stats::RunningStats> best_value;
+  /// Per checkpoint: distribution over reps of R(ℓ).
+  std::vector<stats::RunningStats> recall;
+};
+
+/// Run one method on one dataset.
+[[nodiscard]] MethodCurve run_selection_experiment(
+    tabular::TabularObjective& dataset, const std::string& method_name,
+    const TunerFactory& factory, const SelectionExperimentConfig& config);
+
+/// Replications from the HPB_REPS environment variable, else `fallback`.
+[[nodiscard]] std::size_t reps_from_env(std::size_t fallback);
+
+}  // namespace hpb::eval

@@ -1,0 +1,76 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hpb::eval {
+namespace {
+
+/// Count observations among the first n with value <= threshold, and the
+/// dataset total with value <= threshold; return the ratio.
+double recall_with_threshold(const tabular::TabularObjective& dataset,
+                             std::span<const core::Observation> history,
+                             std::size_t n, double threshold) {
+  const std::size_t denom = dataset.count_leq(threshold);
+  HPB_REQUIRE(denom > 0, "recall: no configurations under threshold");
+  n = std::min(n, history.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (history[i].y <= threshold) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(denom);
+}
+
+}  // namespace
+
+double best_of_first(std::span<const core::Observation> history,
+                     std::size_t n) {
+  HPB_REQUIRE(!history.empty(), "best_of_first: empty history");
+  n = std::min(n, history.size());
+  double best = history[0].y;
+  for (std::size_t i = 1; i < n; ++i) {
+    best = std::min(best, history[i].y);
+  }
+  return best;
+}
+
+double recall_percentile(const tabular::TabularObjective& dataset,
+                         std::span<const core::Observation> history,
+                         std::size_t n, double ell) {
+  return recall_with_threshold(dataset, history, n,
+                               dataset.percentile_value(ell));
+}
+
+double recall_tolerance(const tabular::TabularObjective& dataset,
+                        std::span<const core::Observation> history,
+                        std::size_t n, double gamma) {
+  HPB_REQUIRE(gamma >= 0.0, "recall_tolerance: gamma must be >= 0");
+  return recall_with_threshold(dataset, history, n,
+                               (1.0 + gamma) * dataset.best_value());
+}
+
+double recall_tolerance_indices(const tabular::TabularObjective& dataset,
+                                std::span<const std::size_t> selected,
+                                double gamma) {
+  HPB_REQUIRE(gamma >= 0.0, "recall_tolerance_indices: gamma must be >= 0");
+  const double threshold = (1.0 + gamma) * dataset.best_value();
+  const std::size_t denom = dataset.count_leq(threshold);
+  HPB_REQUIRE(denom > 0, "recall: no configurations under threshold");
+  std::size_t hits = 0;
+  for (std::size_t idx : selected) {
+    if (dataset.value(idx) <= threshold) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(denom);
+}
+
+std::size_t good_case_count(const tabular::TabularObjective& dataset,
+                            double gamma) {
+  return dataset.count_leq((1.0 + gamma) * dataset.best_value());
+}
+
+}  // namespace hpb::eval

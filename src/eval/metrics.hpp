@@ -1,0 +1,47 @@
+// Evaluation metrics of §IV-B.
+//
+// 1. Best Performing Configuration: smallest objective value among the
+//    samples a method selected.
+// 2. Recall R(ℓ) (eq. 11): fraction of the dataset's best-ℓ-percentile
+//    configurations present in the selected set.
+// 3. Recall R(γ) (eq. 12, transfer learning): fraction of configurations
+//    within (1+γ)·f(x_best) present in the selected set.
+#pragma once
+
+#include <span>
+
+#include "core/tuner.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::eval {
+
+/// Best (smallest) objective value among the first `n` observations.
+[[nodiscard]] double best_of_first(std::span<const core::Observation> history,
+                                   std::size_t n);
+
+/// Recall R(ℓ) of eq. 11 over the first `n` observations: ℓ is a percentile
+/// in (0, 100]. Good configurations are those with f(x) <= y_ℓ, the value of
+/// the dataset's best-ℓ-percentile configuration.
+[[nodiscard]] double recall_percentile(
+    const tabular::TabularObjective& dataset,
+    std::span<const core::Observation> history, std::size_t n, double ell);
+
+/// Recall R(γ) of eq. 12 over the first `n` observations: good
+/// configurations satisfy f(x) <= (1+γ)·f(x_best). gamma is a fraction
+/// (0.05 = 5% tolerance).
+[[nodiscard]] double recall_tolerance(
+    const tabular::TabularObjective& dataset,
+    std::span<const core::Observation> history, std::size_t n, double gamma);
+
+/// Same as recall_tolerance but over an explicit set of dataset indices
+/// (used for PerfNet, whose selection is a set of rows, not a trajectory).
+[[nodiscard]] double recall_tolerance_indices(
+    const tabular::TabularObjective& dataset,
+    std::span<const std::size_t> selected, double gamma);
+
+/// Number of dataset configurations within the γ tolerance (the "Number of
+/// Good Cases" annotation on Fig. 8's x-axis).
+[[nodiscard]] std::size_t good_case_count(
+    const tabular::TabularObjective& dataset, double gamma);
+
+}  // namespace hpb::eval

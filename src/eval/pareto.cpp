@@ -1,0 +1,62 @@
+#include "eval/pareto.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hpb::eval {
+
+std::vector<std::size_t> pareto_front(std::span<const double> f1,
+                                      std::span<const double> f2) {
+  HPB_REQUIRE(f1.size() == f2.size(), "pareto_front: size mismatch");
+  HPB_REQUIRE(!f1.empty(), "pareto_front: empty input");
+  std::vector<std::size_t> order(f1.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Sort by f1 ascending, ties by f2 ascending; then a sweep keeping points
+  // that strictly improve the best-seen f2 yields the non-dominated set.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (f1[a] != f1[b]) {
+      return f1[a] < f1[b];
+    }
+    return f2[a] < f2[b];
+  });
+  std::vector<std::size_t> front;
+  double best_f2 = 0.0;
+  bool first = true;
+  double prev_f1 = 0.0;
+  for (std::size_t idx : order) {
+    if (first) {
+      front.push_back(idx);
+      best_f2 = f2[idx];
+      prev_f1 = f1[idx];
+      first = false;
+      continue;
+    }
+    if (f2[idx] < best_f2) {
+      front.push_back(idx);
+      best_f2 = f2[idx];
+      prev_f1 = f1[idx];
+    } else if (f1[idx] == prev_f1 && f2[idx] == best_f2) {
+      front.push_back(idx);  // duplicate extreme: keep (non-dominated tie)
+    }
+  }
+  return front;
+}
+
+double hypervolume_2d(std::span<const double> f1, std::span<const double> f2,
+                      double ref1, double ref2) {
+  const std::vector<std::size_t> front = pareto_front(f1, f2);
+  double volume = 0.0;
+  double prev_f2 = ref2;
+  for (std::size_t idx : front) {  // ascending f1, descending f2
+    if (f1[idx] >= ref1 || f2[idx] >= prev_f2) {
+      continue;
+    }
+    volume += (ref1 - f1[idx]) * (prev_f2 - f2[idx]);
+    prev_f2 = f2[idx];
+  }
+  return volume;
+}
+
+}  // namespace hpb::eval

@@ -1,0 +1,26 @@
+// Bi-objective utilities for time/energy tuning (the paper tunes Kripke
+// for execution time and separately for energy under power capping; this
+// extension tunes both at once via scalarization and evaluates against the
+// exact Pareto front).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpb::eval {
+
+/// Indices of the non-dominated points of (f1[i], f2[i]) under joint
+/// minimization, sorted by ascending f1. A point is dominated when another
+/// point is <= in both objectives and < in at least one.
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    std::span<const double> f1, std::span<const double> f2);
+
+/// 2-D hypervolume (area dominated by the front, up to the reference
+/// point). Points beyond the reference contribute nothing. Standard
+/// quality indicator for bi-objective optimizers.
+[[nodiscard]] double hypervolume_2d(std::span<const double> f1,
+                                    std::span<const double> f2,
+                                    double ref1, double ref2);
+
+}  // namespace hpb::eval

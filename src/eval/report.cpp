@@ -1,0 +1,89 @@
+#include "eval/report.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hpb::eval {
+
+std::string format_mean_std(const stats::RunningStats& s) {
+  std::ostringstream os;
+  const double magnitude = std::abs(s.mean());
+  const int precision = magnitude >= 100.0 ? 0 : (magnitude >= 1.0 ? 2 : 3);
+  os << std::fixed << std::setprecision(precision) << s.mean() << " ± "
+     << std::setprecision(precision) << s.stddev();
+  return os.str();
+}
+
+void print_curves(std::ostream& os, const std::string& title,
+                  const std::vector<MethodCurve>& curves,
+                  std::size_t dataset_size, double exhaustive_best,
+                  bool show_recall) {
+  HPB_REQUIRE(!curves.empty(), "print_curves: no curves");
+  const auto& sizes = curves.front().sample_sizes;
+  for (const auto& c : curves) {
+    HPB_REQUIRE(c.sample_sizes == sizes,
+                "print_curves: mismatched sample sizes across methods");
+  }
+
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(14) << "sample size";
+  for (std::size_t n : sizes) {
+    std::ostringstream head;
+    head << std::fixed << std::setprecision(1)
+         << 100.0 * static_cast<double>(n) / static_cast<double>(dataset_size)
+         << "% (" << n << ")";
+    os << std::setw(18) << head.str();
+  }
+  os << '\n';
+
+  os << "-- best configuration found --\n";
+  if (exhaustive_best >= 0.0) {
+    os << std::left << std::setw(14) << "Exhaustive";
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+      std::ostringstream cell;
+      cell << std::fixed << std::setprecision(2) << exhaustive_best;
+      os << std::setw(18) << cell.str();
+    }
+    os << '\n';
+  }
+  for (const auto& c : curves) {
+    os << std::left << std::setw(14) << c.method;
+    for (const auto& cell : c.best_value) {
+      os << std::setw(18) << format_mean_std(cell);
+    }
+    os << '\n';
+  }
+  if (show_recall) {
+    os << "-- recall --\n";
+    for (const auto& c : curves) {
+      os << std::left << std::setw(14) << c.method;
+      for (const auto& cell : c.recall) {
+        os << std::setw(18) << format_mean_std(cell);
+      }
+      os << '\n';
+    }
+  }
+  os << '\n';
+}
+
+void write_curves_csv(const std::string& path,
+                      const std::vector<MethodCurve>& curves) {
+  std::ofstream out(path);
+  HPB_REQUIRE(out.good(), "write_curves_csv: cannot open '" + path + "'");
+  out << "method,metric,sample_size,mean,std\n";
+  for (const auto& c : curves) {
+    for (std::size_t k = 0; k < c.sample_sizes.size(); ++k) {
+      out << c.method << ",best," << c.sample_sizes[k] << ','
+          << c.best_value[k].mean() << ',' << c.best_value[k].stddev() << '\n';
+      out << c.method << ",recall," << c.sample_sizes[k] << ','
+          << c.recall[k].mean() << ',' << c.recall[k].stddev() << '\n';
+    }
+  }
+}
+
+}  // namespace hpb::eval

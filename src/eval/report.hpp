@@ -1,0 +1,29 @@
+// Text and CSV reporting for experiment results: renders the same rows and
+// series the paper's figures plot (sample size on the x-axis labeled as
+// "percent (count)" like Figs. 2–6, mean ± std per method).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+
+namespace hpb::eval {
+
+/// Print a figure-style table: one column block per checkpoint, one row per
+/// method, cells "mean ± std". `dataset_size` drives the percent labels;
+/// pass `exhaustive_best` >= 0 to print the paper's "Exhaustive best" line.
+void print_curves(std::ostream& os, const std::string& title,
+                  const std::vector<MethodCurve>& curves,
+                  std::size_t dataset_size, double exhaustive_best,
+                  bool show_recall);
+
+/// Write curves as tidy CSV: method,metric,sample_size,mean,std.
+void write_curves_csv(const std::string& path,
+                      const std::vector<MethodCurve>& curves);
+
+/// Format "mean ± std" with sensible precision.
+[[nodiscard]] std::string format_mean_std(const stats::RunningStats& s);
+
+}  // namespace hpb::eval

@@ -1,0 +1,125 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpb::linalg {
+
+Vector matvec(const Matrix& a, std::span<const double> x) {
+  HPB_REQUIRE(a.cols() == x.size(), "matvec: dimension mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    y[r] = dot(a.row(r), x);
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, std::span<const double> x) {
+  HPB_REQUIRE(a.rows() == x.size(), "matvec_transposed: dimension mismatch");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    axpy(x[r], a.row(r), y);
+  }
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  HPB_REQUIRE(a.cols() == b.rows(), "matmul: dimension mismatch");
+  Matrix c(a.rows(), b.cols(), 0.0);
+  // i-k-j loop order keeps the inner loop contiguous over both B and C rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      axpy(aik, b.row(k), c.row(i));
+    }
+  }
+  return c;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  HPB_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  HPB_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+double norm2(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+Matrix cholesky(const Matrix& a) {
+  HPB_REQUIRE(a.rows() == a.cols(), "cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= l(j, k) * l(j, k);
+    }
+    HPB_REQUIRE(diag > 0.0, "cholesky: matrix is not positive definite");
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        acc -= l(i, k) * l(j, k);
+      }
+      l(i, j) = acc / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector solve_lower(const Matrix& l, std::span<const double> b) {
+  HPB_REQUIRE(l.rows() == l.cols() && l.rows() == b.size(),
+              "solve_lower: dimension mismatch");
+  const std::size_t n = b.size();
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      acc -= l(i, k) * y[k];
+    }
+    y[i] = acc / l(i, i);
+  }
+  return y;
+}
+
+Vector solve_lower_transposed(const Matrix& l, std::span<const double> b) {
+  HPB_REQUIRE(l.rows() == l.cols() && l.rows() == b.size(),
+              "solve_lower_transposed: dimension mismatch");
+  const std::size_t n = b.size();
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      acc -= l(k, ii) * x[k];
+    }
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+Vector cholesky_solve(const Matrix& l, std::span<const double> b) {
+  const Vector y = solve_lower(l, b);
+  return solve_lower_transposed(l, y);
+}
+
+double cholesky_logdet(const Matrix& l) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) {
+    acc += std::log(l(i, i));
+  }
+  return 2.0 * acc;
+}
+
+}  // namespace hpb::linalg

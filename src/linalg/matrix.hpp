@@ -1,0 +1,89 @@
+// Minimal dense linear algebra: row-major Matrix, vector helpers, and the
+// Cholesky machinery needed by the Gaussian-process baseline and the MLP.
+//
+// This is deliberately small and allocation-honest rather than a BLAS
+// replacement: matrices in this project are at most a few hundred rows
+// (GP history) or a few hundred units (PerfNet layers).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpb::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+
+  void fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A x  (A: m×n, x: n, result: m).
+[[nodiscard]] Vector matvec(const Matrix& a, std::span<const double> x);
+
+/// y = Aᵀ x  (A: m×n, x: m, result: n).
+[[nodiscard]] Vector matvec_transposed(const Matrix& a,
+                                       std::span<const double> x);
+
+/// C = A B.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Dot product.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// In-place y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> v);
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+/// Throws hpb::Error if the matrix is not (numerically) SPD.
+[[nodiscard]] Matrix cholesky(const Matrix& a);
+
+/// Solve L y = b with L lower triangular (forward substitution).
+[[nodiscard]] Vector solve_lower(const Matrix& l, std::span<const double> b);
+
+/// Solve Lᵀ x = b with L lower triangular (back substitution).
+[[nodiscard]] Vector solve_lower_transposed(const Matrix& l,
+                                            std::span<const double> b);
+
+/// Solve A x = b for SPD A via its Cholesky factor L: x = L⁻ᵀ L⁻¹ b.
+[[nodiscard]] Vector cholesky_solve(const Matrix& l, std::span<const double> b);
+
+/// log determinant of SPD A from its Cholesky factor: 2 Σ log L_ii.
+[[nodiscard]] double cholesky_logdet(const Matrix& l);
+
+}  // namespace hpb::linalg

@@ -1,0 +1,240 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hpb::nn {
+
+Mlp::Mlp(std::vector<std::size_t> sizes, Rng& rng) : sizes_(std::move(sizes)) {
+  HPB_REQUIRE(sizes_.size() >= 2, "Mlp: need at least input and output sizes");
+  for (std::size_t s : sizes_) {
+    HPB_REQUIRE(s > 0, "Mlp: layer sizes must be positive");
+  }
+  layers_.reserve(sizes_.size() - 1);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    Layer layer;
+    layer.w = linalg::Matrix(sizes_[l + 1], sizes_[l]);
+    layer.b = linalg::Vector(sizes_[l + 1], 0.0);
+    layer.relu = (l + 2 < sizes_.size());  // output layer is linear
+    const double scale = std::sqrt(2.0 / static_cast<double>(sizes_[l]));
+    for (double& w : layer.w.flat()) {
+      w = scale * rng.normal();
+    }
+    layers_.push_back(std::move(layer));
+  }
+  const std::size_t n = num_parameters();
+  adam_.m.assign(n, 0.0);
+  adam_.v.assign(n, 0.0);
+}
+
+std::size_t Mlp::num_parameters() const noexcept {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer.w.rows() * layer.w.cols() + layer.b.size();
+  }
+  return n;
+}
+
+void Mlp::forward_cached(std::span<const double> x,
+                         std::vector<linalg::Vector>& activations) const {
+  HPB_REQUIRE(x.size() == sizes_.front(), "forward: input size mismatch");
+  activations.clear();
+  activations.emplace_back(x.begin(), x.end());
+  for (const auto& layer : layers_) {
+    linalg::Vector z = linalg::matvec(layer.w, activations.back());
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      z[i] += layer.b[i];
+      if (layer.relu && z[i] < 0.0) {
+        z[i] = 0.0;
+      }
+    }
+    activations.push_back(std::move(z));
+  }
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x) const {
+  std::vector<linalg::Vector> activations;
+  forward_cached(x, activations);
+  return activations.back();
+}
+
+double Mlp::predict(std::span<const double> x) const {
+  HPB_REQUIRE(sizes_.back() == 1, "predict: scalar-output networks only");
+  return forward(x)[0];
+}
+
+double Mlp::accumulate_gradient(std::span<const double> x,
+                                std::span<const double> y,
+                                std::vector<double>& grad) const {
+  HPB_REQUIRE(y.size() == sizes_.back(), "gradient: target size mismatch");
+  std::vector<linalg::Vector> acts;
+  forward_cached(x, acts);
+
+  // MSE loss: L = (1/k) Σ (out_i - y_i)^2; dL/dout_i = (2/k)(out_i - y_i).
+  const auto& out = acts.back();
+  double loss = 0.0;
+  linalg::Vector delta(out.size());
+  const double k = static_cast<double>(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double diff = out[i] - y[i];
+    loss += diff * diff / k;
+    delta[i] = 2.0 * diff / k;
+  }
+
+  // Backpropagate layer by layer, writing into the flat gradient. Compute
+  // per-layer flat offsets first (layout: layer0 W, layer0 b, layer1 W, ...).
+  std::vector<std::size_t> offsets(layers_.size());
+  std::size_t off = 0;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    offsets[l] = off;
+    off += layers_[l].w.rows() * layers_[l].w.cols() + layers_[l].b.size();
+  }
+
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const auto& layer = layers_[li];
+    const auto& input = acts[li];
+    const auto& output = acts[li + 1];
+    // ReLU gate: activations store post-ReLU values, so output == 0 marks a
+    // clipped unit whose gradient is zero.
+    if (layer.relu) {
+      for (std::size_t i = 0; i < delta.size(); ++i) {
+        if (output[i] <= 0.0) {
+          delta[i] = 0.0;
+        }
+      }
+    }
+    double* gw = grad.data() + offsets[li];
+    double* gb = gw + layer.w.rows() * layer.w.cols();
+    for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+      const double d = delta[r];
+      if (d != 0.0) {
+        for (std::size_t c = 0; c < layer.w.cols(); ++c) {
+          gw[r * layer.w.cols() + c] += d * input[c];
+        }
+      }
+      gb[r] += d;
+    }
+    if (li > 0) {
+      delta = linalg::matvec_transposed(layer.w, delta);
+    }
+  }
+  return loss;
+}
+
+std::pair<double, std::vector<double>> Mlp::loss_and_gradient(
+    std::span<const double> x, std::span<const double> y) const {
+  std::vector<double> grad(num_parameters(), 0.0);
+  const double loss = accumulate_gradient(x, y, grad);
+  return {loss, std::move(grad)};
+}
+
+void Mlp::adam_step(std::span<const double> grad, const AdamConfig& config) {
+  ++adam_.step;
+  const double b1t = 1.0 - std::pow(config.beta1, static_cast<double>(adam_.step));
+  const double b2t = 1.0 - std::pow(config.beta2, static_cast<double>(adam_.step));
+  std::size_t gi = 0;
+  for (auto& layer : layers_) {
+    auto apply = [&](double& param) {
+      const double g = grad[gi];
+      adam_.m[gi] = config.beta1 * adam_.m[gi] + (1.0 - config.beta1) * g;
+      adam_.v[gi] = config.beta2 * adam_.v[gi] + (1.0 - config.beta2) * g * g;
+      const double mhat = adam_.m[gi] / b1t;
+      const double vhat = adam_.v[gi] / b2t;
+      param -= config.learning_rate * mhat / (std::sqrt(vhat) + config.epsilon);
+      ++gi;
+    };
+    for (double& w : layer.w.flat()) {
+      apply(w);
+    }
+    for (double& b : layer.b) {
+      apply(b);
+    }
+  }
+}
+
+double Mlp::train_epoch(const linalg::Matrix& x, std::span<const double> y,
+                        const TrainConfig& config, Rng& rng) {
+  const std::size_t n = x.rows();
+  const std::size_t out = sizes_.back();
+  HPB_REQUIRE(x.cols() == sizes_.front(), "train_epoch: feature mismatch");
+  HPB_REQUIRE(y.size() == n * out, "train_epoch: target size mismatch");
+  HPB_REQUIRE(n > 0, "train_epoch: empty dataset");
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  std::vector<double> grad(num_parameters(), 0.0);
+  double total_loss = 0.0;
+  const std::size_t batch = std::max<std::size_t>(1, config.batch_size);
+  for (std::size_t start = 0; start < n; start += batch) {
+    const std::size_t end = std::min(start + batch, n);
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (std::size_t bi = start; bi < end; ++bi) {
+      const std::size_t row = order[bi];
+      total_loss += accumulate_gradient(
+          x.row(row), std::span<const double>(y.data() + row * out, out), grad);
+    }
+    const double inv = 1.0 / static_cast<double>(end - start);
+    for (double& g : grad) {
+      g *= inv;
+    }
+    adam_step(grad, config.adam);
+  }
+  return total_loss / static_cast<double>(n);
+}
+
+double Mlp::fit(const linalg::Matrix& x, std::span<const double> y,
+                const TrainConfig& config, Rng& rng) {
+  double loss = 0.0;
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    loss = train_epoch(x, y, config, rng);
+  }
+  return loss;
+}
+
+double Mlp::evaluate_loss(const linalg::Matrix& x,
+                          std::span<const double> y) const {
+  const std::size_t n = x.rows();
+  const std::size_t out = sizes_.back();
+  HPB_REQUIRE(y.size() == n * out, "evaluate_loss: target size mismatch");
+  HPB_REQUIRE(n > 0, "evaluate_loss: empty dataset");
+  double total = 0.0;
+  const double k = static_cast<double>(out);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto pred = forward(x.row(r));
+    for (std::size_t i = 0; i < out; ++i) {
+      const double diff = pred[i] - y[r * out + i];
+      total += diff * diff / k;
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+std::vector<double> Mlp::flatten_parameters() const {
+  std::vector<double> flat;
+  flat.reserve(num_parameters());
+  for (const auto& layer : layers_) {
+    const auto w = layer.w.flat();
+    flat.insert(flat.end(), w.begin(), w.end());
+    flat.insert(flat.end(), layer.b.begin(), layer.b.end());
+  }
+  return flat;
+}
+
+void Mlp::set_parameters(std::span<const double> flat) {
+  HPB_REQUIRE(flat.size() == num_parameters(),
+              "set_parameters: size mismatch");
+  std::size_t i = 0;
+  for (auto& layer : layers_) {
+    for (double& w : layer.w.flat()) {
+      w = flat[i++];
+    }
+    for (double& b : layer.b) {
+      b = flat[i++];
+    }
+  }
+}
+
+}  // namespace hpb::nn

@@ -1,0 +1,102 @@
+// Minimal multilayer perceptron with Adam, used to re-implement the PerfNet
+// transfer-learning baseline [Marathe et al., SC'17] at simulator scale:
+// a regression network mapping one-hot encoded configurations to predicted
+// runtime, pre-trained on the source domain and fine-tuned on a small
+// number of target-domain samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace hpb::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+struct TrainConfig {
+  AdamConfig adam;
+  std::size_t batch_size = 32;
+  std::size_t epochs = 100;
+};
+
+/// Fully connected network with ReLU hidden activations and a linear scalar
+/// output head, trained with mean-squared-error loss.
+class Mlp {
+ public:
+  /// sizes = {input, hidden..., output}; at least {in, out}. Weights use
+  /// He initialization drawn from rng.
+  Mlp(std::vector<std::size_t> sizes, Rng& rng);
+
+  [[nodiscard]] std::size_t input_size() const noexcept { return sizes_.front(); }
+  [[nodiscard]] std::size_t output_size() const noexcept { return sizes_.back(); }
+  [[nodiscard]] std::size_t num_parameters() const noexcept;
+
+  /// Forward pass; x.size() must equal input_size(). Returns the outputs.
+  [[nodiscard]] std::vector<double> forward(std::span<const double> x) const;
+
+  /// Scalar convenience for single-output networks.
+  [[nodiscard]] double predict(std::span<const double> x) const;
+
+  /// One epoch of minibatch Adam on (X, y): X is n×input, y is n×output
+  /// flattened row-major (or n for scalar output). Returns mean MSE loss
+  /// over the epoch. Rows are shuffled with rng.
+  double train_epoch(const linalg::Matrix& x, std::span<const double> y,
+                     const TrainConfig& config, Rng& rng);
+
+  /// Run config.epochs epochs; returns final epoch's mean loss.
+  double fit(const linalg::Matrix& x, std::span<const double> y,
+             const TrainConfig& config, Rng& rng);
+
+  /// MSE loss over a dataset without updating weights.
+  [[nodiscard]] double evaluate_loss(const linalg::Matrix& x,
+                                     std::span<const double> y) const;
+
+  /// Loss and analytic gradient w.r.t. all parameters for a single example;
+  /// exposed for gradient-check tests. Gradient layout matches
+  /// flatten_parameters().
+  [[nodiscard]] std::pair<double, std::vector<double>> loss_and_gradient(
+      std::span<const double> x, std::span<const double> y) const;
+
+  /// Copy all weights/biases into a flat vector (and back), layer by layer.
+  [[nodiscard]] std::vector<double> flatten_parameters() const;
+  void set_parameters(std::span<const double> flat);
+
+ private:
+  struct Layer {
+    linalg::Matrix w;        // out × in
+    linalg::Vector b;        // out
+    bool relu = true;        // false for the output layer
+  };
+
+  struct AdamState {
+    std::vector<double> m;
+    std::vector<double> v;
+    std::size_t step = 0;
+  };
+
+  /// Forward keeping pre-activations for backprop.
+  void forward_cached(std::span<const double> x,
+                      std::vector<linalg::Vector>& activations) const;
+
+  /// Accumulate the gradient for one example into grad (flat layout).
+  /// Returns the example's MSE loss.
+  double accumulate_gradient(std::span<const double> x,
+                             std::span<const double> y,
+                             std::vector<double>& grad) const;
+
+  void adam_step(std::span<const double> grad, const AdamConfig& config);
+
+  std::vector<std::size_t> sizes_;
+  std::vector<Layer> layers_;
+  AdamState adam_;
+};
+
+}  // namespace hpb::nn

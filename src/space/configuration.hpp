@@ -1,0 +1,45 @@
+// A Configuration is one point in a ParameterSpace: for each parameter it
+// stores the level index (discrete) or the real value (continuous).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hpb::space {
+
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] double operator[](std::size_t i) const noexcept {
+    return values_[i];
+  }
+  [[nodiscard]] double& operator[](std::size_t i) noexcept {
+    return values_[i];
+  }
+
+  /// Level index of a discrete parameter (value must be a small integer).
+  [[nodiscard]] std::size_t level(std::size_t i) const noexcept {
+    return static_cast<std::size_t>(values_[i]);
+  }
+  void set_level(std::size_t i, std::size_t level) noexcept {
+    values_[i] = static_cast<double>(level);
+  }
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::vector<double>& values() noexcept { return values_; }
+
+  friend bool operator==(const Configuration& a,
+                         const Configuration& b) = default;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace hpb::space

@@ -1,0 +1,97 @@
+#include "space/parameter.hpp"
+
+#include <sstream>
+
+namespace hpb::space {
+
+Parameter Parameter::categorical(std::string name,
+                                 std::vector<std::string> labels) {
+  HPB_REQUIRE(!labels.empty(), "categorical: need at least one level");
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::kCategorical;
+  p.levels_.reserve(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    p.levels_.push_back({std::move(labels[i]), static_cast<double>(i)});
+  }
+  return p;
+}
+
+Parameter Parameter::categorical_numeric(std::string name,
+                                         std::vector<double> values) {
+  HPB_REQUIRE(!values.empty(), "categorical_numeric: need at least one level");
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::kCategorical;
+  p.levels_.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os << v;
+    p.levels_.push_back({os.str(), v});
+  }
+  return p;
+}
+
+Parameter Parameter::integer(std::string name, std::int64_t lo,
+                             std::int64_t hi) {
+  HPB_REQUIRE(lo <= hi, "integer: lo must be <= hi");
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::kInteger;
+  p.int_lo_ = lo;
+  p.int_hi_ = hi;
+  return p;
+}
+
+Parameter Parameter::continuous(std::string name, double lo, double hi) {
+  HPB_REQUIRE(lo < hi, "continuous: lo must be < hi");
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParamKind::kContinuous;
+  p.cont_lo_ = lo;
+  p.cont_hi_ = hi;
+  return p;
+}
+
+std::size_t Parameter::num_levels() const {
+  switch (kind_) {
+    case ParamKind::kCategorical:
+      return levels_.size();
+    case ParamKind::kInteger:
+      return static_cast<std::size_t>(int_hi_ - int_lo_ + 1);
+    case ParamKind::kContinuous:
+      break;
+  }
+  HPB_REQUIRE(false, "num_levels: continuous parameter has no levels");
+  return 0;  // unreachable
+}
+
+double Parameter::level_value(std::size_t level) const {
+  HPB_REQUIRE(is_discrete(), "level_value: discrete parameters only");
+  HPB_REQUIRE(level < num_levels(), "level_value: level out of range");
+  if (kind_ == ParamKind::kCategorical) {
+    return levels_[level].numeric;
+  }
+  return static_cast<double>(int_lo_ + static_cast<std::int64_t>(level));
+}
+
+std::string Parameter::level_label(std::size_t level) const {
+  HPB_REQUIRE(is_discrete(), "level_label: discrete parameters only");
+  HPB_REQUIRE(level < num_levels(), "level_label: level out of range");
+  if (kind_ == ParamKind::kCategorical) {
+    return levels_[level].label;
+  }
+  return std::to_string(int_lo_ + static_cast<std::int64_t>(level));
+}
+
+double Parameter::lo() const {
+  HPB_REQUIRE(kind_ == ParamKind::kContinuous, "lo: continuous only");
+  return cont_lo_;
+}
+
+double Parameter::hi() const {
+  HPB_REQUIRE(kind_ == ParamKind::kContinuous, "hi: continuous only");
+  return cont_hi_;
+}
+
+}  // namespace hpb::space

@@ -1,0 +1,75 @@
+// Tunable parameter descriptions.
+//
+// A parameter is categorical (named levels, optionally carrying numeric
+// values such as thread counts), integer (a contiguous range, still treated
+// as discrete by the surrogate per §III-B1), or continuous (a real interval,
+// modeled by KDE per §III-B2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpb::space {
+
+enum class ParamKind { kCategorical, kInteger, kContinuous };
+
+/// One level of a categorical parameter: a display label plus the numeric
+/// value it denotes (defaults to the level index when labels are symbolic).
+struct CategoricalLevel {
+  std::string label;
+  double numeric = 0.0;
+};
+
+class Parameter {
+ public:
+  /// Categorical parameter from labels; numeric values default to indices.
+  static Parameter categorical(std::string name,
+                               std::vector<std::string> labels);
+
+  /// Categorical parameter whose levels carry meaningful numeric values
+  /// (e.g. OMP threads {1,2,4,8}); labels are derived from the numbers.
+  static Parameter categorical_numeric(std::string name,
+                                       std::vector<double> values);
+
+  /// Integer parameter over the inclusive range [lo, hi].
+  static Parameter integer(std::string name, std::int64_t lo, std::int64_t hi);
+
+  /// Continuous parameter over [lo, hi].
+  static Parameter continuous(std::string name, double lo, double hi);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] ParamKind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_discrete() const noexcept {
+    return kind_ != ParamKind::kContinuous;
+  }
+
+  /// Number of levels (discrete kinds only).
+  [[nodiscard]] std::size_t num_levels() const;
+
+  /// Numeric value of a discrete level (categorical: its assigned numeric;
+  /// integer: lo + level).
+  [[nodiscard]] double level_value(std::size_t level) const;
+
+  /// Display label of a discrete level.
+  [[nodiscard]] std::string level_label(std::size_t level) const;
+
+  /// Continuous bounds (continuous kind only).
+  [[nodiscard]] double lo() const;
+  [[nodiscard]] double hi() const;
+
+ private:
+  Parameter() = default;
+
+  std::string name_;
+  ParamKind kind_ = ParamKind::kCategorical;
+  std::vector<CategoricalLevel> levels_;  // categorical
+  std::int64_t int_lo_ = 0, int_hi_ = 0;  // integer
+  double cont_lo_ = 0.0, cont_hi_ = 1.0;  // continuous
+};
+
+}  // namespace hpb::space

@@ -1,0 +1,173 @@
+#include "space/parameter_space.hpp"
+
+#include <sstream>
+
+namespace hpb::space {
+
+ParameterSpace& ParameterSpace::add(Parameter p) {
+  for (const auto& existing : params_) {
+    HPB_REQUIRE(existing.name() != p.name(),
+                "add: duplicate parameter name '" + p.name() + "'");
+  }
+  params_.push_back(std::move(p));
+  return *this;
+}
+
+ParameterSpace& ParameterSpace::add_constraint(Constraint c,
+                                               std::string description) {
+  HPB_REQUIRE(static_cast<bool>(c), "add_constraint: empty predicate");
+  constraints_.push_back(std::move(c));
+  constraint_descriptions_.push_back(std::move(description));
+  return *this;
+}
+
+std::size_t ParameterSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name() == name) {
+      return i;
+    }
+  }
+  HPB_REQUIRE(false, "index_of: no parameter named '" + name + "'");
+  return 0;  // unreachable
+}
+
+bool ParameterSpace::is_finite() const noexcept {
+  for (const auto& p : params_) {
+    if (!p.is_discrete()) {
+      return false;
+    }
+  }
+  return !params_.empty();
+}
+
+std::uint64_t ParameterSpace::cross_product_size() const {
+  HPB_REQUIRE(is_finite(), "cross_product_size: space must be finite");
+  std::uint64_t total = 1;
+  for (const auto& p : params_) {
+    total *= static_cast<std::uint64_t>(p.num_levels());
+  }
+  return total;
+}
+
+std::uint64_t ParameterSpace::ordinal_of(const Configuration& c) const {
+  HPB_REQUIRE(is_finite(), "ordinal_of: space must be finite");
+  HPB_REQUIRE(c.size() == params_.size(), "ordinal_of: size mismatch");
+  std::uint64_t ordinal = 0;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const std::size_t level = c.level(i);
+    HPB_REQUIRE(level < params_[i].num_levels(),
+                "ordinal_of: level out of range");
+    ordinal = ordinal * params_[i].num_levels() + level;
+  }
+  return ordinal;
+}
+
+Configuration ParameterSpace::configuration_at(std::uint64_t ordinal) const {
+  HPB_REQUIRE(is_finite(), "configuration_at: space must be finite");
+  std::vector<double> values(params_.size(), 0.0);
+  for (std::size_t ii = params_.size(); ii-- > 0;) {
+    const auto radix = static_cast<std::uint64_t>(params_[ii].num_levels());
+    values[ii] = static_cast<double>(ordinal % radix);
+    ordinal /= radix;
+  }
+  HPB_REQUIRE(ordinal == 0, "configuration_at: ordinal out of range");
+  return Configuration(std::move(values));
+}
+
+bool ParameterSpace::satisfies(const Configuration& c) const {
+  for (const auto& constraint : constraints_) {
+    if (!constraint(*this, c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Configuration> ParameterSpace::enumerate() const {
+  HPB_REQUIRE(is_finite(), "enumerate: space must be finite");
+  const std::uint64_t total = cross_product_size();
+  HPB_REQUIRE(total <= (1ULL << 26),
+              "enumerate: cross product too large to enumerate");
+  std::vector<Configuration> configs;
+  configs.reserve(static_cast<std::size_t>(total));
+  for (std::uint64_t ord = 0; ord < total; ++ord) {
+    Configuration c = configuration_at(ord);
+    if (satisfies(c)) {
+      configs.push_back(std::move(c));
+    }
+  }
+  return configs;
+}
+
+Configuration ParameterSpace::sample_uniform(Rng& rng) const {
+  HPB_REQUIRE(!params_.empty(), "sample_uniform: empty space");
+  constexpr int kMaxRejections = 100000;
+  for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
+    std::vector<double> values(params_.size(), 0.0);
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      const auto& p = params_[i];
+      if (p.is_discrete()) {
+        values[i] = static_cast<double>(rng.index(p.num_levels()));
+      } else {
+        values[i] = rng.uniform(p.lo(), p.hi());
+      }
+    }
+    Configuration c(std::move(values));
+    if (satisfies(c)) {
+      return c;
+    }
+  }
+  HPB_REQUIRE(false, "sample_uniform: constraints reject too many samples");
+  return Configuration{};  // unreachable
+}
+
+std::size_t ParameterSpace::encoded_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& p : params_) {
+    total += p.is_discrete() ? p.num_levels() : 1;
+  }
+  return total;
+}
+
+void ParameterSpace::encode(const Configuration& c,
+                            std::vector<double>& out) const {
+  HPB_REQUIRE(c.size() == params_.size(), "encode: size mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto& p = params_[i];
+    if (p.is_discrete()) {
+      const std::size_t level = c.level(i);
+      HPB_REQUIRE(level < p.num_levels(), "encode: level out of range");
+      for (std::size_t l = 0; l < p.num_levels(); ++l) {
+        out.push_back(l == level ? 1.0 : 0.0);
+      }
+    } else {
+      out.push_back((c[i] - p.lo()) / (p.hi() - p.lo()));
+    }
+  }
+}
+
+std::vector<double> ParameterSpace::encode(const Configuration& c) const {
+  std::vector<double> out;
+  out.reserve(encoded_size());
+  encode(c, out);
+  return out;
+}
+
+std::string ParameterSpace::to_string(const Configuration& c) const {
+  HPB_REQUIRE(c.size() == params_.size(), "to_string: size mismatch");
+  std::ostringstream os;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (i != 0) {
+      os << ", ";
+    }
+    os << params_[i].name() << '=';
+    if (params_[i].is_discrete()) {
+      os << params_[i].level_label(c.level(i));
+    } else {
+      os << c[i];
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hpb::space

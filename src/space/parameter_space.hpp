@@ -1,0 +1,91 @@
+// ParameterSpace: an ordered collection of Parameters plus optional
+// constraint predicates, with enumeration (finite spaces), uniform sampling,
+// ordinal <-> configuration mapping, and pretty-printing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "space/configuration.hpp"
+#include "space/parameter.hpp"
+
+namespace hpb::space {
+
+class ParameterSpace;
+
+/// Predicate deciding whether a configuration is valid (e.g. "ranks × omp
+/// must not exceed the node's core count"). Invalid configurations are
+/// excluded from enumeration and rejected by sampling.
+using Constraint = std::function<bool(const ParameterSpace&,
+                                      const Configuration&)>;
+
+class ParameterSpace {
+ public:
+  ParameterSpace& add(Parameter p);
+  ParameterSpace& add_constraint(Constraint c, std::string description = "");
+
+  [[nodiscard]] std::size_t num_params() const noexcept {
+    return params_.size();
+  }
+  [[nodiscard]] const Parameter& param(std::size_t i) const {
+    HPB_REQUIRE(i < params_.size(), "param: index out of range");
+    return params_[i];
+  }
+  /// Index of the parameter with the given name; throws if absent.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  /// True when every parameter is discrete, so the space can be enumerated.
+  [[nodiscard]] bool is_finite() const noexcept;
+
+  /// Product of level counts over all (discrete) parameters, ignoring
+  /// constraints. Finite spaces only.
+  [[nodiscard]] std::uint64_t cross_product_size() const;
+
+  /// Mixed-radix ordinal of a configuration (finite spaces only). Ordinals
+  /// index the unconstrained cross product; they are stable identifiers.
+  [[nodiscard]] std::uint64_t ordinal_of(const Configuration& c) const;
+
+  /// Inverse of ordinal_of.
+  [[nodiscard]] Configuration configuration_at(std::uint64_t ordinal) const;
+
+  /// True when all constraints accept the configuration.
+  [[nodiscard]] bool satisfies(const Configuration& c) const;
+
+  /// All valid configurations of a finite space, in ordinal order.
+  [[nodiscard]] std::vector<Configuration> enumerate() const;
+
+  /// One uniformly random valid configuration (rejection sampling over the
+  /// constraints; throws after too many rejections).
+  [[nodiscard]] Configuration sample_uniform(Rng& rng) const;
+
+  /// Number of one-hot encoded features: Σ levels for discrete parameters
+  /// plus one standardized slot per continuous parameter.
+  [[nodiscard]] std::size_t encoded_size() const noexcept;
+
+  /// One-hot encode a configuration (continuous values scaled to [0,1]).
+  /// Appends to `out`, which must have room (or use the returning overload).
+  void encode(const Configuration& c, std::vector<double>& out) const;
+  [[nodiscard]] std::vector<double> encode(const Configuration& c) const;
+
+  /// Human-readable rendering, e.g. "Nesting=DGZ, OMP=8, ...".
+  [[nodiscard]] std::string to_string(const Configuration& c) const;
+
+  [[nodiscard]] const std::vector<std::string>& constraint_descriptions()
+      const noexcept {
+    return constraint_descriptions_;
+  }
+
+ private:
+  std::vector<Parameter> params_;
+  std::vector<Constraint> constraints_;
+  std::vector<std::string> constraint_descriptions_;
+};
+
+using SpacePtr = std::shared_ptr<const ParameterSpace>;
+
+}  // namespace hpb::space

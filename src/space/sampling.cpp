@@ -1,0 +1,53 @@
+#include "space/sampling.hpp"
+
+#include <numeric>
+
+namespace hpb::space {
+
+std::vector<Configuration> latin_hypercube(const ParameterSpace& space,
+                                           std::size_t n, Rng& rng) {
+  HPB_REQUIRE(n > 0, "latin_hypercube: n must be positive");
+  HPB_REQUIRE(space.num_params() > 0, "latin_hypercube: empty space");
+
+  // One stratified, shuffled column per parameter.
+  std::vector<std::vector<double>> columns(space.num_params());
+  for (std::size_t p = 0; p < space.num_params(); ++p) {
+    auto& column = columns[p];
+    column.resize(n);
+    const auto& param = space.param(p);
+    if (param.is_discrete()) {
+      // Cycle through the levels so each appears floor(n/L) or ceil(n/L)
+      // times, then shuffle the assignment across rows.
+      const std::size_t levels = param.num_levels();
+      for (std::size_t i = 0; i < n; ++i) {
+        column[i] = static_cast<double>(i % levels);
+      }
+    } else {
+      // One uniform draw inside each of n equal strata of [lo, hi].
+      const double width = (param.hi() - param.lo()) / static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        column[i] = param.lo() + (static_cast<double>(i) + rng.uniform()) * width;
+      }
+    }
+    rng.shuffle(column);
+  }
+
+  std::vector<Configuration> design;
+  design.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> values(space.num_params());
+    for (std::size_t p = 0; p < space.num_params(); ++p) {
+      values[p] = columns[p][i];
+    }
+    Configuration c(std::move(values));
+    if (!space.satisfies(c)) {
+      // Constraint violation: fall back to a uniform valid sample for this
+      // row rather than failing the whole design.
+      c = space.sample_uniform(rng);
+    }
+    design.push_back(std::move(c));
+  }
+  return design;
+}
+
+}  // namespace hpb::space

@@ -1,0 +1,24 @@
+// Space-filling initial designs. The paper's algorithm seeds the surrogate
+// with uniform random samples (§III-C step 1); Latin hypercube sampling is
+// the standard space-filling alternative and is offered as an option
+// (ablated in bench/ablation_initial_design).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::space {
+
+/// Latin hypercube design of `n` configurations: each parameter's levels
+/// (or range strata, for continuous parameters) are covered as evenly as
+/// possible, with independent random pairing across parameters. Rows that
+/// violate a constraint are replaced by uniform valid samples, so the
+/// result always holds `n` valid configurations (the stratification is then
+/// only approximate on heavily constrained spaces). Duplicates are possible
+/// on small discrete spaces and are not filtered here.
+[[nodiscard]] std::vector<Configuration> latin_hypercube(
+    const ParameterSpace& space, std::size_t n, Rng& rng);
+
+}  // namespace hpb::space

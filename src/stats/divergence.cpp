@@ -1,0 +1,51 @@
+#include "stats/divergence.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpb::stats {
+namespace {
+
+void check_distribution(std::span<const double> p, const char* name) {
+  double total = 0.0;
+  for (double v : p) {
+    HPB_REQUIRE(v >= 0.0, std::string(name) + ": negative probability");
+    total += v;
+  }
+  HPB_REQUIRE(std::abs(total - 1.0) < 1e-6,
+              std::string(name) + ": probabilities must sum to 1");
+}
+
+}  // namespace
+
+double kl_divergence(std::span<const double> p, std::span<const double> q) {
+  HPB_REQUIRE(p.size() == q.size(), "kl_divergence: size mismatch");
+  HPB_REQUIRE(!p.empty(), "kl_divergence: empty input");
+  check_distribution(p, "kl_divergence(P)");
+  check_distribution(q, "kl_divergence(Q)");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] == 0.0) {
+      continue;
+    }
+    if (q[i] == 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    acc += p[i] * std::log(p[i] / q[i]);
+  }
+  return std::max(acc, 0.0);  // clamp tiny negative rounding
+}
+
+double js_divergence(std::span<const double> p, std::span<const double> q) {
+  HPB_REQUIRE(p.size() == q.size(), "js_divergence: size mismatch");
+  std::vector<double> m(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    m[i] = 0.5 * (p[i] + q[i]);
+  }
+  return 0.5 * kl_divergence(p, m) + 0.5 * kl_divergence(q, m);
+}
+
+}  // namespace hpb::stats

@@ -1,0 +1,19 @@
+// KL and Jensen–Shannon divergence between discrete distributions
+// (eq. 13–14), used for the parameter-importance analysis of §VI.
+#pragma once
+
+#include <span>
+
+namespace hpb::stats {
+
+/// Kullback–Leibler divergence D_KL(P || Q) in nats. Both inputs must be
+/// same-length probability vectors; terms with P(x) == 0 contribute zero.
+/// Q(x) == 0 with P(x) > 0 yields +infinity.
+[[nodiscard]] double kl_divergence(std::span<const double> p,
+                                   std::span<const double> q);
+
+/// Jensen–Shannon divergence (eq. 13): symmetric, in [0, ln 2] nats.
+[[nodiscard]] double js_divergence(std::span<const double> p,
+                                   std::span<const double> q);
+
+}  // namespace hpb::stats

@@ -1,0 +1,57 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpb::stats {
+
+HistogramDensity::HistogramDensity(std::size_t num_levels, double smoothing)
+    : counts_(num_levels, 0.0), smoothing_(smoothing) {
+  HPB_REQUIRE(num_levels > 0, "HistogramDensity: need at least one level");
+  HPB_REQUIRE(smoothing > 0.0, "HistogramDensity: smoothing must be > 0");
+}
+
+void HistogramDensity::add(std::size_t level, double weight) {
+  HPB_REQUIRE(level < counts_.size(), "HistogramDensity::add: level OOB");
+  HPB_REQUIRE(weight >= 0.0, "HistogramDensity::add: negative weight");
+  counts_[level] += weight;
+  total_ += weight;
+}
+
+void HistogramDensity::add_all(std::span<const std::size_t> levels) {
+  for (std::size_t level : levels) {
+    add(level);
+  }
+}
+
+double HistogramDensity::pmf(std::size_t level) const {
+  HPB_REQUIRE(level < counts_.size(), "HistogramDensity::pmf: level OOB");
+  const double denom =
+      total_ + smoothing_ * static_cast<double>(counts_.size());
+  return (counts_[level] + smoothing_) / denom;
+}
+
+double HistogramDensity::log_pmf(std::size_t level) const {
+  return std::log(pmf(level));
+}
+
+std::vector<double> HistogramDensity::probabilities() const {
+  std::vector<double> probs(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    probs[i] = pmf(i);
+  }
+  return probs;
+}
+
+void HistogramDensity::mix_in(const HistogramDensity& other, double weight) {
+  HPB_REQUIRE(other.counts_.size() == counts_.size(),
+              "HistogramDensity::mix_in: level count mismatch");
+  HPB_REQUIRE(weight >= 0.0, "HistogramDensity::mix_in: negative weight");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += weight * other.counts_[i];
+  }
+  total_ += weight * other.total_;
+}
+
+}  // namespace hpb::stats

@@ -1,0 +1,51 @@
+// Smoothed categorical histogram density.
+//
+// Implements the discrete-parameter density estimate of §III-B1: for a
+// parameter with K levels, pg / pb are histograms of the observed level
+// indices, with additive (Laplace) smoothing so unseen levels keep non-zero
+// mass and the pg/pb acquisition ratio stays finite.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpb::stats {
+
+class HistogramDensity {
+ public:
+  /// K-level histogram with additive smoothing pseudo-count per level.
+  explicit HistogramDensity(std::size_t num_levels, double smoothing = 1.0);
+
+  /// Add one observation of level `level` with the given weight.
+  void add(std::size_t level, double weight = 1.0);
+
+  /// Add many observations at once.
+  void add_all(std::span<const std::size_t> levels);
+
+  /// Probability mass of `level` (smoothed, sums to 1 over all levels).
+  [[nodiscard]] double pmf(std::size_t level) const;
+
+  /// log pmf(level).
+  [[nodiscard]] double log_pmf(std::size_t level) const;
+
+  /// Full probability vector (sums to 1).
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// Mix another histogram over the same levels into this one with weight w
+  /// (implements the transfer prior of eq. 9–10: counts += w * other.counts).
+  void mix_in(const HistogramDensity& other, double weight);
+
+  [[nodiscard]] std::size_t num_levels() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+  [[nodiscard]] double smoothing() const noexcept { return smoothing_; }
+
+ private:
+  std::vector<double> counts_;
+  double total_ = 0.0;  // sum of raw (unsmoothed) weights
+  double smoothing_;
+};
+
+}  // namespace hpb::stats

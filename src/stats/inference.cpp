@@ -1,0 +1,102 @@
+#include "stats/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/quantile.hpp"
+
+namespace hpb::stats {
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values,
+                                     double level, std::size_t resamples,
+                                     std::uint64_t seed) {
+  HPB_REQUIRE(!values.empty(), "bootstrap_mean_ci: empty input");
+  HPB_REQUIRE(level > 0.0 && level < 1.0, "bootstrap_mean_ci: level in (0,1)");
+  HPB_REQUIRE(resamples >= 100, "bootstrap_mean_ci: need >= 100 resamples");
+  Rng rng(seed);
+  const std::size_t n = values.size();
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += values[rng.index(n)];
+    }
+    means.push_back(acc / static_cast<double>(n));
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  return {quantile(means, alpha), quantile(means, 1.0 - alpha), level};
+}
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b) {
+  HPB_REQUIRE(a.size() >= 2 && b.size() >= 2,
+              "mann_whitney_u: need >= 2 observations per sample");
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+
+  // Rank the pooled sample with midranks for ties.
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(a.size() + b.size());
+  for (double v : a) {
+    pooled.push_back({v, true});
+  }
+  for (double v : b) {
+    pooled.push_back({v, false});
+  }
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& x, const Tagged& y) { return x.value < y.value; });
+
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+  const std::size_t n = pooled.size();
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i;
+    while (j < n && pooled[j].value == pooled[i].value) {
+      ++j;
+    }
+    const double midrank =
+        0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    const auto t = static_cast<double>(j - i);
+    if (t > 1.0) {
+      tie_correction += t * t * t - t;
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      if (pooled[k].from_a) {
+        rank_sum_a += midrank;
+      }
+    }
+    i = j;
+  }
+
+  MannWhitneyResult result;
+  result.u_statistic = rank_sum_a - na * (na + 1.0) / 2.0;
+  result.effect_size = result.u_statistic / (na * nb);
+
+  const double total = na + nb;
+  const double mean_u = na * nb / 2.0;
+  const double var_u = na * nb / 12.0 *
+                       (total + 1.0 - tie_correction / (total * (total - 1.0)));
+  HPB_REQUIRE(var_u > 0.0, "mann_whitney_u: all observations identical");
+  result.z_score = (result.u_statistic - mean_u) / std::sqrt(var_u);
+  // Two-sided p from the normal approximation.
+  result.p_value = std::erfc(std::abs(result.z_score) / std::numbers::sqrt2);
+  return result;
+}
+
+double ecdf(std::span<const double> values, double x) {
+  HPB_REQUIRE(!values.empty(), "ecdf: empty input");
+  const auto count = static_cast<double>(
+      std::count_if(values.begin(), values.end(),
+                    [x](double v) { return v <= x; }));
+  return count / static_cast<double>(values.size());
+}
+
+}  // namespace hpb::stats

@@ -1,0 +1,44 @@
+// Statistical inference helpers for the experiment harnesses: bootstrap
+// confidence intervals for the replicated means reported in Figs. 2–6, and
+// the Mann–Whitney U test used to decide whether one tuning method's
+// distribution of outcomes is significantly better than another's.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+
+namespace hpb::stats {
+
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double level = 0.95;
+};
+
+/// Percentile-bootstrap confidence interval for the mean of `values`.
+/// `resamples` bootstrap draws; deterministic given `seed`.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(
+    std::span<const double> values, double level = 0.95,
+    std::size_t resamples = 2000, std::uint64_t seed = 0xB007);
+
+struct MannWhitneyResult {
+  double u_statistic = 0.0;   // U for the first sample
+  double z_score = 0.0;       // normal approximation (tie-corrected)
+  double p_value = 0.0;       // two-sided
+  /// P(a < b) + 0.5 P(a == b): the common-language effect size. 0.5 means
+  /// no difference; < 0.5 means `a` tends to be larger.
+  double effect_size = 0.5;
+};
+
+/// Two-sided Mann–Whitney U test comparing independent samples a and b
+/// (normal approximation with tie correction; both samples need >= 2
+/// observations, and at least some variation overall).
+[[nodiscard]] MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                               std::span<const double> b);
+
+/// Empirical CDF value: fraction of `values` <= x.
+[[nodiscard]] double ecdf(std::span<const double> values, double x);
+
+}  // namespace hpb::stats

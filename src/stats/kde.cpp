@@ -1,0 +1,125 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace hpb::stats {
+namespace {
+
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+
+double std_normal_pdf(double z) {
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double std_normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+}  // namespace
+
+double KernelDensity::silverman_bandwidth(std::span<const double> samples,
+                                          double range) {
+  const auto n = samples.size();
+  if (n < 2) {
+    return std::max(0.1 * range, 1e-12);
+  }
+  double mean = 0.0;
+  for (double s : samples) {
+    mean += s;
+  }
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double s : samples) {
+    var += (s - mean) * (s - mean);
+  }
+  var /= static_cast<double>(n - 1);
+  const double sd = std::sqrt(var);
+  const double h =
+      1.06 * sd * std::pow(static_cast<double>(n), -0.2);
+  // Floor keeps the density usable when all samples coincide.
+  return std::max(h, 0.01 * std::max(range, 1e-12));
+}
+
+KernelDensity::KernelDensity(std::span<const double> samples, double lo,
+                             double hi, double bandwidth)
+    : centers_(samples.begin(), samples.end()),
+      weights_(samples.size(), 1.0),
+      total_weight_(static_cast<double>(samples.size())),
+      lo_(lo),
+      hi_(hi),
+      bandwidth_(bandwidth) {
+  HPB_REQUIRE(lo < hi, "KernelDensity: lo must be < hi");
+  if (bandwidth_ <= 0.0) {
+    bandwidth_ = silverman_bandwidth(samples, hi - lo);
+  }
+  for (double c : centers_) {
+    HPB_REQUIRE(c >= lo_ && c <= hi_, "KernelDensity: sample out of range");
+  }
+}
+
+double KernelDensity::unnormalized_pdf(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < centers_.size(); ++i) {
+    const double c = centers_[i];
+    // Per-kernel truncation mass within [lo, hi].
+    const double z_lo = (lo_ - c) / bandwidth_;
+    const double z_hi = (hi_ - c) / bandwidth_;
+    const double mass = std_normal_cdf(z_hi) - std_normal_cdf(z_lo);
+    const double z = (x - c) / bandwidth_;
+    acc += weights_[i] * std_normal_pdf(z) / (bandwidth_ * std::max(mass, 1e-12));
+  }
+  return acc;
+}
+
+double KernelDensity::pdf(double x) const {
+  if (x < lo_ || x > hi_) {
+    return 0.0;
+  }
+  if (centers_.empty()) {
+    return 1.0 / (hi_ - lo_);  // uniform fallback
+  }
+  return unnormalized_pdf(x) / total_weight_;
+}
+
+double KernelDensity::log_pdf(double x) const {
+  return std::log(std::max(pdf(x), 1e-300));
+}
+
+double KernelDensity::sample(Rng& rng) const {
+  if (centers_.empty()) {
+    return rng.uniform(lo_, hi_);
+  }
+  const std::size_t k = rng.categorical(weights_);
+  double x = centers_[k] + bandwidth_ * rng.normal();
+  // Reflect into [lo, hi]; a couple of passes suffice for any sane bandwidth.
+  for (int pass = 0; pass < 64 && (x < lo_ || x > hi_); ++pass) {
+    if (x < lo_) {
+      x = 2.0 * lo_ - x;
+    }
+    if (x > hi_) {
+      x = 2.0 * hi_ - x;
+    }
+  }
+  return std::clamp(x, lo_, hi_);
+}
+
+void KernelDensity::mix_in(const KernelDensity& other, double weight) {
+  HPB_REQUIRE(weight >= 0.0, "KernelDensity::mix_in: negative weight");
+  HPB_REQUIRE(other.lo_ == lo_ && other.hi_ == hi_,
+              "KernelDensity::mix_in: support mismatch");
+  if (weight == 0.0 || other.centers_.empty()) {
+    return;
+  }
+  centers_.insert(centers_.end(), other.centers_.begin(),
+                  other.centers_.end());
+  for (double w : other.weights_) {
+    weights_.push_back(weight * w);
+    total_weight_ += weight * w;
+  }
+}
+
+}  // namespace hpb::stats

@@ -1,0 +1,59 @@
+// Gaussian kernel density estimation for continuous parameters (§III-B2).
+//
+// The paper uses Gaussian kernels with a fixed bandwidth; we support both a
+// fixed bandwidth and Silverman's rule as a default when none is given.
+// Densities are truncated-and-renormalized to the parameter's [lo, hi] range
+// so that boundary mass is not lost.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hpb::stats {
+
+class KernelDensity {
+ public:
+  /// Build a KDE over samples within [lo, hi]. bandwidth <= 0 selects
+  /// Silverman's rule-of-thumb; samples may be empty (uniform fallback).
+  KernelDensity(std::span<const double> samples, double lo, double hi,
+                double bandwidth = 0.0);
+
+  /// Density at x (renormalized over [lo, hi]; uniform if no samples).
+  [[nodiscard]] double pdf(double x) const;
+
+  /// log pdf(x).
+  [[nodiscard]] double log_pdf(double x) const;
+
+  /// Draw one sample: pick a kernel center uniformly, add Gaussian noise,
+  /// reflect into [lo, hi]. Used by the Proposal selection strategy (§III-D).
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Mix another KDE (same support) into this one: its kernel centers are
+  /// appended with the given per-sample weight (transfer prior, eq. 9–10).
+  void mix_in(const KernelDensity& other, double weight);
+
+  [[nodiscard]] double bandwidth() const noexcept { return bandwidth_; }
+  [[nodiscard]] std::size_t size() const noexcept { return centers_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+  /// Silverman's rule-of-thumb bandwidth for the given samples, floored at a
+  /// small fraction of the range so degenerate samples stay usable.
+  [[nodiscard]] static double silverman_bandwidth(
+      std::span<const double> samples, double range);
+
+ private:
+  [[nodiscard]] double unnormalized_pdf(double x) const;
+
+  std::vector<double> centers_;
+  std::vector<double> weights_;
+  double total_weight_ = 0.0;
+  double lo_;
+  double hi_;
+  double bandwidth_;
+};
+
+}  // namespace hpb::stats

@@ -1,0 +1,58 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hpb::stats {
+
+double quantile(std::span<const double> values, double alpha) {
+  HPB_REQUIRE(!values.empty(), "quantile: empty input");
+  HPB_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "quantile: alpha out of [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double pos = alpha * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::size_t count_below(std::span<const double> values, double threshold) {
+  return static_cast<std::size_t>(
+      std::count_if(values.begin(), values.end(),
+                    [threshold](double v) { return v < threshold; }));
+}
+
+double split_threshold(std::span<const double> values, double alpha) {
+  HPB_REQUIRE(!values.empty(), "split_threshold: empty input");
+  HPB_REQUIRE(alpha > 0.0 && alpha < 1.0, "split_threshold: alpha in (0,1)");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = sorted.size();
+  // At least one observation must land in the "good" group.
+  std::size_t n_good = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(alpha * static_cast<double>(n))));
+  n_good = std::min(n_good, n - 1);  // keep at least one "bad" observation
+  return sorted[n_good];
+}
+
+std::vector<std::size_t> smallest_k_indices(std::span<const double> values,
+                                            std::size_t k) {
+  HPB_REQUIRE(k <= values.size(), "smallest_k_indices: k > size");
+  std::vector<std::size_t> idx(values.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      return values[a] < values[b];
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace hpb::stats

@@ -1,0 +1,30 @@
+// Quantile and order-statistic helpers used by the surrogate's good/bad
+// split (α-quantile threshold y(τ), §III-C of the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpb::stats {
+
+/// α-quantile of `values` by linear interpolation between order statistics
+/// (the "linear" / type-7 definition). alpha in [0, 1]. Throws on empty input.
+[[nodiscard]] double quantile(std::span<const double> values, double alpha);
+
+/// Number of elements strictly below `threshold`.
+[[nodiscard]] std::size_t count_below(std::span<const double> values,
+                                      double threshold);
+
+/// Threshold used by the TPE split: the value such that ceil(alpha * n)
+/// observations are treated as "good" (y < threshold ranks them). Returns the
+/// (k+1)-th smallest value where k = max(1, floor(alpha*n)), i.e. the first
+/// "bad" value; ties are handled by the caller comparing with `<`.
+[[nodiscard]] double split_threshold(std::span<const double> values,
+                                     double alpha);
+
+/// Indices of the k smallest elements (ascending by value).
+[[nodiscard]] std::vector<std::size_t> smallest_k_indices(
+    std::span<const double> values, std::size_t k);
+
+}  // namespace hpb::stats

@@ -1,0 +1,37 @@
+// Running and batch summary statistics (Welford's online algorithm) used by
+// the replicated experiment runner to report mean ± std over seeds.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace hpb::stats {
+
+/// Numerically stable online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator (parallel Welford / Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: summary over a whole span.
+[[nodiscard]] RunningStats summarize(std::span<const double> values) noexcept;
+
+}  // namespace hpb::stats

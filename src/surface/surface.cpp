@@ -1,0 +1,229 @@
+#include <algorithm>
+
+#include "stats/quantile.hpp"
+#include "surface/surface.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace hpb::surface {
+
+double Surface::raw(const space::Configuration& c) const {
+  HPB_REQUIRE(c.size() == space_->num_params(), "raw: size mismatch");
+  double value = base_;
+  for (const auto& effect : main_effects_) {
+    if (effect.fn) {
+      value *= effect.fn(c[effect.param]);
+    } else {
+      value *= effect.multipliers[c.level(effect.param)];
+    }
+  }
+  for (const auto& inter : interactions_) {
+    const std::size_t la = c.level(inter.param_a);
+    const std::size_t lb = c.level(inter.param_b);
+    const std::size_t cols = space_->param(inter.param_b).num_levels();
+    value *= inter.multipliers[la * cols + lb];
+  }
+  if (noise_sigma_ > 0.0) {
+    // Key the frozen noise on (seed, configuration identity). For finite
+    // spaces the ordinal is a perfect identity; continuous parameters fold
+    // their bit patterns into the key instead.
+    std::uint64_t key = seed_;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      std::uint64_t bits;
+      const double v = c[i];
+      static_assert(sizeof(bits) == sizeof(v));
+      __builtin_memcpy(&bits, &v, sizeof(bits));
+      key = hash_combine(key, bits);
+    }
+    value *= std::exp(noise_sigma_ * hash_to_normal(key));
+  }
+  return value;
+}
+
+SurfaceBuilder::SurfaceBuilder(space::SpacePtr space, std::uint64_t seed) {
+  HPB_REQUIRE(space != nullptr, "SurfaceBuilder: null space");
+  surface_.space_ = std::move(space);
+  surface_.seed_ = seed;
+}
+
+SurfaceBuilder& SurfaceBuilder::main_effect(
+    const std::string& param, std::vector<double> level_multipliers) {
+  const std::size_t idx = surface_.space_->index_of(param);
+  const auto& p = surface_.space_->param(idx);
+  HPB_REQUIRE(p.is_discrete(), "main_effect: discrete parameters only");
+  HPB_REQUIRE(level_multipliers.size() == p.num_levels(),
+              "main_effect: multiplier count must match level count");
+  for (double m : level_multipliers) {
+    HPB_REQUIRE(m > 0.0, "main_effect: multipliers must be positive");
+  }
+  surface_.main_effects_.push_back(
+      {idx, std::move(level_multipliers), nullptr});
+  return *this;
+}
+
+SurfaceBuilder& SurfaceBuilder::random_main_effect(const std::string& param,
+                                                   double strength) {
+  const std::size_t idx = surface_.space_->index_of(param);
+  const auto& p = surface_.space_->param(idx);
+  HPB_REQUIRE(p.is_discrete(), "random_main_effect: discrete only");
+  std::vector<double> mult(p.num_levels());
+  for (std::size_t l = 0; l < mult.size(); ++l) {
+    const std::uint64_t key =
+        hash_combine(hash_combine(surface_.seed_, 0x1111 + idx), l);
+    mult[l] = std::exp(strength * hash_to_normal(key));
+  }
+  surface_.main_effects_.push_back({idx, std::move(mult), nullptr});
+  return *this;
+}
+
+SurfaceBuilder& SurfaceBuilder::continuous_effect(
+    const std::string& param, std::function<double(double)> fn) {
+  const std::size_t idx = surface_.space_->index_of(param);
+  HPB_REQUIRE(!surface_.space_->param(idx).is_discrete(),
+              "continuous_effect: continuous parameters only");
+  HPB_REQUIRE(static_cast<bool>(fn), "continuous_effect: empty function");
+  surface_.main_effects_.push_back({idx, {}, std::move(fn)});
+  return *this;
+}
+
+SurfaceBuilder& SurfaceBuilder::interaction_table(
+    const std::string& param_a, const std::string& param_b,
+    std::vector<double> multipliers) {
+  const std::size_t ia = surface_.space_->index_of(param_a);
+  const std::size_t ib = surface_.space_->index_of(param_b);
+  HPB_REQUIRE(ia != ib, "interaction_table: parameters must differ");
+  const auto& pa = surface_.space_->param(ia);
+  const auto& pb = surface_.space_->param(ib);
+  HPB_REQUIRE(pa.is_discrete() && pb.is_discrete(),
+              "interaction_table: discrete parameters only");
+  HPB_REQUIRE(multipliers.size() == pa.num_levels() * pb.num_levels(),
+              "interaction_table: table size must be levels_a * levels_b");
+  for (double m : multipliers) {
+    HPB_REQUIRE(m > 0.0, "interaction_table: multipliers must be positive");
+  }
+  surface_.interactions_.push_back({ia, ib, std::move(multipliers)});
+  return *this;
+}
+
+SurfaceBuilder& SurfaceBuilder::random_interaction(const std::string& param_a,
+                                                   const std::string& param_b,
+                                                   double strength) {
+  const std::size_t ia = surface_.space_->index_of(param_a);
+  const std::size_t ib = surface_.space_->index_of(param_b);
+  HPB_REQUIRE(ia != ib, "random_interaction: parameters must differ");
+  const auto& pa = surface_.space_->param(ia);
+  const auto& pb = surface_.space_->param(ib);
+  HPB_REQUIRE(pa.is_discrete() && pb.is_discrete(),
+              "random_interaction: discrete parameters only");
+  std::vector<double> mult(pa.num_levels() * pb.num_levels());
+  for (std::size_t la = 0; la < pa.num_levels(); ++la) {
+    for (std::size_t lb = 0; lb < pb.num_levels(); ++lb) {
+      const std::uint64_t key = hash_combine(
+          hash_combine(hash_combine(surface_.seed_, 0x2222 + ia * 131 + ib),
+                       la),
+          lb);
+      mult[la * pb.num_levels() + lb] = std::exp(strength * hash_to_normal(key));
+    }
+  }
+  surface_.interactions_.push_back({ia, ib, std::move(mult)});
+  return *this;
+}
+
+SurfaceBuilder& SurfaceBuilder::noise(double sigma) {
+  HPB_REQUIRE(sigma >= 0.0, "noise: sigma must be non-negative");
+  surface_.noise_sigma_ = sigma;
+  return *this;
+}
+
+SurfaceBuilder& SurfaceBuilder::base(double value) {
+  HPB_REQUIRE(value > 0.0, "base: must be positive");
+  surface_.base_ = value;
+  return *this;
+}
+
+Surface SurfaceBuilder::build() const { return surface_; }
+
+namespace {
+
+tabular::TabularObjective calibrate_impl(std::string name,
+                                         const Surface& surface, double scale,
+                                         double offset) {
+  return tabular::TabularObjective::from_function(
+      std::move(name), surface.space_ptr(),
+      [&surface, scale, offset](const space::Configuration& c) {
+        return offset + scale * surface.raw(c);
+      });
+}
+
+}  // namespace
+
+tabular::TabularObjective calibrate_to_range(std::string name,
+                                             const Surface& surface,
+                                             double best_target,
+                                             double worst_target) {
+  HPB_REQUIRE(best_target < worst_target,
+              "calibrate_to_range: best must be < worst");
+  // First pass to find raw min/max over the valid space.
+  double raw_min = 0.0, raw_max = 0.0;
+  bool first = true;
+  for (const auto& c : surface.space().enumerate()) {
+    const double v = surface.raw(c);
+    if (first) {
+      raw_min = raw_max = v;
+      first = false;
+    } else {
+      raw_min = std::min(raw_min, v);
+      raw_max = std::max(raw_max, v);
+    }
+  }
+  HPB_REQUIRE(!first, "calibrate_to_range: empty space");
+  HPB_REQUIRE(raw_max > raw_min, "calibrate_to_range: degenerate surface");
+  const double scale = (worst_target - best_target) / (raw_max - raw_min);
+  const double offset = best_target - scale * raw_min;
+  return calibrate_impl(std::move(name), surface, scale, offset);
+}
+
+tabular::TabularObjective calibrate_to_anchor(
+    std::string name, const Surface& surface, double best_target,
+    const space::Configuration& anchor, double anchor_target) {
+  HPB_REQUIRE(best_target < anchor_target,
+              "calibrate_to_anchor: best must be < anchor value");
+  double raw_min = 0.0;
+  bool first = true;
+  for (const auto& c : surface.space().enumerate()) {
+    const double v = surface.raw(c);
+    raw_min = first ? v : std::min(raw_min, v);
+    first = false;
+  }
+  HPB_REQUIRE(!first, "calibrate_to_anchor: empty space");
+  const double raw_anchor = surface.raw(anchor);
+  HPB_REQUIRE(raw_anchor > raw_min,
+              "calibrate_to_anchor: anchor must not be the optimum");
+  const double scale = (anchor_target - best_target) / (raw_anchor - raw_min);
+  const double offset = best_target - scale * raw_min;
+  return calibrate_impl(std::move(name), surface, scale, offset);
+}
+
+tabular::TabularObjective calibrate_to_quantile(std::string name,
+                                                const Surface& surface,
+                                                double best_target, double q,
+                                                double quantile_target) {
+  HPB_REQUIRE(best_target < quantile_target,
+              "calibrate_to_quantile: best must be < quantile target");
+  HPB_REQUIRE(q > 0.0 && q <= 1.0, "calibrate_to_quantile: q in (0,1]");
+  std::vector<double> raws;
+  for (const auto& c : surface.space().enumerate()) {
+    raws.push_back(surface.raw(c));
+  }
+  HPB_REQUIRE(!raws.empty(), "calibrate_to_quantile: empty space");
+  const double raw_min = *std::min_element(raws.begin(), raws.end());
+  const double raw_q = stats::quantile(raws, q);
+  HPB_REQUIRE(raw_q > raw_min, "calibrate_to_quantile: degenerate surface");
+  const double scale = (quantile_target - best_target) / (raw_q - raw_min);
+  const double offset = best_target - scale * raw_min;
+  return calibrate_impl(std::move(name), surface, scale, offset);
+}
+
+}  // namespace hpb::surface

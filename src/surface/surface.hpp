@@ -1,0 +1,132 @@
+// Synthetic performance surfaces.
+//
+// The paper evaluates tuning methods on frozen datasets of measured runs
+// (Kripke, HYPRE, LULESH, OpenAtom). Those measurements are not available,
+// so src/apps builds stand-in datasets from composable multiplicative
+// surfaces defined here:
+//
+//   raw(x) = base · Π_i  m_i(x_i)            (per-parameter main effects)
+//               · Π_ij I_ij(x_i, x_j)         (pairwise interactions)
+//               · exp(σ · N(key(x)))          (frozen per-config noise)
+//
+// Products of per-parameter factors are log-normally distributed across the
+// space, giving the heavy right tail with *few configurations near the
+// optimum* that §V-A/B describes — the property that separates HiPerBOt
+// from GEIST/random in the paper. The noise term is keyed on the dataset
+// seed and the configuration ordinal, so a dataset is a pure function of its
+// seed: every tuner sees identical values, exactly like a frozen table of
+// measurements.
+//
+// Calibration then maps raw values onto the paper's quoted anchors (e.g.
+// best 8.43 s and expert 15.2 s for Kripke) with an affine transform, which
+// preserves the distribution shape.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "space/parameter_space.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::surface {
+
+/// Immutable multiplicative surface over a finite-or-not parameter space.
+class Surface {
+ public:
+  /// Raw (uncalibrated) value at configuration c; strictly positive.
+  [[nodiscard]] double raw(const space::Configuration& c) const;
+
+  [[nodiscard]] const space::ParameterSpace& space() const { return *space_; }
+  [[nodiscard]] space::SpacePtr space_ptr() const { return space_; }
+
+ private:
+  friend class SurfaceBuilder;
+  Surface() = default;
+
+  struct MainEffect {
+    std::size_t param;
+    std::vector<double> multipliers;  // discrete: one per level
+    std::function<double(double)> fn;  // continuous: multiplier of value
+  };
+  struct Interaction {
+    std::size_t param_a;
+    std::size_t param_b;
+    std::vector<double> multipliers;  // levels_a × levels_b, row-major
+  };
+
+  space::SpacePtr space_;
+  double base_ = 1.0;
+  double noise_sigma_ = 0.0;
+  std::uint64_t seed_ = 0;
+  std::vector<MainEffect> main_effects_;
+  std::vector<Interaction> interactions_;
+};
+
+/// Fluent builder for Surface. Parameters are addressed by name. Randomized
+/// effects ("strength" variants) are derived deterministically from the
+/// builder seed, so surfaces are reproducible.
+class SurfaceBuilder {
+ public:
+  SurfaceBuilder(space::SpacePtr space, std::uint64_t seed);
+
+  /// Explicit per-level multipliers for a discrete parameter.
+  SurfaceBuilder& main_effect(const std::string& param,
+                              std::vector<double> level_multipliers);
+
+  /// Random per-level multipliers exp(strength · z_l); larger strength makes
+  /// the parameter more important (larger JS divergence in Table I).
+  SurfaceBuilder& random_main_effect(const std::string& param,
+                                     double strength);
+
+  /// Multiplier as a function of a continuous parameter's value.
+  SurfaceBuilder& continuous_effect(const std::string& param,
+                                    std::function<double(double)> fn);
+
+  /// Explicit interaction table (levels_a × levels_b multipliers, row-major).
+  SurfaceBuilder& interaction_table(const std::string& param_a,
+                                    const std::string& param_b,
+                                    std::vector<double> multipliers);
+
+  /// Random pairwise interaction exp(strength · z_{ab}) per level pair.
+  SurfaceBuilder& random_interaction(const std::string& param_a,
+                                     const std::string& param_b,
+                                     double strength);
+
+  /// Lognormal measurement-noise magnitude (σ of log-value).
+  SurfaceBuilder& noise(double sigma);
+
+  /// Overall scale of the surface.
+  SurfaceBuilder& base(double value);
+
+  [[nodiscard]] Surface build() const;
+
+ private:
+  Surface surface_;
+};
+
+/// Enumerate a finite space, evaluate the surface, and affinely map values
+/// so that min == best_target and max == worst_target.
+[[nodiscard]] tabular::TabularObjective calibrate_to_range(
+    std::string name, const Surface& surface, double best_target,
+    double worst_target);
+
+/// Enumerate, evaluate, and affinely map values so that min == best_target
+/// and the given anchor configuration lands exactly on anchor_target
+/// (used to hit the paper's "expert choice" / "-O3 default" numbers).
+[[nodiscard]] tabular::TabularObjective calibrate_to_anchor(
+    std::string name, const Surface& surface, double best_target,
+    const space::Configuration& anchor, double anchor_target);
+
+/// Enumerate, evaluate, and affinely map values so that min == best_target
+/// and the q-quantile of the raw values lands on quantile_target. Unlike
+/// calibrate_to_range this is insensitive to the extreme right tail of a
+/// lognormal surface, so the bulk of the distribution keeps a realistic
+/// distance from the optimum.
+[[nodiscard]] tabular::TabularObjective calibrate_to_quantile(
+    std::string name, const Surface& surface, double best_target, double q,
+    double quantile_target);
+
+}  // namespace hpb::surface

@@ -1,0 +1,83 @@
+// Objective adapters: maximization (all tuners minimize, eq. 6), evaluation
+// counting, and simulated evaluation-noise injection for robustness
+// studies.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "tabular/objective.hpp"
+
+namespace hpb::tabular {
+
+/// Turns a maximization problem into the minimization form every tuner
+/// expects: evaluate() returns the negated inner value. Report results by
+/// negating back.
+class MaximizeAdapter final : public Objective {
+ public:
+  explicit MaximizeAdapter(Objective& inner) : inner_(&inner) {}
+
+  [[nodiscard]] const space::ParameterSpace& space() const override {
+    return inner_->space();
+  }
+  [[nodiscard]] double evaluate(const space::Configuration& c) override {
+    return -inner_->evaluate(c);
+  }
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "(maximized)";
+  }
+
+ private:
+  Objective* inner_;
+};
+
+/// Counts evaluations of the wrapped objective — used by harnesses and
+/// tests to assert evaluation budgets are honored exactly.
+class CountingObjective final : public Objective {
+ public:
+  explicit CountingObjective(Objective& inner) : inner_(&inner) {}
+
+  [[nodiscard]] const space::ParameterSpace& space() const override {
+    return inner_->space();
+  }
+  [[nodiscard]] double evaluate(const space::Configuration& c) override {
+    ++count_;
+    return inner_->evaluate(c);
+  }
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+ private:
+  Objective* inner_;
+  std::size_t count_ = 0;
+};
+
+/// Adds zero-mean multiplicative Gaussian noise to each evaluation:
+/// y' = y · (1 + σ·z). Models run-to-run variability of real measurements;
+/// bench/ablation_noise sweeps σ to probe how much measurement noise the
+/// quantile-based surrogate tolerates.
+class NoisyObjective final : public Objective {
+ public:
+  NoisyObjective(Objective& inner, double sigma, std::uint64_t seed)
+      : inner_(&inner), sigma_(sigma), rng_(seed) {
+    HPB_REQUIRE(sigma >= 0.0, "NoisyObjective: sigma must be >= 0");
+  }
+
+  [[nodiscard]] const space::ParameterSpace& space() const override {
+    return inner_->space();
+  }
+  [[nodiscard]] double evaluate(const space::Configuration& c) override {
+    const double y = inner_->evaluate(c);
+    return y * (1.0 + sigma_ * rng_.normal());
+  }
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "(noisy)";
+  }
+
+ private:
+  Objective* inner_;
+  double sigma_;
+  Rng rng_;
+};
+
+}  // namespace hpb::tabular

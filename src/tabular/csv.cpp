@@ -1,0 +1,149 @@
+#include "tabular/csv.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hpb::tabular {
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) {
+    // Trim surrounding whitespace.
+    const auto begin = field.find_first_not_of(" \t\r");
+    const auto end = field.find_last_not_of(" \t\r");
+    fields.push_back(begin == std::string::npos
+                         ? std::string{}
+                         : field.substr(begin, end - begin + 1));
+  }
+  if (!line.empty() && line.back() == ',') {
+    fields.emplace_back();
+  }
+  return fields;
+}
+
+bool parse_number(const std::string& s, double& out) {
+  if (s.empty()) {
+    return false;
+  }
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+TabularObjective load_csv_stream(std::istream& in, std::string name) {
+  std::string line;
+  HPB_REQUIRE(static_cast<bool>(std::getline(in, line)),
+              "load_csv: missing header row");
+  const std::vector<std::string> header = split_csv_line(line);
+  HPB_REQUIRE(header.size() >= 2,
+              "load_csv: need at least one parameter column plus the "
+              "objective column");
+  const std::size_t n_params = header.size() - 1;
+
+  // Read all rows as strings first; column typing needs the full column.
+  std::vector<std::vector<std::string>> rows;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;  // skip blank lines
+    }
+    std::vector<std::string> fields = split_csv_line(line);
+    HPB_REQUIRE(fields.size() == header.size(),
+                "load_csv: row " + std::to_string(line_no) + " has " +
+                    std::to_string(fields.size()) + " fields, expected " +
+                    std::to_string(header.size()));
+    rows.push_back(std::move(fields));
+  }
+  HPB_REQUIRE(!rows.empty(), "load_csv: no data rows");
+
+  // Type each parameter column and collect its levels.
+  auto space = std::make_shared<space::ParameterSpace>();
+  // level_of[p] maps the column's string to a level index.
+  std::vector<std::map<std::string, std::size_t>> level_of(n_params);
+  for (std::size_t p = 0; p < n_params; ++p) {
+    bool all_numeric = true;
+    std::vector<double> numeric_values;
+    std::vector<std::string> labels;  // first-appearance order
+    std::map<std::string, double> parsed;
+    for (const auto& row : rows) {
+      const std::string& cell = row[p];
+      if (parsed.contains(cell) || level_of[p].contains(cell)) {
+        continue;
+      }
+      double value = 0.0;
+      if (parse_number(cell, value)) {
+        parsed.emplace(cell, value);
+      } else {
+        all_numeric = false;
+      }
+      level_of[p].emplace(cell, 0);  // placeholder; filled below
+      labels.push_back(cell);
+    }
+    if (all_numeric) {
+      // Sorted distinct numeric levels.
+      std::vector<std::pair<double, std::string>> order;
+      order.reserve(labels.size());
+      for (const auto& label : labels) {
+        order.emplace_back(parsed.at(label), label);
+      }
+      std::sort(order.begin(), order.end());
+      std::vector<double> values;
+      values.reserve(order.size());
+      for (std::size_t l = 0; l < order.size(); ++l) {
+        level_of[p][order[l].second] = l;
+        values.push_back(order[l].first);
+      }
+      space->add(space::Parameter::categorical_numeric(header[p], values));
+    } else {
+      for (std::size_t l = 0; l < labels.size(); ++l) {
+        level_of[p][labels[l]] = l;
+      }
+      space->add(space::Parameter::categorical(header[p], labels));
+    }
+  }
+
+  // Build configurations and objective values.
+  std::vector<space::Configuration> configs;
+  std::vector<double> values;
+  configs.reserve(rows.size());
+  values.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<double> levels(n_params);
+    for (std::size_t p = 0; p < n_params; ++p) {
+      levels[p] = static_cast<double>(level_of[p].at(rows[r][p]));
+    }
+    double objective = 0.0;
+    HPB_REQUIRE(parse_number(rows[r].back(), objective),
+                "load_csv: non-numeric objective value '" + rows[r].back() +
+                    "'");
+    configs.emplace_back(std::move(levels));
+    values.push_back(objective);
+  }
+  return TabularObjective(std::move(name), std::move(space),
+                          std::move(configs), std::move(values));
+}
+
+TabularObjective load_csv(const std::string& path, std::string name) {
+  std::ifstream in(path);
+  HPB_REQUIRE(in.good(), "load_csv: cannot open '" + path + "'");
+  if (name.empty()) {
+    name = std::filesystem::path(path).stem().string();
+  }
+  return load_csv_stream(in, std::move(name));
+}
+
+}  // namespace hpb::tabular

@@ -1,0 +1,31 @@
+// CSV dataset loading: turn a table of measured runs into a
+// TabularObjective, so users can tune their own data with the CLI or the
+// library without writing C++ for the parameter space.
+//
+// Expected format (matches TabularObjective::write_csv):
+//   - first row: parameter names, with the objective as the LAST column;
+//   - one row per measured configuration;
+//   - a column whose values all parse as numbers becomes a numeric
+//     categorical parameter (levels = the sorted distinct values); any
+//     other column becomes a labeled categorical parameter (levels = the
+//     distinct strings in order of first appearance);
+//   - the objective column must be numeric;
+//   - duplicate configurations are rejected.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::tabular {
+
+/// Load a dataset from a CSV file; `name` defaults to the file stem.
+[[nodiscard]] TabularObjective load_csv(const std::string& path,
+                                        std::string name = "");
+
+/// Load a dataset from an already-open stream (exposed for tests).
+[[nodiscard]] TabularObjective load_csv_stream(std::istream& in,
+                                               std::string name);
+
+}  // namespace hpb::tabular

@@ -1,0 +1,28 @@
+// Objective interface: the expensive black-box f(x) that tuners minimize
+// (eq. 6). Implementations include the enumerated TabularObjective (frozen
+// datasets, as in the paper's evaluation) and live objectives that actually
+// run a kernel (examples/tune_stencil).
+#pragma once
+
+#include <string>
+
+#include "space/parameter_space.hpp"
+
+namespace hpb::tabular {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  /// The space of tunable parameters.
+  [[nodiscard]] virtual const space::ParameterSpace& space() const = 0;
+
+  /// Run the "application" at configuration c and return the metric to
+  /// minimize (execution time, energy, ...). May be expensive.
+  [[nodiscard]] virtual double evaluate(const space::Configuration& c) = 0;
+
+  /// Short identifier used in reports.
+  [[nodiscard]] virtual std::string name() const { return "objective"; }
+};
+
+}  // namespace hpb::tabular

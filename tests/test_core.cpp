@@ -1,0 +1,295 @@
+// Tests for the HiPerBOt core: observation history splitting, factorized
+// densities, the TPE surrogate and its acquisition function, transfer
+// priors, and parameter importance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/density.hpp"
+#include "core/history.hpp"
+#include "core/importance.hpp"
+#include "core/surrogate.hpp"
+#include "test_util.hpp"
+
+namespace hpb::core {
+namespace {
+
+using space::Configuration;
+
+// ----------------------------------------------------------------- history
+TEST(History, TracksBest) {
+  History h;
+  h.add(Configuration({0, 0, 0}), 5.0);
+  h.add(Configuration({1, 0, 0}), 2.0);
+  h.add(Configuration({2, 0, 0}), 7.0);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_DOUBLE_EQ(h.best_value(), 2.0);
+  EXPECT_EQ(h.best_config().level(0), 1u);
+}
+
+TEST(History, RejectsNonFiniteObjective) {
+  History h;
+  EXPECT_THROW(h.add(Configuration({0}), std::nan("")), Error);
+  EXPECT_THROW(h.add(Configuration({0}), INFINITY), Error);
+}
+
+TEST(History, EmptyAccessorsThrow) {
+  History h;
+  EXPECT_THROW((void)h.best_value(), Error);
+  EXPECT_THROW((void)h.best_config(), Error);
+  EXPECT_THROW((void)h.split(0.2), Error);
+}
+
+TEST(History, SplitPutsAlphaFractionInGood) {
+  History h;
+  for (int i = 0; i < 10; ++i) {
+    h.add(Configuration({static_cast<double>(i)}), static_cast<double>(i));
+  }
+  const HistorySplit s = h.split(0.2);
+  ASSERT_EQ(s.good.size(), 2u);
+  ASSERT_EQ(s.bad.size(), 8u);
+  // Good group holds the two smallest values (0 and 1).
+  for (std::size_t idx : s.good) {
+    EXPECT_LT(h[idx].y, s.threshold);
+  }
+  for (std::size_t idx : s.bad) {
+    EXPECT_GE(h[idx].y, s.threshold);
+  }
+  EXPECT_DOUBLE_EQ(s.threshold, 2.0);
+}
+
+TEST(History, SplitAlwaysNonEmptyBothSides) {
+  History h;
+  h.add(Configuration({0}), 1.0);
+  h.add(Configuration({1}), 2.0);
+  const HistorySplit tiny = h.split(0.01);
+  EXPECT_EQ(tiny.good.size(), 1u);
+  EXPECT_EQ(tiny.bad.size(), 1u);
+  const HistorySplit huge = h.split(0.99);
+  EXPECT_EQ(huge.good.size(), 1u);
+  EXPECT_EQ(huge.bad.size(), 1u);
+}
+
+TEST(History, SplitRejectsBadAlpha) {
+  History h;
+  h.add(Configuration({0}), 1.0);
+  h.add(Configuration({1}), 2.0);
+  EXPECT_THROW((void)h.split(0.0), Error);
+  EXPECT_THROW((void)h.split(1.0), Error);
+}
+
+// ----------------------------------------------------------------- density
+TEST(FactorizedDensity, LogDensityIsSumOfMarginals) {
+  auto sp = testutil::small_discrete_space();
+  std::vector<Configuration> obs = {Configuration({0, 1, 2}),
+                                    Configuration({0, 1, 3}),
+                                    Configuration({1, 2, 2})};
+  const FactorizedDensity d(sp, obs);
+  const Configuration probe({0, 1, 2});
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    expected += std::log(d.histogram(i).pmf(probe.level(i)));
+  }
+  EXPECT_NEAR(d.log_density(probe), expected, 1e-12);
+  EXPECT_NEAR(d.density(probe), std::exp(expected), 1e-12);
+}
+
+TEST(FactorizedDensity, EmptyObservationsGiveUniform) {
+  auto sp = testutil::small_discrete_space();
+  const FactorizedDensity d(sp, {});
+  const double expected =
+      std::log(1.0 / 4.0) + std::log(1.0 / 3.0) + std::log(1.0 / 5.0);
+  EXPECT_NEAR(d.log_density(Configuration({0, 0, 0})), expected, 1e-12);
+  EXPECT_NEAR(d.log_density(Configuration({3, 2, 4})), expected, 1e-12);
+}
+
+TEST(FactorizedDensity, SampleMatchesObservedConcentration) {
+  auto sp = testutil::small_discrete_space();
+  std::vector<Configuration> obs(50, Configuration({2, 1, 4}));
+  DensityConfig cfg;
+  cfg.histogram_smoothing = 0.1;
+  const FactorizedDensity d(sp, obs, cfg);
+  Rng rng(1);
+  int match = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Configuration c = d.sample(rng);
+    if (c.level(0) == 2 && c.level(1) == 1 && c.level(2) == 4) {
+      ++match;
+    }
+  }
+  EXPECT_GT(match, 450);
+}
+
+TEST(FactorizedDensity, MarginalProbabilitiesSumToOne) {
+  auto sp = testutil::mixed_space();
+  std::vector<Configuration> obs = {Configuration({0, 3.0}),
+                                    Configuration({1, 4.0}),
+                                    Configuration({1, 5.0})};
+  const FactorizedDensity d(sp, obs);
+  for (std::size_t p = 0; p < 2; ++p) {
+    const auto probs = d.marginal_probabilities(p);
+    double total = 0.0;
+    for (double v : probs) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  // Continuous marginal uses importance_bins cells.
+  EXPECT_EQ(d.marginal_probabilities(1).size(), DensityConfig{}.importance_bins);
+}
+
+TEST(FactorizedDensity, MixInShiftsTowardPrior) {
+  auto sp = testutil::small_discrete_space();
+  std::vector<Configuration> target_obs = {Configuration({0, 0, 0})};
+  std::vector<Configuration> source_obs(20, Configuration({3, 2, 4}));
+  DensityConfig cfg;
+  cfg.histogram_smoothing = 0.1;
+  FactorizedDensity d(sp, target_obs, cfg);
+  const FactorizedDensity prior(sp, source_obs, cfg);
+  const Configuration source_mode({3, 2, 4});
+  const double before = d.log_density(source_mode);
+  d.mix_in(prior, 2.0);
+  EXPECT_GT(d.log_density(source_mode), before);
+}
+
+TEST(FactorizedDensity, MixInValidation) {
+  auto sp = testutil::small_discrete_space();
+  auto other_space = testutil::mixed_space();
+  FactorizedDensity d(sp, {});
+  const FactorizedDensity wrong(other_space, {});
+  EXPECT_THROW(d.mix_in(wrong, 1.0), Error);
+  const FactorizedDensity same(sp, {});
+  EXPECT_THROW(d.mix_in(same, -1.0), Error);
+}
+
+TEST(FactorizedDensity, HistogramAccessorRejectsContinuous) {
+  auto sp = testutil::mixed_space();
+  const FactorizedDensity d(sp, {});
+  EXPECT_NO_THROW((void)d.histogram(0));
+  EXPECT_THROW((void)d.histogram(1), Error);
+  EXPECT_THROW((void)d.histogram(2), Error);
+}
+
+// --------------------------------------------------------------- surrogate
+History make_separable_history(std::size_t n, std::uint64_t seed) {
+  auto sp = testutil::small_discrete_space();
+  Rng rng(seed);
+  History h;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Configuration c = sp->sample_uniform(rng);
+    h.add(c, testutil::separable_value(c));
+  }
+  return h;
+}
+
+TEST(TpeSurrogate, AcquisitionPrefersOptimumRegion) {
+  auto sp = testutil::small_discrete_space();
+  const History h = make_separable_history(40, 3);
+  const TpeSurrogate s(sp, h, 0.2);
+  // The separable optimum (1,2,3) must score higher than a far corner.
+  EXPECT_GT(s.acquisition(Configuration({1, 2, 3})),
+            s.acquisition(Configuration({3, 0, 0})));
+}
+
+TEST(TpeSurrogate, ThresholdMatchesHistorySplit) {
+  auto sp = testutil::small_discrete_space();
+  const History h = make_separable_history(25, 5);
+  const TpeSurrogate s(sp, h, 0.2);
+  EXPECT_DOUBLE_EQ(s.threshold(), h.split(0.2).threshold);
+}
+
+TEST(TpeSurrogate, ImportanceDetectsInfluentialParameter) {
+  // Objective depends only on parameter A.
+  auto sp = testutil::small_discrete_space();
+  Rng rng(7);
+  History h;
+  for (int i = 0; i < 120; ++i) {
+    const Configuration c = sp->sample_uniform(rng);
+    h.add(c, c.level(0) == 1 ? 1.0 : 10.0);
+  }
+  const TpeSurrogate s(sp, h, 0.2);
+  const auto imp = s.parameter_importance();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], 5.0 * imp[1]);
+  EXPECT_GT(imp[0], 5.0 * imp[2]);
+}
+
+TEST(TransferPrior, BuiltFromSourceDataset) {
+  auto ds = testutil::separable_dataset();
+  const TransferPrior prior = make_transfer_prior(
+      ds.space_ptr(), ds.configs(), ds.values(), 0.2);
+  // Good density concentrates near the optimum levels.
+  EXPECT_GT(prior.good.log_density(Configuration({1, 2, 3})),
+            prior.good.log_density(Configuration({3, 0, 0})));
+  // Bad density is closer to uniform over the large bad region.
+  EXPECT_GT(prior.bad.log_density(Configuration({3, 0, 0})),
+            prior.good.log_density(Configuration({3, 0, 0})));
+}
+
+TEST(TransferPrior, PriorShiftsSurrogateAcquisition) {
+  auto sp = testutil::small_discrete_space();
+  // Tiny, uninformative target history (constant objective): without a
+  // prior the surrogate cannot distinguish configurations.
+  History h;
+  Rng rng(9);
+  for (int i = 0; i < 6; ++i) {
+    h.add(sp->sample_uniform(rng), 1.0 + 0.001 * i);
+  }
+  auto source = testutil::separable_dataset();
+  const TransferPrior prior = make_transfer_prior(
+      source.space_ptr(), source.configs(), source.values(), 0.2);
+  const TpeSurrogate without(sp, h, 0.3);
+  const TpeSurrogate with(sp, h, 0.3, {}, &prior, 5.0);
+  const double gain_with = with.acquisition(Configuration({1, 2, 3})) -
+                           with.acquisition(Configuration({3, 0, 0}));
+  const double gain_without = without.acquisition(Configuration({1, 2, 3})) -
+                              without.acquisition(Configuration({3, 0, 0}));
+  EXPECT_GT(gain_with, gain_without + 0.1);
+}
+
+TEST(TransferPrior, RequiresMinimumData) {
+  auto sp = testutil::small_discrete_space();
+  std::vector<Configuration> one = {Configuration({0, 0, 0})};
+  std::vector<double> vals = {1.0};
+  EXPECT_THROW((void)make_transfer_prior(sp, one, vals, 0.2), Error);
+}
+
+// -------------------------------------------------------------- importance
+TEST(Importance, FullDatasetRanksStrongestFirst) {
+  auto ds = testutil::separable_dataset();
+  const auto entries = dataset_importance(ds, 0.2);
+  ASSERT_EQ(entries.size(), 3u);
+  // Sorted descending.
+  EXPECT_GE(entries[0].js_divergence, entries[1].js_divergence);
+  EXPECT_GE(entries[1].js_divergence, entries[2].js_divergence);
+  // All parameters matter in the separable objective; scores are positive.
+  EXPECT_GT(entries[2].js_divergence, 0.0);
+}
+
+TEST(Importance, PartialSampleApproximatesFullRanking) {
+  // Objective dominated by parameter C (5 levels, wide spread).
+  auto sp = testutil::small_discrete_space();
+  auto ds = tabular::TabularObjective::from_function(
+      "cdom", sp, [](const Configuration& c) {
+        return 1.0 + 10.0 * static_cast<double>(c.level(2)) +
+               0.1 * static_cast<double>(c.level(0));
+      });
+  Rng rng(11);
+  std::vector<Configuration> sample_configs;
+  std::vector<double> sample_values;
+  for (int i = 0; i < 30; ++i) {
+    const auto& c = ds.config(rng.index(ds.size()));
+    sample_configs.push_back(c);
+    sample_values.push_back(ds.value_of(c));
+  }
+  const auto partial = parameter_importance(sp, sample_configs, sample_values,
+                                            0.2);
+  EXPECT_EQ(partial.front().parameter, "C");
+  const auto full = dataset_importance(ds, 0.2);
+  EXPECT_EQ(full.front().parameter, "C");
+}
+
+}  // namespace
+}  // namespace hpb::core

@@ -1,0 +1,184 @@
+// Tests for the CSV dataset loader and the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "eval/methods.hpp"
+#include "tabular/csv.hpp"
+#include "test_util.hpp"
+
+namespace hpb {
+namespace {
+
+// --------------------------------------------------------------------- CSV
+tabular::TabularObjective from_string(const std::string& text) {
+  std::istringstream in(text);
+  return tabular::load_csv_stream(in, "test");
+}
+
+TEST(CsvLoader, ParsesMixedColumnTypes) {
+  const auto ds = from_string(
+      "solver,threads,runtime\n"
+      "amg,1,3.5\n"
+      "amg,2,2.5\n"
+      "pcg,1,4.0\n"
+      "pcg,2,3.0\n");
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.space().num_params(), 2u);
+  const auto& solver = ds.space().param(0);
+  EXPECT_EQ(solver.name(), "solver");
+  EXPECT_EQ(solver.num_levels(), 2u);
+  EXPECT_EQ(solver.level_label(0), "amg");
+  const auto& threads = ds.space().param(1);
+  EXPECT_EQ(threads.num_levels(), 2u);
+  EXPECT_DOUBLE_EQ(threads.level_value(1), 2.0);
+  EXPECT_DOUBLE_EQ(ds.best_value(), 2.5);
+}
+
+TEST(CsvLoader, NumericLevelsAreSorted) {
+  const auto ds = from_string(
+      "n,y\n"
+      "16,1\n"
+      "2,2\n"
+      "8,3\n"
+      "4,4\n");
+  const auto& n = ds.space().param(0);
+  ASSERT_EQ(n.num_levels(), 4u);
+  EXPECT_DOUBLE_EQ(n.level_value(0), 2.0);
+  EXPECT_DOUBLE_EQ(n.level_value(3), 16.0);
+  // Row "16,1" maps to the highest level with objective 1.
+  space::Configuration c(std::vector<double>{3});
+  EXPECT_DOUBLE_EQ(ds.value_of(c), 1.0);
+}
+
+TEST(CsvLoader, SkipsBlankLinesAndTrimsWhitespace) {
+  const auto ds = from_string(
+      "a, b ,obj\n"
+      " x , 1 , 5.0 \n"
+      "\n"
+      " y , 2 , 6.0 \n");
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.space().param(1).name(), "b");
+}
+
+TEST(CsvLoader, RejectsMalformedInput) {
+  EXPECT_THROW((void)from_string(""), Error);               // no header
+  EXPECT_THROW((void)from_string("only_objective\n1\n"), Error);
+  EXPECT_THROW((void)from_string("a,obj\n"), Error);        // no rows
+  EXPECT_THROW((void)from_string("a,obj\nx,1\nx,2\n"), Error);  // duplicate
+  EXPECT_THROW((void)from_string("a,obj\nx\n"), Error);     // field count
+  EXPECT_THROW((void)from_string("a,obj\nx,fast\n"), Error);  // bad objective
+  EXPECT_THROW((void)tabular::load_csv("/nonexistent/file.csv"), Error);
+}
+
+TEST(CsvLoader, RoundTripsThroughWriteCsv) {
+  auto original = testutil::separable_dataset();
+  const std::string path = ::testing::TempDir() + "/hpb_roundtrip.csv";
+  original.write_csv(path);
+  const auto loaded = tabular::load_csv(path);
+  EXPECT_EQ(loaded.name(), "hpb_roundtrip");
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded.best_value(), original.best_value());
+  // Objective values survive the round trip (config order may differ).
+  EXPECT_DOUBLE_EQ(loaded.worst_value(), original.worst_value());
+  std::remove(path.c_str());
+}
+
+TEST(CsvLoader, LoadedDatasetIsTunable) {
+  const auto text =
+      "a,b,y\n"
+      "0,0,9\n0,1,7\n0,2,6\n"
+      "1,0,5\n1,1,2\n1,2,4\n"
+      "2,0,8\n2,1,3\n2,2,7\n";
+  auto ds = from_string(text);
+  auto tuner = eval::make_named_tuner("hiperbot", ds, 1);
+  double best = 1e9;
+  for (int t = 0; t < 9; ++t) {
+    const auto c = tuner->suggest();
+    const double y = ds.value_of(c);
+    best = std::min(best, y);
+    tuner->observe(c, y);
+  }
+  EXPECT_DOUBLE_EQ(best, 2.0);
+}
+
+// --------------------------------------------------------------------- CLI
+TEST(ArgParser, TypedFlagsAndDefaults) {
+  cli::ArgParser args("prog");
+  args.add_string("name", "default", "")
+      .add_size("count", 7, "")
+      .add_double("rate", 0.5, "")
+      .add_bool("verbose", false, "");
+  args.parse({"--name", "value", "--count", "42", "--rate=0.25", "pos1",
+              "--verbose", "pos2"});
+  EXPECT_EQ(args.get_string("name"), "value");
+  EXPECT_EQ(args.get_size("count"), 42u);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.25);
+  EXPECT_TRUE(args.get_bool("verbose"));
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_TRUE(args.was_set("count"));
+}
+
+TEST(ArgParser, DefaultsWhenUnset) {
+  cli::ArgParser args("prog");
+  args.add_size("count", 7, "").add_bool("flag", true, "");
+  args.parse(std::vector<std::string>{});
+  EXPECT_EQ(args.get_size("count"), 7u);
+  EXPECT_TRUE(args.get_bool("flag"));
+  EXPECT_FALSE(args.was_set("count"));
+}
+
+TEST(ArgParser, BoolAcceptsExplicitValue) {
+  cli::ArgParser args("prog");
+  args.add_bool("flag", true, "");
+  args.parse({"--flag", "false"});
+  EXPECT_FALSE(args.get_bool("flag"));
+}
+
+TEST(ArgParser, DoubleDashEndsFlagParsing) {
+  cli::ArgParser args("prog");
+  args.add_size("n", 1, "");
+  args.parse({"--n", "2", "--", "--n"});
+  EXPECT_EQ(args.get_size("n"), 2u);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "--n");
+}
+
+TEST(ArgParser, Errors) {
+  cli::ArgParser args("prog");
+  args.add_size("count", 7, "").add_string("s", "", "");
+  EXPECT_THROW(args.parse({"--unknown", "1"}), Error);
+  EXPECT_THROW(args.parse({"--count", "notanumber"}), Error);
+  EXPECT_THROW(args.parse({"--count"}), Error);  // missing value
+  EXPECT_THROW((void)args.get_double("count"), Error);  // wrong type
+  EXPECT_THROW((void)args.get_size("missing"), Error);
+  EXPECT_THROW(args.add_size("count", 1, ""), Error);  // duplicate
+}
+
+TEST(ArgParser, UsageListsFlags) {
+  cli::ArgParser args("prog", "description");
+  args.add_size("budget", 100, "evaluation budget");
+  const std::string usage = args.usage();
+  EXPECT_NE(usage.find("prog"), std::string::npos);
+  EXPECT_NE(usage.find("--budget"), std::string::npos);
+  EXPECT_NE(usage.find("evaluation budget"), std::string::npos);
+}
+
+// ------------------------------------------------------------- named tuner
+TEST(NamedTuner, AllNamesConstructWorkingTuners) {
+  auto ds = testutil::separable_dataset();
+  for (const auto& name : eval::tuner_names()) {
+    auto tuner = eval::make_named_tuner(name, ds, 3);
+    const auto c = tuner->suggest();
+    EXPECT_TRUE(ds.find(c).has_value()) << name;
+    tuner->observe(c, ds.value_of(c));
+  }
+  EXPECT_THROW((void)eval::make_named_tuner("bogus", ds, 1), Error);
+}
+
+}  // namespace
+}  // namespace hpb

@@ -1,0 +1,259 @@
+// Tests for the evaluation layer: the §IV-B metrics, the replicated
+// experiment runner, and report formatting.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "baselines/random_search.hpp"
+#include "common/error.hpp"
+#include "core/hiperbot.hpp"
+#include "eval/experiment.hpp"
+#include "eval/methods.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "test_util.hpp"
+
+namespace hpb::eval {
+namespace {
+
+using core::Observation;
+using space::Configuration;
+
+std::vector<Observation> toy_history(
+    const tabular::TabularObjective& ds,
+    const std::vector<std::size_t>& indices) {
+  std::vector<Observation> h;
+  for (std::size_t idx : indices) {
+    h.push_back({ds.config(idx), ds.value(idx)});
+  }
+  return h;
+}
+
+TEST(Metrics, BestOfFirstIsPrefixMinimum) {
+  auto ds = testutil::separable_dataset();
+  std::vector<Observation> h = {{ds.config(0), 5.0},
+                                {ds.config(1), 2.0},
+                                {ds.config(2), 9.0}};
+  EXPECT_DOUBLE_EQ(best_of_first(h, 1), 5.0);
+  EXPECT_DOUBLE_EQ(best_of_first(h, 2), 2.0);
+  EXPECT_DOUBLE_EQ(best_of_first(h, 3), 2.0);
+  EXPECT_DOUBLE_EQ(best_of_first(h, 99), 2.0);  // clamped
+  EXPECT_THROW((void)best_of_first({}, 1), Error);
+}
+
+TEST(Metrics, RecallPercentileCountsGoodPrefix) {
+  auto ds = testutil::separable_dataset();
+  // Indices sorted by value: pick the dataset's best config deliberately.
+  const std::size_t best = ds.best_index();
+  auto h = toy_history(ds, {best});
+  const double ell = 5.0;
+  const double y_ell = ds.percentile_value(ell);
+  const double denom = static_cast<double>(ds.count_leq(y_ell));
+  EXPECT_NEAR(recall_percentile(ds, h, 1, ell), 1.0 / denom, 1e-12);
+}
+
+TEST(Metrics, RecallOneWhenAllGoodSelected) {
+  auto ds = testutil::separable_dataset();
+  const double gamma = 0.5;
+  const double threshold = (1.0 + gamma) * ds.best_value();
+  std::vector<std::size_t> good_rows;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds.value(i) <= threshold) {
+      good_rows.push_back(i);
+    }
+  }
+  ASSERT_FALSE(good_rows.empty());
+  const auto h = toy_history(ds, good_rows);
+  EXPECT_DOUBLE_EQ(recall_tolerance(ds, h, h.size(), gamma), 1.0);
+  EXPECT_DOUBLE_EQ(recall_tolerance_indices(ds, good_rows, gamma), 1.0);
+  EXPECT_EQ(good_case_count(ds, gamma), good_rows.size());
+}
+
+TEST(Metrics, RecallZeroWhenOnlyBadSelected) {
+  auto ds = testutil::separable_dataset();
+  // The worst row cannot be within 5% of the best.
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < ds.size(); ++i) {
+    if (ds.value(i) > ds.value(worst)) {
+      worst = i;
+    }
+  }
+  const auto h = toy_history(ds, {worst});
+  EXPECT_DOUBLE_EQ(recall_tolerance(ds, h, 1, 0.05), 0.0);
+}
+
+TEST(Metrics, RecallPrefixOnlyCountsFirstN) {
+  auto ds = testutil::separable_dataset();
+  const auto h = toy_history(ds, {ds.best_index(), 0});
+  const double r1 = recall_tolerance(ds, h, 1, 0.05);
+  EXPECT_GT(r1, 0.0);
+  // With n = 0 interpreted as empty prefix... n is clamped to history, so
+  // use a worst-first ordering to check prefix semantics instead.
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < ds.size(); ++i) {
+    if (ds.value(i) > ds.value(worst)) {
+      worst = i;
+    }
+  }
+  const auto h2 = toy_history(ds, {worst, ds.best_index()});
+  EXPECT_DOUBLE_EQ(recall_tolerance(ds, h2, 1, 0.05), 0.0);
+  EXPECT_GT(recall_tolerance(ds, h2, 2, 0.05), 0.0);
+}
+
+TEST(Experiment, CurveShapesAndDeterminism) {
+  auto ds = testutil::separable_dataset();
+  SelectionExperimentConfig cfg;
+  cfg.sample_sizes = {5, 10, 20};
+  cfg.reps = 4;
+  cfg.recall_percentile = 10.0;
+  cfg.seed = 77;
+  TunerFactory random = [&](std::uint64_t seed) {
+    return std::make_unique<baselines::RandomSearch>(ds.space_ptr(), seed);
+  };
+  const MethodCurve a = run_selection_experiment(ds, "Random", random, cfg);
+  EXPECT_EQ(a.method, "Random");
+  ASSERT_EQ(a.best_value.size(), 3u);
+  ASSERT_EQ(a.recall.size(), 3u);
+  for (const auto& cell : a.best_value) {
+    EXPECT_EQ(cell.count(), 4u);
+  }
+  // Best value improves (weakly) with more samples.
+  EXPECT_GE(a.best_value[0].mean(), a.best_value[2].mean());
+  // Recall grows (weakly) with more samples.
+  EXPECT_LE(a.recall[0].mean(), a.recall[2].mean());
+  // Deterministic given a seed.
+  const MethodCurve b = run_selection_experiment(ds, "Random", random, cfg);
+  EXPECT_DOUBLE_EQ(a.best_value[1].mean(), b.best_value[1].mean());
+}
+
+TEST(Experiment, RejectsBadConfig) {
+  auto ds = testutil::separable_dataset();
+  TunerFactory random = [&](std::uint64_t seed) {
+    return std::make_unique<baselines::RandomSearch>(ds.space_ptr(), seed);
+  };
+  SelectionExperimentConfig cfg;
+  cfg.sample_sizes = {};
+  EXPECT_THROW((void)run_selection_experiment(ds, "r", random, cfg), Error);
+  cfg.sample_sizes = {1000};  // exceeds the 60-row dataset
+  EXPECT_THROW((void)run_selection_experiment(ds, "r", random, cfg), Error);
+}
+
+TEST(Experiment, RepsFromEnvParsesAndFallsBack) {
+  ::setenv("HPB_REPS", "7", 1);
+  EXPECT_EQ(reps_from_env(20), 7u);
+  ::setenv("HPB_REPS", "garbage", 1);
+  EXPECT_EQ(reps_from_env(20), 20u);
+  ::unsetenv("HPB_REPS");
+  EXPECT_EQ(reps_from_env(20), 20u);
+}
+
+TEST(StandardMethods, ProduceWorkingTunersSharingOnePool) {
+  auto ds = testutil::separable_dataset();
+  const StandardMethods methods = make_standard_methods(ds);
+  EXPECT_EQ(methods.pool->size(), ds.size());
+  EXPECT_EQ(methods.graph->num_nodes(), ds.size());
+  for (const auto& factory :
+       {methods.hiperbot, methods.geist, methods.random}) {
+    auto tuner = factory(5);
+    const auto c = tuner->suggest();
+    EXPECT_TRUE(ds.find(c).has_value());
+    tuner->observe(c, ds.value_of(c));
+  }
+}
+
+TEST(Report, FormatsMeanStd) {
+  stats::RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_EQ(format_mean_std(s), "1.50 ± 0.71");
+  stats::RunningStats big;
+  big.add(1000.0);
+  big.add(1200.0);
+  EXPECT_EQ(format_mean_std(big), "1100 ± 141");
+}
+
+TEST(Report, PrintCurvesContainsMethodsAndHeader) {
+  auto ds = testutil::separable_dataset();
+  SelectionExperimentConfig cfg;
+  cfg.sample_sizes = {6, 12};
+  cfg.reps = 2;
+  TunerFactory random = [&](std::uint64_t seed) {
+    return std::make_unique<baselines::RandomSearch>(ds.space_ptr(), seed);
+  };
+  const std::vector<MethodCurve> curves = {
+      run_selection_experiment(ds, "Random", random, cfg)};
+  std::ostringstream os;
+  print_curves(os, "Toy", curves, ds.size(), ds.best_value(), true);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Toy"), std::string::npos);
+  EXPECT_NE(text.find("Random"), std::string::npos);
+  EXPECT_NE(text.find("Exhaustive"), std::string::npos);
+  EXPECT_NE(text.find("(12)"), std::string::npos);
+  EXPECT_NE(text.find("recall"), std::string::npos);
+}
+
+TEST(Report, WithoutRecallOmitsThatSection) {
+  auto ds = testutil::separable_dataset();
+  SelectionExperimentConfig cfg;
+  cfg.sample_sizes = {6};
+  cfg.reps = 2;
+  TunerFactory random = [&](std::uint64_t seed) {
+    return std::make_unique<baselines::RandomSearch>(ds.space_ptr(), seed);
+  };
+  const std::vector<MethodCurve> curves = {
+      run_selection_experiment(ds, "Random", random, cfg)};
+  std::ostringstream os;
+  print_curves(os, "Toy", curves, ds.size(), /*exhaustive_best=*/-1.0,
+               /*show_recall=*/false);
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("recall"), std::string::npos);
+  EXPECT_EQ(text.find("Exhaustive"), std::string::npos);
+}
+
+TEST(Report, RejectsEmptyOrMismatchedCurves) {
+  std::ostringstream os;
+  EXPECT_THROW(print_curves(os, "x", {}, 10, -1.0, false), Error);
+
+  auto ds = testutil::separable_dataset();
+  TunerFactory random = [&](std::uint64_t seed) {
+    return std::make_unique<baselines::RandomSearch>(ds.space_ptr(), seed);
+  };
+  SelectionExperimentConfig a;
+  a.sample_sizes = {6};
+  a.reps = 1;
+  SelectionExperimentConfig b = a;
+  b.sample_sizes = {6, 12};
+  const std::vector<MethodCurve> mismatched = {
+      run_selection_experiment(ds, "A", random, a),
+      run_selection_experiment(ds, "B", random, b)};
+  EXPECT_THROW(print_curves(os, "x", mismatched, 10, -1.0, false), Error);
+}
+
+TEST(Report, CsvHasRowPerMetricAndCheckpoint) {
+  auto ds = testutil::separable_dataset();
+  SelectionExperimentConfig cfg;
+  cfg.sample_sizes = {6, 12};
+  cfg.reps = 2;
+  TunerFactory random = [&](std::uint64_t seed) {
+    return std::make_unique<baselines::RandomSearch>(ds.space_ptr(), seed);
+  };
+  const std::vector<MethodCurve> curves = {
+      run_selection_experiment(ds, "Random", random, cfg)};
+  const std::string path = ::testing::TempDir() + "/hpb_curves.csv";
+  write_curves_csv(path, curves);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t rows = 0;
+  std::getline(in, line);
+  EXPECT_EQ(line, "method,metric,sample_size,mean,std");
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4u);  // 2 metrics × 2 checkpoints
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hpb::eval

@@ -1,0 +1,195 @@
+// Tests for the GEIST substrate: the Hamming-1 configuration graph and
+// CAMLP label propagation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/camlp.hpp"
+#include "baselines/config_graph.hpp"
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace hpb::baselines {
+namespace {
+
+using space::Configuration;
+using space::Parameter;
+using space::ParameterSpace;
+
+TEST(ConfigGraph, DegreesMatchHammingNeighborCounts) {
+  const auto sp = testutil::small_discrete_space();
+  const auto pool = sp->enumerate();
+  const ConfigGraph g(*sp, pool);
+  ASSERT_EQ(g.num_nodes(), 60u);
+  // Unconstrained cross product: every node has Σ (levels_i − 1) neighbors.
+  const std::size_t expected = (4 - 1) + (3 - 1) + (5 - 1);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    EXPECT_EQ(g.degree(i), expected);
+  }
+  EXPECT_EQ(g.num_edges(), 60u * expected / 2);
+}
+
+TEST(ConfigGraph, NeighborsDifferInExactlyOneParameter) {
+  const auto sp = testutil::small_discrete_space();
+  const auto pool = sp->enumerate();
+  const ConfigGraph g(*sp, pool);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    for (std::uint32_t j : g.neighbors(i)) {
+      std::size_t diffs = 0;
+      for (std::size_t p = 0; p < sp->num_params(); ++p) {
+        diffs += (pool[i].level(p) != pool[j].level(p)) ? 1 : 0;
+      }
+      EXPECT_EQ(diffs, 1u);
+    }
+  }
+}
+
+TEST(ConfigGraph, ConstrainedPoolOmitsInvalidNeighbors) {
+  auto sp = std::make_shared<ParameterSpace>();
+  sp->add(Parameter::integer("a", 0, 2));
+  sp->add(Parameter::integer("b", 0, 2));
+  sp->add_constraint(
+      [](const ParameterSpace&, const Configuration& c) {
+        return c.level(0) + c.level(1) <= 2;
+      },
+      "");
+  const auto pool = sp->enumerate();  // 6 configs
+  ASSERT_EQ(pool.size(), 6u);
+  const ConfigGraph g(*sp, pool);
+  // Node (0,0): neighbors (1,0), (2,0), (0,1), (0,2) — all valid → degree 4.
+  const Configuration origin({0, 0});
+  std::size_t origin_idx = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool[i] == origin) {
+      origin_idx = i;
+    }
+  }
+  EXPECT_EQ(g.degree(origin_idx), 4u);
+  // Node (2,0): in-space neighbors are (0,0), (1,0) — (2,1) and (2,2)
+  // violate the constraint → degree 2.
+  const Configuration corner({2, 0});
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool[i] == corner) {
+      EXPECT_EQ(g.degree(i), 2u);
+    }
+  }
+}
+
+TEST(ConfigGraph, RejectsDuplicatesAndEmpty) {
+  const auto sp = testutil::small_discrete_space();
+  auto pool = sp->enumerate();
+  pool.push_back(pool.front());
+  EXPECT_THROW(ConfigGraph(*sp, pool), Error);
+  EXPECT_THROW(ConfigGraph(*sp, std::vector<Configuration>{}), Error);
+}
+
+// ------------------------------------------------------------------- CAMLP
+/// A genuine Hamming-1 *path* of 2k+1 nodes: configurations (a, a) and
+/// (a, a+1) over two integer parameters. Consecutive nodes differ in
+/// exactly one parameter, non-consecutive in two — a zigzag path. (Note a
+/// single-parameter space would give a *complete* graph, since any two
+/// levels differ in exactly that one parameter.)
+ConfigGraph zigzag_path(std::size_t k) {
+  auto sp = std::make_shared<ParameterSpace>();
+  sp->add(Parameter::integer("a", 0, static_cast<std::int64_t>(k)));
+  sp->add(Parameter::integer("b", 0, static_cast<std::int64_t>(k)));
+  sp->add_constraint(
+      [](const ParameterSpace&, const Configuration& c) {
+        return c.level(1) == c.level(0) || c.level(1) == c.level(0) + 1;
+      },
+      "zigzag");
+  const auto pool = sp->enumerate();  // ordinal order == path order
+  return ConfigGraph(*sp, pool);
+}
+
+TEST(Camlp, ZigzagIsAPath) {
+  const ConfigGraph g = zigzag_path(10);
+  ASSERT_EQ(g.num_nodes(), 21u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(20), 1u);
+  for (std::size_t i = 1; i < 20; ++i) {
+    EXPECT_EQ(g.degree(i), 2u);
+  }
+}
+
+TEST(Camlp, SingleParameterSpaceGivesCompleteGraph) {
+  auto sp = std::make_shared<ParameterSpace>();
+  sp->add(Parameter::integer("i", 0, 9));
+  const ConfigGraph g(*sp, sp->enumerate());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(g.degree(i), 9u);
+  }
+}
+
+TEST(Camlp, UnlabeledGraphStaysUniform) {
+  const ConfigGraph g = zigzag_path(5);
+  Labels labels(g.num_nodes(), -1);
+  const auto beliefs = camlp_propagate(g, labels, {});
+  for (double b : beliefs) {
+    EXPECT_NEAR(b, 0.5, 1e-9);
+  }
+}
+
+TEST(Camlp, BeliefsStayInUnitInterval) {
+  const ConfigGraph g = zigzag_path(10);
+  Labels labels(g.num_nodes(), -1);
+  labels[0] = 1;
+  labels[20] = 0;
+  CamlpConfig cfg;
+  cfg.beta = 1.0;
+  cfg.max_iters = 100;
+  const auto beliefs = camlp_propagate(g, labels, cfg);
+  for (double b : beliefs) {
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+}
+
+TEST(Camlp, LabeledEndsPullTheirNeighborhoods) {
+  const ConfigGraph g = zigzag_path(10);  // 21 nodes
+  Labels labels(21, -1);
+  labels[0] = 1;   // good end
+  labels[20] = 0;  // bad end
+  CamlpConfig cfg;
+  cfg.beta = 1.0;
+  cfg.max_iters = 500;
+  cfg.tolerance = 1e-12;
+  const auto beliefs = camlp_propagate(g, labels, cfg);
+  EXPECT_GT(beliefs[1], beliefs[19]);
+  EXPECT_GT(beliefs[0], 0.5);
+  EXPECT_LT(beliefs[20], 0.5);
+  // Monotone decay along the path from the good end to the bad end.
+  for (std::size_t i = 1; i <= 20; ++i) {
+    EXPECT_LE(beliefs[i], beliefs[i - 1] + 1e-9);
+  }
+}
+
+TEST(Camlp, HigherBetaSpreadsLabelsFurther) {
+  const ConfigGraph g = zigzag_path(7);  // 15 nodes
+  Labels labels(15, -1);
+  labels[0] = 1;
+  CamlpConfig weak;
+  weak.beta = 0.01;
+  weak.max_iters = 500;
+  weak.tolerance = 1e-14;
+  CamlpConfig strong = weak;
+  strong.beta = 1.0;
+  const auto b_weak = camlp_propagate(g, labels, weak);
+  const auto b_strong = camlp_propagate(g, labels, strong);
+  // Mid-path node learns more about the distant label with stronger
+  // propagation.
+  EXPECT_GT(b_strong[7] - 0.5, b_weak[7] - 0.5);
+}
+
+TEST(Camlp, ValidatesInput) {
+  const ConfigGraph g = zigzag_path(2);
+  Labels wrong_size(4, -1);
+  EXPECT_THROW((void)camlp_propagate(g, wrong_size, {}), Error);
+  Labels ok(5, -1);
+  CamlpConfig bad;
+  bad.beta = 0.0;
+  EXPECT_THROW((void)camlp_propagate(g, ok, bad), Error);
+}
+
+}  // namespace
+}  // namespace hpb::baselines

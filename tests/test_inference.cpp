@@ -1,0 +1,126 @@
+// Tests for stats::inference: bootstrap confidence intervals, the
+// Mann–Whitney U test, and the empirical CDF.
+#include "stats/inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpb::stats {
+namespace {
+
+TEST(Bootstrap, CiContainsMeanAndIsDeterministic) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 40; ++i) {
+    values.push_back(rng.normal(10.0, 2.0));
+  }
+  const auto ci = bootstrap_mean_ci(values, 0.95);
+  double mean = 0.0;
+  for (double v : values) {
+    mean += v;
+  }
+  mean /= static_cast<double>(values.size());
+  EXPECT_LT(ci.lo, mean);
+  EXPECT_GT(ci.hi, mean);
+  EXPECT_NEAR(ci.level, 0.95, 1e-12);
+  const auto again = bootstrap_mean_ci(values, 0.95);
+  EXPECT_DOUBLE_EQ(ci.lo, again.lo);
+  EXPECT_DOUBLE_EQ(ci.hi, again.hi);
+}
+
+TEST(Bootstrap, WiderLevelGivesWiderInterval) {
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 30; ++i) {
+    values.push_back(rng.normal(0.0, 1.0));
+  }
+  const auto ci90 = bootstrap_mean_ci(values, 0.90);
+  const auto ci99 = bootstrap_mean_ci(values, 0.99);
+  EXPECT_LT(ci99.lo, ci90.lo);
+  EXPECT_GT(ci99.hi, ci90.hi);
+}
+
+TEST(Bootstrap, IntervalShrinksWithSampleSize) {
+  Rng rng(3);
+  std::vector<double> small, large;
+  for (int i = 0; i < 10; ++i) {
+    small.push_back(rng.normal(5.0, 1.0));
+  }
+  for (int i = 0; i < 640; ++i) {
+    large.push_back(rng.normal(5.0, 1.0));
+  }
+  const auto ci_small = bootstrap_mean_ci(small);
+  const auto ci_large = bootstrap_mean_ci(large);
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(Bootstrap, Validation) {
+  std::vector<double> one = {1.0};
+  EXPECT_THROW((void)bootstrap_mean_ci({}, 0.95), Error);
+  EXPECT_THROW((void)bootstrap_mean_ci(one, 1.5), Error);
+  EXPECT_THROW((void)bootstrap_mean_ci(one, 0.95, 10), Error);
+}
+
+TEST(MannWhitney, ClearSeparationIsSignificant) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(1.0 + 0.01 * i);   // much smaller
+    b.push_back(10.0 + 0.01 * i);  // much larger
+  }
+  const auto result = mann_whitney_u(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_NEAR(result.effect_size, 0.0, 1e-12);  // every a < every b
+}
+
+TEST(MannWhitney, IdenticalDistributionsNotSignificant) {
+  Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.normal());
+    b.push_back(rng.normal());
+  }
+  const auto result = mann_whitney_u(a, b);
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_NEAR(result.effect_size, 0.5, 0.2);
+}
+
+TEST(MannWhitney, SymmetricInPValue) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {3, 4, 5, 6, 7};
+  const auto ab = mann_whitney_u(a, b);
+  const auto ba = mann_whitney_u(b, a);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_NEAR(ab.effect_size + ba.effect_size, 1.0, 1e-12);
+}
+
+TEST(MannWhitney, HandlesTiesWithMidranks) {
+  std::vector<double> a = {1, 1, 2, 2};
+  std::vector<double> b = {1, 2, 2, 3};
+  const auto result = mann_whitney_u(a, b);
+  EXPECT_GE(result.p_value, 0.0);
+  EXPECT_LE(result.p_value, 1.0);
+  EXPECT_LT(result.effect_size, 0.5);  // a tends smaller
+}
+
+TEST(MannWhitney, Validation) {
+  std::vector<double> one = {1.0};
+  std::vector<double> two = {1.0, 2.0};
+  std::vector<double> constant = {3.0, 3.0};
+  EXPECT_THROW((void)mann_whitney_u(one, two), Error);
+  EXPECT_THROW((void)mann_whitney_u(constant, constant), Error);
+}
+
+TEST(Ecdf, StepsThroughSortedValues) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ecdf(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(v, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(ecdf(v, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(v, 100.0), 1.0);
+  EXPECT_THROW((void)ecdf({}, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace hpb::stats

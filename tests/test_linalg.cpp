@@ -1,0 +1,199 @@
+// Unit and property tests for the dense linear algebra kernels.
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpb::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.flat()) {
+    v = rng.normal();
+  }
+  return m;
+}
+
+/// Random SPD matrix A = B Bᵀ + n·I.
+Matrix random_spd(std::size_t n, Rng& rng) {
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = dot(b.row(i), b.row(j));
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+TEST(Matrix, IndexingIsRowMajor) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 3;
+  m(1, 1) = 5;
+  EXPECT_DOUBLE_EQ(m.flat()[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.flat()[2], 3.0);
+  EXPECT_DOUBLE_EQ(m.flat()[4], 5.0);
+  EXPECT_EQ(m.row(1).size(), 3u);
+}
+
+TEST(Matvec, KnownValues) {
+  Matrix a(2, 3);
+  // [1 2 3; 4 5 6] * [1 1 1]^T = [6 15]
+  double v = 1.0;
+  for (double& x : a.flat()) {
+    x = v++;
+  }
+  const Vector x = {1.0, 1.0, 1.0};
+  const Vector y = matvec(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matvec, TransposedAgreesWithExplicitTranspose) {
+  Rng rng(1);
+  const Matrix a = random_matrix(4, 6, rng);
+  Vector x(4);
+  for (double& v : x) {
+    v = rng.normal();
+  }
+  const Vector y = matvec_transposed(a, x);
+  // Compare against transpose-then-matvec.
+  Matrix at(6, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      at(j, i) = a(i, j);
+    }
+  }
+  const Vector y2 = matvec(at, x);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(y[i], y2[i], 1e-12);
+  }
+}
+
+TEST(Matmul, AgreesWithNaive) {
+  Rng rng(2);
+  const Matrix a = random_matrix(3, 5, rng);
+  const Matrix b = random_matrix(5, 4, rng);
+  const Matrix c = matmul(a, b);
+  ASSERT_EQ(c.rows(), 3u);
+  ASSERT_EQ(c.cols(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < 5; ++k) {
+        acc += a(i, k) * b(k, j);
+      }
+      EXPECT_NEAR(c(i, j), acc, 1e-12);
+    }
+  }
+}
+
+TEST(Matmul, DimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW((void)matmul(a, b), Error);
+  Vector x(2);
+  EXPECT_THROW((void)matvec(a, x), Error);
+}
+
+TEST(Dot, BasicAndMismatch) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const Vector c = {1, 2};
+  EXPECT_THROW((void)dot(a, c), Error);
+  EXPECT_DOUBLE_EQ(norm2(b), std::sqrt(77.0));
+}
+
+class CholeskySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskySizes, FactorReconstructsMatrix) {
+  Rng rng(GetParam());
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, rng);
+  const Matrix l = cholesky(a);
+  // L Lᵀ == A and L is lower triangular.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j > i) {
+        EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+      }
+      double acc = 0.0;
+      for (std::size_t k = 0; k <= std::min(i, j); ++k) {
+        acc += l(i, k) * l(j, k);
+      }
+      EXPECT_NEAR(acc, a(i, j), 1e-8 * (1.0 + std::abs(a(i, j))));
+    }
+  }
+}
+
+TEST_P(CholeskySizes, SolveRecoversKnownSolution) {
+  Rng rng(GetParam() + 100);
+  const std::size_t n = GetParam();
+  const Matrix a = random_spd(n, rng);
+  Vector x_true(n);
+  for (double& v : x_true) {
+    v = rng.normal();
+  }
+  const Vector b = matvec(a, x_true);
+  const Matrix l = cholesky(a);
+  const Vector x = cholesky_solve(l, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizes,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW((void)cholesky(a), Error);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW((void)cholesky(Matrix(2, 3)), Error);
+}
+
+TEST(Cholesky, LogDetMatchesDiagonalProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(1, 1) = 9.0;
+  const Matrix l = cholesky(a);
+  EXPECT_NEAR(cholesky_logdet(l), std::log(36.0), 1e-12);
+}
+
+TEST(TriangularSolves, ForwardAndBackward) {
+  Matrix l(2, 2);
+  l(0, 0) = 2.0;
+  l(1, 0) = 1.0;
+  l(1, 1) = 3.0;
+  const Vector b = {4.0, 11.0};
+  const Vector y = solve_lower(l, b);  // y = [2, 3]
+  EXPECT_NEAR(y[0], 2.0, 1e-12);
+  EXPECT_NEAR(y[1], 3.0, 1e-12);
+  const Vector x = solve_lower_transposed(l, b);  // Lᵀ x = b
+  EXPECT_NEAR(x[1], 11.0 / 3.0, 1e-12);
+  EXPECT_NEAR(x[0], (4.0 - x[1]) / 2.0, 1e-12);
+}
+
+TEST(Axpy, AccumulatesInPlace) {
+  const Vector x = {1.0, 2.0};
+  Vector y = {10.0, 20.0};
+  axpy(0.5, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 10.5);
+  EXPECT_DOUBLE_EQ(y[1], 21.0);
+}
+
+}  // namespace
+}  // namespace hpb::linalg

@@ -1,0 +1,175 @@
+// Tests for the minimal MLP: gradient checking against finite differences,
+// training convergence, and parameter round-trips.
+#include "nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpb::nn {
+namespace {
+
+TEST(Mlp, ConstructionAndSizes) {
+  Rng rng(1);
+  Mlp net({3, 5, 2}, rng);
+  EXPECT_EQ(net.input_size(), 3u);
+  EXPECT_EQ(net.output_size(), 2u);
+  EXPECT_EQ(net.num_parameters(), 3u * 5u + 5u + 5u * 2u + 2u);
+}
+
+TEST(Mlp, RejectsDegenerateShapes) {
+  Rng rng(1);
+  EXPECT_THROW(Mlp({3}, rng), Error);
+  EXPECT_THROW(Mlp({3, 0, 1}, rng), Error);
+}
+
+TEST(Mlp, ForwardValidatesInputSize) {
+  Rng rng(1);
+  Mlp net({3, 4, 1}, rng);
+  std::vector<double> wrong = {1.0, 2.0};
+  EXPECT_THROW((void)net.forward(wrong), Error);
+  std::vector<double> ok = {1.0, 2.0, 3.0};
+  EXPECT_EQ(net.forward(ok).size(), 1u);
+}
+
+TEST(Mlp, PredictRequiresScalarOutput) {
+  Rng rng(1);
+  Mlp net({2, 3, 2}, rng);
+  std::vector<double> x = {0.5, 0.5};
+  EXPECT_THROW((void)net.predict(x), Error);
+}
+
+TEST(Mlp, ParameterRoundTrip) {
+  Rng rng(2);
+  Mlp net({4, 6, 3, 1}, rng);
+  const auto flat = net.flatten_parameters();
+  ASSERT_EQ(flat.size(), net.num_parameters());
+  Mlp other({4, 6, 3, 1}, rng);  // different init
+  other.set_parameters(flat);
+  std::vector<double> x = {0.1, -0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(net.predict(x), other.predict(x));
+  std::vector<double> wrong(flat.size() - 1);
+  EXPECT_THROW(other.set_parameters(wrong), Error);
+}
+
+class MlpGradientCheck
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(MlpGradientCheck, AnalyticMatchesFiniteDifference) {
+  Rng rng(42);
+  Mlp net(GetParam(), rng);
+  const std::size_t in = GetParam().front();
+  const std::size_t out = GetParam().back();
+  std::vector<double> x(in), y(out);
+  for (double& v : x) {
+    v = rng.normal();
+  }
+  for (double& v : y) {
+    v = rng.normal();
+  }
+  const auto [loss, grad] = net.loss_and_gradient(x, y);
+  EXPECT_GE(loss, 0.0);
+
+  auto params = net.flatten_parameters();
+  constexpr double kEps = 1e-6;
+  // Spot-check a spread of parameters (checking all is O(P²) work).
+  for (std::size_t k = 0; k < params.size(); k += 7) {
+    const double saved = params[k];
+    params[k] = saved + kEps;
+    net.set_parameters(params);
+    const double loss_plus = net.loss_and_gradient(x, y).first;
+    params[k] = saved - kEps;
+    net.set_parameters(params);
+    const double loss_minus = net.loss_and_gradient(x, y).first;
+    params[k] = saved;
+    net.set_parameters(params);
+    const double numeric = (loss_plus - loss_minus) / (2.0 * kEps);
+    EXPECT_NEAR(grad[k], numeric, 1e-5 * (1.0 + std::abs(numeric)))
+        << "param " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MlpGradientCheck,
+    ::testing::Values(std::vector<std::size_t>{2, 1},
+                      std::vector<std::size_t>{3, 4, 1},
+                      std::vector<std::size_t>{5, 8, 4, 1},
+                      std::vector<std::size_t>{4, 6, 2}));
+
+TEST(Mlp, LearnsLinearFunction) {
+  Rng rng(3);
+  Mlp net({2, 16, 1}, rng);
+  constexpr std::size_t kN = 128;
+  linalg::Matrix x(kN, 2);
+  std::vector<double> y(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    x(i, 0) = rng.uniform(-1.0, 1.0);
+    x(i, 1) = rng.uniform(-1.0, 1.0);
+    y[i] = 2.0 * x(i, 0) - 3.0 * x(i, 1) + 0.5;
+  }
+  TrainConfig cfg;
+  cfg.epochs = 200;
+  cfg.batch_size = 16;
+  cfg.adam.learning_rate = 5e-3;
+  const double initial = net.evaluate_loss(x, y);
+  net.fit(x, y, cfg, rng);
+  const double final_loss = net.evaluate_loss(x, y);
+  EXPECT_LT(final_loss, 0.05 * initial);
+  EXPECT_LT(final_loss, 0.02);
+}
+
+TEST(Mlp, LearnsNonlinearFunction) {
+  Rng rng(4);
+  Mlp net({1, 24, 24, 1}, rng);
+  constexpr std::size_t kN = 200;
+  linalg::Matrix x(kN, 1);
+  std::vector<double> y(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    x(i, 0) = rng.uniform(-2.0, 2.0);
+    y[i] = std::abs(x(i, 0));  // ReLU-friendly kink
+  }
+  TrainConfig cfg;
+  cfg.epochs = 300;
+  cfg.batch_size = 25;
+  cfg.adam.learning_rate = 5e-3;
+  net.fit(x, y, cfg, rng);
+  EXPECT_LT(net.evaluate_loss(x, y), 0.01);
+}
+
+TEST(Mlp, TrainEpochValidatesShapes) {
+  Rng rng(5);
+  Mlp net({2, 3, 1}, rng);
+  linalg::Matrix x(4, 3);  // wrong feature width
+  std::vector<double> y(4);
+  TrainConfig cfg;
+  EXPECT_THROW((void)net.train_epoch(x, y, cfg, rng), Error);
+  linalg::Matrix x2(4, 2);
+  std::vector<double> y2(3);  // wrong target count
+  EXPECT_THROW((void)net.train_epoch(x2, y2, cfg, rng), Error);
+}
+
+TEST(Mlp, LossDecreasesAcrossEpochs) {
+  Rng rng(6);
+  Mlp net({3, 12, 1}, rng);
+  constexpr std::size_t kN = 64;
+  linalg::Matrix x(kN, 3);
+  std::vector<double> y(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      x(i, j) = rng.normal();
+    }
+    y[i] = x(i, 0) * x(i, 1) + x(i, 2);
+  }
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  const double before = net.evaluate_loss(x, y);
+  for (int e = 0; e < 60; ++e) {
+    (void)net.train_epoch(x, y, cfg, rng);
+  }
+  EXPECT_LT(net.evaluate_loss(x, y), before);
+}
+
+}  // namespace
+}  // namespace hpb::nn

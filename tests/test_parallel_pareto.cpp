@@ -1,0 +1,225 @@
+// Tests for the thread pool, the parallel experiment runner's determinism,
+// the Pareto utilities, and the bi-objective Kripke dataset.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "apps/kripke.hpp"
+#include "baselines/random_search.hpp"
+#include "common/thread_pool.hpp"
+#include "eval/experiment.hpp"
+#include "eval/pareto.hpp"
+#include "test_util.hpp"
+
+namespace hpb {
+namespace {
+
+// -------------------------------------------------------------- ThreadPool
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit({}), Error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_indexed(&pool, hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, NullPoolRunsSeriallyInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_indexed(nullptr, 10, [&](std::size_t i) {
+    order.push_back(i);
+  });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for_indexed(&pool, 8,
+                                    [&](std::size_t i) {
+                                      if (i == 3) {
+                                        throw Error("boom");
+                                      }
+                                    }),
+               Error);
+  // Pool remains usable afterwards.
+  std::atomic<int> counter{0};
+  parallel_for_indexed(&pool, 4, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ParallelFor, ExperimentResultsIdenticalToSerial) {
+  auto ds = testutil::separable_dataset();
+  eval::TunerFactory random = [&](std::uint64_t seed) {
+    return std::make_unique<baselines::RandomSearch>(ds.space_ptr(), seed);
+  };
+  eval::SelectionExperimentConfig config;
+  config.sample_sizes = {8, 16, 30};
+  config.reps = 6;
+  config.seed = 99;
+
+  const auto serial = eval::run_selection_experiment(ds, "r", random, config);
+  ThreadPool pool(3);
+  config.pool = &pool;
+  const auto parallel = eval::run_selection_experiment(ds, "r", random,
+                                                       config);
+  for (std::size_t k = 0; k < config.sample_sizes.size(); ++k) {
+    EXPECT_DOUBLE_EQ(serial.best_value[k].mean(),
+                     parallel.best_value[k].mean());
+    EXPECT_DOUBLE_EQ(serial.best_value[k].stddev(),
+                     parallel.best_value[k].stddev());
+    EXPECT_DOUBLE_EQ(serial.recall[k].mean(), parallel.recall[k].mean());
+  }
+}
+
+// ------------------------------------------------------------------ Pareto
+TEST(Pareto, FrontOfStaircase) {
+  //      f2
+  //  (1,5) (2,3) (3,4) (4,1): (3,4) is dominated by (2,3).
+  std::vector<double> f1 = {1, 2, 3, 4};
+  std::vector<double> f2 = {5, 3, 4, 1};
+  const auto front = eval::pareto_front(f1, f2);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0], 0u);
+  EXPECT_EQ(front[1], 1u);
+  EXPECT_EQ(front[2], 3u);
+}
+
+TEST(Pareto, SinglePointAndDominatedDuplicates) {
+  std::vector<double> one = {2.0};
+  EXPECT_EQ(eval::pareto_front(one, one).size(), 1u);
+  std::vector<double> f1 = {1, 1, 2};
+  std::vector<double> f2 = {1, 1, 2};
+  const auto front = eval::pareto_front(f1, f2);
+  EXPECT_EQ(front.size(), 2u);  // both (1,1) duplicates kept, (2,2) out
+}
+
+TEST(Pareto, FrontMembersAreMutuallyNonDominated) {
+  Rng rng(1);
+  std::vector<double> f1(200), f2(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    f1[i] = rng.uniform();
+    f2[i] = rng.uniform();
+  }
+  const auto front = eval::pareto_front(f1, f2);
+  for (std::size_t a : front) {
+    for (std::size_t b : front) {
+      if (a == b) {
+        continue;
+      }
+      const bool dominates = f1[a] <= f1[b] && f2[a] <= f2[b] &&
+                             (f1[a] < f1[b] || f2[a] < f2[b]);
+      EXPECT_FALSE(dominates);
+    }
+  }
+  // Every non-front point is dominated by some front point.
+  for (std::size_t i = 0; i < 200; ++i) {
+    if (std::find(front.begin(), front.end(), i) != front.end()) {
+      continue;
+    }
+    bool dominated = false;
+    for (std::size_t a : front) {
+      if (f1[a] <= f1[i] && f2[a] <= f2[i]) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated) << i;
+  }
+}
+
+TEST(Pareto, HypervolumeKnownValues) {
+  std::vector<double> f1 = {1.0};
+  std::vector<double> f2 = {1.0};
+  EXPECT_DOUBLE_EQ(eval::hypervolume_2d(f1, f2, 3.0, 3.0), 4.0);
+  std::vector<double> g1 = {1.0, 2.0};
+  std::vector<double> g2 = {2.0, 1.0};
+  EXPECT_DOUBLE_EQ(eval::hypervolume_2d(g1, g2, 3.0, 3.0), 3.0);
+  // Points beyond the reference contribute nothing.
+  std::vector<double> h1 = {5.0};
+  std::vector<double> h2 = {5.0};
+  EXPECT_DOUBLE_EQ(eval::hypervolume_2d(h1, h2, 3.0, 3.0), 0.0);
+}
+
+TEST(Pareto, HypervolumeMonotoneInPoints) {
+  std::vector<double> f1 = {1.0, 2.0};
+  std::vector<double> f2 = {2.0, 1.0};
+  const double base = eval::hypervolume_2d(f1, f2, 4.0, 4.0);
+  f1.push_back(0.5);
+  f2.push_back(3.0);  // new non-dominated point
+  EXPECT_GT(eval::hypervolume_2d(f1, f2, 4.0, 4.0), base);
+}
+
+// ---------------------------------------------------- bi-objective dataset
+TEST(KripkeTimeEnergy, ObjectivesShareTheSpaceAndTradeOff) {
+  const auto datasets = apps::make_kripke_time_energy();
+  EXPECT_EQ(&datasets.time.space(), &datasets.energy.space());
+  EXPECT_EQ(datasets.time.size(), datasets.energy.size());
+
+  // The time-optimal and energy-optimal configurations differ (otherwise
+  // there is no tradeoff to explore).
+  EXPECT_NE(datasets.time.space().ordinal_of(datasets.time.best_config()),
+            datasets.energy.space().ordinal_of(datasets.energy.best_config()));
+
+  // The exact front has more than one point and bounded size.
+  std::vector<double> t, e;
+  for (std::size_t i = 0; i < datasets.time.size(); ++i) {
+    t.push_back(datasets.time.value(i));
+    e.push_back(datasets.energy.value_of(datasets.time.config(i)));
+  }
+  const auto front = eval::pareto_front(t, e);
+  EXPECT_GT(front.size(), 1u);
+  EXPECT_LT(front.size(), 100u);
+}
+
+TEST(KripkeTimeEnergy, PowerCapDrivesTheTradeoff) {
+  // Mean time decreases and mean energy increases along the PKG_LIMIT
+  // axis (higher cap = faster but hungrier).
+  const auto datasets = apps::make_kripke_time_energy();
+  const auto& sp = datasets.time.space();
+  const std::size_t i_pkg = sp.index_of("PKG_LIMIT");
+  const std::size_t levels = sp.param(i_pkg).num_levels();
+  std::vector<double> mean_t(levels, 0.0), mean_e(levels, 0.0);
+  std::vector<std::size_t> count(levels, 0);
+  for (std::size_t i = 0; i < datasets.time.size(); ++i) {
+    const std::size_t l = datasets.time.config(i).level(i_pkg);
+    mean_t[l] += datasets.time.value(i);
+    mean_e[l] += datasets.energy.value_of(datasets.time.config(i));
+    ++count[l];
+  }
+  for (std::size_t l = 0; l < levels; ++l) {
+    mean_t[l] /= static_cast<double>(count[l]);
+    mean_e[l] /= static_cast<double>(count[l]);
+  }
+  EXPECT_GT(mean_t.front(), mean_t.back());  // 50 W slower than 150 W
+  EXPECT_LT(mean_e.front(), mean_e.back());  // ... but cheaper in energy
+}
+
+}  // namespace
+}  // namespace hpb

@@ -1,0 +1,184 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace hpb {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(SplitMix64, MixesNearbyInputs) {
+  // Consecutive inputs must produce outputs differing in many bits.
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    const std::uint64_t diff = splitmix64(x) ^ splitmix64(x + 1);
+    EXPECT_GE(std::popcount(diff), 10u) << "x=" << x;
+  }
+}
+
+TEST(HashToUnit, InHalfOpenUnitInterval) {
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const double u = hash_to_unit(splitmix64(k));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HashToNormal, MatchesStandardNormalMoments) {
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 20000;
+  for (int k = 0; k < kN; ++k) {
+    const double z = hash_to_normal(static_cast<std::uint64_t>(k) * 2654435761u);
+    sum += z;
+    sum2 += z * z;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng a(7);
+  Rng child = a.split();
+  // The child stream must not replay the parent's next outputs.
+  Rng a2(7);
+  (void)a2.split();
+  EXPECT_EQ(a.next_u64(), a2.next_u64());  // parent unaffected determinism
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(5.0, 2.0), Error);
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng rng(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t v = rng.index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, IndexZeroThrows) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.index(0), Error);
+}
+
+TEST(Rng, IntegerInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.integer(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal(3.0, 2.0);
+    sum += z;
+    sum2 += z * z;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 3.0, 0.06);
+  EXPECT_NEAR(sum2 / kN - mean * mean, 4.0, 0.15);
+}
+
+TEST(Rng, NormalNegativeStddevThrows) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), Error);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.categorical(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.categorical({}), Error);
+  EXPECT_THROW((void)rng.categorical({0.0, 0.0}), Error);
+  EXPECT_THROW((void)rng.categorical({1.0, -1.0}), Error);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(20, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (std::size_t v : sample) {
+      EXPECT_LT(v, 20u);
+    }
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSetIsPermutation) {
+  Rng rng(19);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sample[i], i);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsKGreaterThanN) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4), Error);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+}  // namespace
+}  // namespace hpb

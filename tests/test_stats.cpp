@@ -1,0 +1,352 @@
+// Unit and property tests for hpb::stats: quantiles, histogram densities,
+// KDE, divergences, and running summary statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/divergence.hpp"
+#include "stats/histogram.hpp"
+#include "stats/kde.hpp"
+#include "stats/quantile.hpp"
+#include "stats/summary.hpp"
+
+namespace hpb::stats {
+namespace {
+
+// ---------------------------------------------------------------- quantile
+TEST(Quantile, Median) {
+  std::vector<double> v = {5, 1, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Quantile, Extremes) {
+  std::vector<double> v = {4, 2, 9, 7};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(Quantile, SingleElement) {
+  std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.3), 42.0);
+}
+
+TEST(Quantile, RejectsEmptyAndBadAlpha) {
+  std::vector<double> v = {1.0};
+  EXPECT_THROW((void)quantile({}, 0.5), Error);
+  EXPECT_THROW((void)quantile(v, -0.1), Error);
+  EXPECT_THROW((void)quantile(v, 1.1), Error);
+}
+
+TEST(Quantile, MonotoneInAlpha) {
+  Rng rng(1);
+  std::vector<double> v(37);
+  for (double& x : v) {
+    x = rng.normal();
+  }
+  double prev = quantile(v, 0.0);
+  for (double a = 0.05; a <= 1.0; a += 0.05) {
+    const double q = quantile(v, a);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(SplitThreshold, PutsAlphaFractionBelow) {
+  std::vector<double> v(100);
+  std::iota(v.begin(), v.end(), 0.0);
+  const double thr = split_threshold(v, 0.2);
+  EXPECT_EQ(count_below(v, thr), 20u);
+}
+
+TEST(SplitThreshold, AlwaysLeavesAtLeastOneGoodAndOneBad) {
+  std::vector<double> v = {3.0, 1.0};
+  const double thr = split_threshold(v, 0.01);
+  EXPECT_EQ(count_below(v, thr), 1u);
+  const double thr_hi = split_threshold(v, 0.99);
+  EXPECT_EQ(count_below(v, thr_hi), 1u);
+}
+
+TEST(SmallestK, ReturnsAscendingIndices) {
+  std::vector<double> v = {5.0, 1.0, 4.0, 2.0, 3.0};
+  const auto idx = smallest_k_indices(v, 3);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_EQ(idx[2], 4u);
+}
+
+// --------------------------------------------------------------- histogram
+TEST(Histogram, SmoothedProbabilitiesSumToOne) {
+  HistogramDensity h(5, 0.5);
+  h.add(0);
+  h.add(0);
+  h.add(3);
+  const auto probs = h.probabilities();
+  EXPECT_NEAR(std::accumulate(probs.begin(), probs.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Histogram, UnseenLevelsKeepNonzeroMass) {
+  HistogramDensity h(4, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    h.add(2);
+  }
+  EXPECT_GT(h.pmf(0), 0.0);
+  EXPECT_GT(h.pmf(2), h.pmf(0));
+}
+
+TEST(Histogram, ConvergesToEmpiricalFrequencies) {
+  HistogramDensity h(2, 1.0);
+  for (int i = 0; i < 3000; ++i) {
+    h.add(i % 3 == 0 ? 0 : 1);  // 1/3 vs 2/3
+  }
+  EXPECT_NEAR(h.pmf(0), 1.0 / 3.0, 0.01);
+  EXPECT_NEAR(h.pmf(1), 2.0 / 3.0, 0.01);
+}
+
+TEST(Histogram, WeightedAdds) {
+  HistogramDensity h(2, 1e-9);
+  h.add(0, 3.0);
+  h.add(1, 1.0);
+  EXPECT_NEAR(h.pmf(0), 0.75, 1e-6);
+}
+
+TEST(Histogram, MixInActsAsWeightedPrior) {
+  HistogramDensity prior(3, 1e-9);
+  prior.add(0, 10.0);
+  HistogramDensity h(3, 1e-9);
+  h.add(2, 10.0);
+  h.mix_in(prior, 1.0);
+  EXPECT_NEAR(h.pmf(0), 0.5, 1e-6);
+  EXPECT_NEAR(h.pmf(2), 0.5, 1e-6);
+  // Zero weight leaves it untouched.
+  HistogramDensity h2(3, 1e-9);
+  h2.add(2, 10.0);
+  h2.mix_in(prior, 0.0);
+  EXPECT_NEAR(h2.pmf(2), 1.0, 1e-6);
+}
+
+TEST(Histogram, Contracts) {
+  EXPECT_THROW(HistogramDensity(0, 1.0), Error);
+  EXPECT_THROW(HistogramDensity(3, 0.0), Error);
+  HistogramDensity h(3, 1.0);
+  EXPECT_THROW(h.add(3), Error);
+  EXPECT_THROW(h.add(0, -1.0), Error);
+  HistogramDensity other(4, 1.0);
+  EXPECT_THROW(h.mix_in(other, 1.0), Error);
+}
+
+// --------------------------------------------------------------------- KDE
+TEST(Kde, IntegratesToOneOnSupport) {
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 40; ++i) {
+    samples.push_back(rng.uniform(1.0, 4.0));
+  }
+  KernelDensity kde(samples, 0.0, 5.0);
+  // Trapezoid integration over the support.
+  double integral = 0.0;
+  constexpr int kSteps = 2000;
+  for (int i = 0; i < kSteps; ++i) {
+    const double x = 5.0 * (i + 0.5) / kSteps;
+    integral += kde.pdf(x) * (5.0 / kSteps);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(Kde, ZeroOutsideSupport) {
+  std::vector<double> samples = {2.0};
+  KernelDensity kde(samples, 0.0, 5.0, 0.5);
+  EXPECT_DOUBLE_EQ(kde.pdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(kde.pdf(5.1), 0.0);
+}
+
+TEST(Kde, PeaksNearSamples) {
+  std::vector<double> samples = {1.0, 1.1, 0.9};
+  KernelDensity kde(samples, 0.0, 10.0, 0.3);
+  EXPECT_GT(kde.pdf(1.0), kde.pdf(6.0));
+}
+
+TEST(Kde, EmptyFallsBackToUniform) {
+  KernelDensity kde({}, 0.0, 4.0);
+  EXPECT_NEAR(kde.pdf(1.0), 0.25, 1e-12);
+  EXPECT_NEAR(kde.pdf(3.9), 0.25, 1e-12);
+}
+
+TEST(Kde, SamplesStayInSupport) {
+  std::vector<double> samples = {0.05, 9.95};
+  KernelDensity kde(samples, 0.0, 10.0, 2.0);
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = kde.sample(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 10.0);
+  }
+}
+
+TEST(Kde, SamplesConcentrateNearKernelCenters) {
+  std::vector<double> samples = {2.0};
+  KernelDensity kde(samples, 0.0, 10.0, 0.25);
+  Rng rng(4);
+  int near = 0;
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    if (std::abs(kde.sample(rng) - 2.0) < 1.0) {
+      ++near;
+    }
+  }
+  EXPECT_GT(near, kN * 9 / 10);
+}
+
+TEST(Kde, MixInAddsPriorMass) {
+  std::vector<double> a = {1.0};
+  std::vector<double> b = {9.0};
+  KernelDensity kde(a, 0.0, 10.0, 0.3);
+  const KernelDensity prior(b, 0.0, 10.0, 0.3);
+  const double before = kde.pdf(9.0);
+  kde.mix_in(prior, 1.0);
+  EXPECT_GT(kde.pdf(9.0), before);
+  // Mass still integrates to ~1.
+  double integral = 0.0;
+  for (int i = 0; i < 4000; ++i) {
+    integral += kde.pdf(10.0 * (i + 0.5) / 4000) * (10.0 / 4000);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(Kde, SilvermanShrinksWithSampleCount) {
+  Rng rng(5);
+  std::vector<double> small, large;
+  for (int i = 0; i < 10; ++i) {
+    small.push_back(rng.normal(5.0, 1.0));
+  }
+  large = small;
+  for (int i = 0; i < 990; ++i) {
+    large.push_back(rng.normal(5.0, 1.0));
+  }
+  EXPECT_GT(KernelDensity::silverman_bandwidth(small, 10.0),
+            KernelDensity::silverman_bandwidth(large, 10.0));
+}
+
+TEST(Kde, RejectsBadConstruction) {
+  EXPECT_THROW(KernelDensity({}, 1.0, 1.0), Error);
+  std::vector<double> out_of_range = {5.0};
+  EXPECT_THROW(KernelDensity(out_of_range, 0.0, 1.0), Error);
+}
+
+// -------------------------------------------------------------- divergence
+TEST(Divergence, KlZeroForIdentical) {
+  std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(Divergence, KlIsAsymmetric) {
+  std::vector<double> p = {0.9, 0.1};
+  std::vector<double> q = {0.5, 0.5};
+  EXPECT_NE(kl_divergence(p, q), kl_divergence(q, p));
+}
+
+TEST(Divergence, KlInfiniteOnDisjointSupport) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  EXPECT_TRUE(std::isinf(kl_divergence(p, q)));
+}
+
+TEST(Divergence, JsSymmetricAndBounded) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> p(4), q(4);
+    double sp = 0, sq = 0;
+    for (int i = 0; i < 4; ++i) {
+      p[i] = rng.uniform() + 1e-3;
+      q[i] = rng.uniform() + 1e-3;
+      sp += p[i];
+      sq += q[i];
+    }
+    for (int i = 0; i < 4; ++i) {
+      p[i] /= sp;
+      q[i] /= sq;
+    }
+    const double js_pq = js_divergence(p, q);
+    const double js_qp = js_divergence(q, p);
+    EXPECT_NEAR(js_pq, js_qp, 1e-12);
+    EXPECT_GE(js_pq, 0.0);
+    EXPECT_LE(js_pq, std::log(2.0) + 1e-12);
+  }
+}
+
+TEST(Divergence, JsMaximalForDisjointSupport) {
+  std::vector<double> p = {1.0, 0.0};
+  std::vector<double> q = {0.0, 1.0};
+  EXPECT_NEAR(js_divergence(p, q), std::log(2.0), 1e-12);
+}
+
+TEST(Divergence, RejectsNonDistributions) {
+  std::vector<double> p = {0.5, 0.5};
+  std::vector<double> bad_sum = {0.5, 0.1};
+  std::vector<double> negative = {1.5, -0.5};
+  std::vector<double> wrong_size = {1.0};
+  EXPECT_THROW((void)kl_divergence(p, bad_sum), Error);
+  EXPECT_THROW((void)kl_divergence(negative, p), Error);
+  EXPECT_THROW((void)kl_divergence(p, wrong_size), Error);
+}
+
+// ------------------------------------------------------------------ summary
+TEST(Summary, MatchesDirectComputation) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const RunningStats s = summarize(v);
+  EXPECT_EQ(s.count(), v.size());
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, VarianceZeroForFewObservations) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(Summary, MergeEqualsSequential) {
+  Rng rng(7);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    whole.add(x);
+    (i < 200 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace hpb::stats

@@ -1,0 +1,200 @@
+// Tests for the synthetic performance-surface toolkit: determinism,
+// positivity, effect semantics, and calibration guarantees.
+#include "surface/surface.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/importance.hpp"
+#include "test_util.hpp"
+
+namespace hpb::surface {
+namespace {
+
+TEST(Surface, DeterministicForFixedSeed) {
+  auto sp = testutil::small_discrete_space();
+  const Surface a = SurfaceBuilder(sp, 42)
+                        .random_main_effect("A", 0.3)
+                        .random_interaction("A", "B", 0.1)
+                        .noise(0.05)
+                        .build();
+  const Surface b = SurfaceBuilder(sp, 42)
+                        .random_main_effect("A", 0.3)
+                        .random_interaction("A", "B", 0.1)
+                        .noise(0.05)
+                        .build();
+  for (const auto& c : sp->enumerate()) {
+    EXPECT_DOUBLE_EQ(a.raw(c), b.raw(c));
+  }
+}
+
+TEST(Surface, DifferentSeedsDiffer) {
+  auto sp = testutil::small_discrete_space();
+  const Surface a = SurfaceBuilder(sp, 1).random_main_effect("A", 0.3).build();
+  const Surface b = SurfaceBuilder(sp, 2).random_main_effect("A", 0.3).build();
+  bool any_diff = false;
+  for (const auto& c : sp->enumerate()) {
+    any_diff |= (a.raw(c) != b.raw(c));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Surface, AlwaysPositive) {
+  auto sp = testutil::small_discrete_space();
+  const Surface s = SurfaceBuilder(sp, 7)
+                        .base(0.5)
+                        .random_main_effect("A", 1.0)
+                        .random_main_effect("B", 1.0)
+                        .random_interaction("B", "C", 0.8)
+                        .noise(0.5)
+                        .build();
+  for (const auto& c : sp->enumerate()) {
+    EXPECT_GT(s.raw(c), 0.0);
+  }
+}
+
+TEST(Surface, ExplicitMainEffectMultiplies) {
+  auto sp = testutil::small_discrete_space();
+  const Surface s = SurfaceBuilder(sp, 0)
+                        .base(2.0)
+                        .main_effect("B", {1.0, 3.0, 5.0})
+                        .build();
+  space::Configuration c(std::vector<double>{0, 0, 0});
+  EXPECT_DOUBLE_EQ(s.raw(c), 2.0);
+  c.set_level(1, 1);
+  EXPECT_DOUBLE_EQ(s.raw(c), 6.0);
+  c.set_level(1, 2);
+  EXPECT_DOUBLE_EQ(s.raw(c), 10.0);
+}
+
+TEST(Surface, InteractionTableIndexedRowMajor) {
+  auto sp = std::make_shared<space::ParameterSpace>();
+  sp->add(space::Parameter::integer("p", 0, 1));
+  sp->add(space::Parameter::integer("q", 0, 2));
+  const Surface s = SurfaceBuilder(sp, 0)
+                        .interaction_table("p", "q",
+                                           {1, 2, 3,    // p=0 row
+                                            4, 5, 6})   // p=1 row
+                        .build();
+  space::Configuration c(std::vector<double>{1, 2});
+  EXPECT_DOUBLE_EQ(s.raw(c), 6.0);
+  c.set_level(0, 0);
+  c.set_level(1, 1);
+  EXPECT_DOUBLE_EQ(s.raw(c), 2.0);
+}
+
+TEST(Surface, ContinuousEffectUsesValue) {
+  auto sp = testutil::mixed_space();
+  const Surface s = SurfaceBuilder(sp, 0)
+                        .continuous_effect("t", [](double t) { return 1.0 + t; })
+                        .build();
+  space::Configuration c(std::vector<double>{0, 4.0});
+  EXPECT_DOUBLE_EQ(s.raw(c), 5.0);
+}
+
+TEST(Surface, NoiseIsFrozenPerConfiguration) {
+  auto sp = testutil::small_discrete_space();
+  const Surface s = SurfaceBuilder(sp, 3).noise(0.3).build();
+  const auto configs = sp->enumerate();
+  // Same config evaluates identically every time (a frozen dataset).
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_DOUBLE_EQ(s.raw(configs[5]), s.raw(configs[5]));
+  }
+  // And different configs get different noise.
+  EXPECT_NE(s.raw(configs[5]), s.raw(configs[6]));
+}
+
+TEST(SurfaceBuilder, ValidatesArguments) {
+  auto sp = testutil::small_discrete_space();
+  SurfaceBuilder b(sp, 0);
+  EXPECT_THROW(b.main_effect("A", {1.0}), Error);             // wrong count
+  EXPECT_THROW(b.main_effect("A", {1, 1, 1, -1}), Error);     // negative
+  EXPECT_THROW(b.main_effect("missing", {1.0}), Error);       // unknown name
+  EXPECT_THROW(b.random_interaction("A", "A", 0.1), Error);   // self-pair
+  EXPECT_THROW(b.interaction_table("A", "B", {1.0}), Error);  // wrong size
+  EXPECT_THROW(b.noise(-0.1), Error);
+  EXPECT_THROW(b.base(0.0), Error);
+
+  auto mixed = testutil::mixed_space();
+  SurfaceBuilder mb(mixed, 0);
+  EXPECT_THROW(mb.random_main_effect("t", 0.1), Error);  // continuous
+  EXPECT_THROW(mb.continuous_effect("cat", [](double) { return 1.0; }),
+               Error);  // discrete
+}
+
+TEST(Calibration, RangeHitsBothEndpoints) {
+  auto sp = testutil::small_discrete_space();
+  const Surface s =
+      SurfaceBuilder(sp, 11).random_main_effect("A", 0.5).noise(0.1).build();
+  const auto ds = calibrate_to_range("cal", s, 2.0, 9.0);
+  EXPECT_NEAR(ds.best_value(), 2.0, 1e-9);
+  EXPECT_NEAR(ds.worst_value(), 9.0, 1e-9);
+}
+
+TEST(Calibration, AnchorHitsBestAndAnchorExactly) {
+  auto sp = testutil::small_discrete_space();
+  const Surface s =
+      SurfaceBuilder(sp, 13).random_main_effect("A", 0.5).noise(0.1).build();
+  const space::Configuration anchor = sp->configuration_at(17);
+  const auto ds = calibrate_to_anchor("cal", s, 1.5, anchor, 4.5);
+  EXPECT_NEAR(ds.best_value(), 1.5, 1e-9);
+  EXPECT_NEAR(ds.value_of(anchor), 4.5, 1e-9);
+}
+
+TEST(Calibration, PreservesOrdering) {
+  auto sp = testutil::small_discrete_space();
+  const Surface s =
+      SurfaceBuilder(sp, 17).random_main_effect("B", 0.8).noise(0.2).build();
+  const auto ds = calibrate_to_range("cal", s, 1.0, 2.0);
+  const auto configs = sp->enumerate();
+  for (std::size_t i = 1; i < configs.size(); ++i) {
+    const bool raw_less = s.raw(configs[i - 1]) < s.raw(configs[i]);
+    const bool cal_less = ds.value_of(configs[i - 1]) < ds.value_of(configs[i]);
+    EXPECT_EQ(raw_less, cal_less);
+  }
+}
+
+TEST(Calibration, QuantileHitsBestAndQuantileExactly) {
+  auto sp = testutil::small_discrete_space();
+  const Surface s =
+      SurfaceBuilder(sp, 23).random_main_effect("A", 0.6).noise(0.15).build();
+  const auto ds = calibrate_to_quantile("cal", s, 2.0, 0.5, 5.0);
+  EXPECT_NEAR(ds.best_value(), 2.0, 1e-9);
+  EXPECT_NEAR(ds.percentile_value(50.0), 5.0, 1e-9);
+  // The right tail extends beyond the anchored median.
+  EXPECT_GT(ds.worst_value(), 5.0);
+  EXPECT_THROW((void)calibrate_to_quantile("x", s, 5.0, 0.5, 2.0), Error);
+  EXPECT_THROW((void)calibrate_to_quantile("x", s, 1.0, 0.0, 2.0), Error);
+}
+
+TEST(Calibration, RejectsInvertedTargets) {
+  auto sp = testutil::small_discrete_space();
+  const Surface s = SurfaceBuilder(sp, 1).random_main_effect("A", 0.3).build();
+  EXPECT_THROW((void)calibrate_to_range("x", s, 5.0, 2.0), Error);
+}
+
+TEST(Surface, StrongerEffectDominatesImportance) {
+  // A surface where B's effect is much stronger than C's must yield a
+  // higher JS-divergence importance for B on the full dataset.
+  auto sp = testutil::small_discrete_space();
+  const Surface s = SurfaceBuilder(sp, 19)
+                        .main_effect("B", {1.0, 2.0, 4.0})
+                        .main_effect("C", {1.0, 1.02, 1.04, 1.02, 1.0})
+                        .noise(0.01)
+                        .build();
+  const auto ds = calibrate_to_range("imp", s, 1.0, 10.0);
+  const auto entries = core::dataset_importance(ds, 0.2);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries.front().parameter, "B");
+  double b_score = 0, c_score = 0;
+  for (const auto& e : entries) {
+    if (e.parameter == "B") b_score = e.js_divergence;
+    if (e.parameter == "C") c_score = e.js_divergence;
+  }
+  EXPECT_GT(b_score, 4.0 * c_score);
+}
+
+}  // namespace
+}  // namespace hpb::surface

@@ -1,0 +1,117 @@
+// Tests for TabularObjective: construction, lookup, dataset statistics,
+// and CSV export.
+#include "tabular/tabular_objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "test_util.hpp"
+
+namespace hpb::tabular {
+namespace {
+
+TEST(Tabular, FromFunctionEnumeratesWholeSpace) {
+  auto ds = testutil::separable_dataset();
+  EXPECT_EQ(ds.size(), 60u);
+  EXPECT_EQ(ds.name(), "separable");
+}
+
+TEST(Tabular, LookupMatchesFunction) {
+  auto ds = testutil::separable_dataset();
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ds.value(i), testutil::separable_value(ds.config(i)));
+    EXPECT_EQ(ds.index_of(ds.config(i)), i);
+  }
+}
+
+TEST(Tabular, EvaluateIsPureLookup) {
+  auto ds = testutil::separable_dataset();
+  space::Configuration c(std::vector<double>{1, 2, 3});
+  EXPECT_DOUBLE_EQ(ds.evaluate(c), 1.0);
+}
+
+TEST(Tabular, BestTracksUniqueOptimum) {
+  auto ds = testutil::separable_dataset();
+  EXPECT_DOUBLE_EQ(ds.best_value(), 1.0);
+  const auto& best = ds.best_config();
+  EXPECT_EQ(best.level(0), 1u);
+  EXPECT_EQ(best.level(1), 2u);
+  EXPECT_EQ(best.level(2), 3u);
+  EXPECT_GT(ds.worst_value(), ds.best_value());
+}
+
+TEST(Tabular, FindReturnsNulloptForUnknownConfig) {
+  auto sp = testutil::small_discrete_space();
+  // Dataset over a constrained subset: only configs with A == 0.
+  auto constrained = std::make_shared<space::ParameterSpace>();
+  constrained->add(space::Parameter::categorical("A", {"a0", "a1"}));
+  constrained->add_constraint(
+      [](const space::ParameterSpace&, const space::Configuration& c) {
+        return c.level(0) == 0;
+      },
+      "");
+  auto ds = TabularObjective::from_function(
+      "tiny", constrained, [](const space::Configuration&) { return 1.0; });
+  EXPECT_EQ(ds.size(), 1u);
+  space::Configuration excluded(std::vector<double>{1});
+  EXPECT_FALSE(ds.find(excluded).has_value());
+  EXPECT_THROW((void)ds.index_of(excluded), Error);
+  EXPECT_THROW((void)ds.value_of(excluded), Error);
+}
+
+TEST(Tabular, PercentileAndCountAgree) {
+  auto ds = testutil::separable_dataset();
+  const double y5 = ds.percentile_value(5.0);
+  // By definition roughly 5% of configurations lie at or below y5.
+  const std::size_t count = ds.count_leq(y5);
+  EXPECT_GE(count, 2u);
+  EXPECT_LE(count, 6u);
+  EXPECT_THROW((void)ds.percentile_value(0.0), Error);
+  EXPECT_THROW((void)ds.percentile_value(101.0), Error);
+}
+
+TEST(Tabular, CountLeqBoundaries) {
+  auto ds = testutil::separable_dataset();
+  EXPECT_EQ(ds.count_leq(ds.worst_value()), ds.size());
+  EXPECT_EQ(ds.count_leq(ds.best_value() - 1e-9), 0u);
+  EXPECT_GE(ds.count_leq(ds.best_value()), 1u);
+}
+
+TEST(Tabular, RejectsMalformedConstruction) {
+  auto sp = testutil::small_discrete_space();
+  auto configs = sp->enumerate();
+  std::vector<double> wrong_size(configs.size() - 1, 1.0);
+  EXPECT_THROW(TabularObjective("x", sp, configs, wrong_size), Error);
+
+  // Duplicate configuration.
+  std::vector<space::Configuration> dup = {configs[0], configs[0]};
+  std::vector<double> vals = {1.0, 2.0};
+  EXPECT_THROW(TabularObjective("x", sp, dup, vals), Error);
+
+  EXPECT_THROW(TabularObjective("x", nullptr, configs,
+                                std::vector<double>(configs.size(), 1.0)),
+               Error);
+}
+
+TEST(Tabular, CsvRoundTripHasHeaderAndAllRows) {
+  auto ds = testutil::separable_dataset();
+  const std::string path = ::testing::TempDir() + "/hpb_tabular_test.csv";
+  ds.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "A,B,C,objective");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, ds.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hpb::tabular

@@ -1,0 +1,178 @@
+// Tests for the transfer-learning dataset pairs and the PerfNet baseline.
+// These exercise the §VII substrate: correlated source/target surfaces,
+// priors built from the source, and PerfNet's train-and-select protocol.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "apps/transfer.hpp"
+#include "baselines/perfnet.hpp"
+#include "common/error.hpp"
+#include "eval/metrics.hpp"
+#include "surface/surface.hpp"
+#include "test_util.hpp"
+
+namespace hpb::apps {
+namespace {
+
+/// Spearman-style rank correlation over a subsample of shared indices.
+double rank_correlation(const tabular::TabularObjective& a,
+                        const tabular::TabularObjective& b,
+                        std::size_t stride) {
+  std::vector<double> va, vb;
+  for (std::size_t i = 0; i < a.size(); i += stride) {
+    va.push_back(a.value(i));
+    vb.push_back(b.value(i));
+  }
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> idx(v.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(v.size());
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      r[idx[k]] = static_cast<double>(k);
+    }
+    return r;
+  };
+  const auto ra = ranks(va);
+  const auto rb = ranks(vb);
+  const double n = static_cast<double>(ra.size());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  }
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+/// Small synthetic transfer pair over the 60-config test space, with the
+/// same blend construction as the app-scale pairs.
+TransferPair tiny_transfer(double correlation, std::uint64_t seed = 99) {
+  auto sp = testutil::small_discrete_space();
+  auto make_surface = [&](std::uint64_t s) {
+    return surface::SurfaceBuilder(sp, s)
+        .random_main_effect("A", 0.4)
+        .random_main_effect("B", 0.3)
+        .random_main_effect("C", 0.3)
+        .noise(0.02)
+        .build();
+  };
+  const auto shared = make_surface(seed);
+  const auto priv = make_surface(splitmix64(seed));
+  tabular::TabularObjective source =
+      surface::calibrate_to_range("src", shared, 1.0, 5.0);
+  tabular::TabularObjective target = tabular::TabularObjective::from_function(
+      "tgt", sp, [&](const space::Configuration& c) {
+        return 10.0 * std::exp(correlation * std::log(shared.raw(c)) +
+                               (1.0 - correlation) * std::log(priv.raw(c)));
+      });
+  return {std::move(source), std::move(target)};
+}
+
+TEST(TransferPairs, CorrelationOneGivesIdenticalRanking) {
+  const TransferPair pair = tiny_transfer(1.0);
+  EXPECT_GT(rank_correlation(pair.source, pair.target, 1), 0.999);
+}
+
+TEST(TransferPairs, CorrelationZeroDecouplesDomains) {
+  const TransferPair pair = tiny_transfer(0.0);
+  EXPECT_LT(std::abs(rank_correlation(pair.source, pair.target, 1)), 0.5);
+}
+
+TEST(TransferPairs, CorrelationKnobIsMonotone) {
+  const double lo = rank_correlation(tiny_transfer(0.3).source,
+                                     tiny_transfer(0.3).target, 1);
+  const double hi = rank_correlation(tiny_transfer(0.9).source,
+                                     tiny_transfer(0.9).target, 1);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(KripkeTransfer, ShapesAndCorrelation) {
+  const TransferPair pair = make_kripke_transfer(0.9);
+  EXPECT_EQ(pair.source.size(), pair.target.size());
+  EXPECT_GT(pair.source.size(), 10000u);  // paper: 17815 / 17385
+  // Same space object → PerfNet/priors can reuse the encoding.
+  EXPECT_EQ(&pair.source.space(), &pair.target.space());
+  EXPECT_GT(rank_correlation(pair.source, pair.target, 37), 0.6);
+  EXPECT_THROW((void)make_kripke_transfer(1.5), Error);
+}
+
+TEST(HypreTransfer, ShapesAndCorrelation) {
+  const TransferPair pair = make_hypre_transfer(0.9);
+  EXPECT_EQ(pair.source.size(), 57600u);  // paper: 57313
+  EXPECT_EQ(pair.source.space().num_params(), 7u);
+  EXPECT_GT(rank_correlation(pair.source, pair.target, 101), 0.6);
+}
+
+// ----------------------------------------------------------------- PerfNet
+baselines::PerfNetConfig fast_perfnet() {
+  baselines::PerfNetConfig cfg;
+  cfg.hidden_sizes = {16};
+  // The 60-row toy source needs more epochs than the app-scale defaults to
+  // accumulate a comparable number of Adam steps.
+  cfg.pretrain.epochs = 300;
+  cfg.pretrain.batch_size = 16;
+  cfg.pretrain.adam.learning_rate = 3e-3;
+  cfg.finetune.epochs = 100;
+  cfg.finetune.batch_size = 8;
+  cfg.max_source_rows = 500;
+  return cfg;
+}
+
+TEST(PerfNet, SelectionHasExactlyBudgetDistinctRows) {
+  const TransferPair pair = tiny_transfer(0.9);
+  baselines::PerfNet net(fast_perfnet(), 7);
+  net.train(pair.source, pair.target, 20);
+  const auto sel = net.selection();
+  EXPECT_EQ(sel.size(), 20u);
+  const std::set<std::size_t> unique(sel.begin(), sel.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t idx : sel) {
+    EXPECT_LT(idx, pair.target.size());
+  }
+}
+
+TEST(PerfNet, PredictionsCorrelateWithTargetOnStrongTransfer) {
+  const TransferPair pair = tiny_transfer(0.95);
+  baselines::PerfNet net(fast_perfnet(), 8);
+  net.train(pair.source, pair.target, 20);
+  // Count order agreements between prediction and truth on a config pair
+  // sample.
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i + 1 < pair.target.size(); i += 2) {
+    const double pi = net.predict(pair.target.config(i));
+    const double pj = net.predict(pair.target.config(i + 1));
+    const double ti = pair.target.value(i);
+    const double tj = pair.target.value(i + 1);
+    if ((pi < pj) == (ti < tj)) {
+      ++agree;
+    }
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.7);
+}
+
+TEST(PerfNet, SelectionBeatsRandomRecall) {
+  const TransferPair pair = tiny_transfer(0.9);
+  baselines::PerfNet net(fast_perfnet(), 9);
+  constexpr std::size_t kBudget = 12;
+  net.train(pair.source, pair.target, kBudget);
+  const double recall = eval::recall_tolerance_indices(
+      pair.target, net.selection(), 0.20);
+  // Random selection of 12/60 rows recalls ~20% in expectation.
+  EXPECT_GT(recall, 0.3);
+}
+
+TEST(PerfNet, ValidatesArguments) {
+  const TransferPair pair = tiny_transfer(0.9);
+  baselines::PerfNet net(fast_perfnet(), 10);
+  EXPECT_THROW(net.train(pair.source, pair.target, 1), Error);
+  EXPECT_THROW(net.train(pair.source, pair.target, pair.target.size() + 1),
+               Error);
+  EXPECT_THROW((void)net.predict(pair.target.config(0)), Error);  // untrained
+}
+
+}  // namespace
+}  // namespace hpb::apps

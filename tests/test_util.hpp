@@ -1,0 +1,47 @@
+// Shared helpers for the hiperbot test suite: small canned parameter
+// spaces and objectives used across module tests.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "space/parameter_space.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::testutil {
+
+/// 3-parameter all-discrete space: A (4 levels), B (3 numeric levels),
+/// C (integer 0..4) — 60 configurations, no constraints.
+inline space::SpacePtr small_discrete_space() {
+  auto s = std::make_shared<space::ParameterSpace>();
+  s->add(space::Parameter::categorical("A", {"a0", "a1", "a2", "a3"}));
+  s->add(space::Parameter::categorical_numeric("B", {1, 2, 4}));
+  s->add(space::Parameter::integer("C", 0, 4));
+  return s;
+}
+
+/// Mixed space: one categorical (3 levels) + one continuous in [0, 10].
+inline space::SpacePtr mixed_space() {
+  auto s = std::make_shared<space::ParameterSpace>();
+  s->add(space::Parameter::categorical("cat", {"x", "y", "z"}));
+  s->add(space::Parameter::continuous("t", 0.0, 10.0));
+  return s;
+}
+
+/// Deterministic separable objective on small_discrete_space():
+/// f = (A-1)² + (B-2)² + (C-3)² + 1; unique optimum at levels (1, 2, 3)
+/// with value 1.
+inline double separable_value(const space::Configuration& c) {
+  const double a = static_cast<double>(c.level(0)) - 1.0;
+  const double b = static_cast<double>(c.level(1)) - 2.0;
+  const double d = static_cast<double>(c.level(2)) - 3.0;
+  return a * a + b * b + d * d + 1.0;
+}
+
+/// The separable objective as a frozen dataset.
+inline tabular::TabularObjective separable_dataset() {
+  return tabular::TabularObjective::from_function(
+      "separable", small_discrete_space(), separable_value);
+}
+
+}  // namespace hpb::testutil

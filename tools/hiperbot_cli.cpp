@@ -1,0 +1,309 @@
+// hiperbot — command-line autotuning over CSV datasets or the built-in
+// simulated applications.
+//
+//   hiperbot info       --csv runs.csv | --dataset kripke
+//   hiperbot tune       --csv runs.csv --method hiperbot --budget 100
+//   hiperbot importance --csv runs.csv [--alpha 0.2]
+//   hiperbot compare    --csv runs.csv --methods hiperbot,geist,random
+//                       --budget 100 --reps 10 [--ell 5]
+//   hiperbot transfer   --source-csv small_scale.csv --csv target.csv
+//                       --budget 150 [--weight 2.0]
+//
+// The CSV format is one header row (parameter columns, objective last) and
+// one row per measured configuration — the same layout `info --export`
+// writes for the built-in datasets.
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "apps/registry.hpp"
+#include "common/cli.hpp"
+#include "core/hiperbot.hpp"
+#include "core/importance.hpp"
+#include "core/history_io.hpp"
+#include "core/surrogate.hpp"
+#include "core/stopping.hpp"
+#include "eval/experiment.hpp"
+#include "eval/methods.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "stats/inference.hpp"
+#include "tabular/csv.hpp"
+
+namespace {
+
+using hpb::tabular::TabularObjective;
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+TabularObjective load_dataset(const hpb::cli::ArgParser& args) {
+  const std::string& csv = args.get_string("csv");
+  const std::string& dataset = args.get_string("dataset");
+  HPB_REQUIRE(csv.empty() != dataset.empty(),
+              "provide exactly one of --csv <file> or --dataset <name>");
+  if (!csv.empty()) {
+    return hpb::tabular::load_csv(csv);
+  }
+  return hpb::apps::dataset_by_name(dataset).make();
+}
+
+int cmd_info(const hpb::cli::ArgParser& args) {
+  const TabularObjective ds = load_dataset(args);
+  std::cout << "dataset:        " << ds.name() << '\n'
+            << "configurations: " << ds.size() << '\n'
+            << "parameters:     " << ds.space().num_params() << '\n';
+  for (std::size_t p = 0; p < ds.space().num_params(); ++p) {
+    const auto& param = ds.space().param(p);
+    std::cout << "  " << std::left << std::setw(12) << param.name()
+              << param.num_levels() << " levels:";
+    for (std::size_t l = 0; l < param.num_levels() && l < 8; ++l) {
+      std::cout << ' ' << param.level_label(l);
+    }
+    if (param.num_levels() > 8) {
+      std::cout << " ...";
+    }
+    std::cout << '\n';
+  }
+  std::cout << "objective:      best " << ds.best_value() << ", median "
+            << ds.percentile_value(50.0) << ", worst " << ds.worst_value()
+            << '\n'
+            << "best config:    " << ds.space().to_string(ds.best_config())
+            << '\n';
+  const std::string& export_path = args.get_string("export");
+  if (!export_path.empty()) {
+    ds.write_csv(export_path);
+    std::cout << "exported to:    " << export_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_tune(const hpb::cli::ArgParser& args) {
+  TabularObjective ds = load_dataset(args);
+  const std::string& method = args.get_string("method");
+  auto tuner =
+      hpb::eval::make_named_tuner(method, ds, args.get_size("seed"));
+
+  const std::string& warm_start = args.get_string("warm-start");
+  if (!warm_start.empty()) {
+    const std::size_t replayed =
+        hpb::core::warm_start_from_csv(warm_start, ds.space(), *tuner);
+    std::cout << "warm start: replayed " << replayed << " observations from "
+              << warm_start << '\n';
+  }
+
+  hpb::core::StopConfig stop;
+  stop.max_evaluations = args.get_size("budget");
+  stop.stagnation_patience = args.get_size("patience");
+  if (args.was_set("target")) {
+    stop.target_value = args.get_double("target");
+  }
+
+  const auto stopped = hpb::core::run_tuning_until(*tuner, ds, stop);
+  const auto& result = stopped.result;
+  std::cout << "method:      " << tuner->name() << '\n'
+            << "evaluations: " << result.history.size() << " (stopped: ";
+  switch (stopped.reason) {
+    case hpb::core::StopReason::kBudgetExhausted:
+      std::cout << "budget exhausted";
+      break;
+    case hpb::core::StopReason::kStagnation:
+      std::cout << "stagnation";
+      break;
+    case hpb::core::StopReason::kTargetReached:
+      std::cout << "target reached";
+      break;
+  }
+  std::cout << ")\n"
+            << "best value:  " << result.best_value << "  (exhaustive best "
+            << ds.best_value() << ")\n"
+            << "best config: " << ds.space().to_string(result.best_config)
+            << '\n';
+  std::cout << "trajectory:  ";
+  const std::size_t n = result.best_so_far.size();
+  for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 8)) {
+    std::cout << result.best_so_far[i] << ' ';
+  }
+  std::cout << result.best_so_far.back() << '\n';
+  const std::string& history_out = args.get_string("history-out");
+  if (!history_out.empty()) {
+    hpb::core::write_history_csv(history_out, ds.space(), result.history);
+    std::cout << "history written to " << history_out << '\n';
+  }
+  return 0;
+}
+
+int cmd_importance(const hpb::cli::ArgParser& args) {
+  const TabularObjective ds = load_dataset(args);
+  const auto entries =
+      hpb::core::dataset_importance(ds, args.get_double("alpha"));
+  std::cout << "parameter importance (JS divergence, alpha="
+            << args.get_double("alpha") << "):\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::cout << "  " << std::left << std::setw(4) << (i + 1) << std::setw(16)
+              << entries[i].parameter << std::fixed << std::setprecision(4)
+              << entries[i].js_divergence << '\n';
+  }
+  return 0;
+}
+
+int cmd_transfer(const hpb::cli::ArgParser& args) {
+  // Source: a fully observed small-scale study. Target: the expensive
+  // domain to tune. Both must share the parameter structure.
+  const std::string& source_path = args.get_string("source-csv");
+  HPB_REQUIRE(!source_path.empty(), "transfer: --source-csv is required");
+  const TabularObjective source = hpb::tabular::load_csv(source_path);
+  TabularObjective target = load_dataset(args);
+  HPB_REQUIRE(source.space().num_params() == target.space().num_params(),
+              "transfer: source and target parameter counts differ");
+
+  hpb::core::HiPerBOtConfig config;
+  config.transfer_weight = args.get_double("weight");
+  // The prior is estimated over the *target's* space object so densities
+  // and candidates line up; source rows are mapped through their shared
+  // parameter structure by re-encoding each configuration's levels.
+  std::vector<hpb::space::Configuration> source_configs(
+      source.configs().begin(), source.configs().end());
+  std::vector<double> source_values(source.values().begin(),
+                                    source.values().end());
+  hpb::core::HiPerBOt tuner(target.space_ptr(), config,
+                            args.get_size("seed"));
+  tuner.set_transfer_prior(hpb::core::make_transfer_prior(
+      target.space_ptr(), source_configs, source_values, config.quantile));
+
+  const auto result =
+      hpb::core::run_tuning(tuner, target, args.get_size("budget"));
+  std::cout << "source:      " << source.name() << " (" << source.size()
+            << " observed runs, best " << source.best_value() << ")\n"
+            << "target:      " << target.name() << " (" << target.size()
+            << " configs)\n"
+            << "prior weight w = " << config.transfer_weight << '\n'
+            << "evaluations: " << result.history.size() << '\n'
+            << "best value:  " << result.best_value << "  (exhaustive best "
+            << target.best_value() << ")\n"
+            << "best config: " << target.space().to_string(result.best_config)
+            << '\n';
+  return 0;
+}
+
+int cmd_compare(const hpb::cli::ArgParser& args) {
+  TabularObjective ds = load_dataset(args);
+  const auto methods = split_list(args.get_string("methods"));
+  HPB_REQUIRE(!methods.empty(), "compare: --methods must name >= 1 tuner");
+  const std::size_t budget = args.get_size("budget");
+  const std::size_t reps = args.get_size("reps");
+  const double ell = args.get_double("ell");
+
+  // Per method: the per-rep best values and recalls.
+  std::vector<std::vector<double>> bests(methods.size());
+  std::vector<std::vector<double>> recalls(methods.size());
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    hpb::Rng seeder(args.get_size("seed") + 17 * m);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      auto tuner =
+          hpb::eval::make_named_tuner(methods[m], ds, seeder.next_u64());
+      const auto result = hpb::core::run_tuning(*tuner, ds, budget);
+      bests[m].push_back(result.best_value);
+      recalls[m].push_back(
+          hpb::eval::recall_percentile(ds, result.history, budget, ell));
+    }
+  }
+
+  std::cout << "dataset " << ds.name() << ", budget " << budget << ", reps "
+            << reps << ", recall ell " << ell << "%\n"
+            << "exhaustive best: " << ds.best_value() << "\n\n"
+            << std::left << std::setw(12) << "method" << std::setw(24)
+            << "best (mean, 95% CI)" << std::setw(20) << "recall (mean)"
+            << "p vs " << methods[0] << '\n';
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    const auto best_stats = hpb::stats::summarize(bests[m]);
+    const auto ci = hpb::stats::bootstrap_mean_ci(bests[m]);
+    const auto recall_stats = hpb::stats::summarize(recalls[m]);
+    std::ostringstream best_cell;
+    best_cell << std::fixed << std::setprecision(3) << best_stats.mean()
+              << " [" << ci.lo << ", " << ci.hi << "]";
+    std::cout << std::left << std::setw(12) << methods[m] << std::setw(24)
+              << best_cell.str() << std::setw(20) << recall_stats.mean();
+    if (m == 0 || reps < 2) {
+      std::cout << "-";
+    } else {
+      const auto test = hpb::stats::mann_whitney_u(bests[0], bests[m]);
+      std::cout << std::setprecision(4) << test.p_value;
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpb::cli::ArgParser args(
+      "hiperbot",
+      "Bayesian-optimization autotuning over CSV datasets or the built-in "
+      "simulated applications.\ncommands: info, tune, importance, compare, "
+      "transfer");
+  args.add_string("csv", "", "CSV dataset (params..., objective)")
+      .add_string("dataset", "",
+                  "built-in dataset: kripke, kripke_energy, hypre, lulesh, "
+                  "openAtom")
+      .add_string("method", "hiperbot",
+                  "tuner: hiperbot, geist, random, gp, anneal, hillclimb, brt, "
+                  "ridge, exhaustive")
+      .add_string("methods", "hiperbot,geist,random",
+                  "comma list of tuners for `compare`")
+      .add_string("export", "", "`info`: write the dataset to this CSV path")
+      .add_string("history-out", "",
+                  "`tune`: write the evaluated history to this CSV path")
+      .add_string("warm-start", "",
+                  "`tune`: replay a previous history CSV before tuning")
+      .add_string("source-csv", "",
+                  "`transfer`: fully observed source-domain CSV")
+      .add_double("weight", 2.0, "`transfer`: prior mixture weight w")
+      .add_size("budget", 100, "evaluation budget")
+      .add_size("reps", 10, "`compare`: replications per method")
+      .add_size("seed", 42, "random seed")
+      .add_size("patience", 0, "`tune`: stop after N evals w/o improvement")
+      .add_double("target", 0.0, "`tune`: stop when best <= target")
+      .add_double("alpha", 0.2, "good/bad split quantile")
+      .add_double("ell", 5.0, "recall percentile");
+
+  try {
+    args.parse(argc, argv);
+    const auto& positional = args.positional();
+    if (positional.empty()) {
+      std::cerr << args.usage();
+      return 2;
+    }
+    const std::string& command = positional.front();
+    if (command == "info") {
+      return cmd_info(args);
+    }
+    if (command == "tune") {
+      return cmd_tune(args);
+    }
+    if (command == "importance") {
+      return cmd_importance(args);
+    }
+    if (command == "compare") {
+      return cmd_compare(args);
+    }
+    if (command == "transfer") {
+      return cmd_transfer(args);
+    }
+    std::cerr << "unknown command '" << command << "'\n" << args.usage();
+    return 2;
+  } catch (const hpb::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
