@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gp.dir/ablation_gp.cpp.o"
+  "CMakeFiles/ablation_gp.dir/ablation_gp.cpp.o.d"
+  "ablation_gp"
+  "ablation_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

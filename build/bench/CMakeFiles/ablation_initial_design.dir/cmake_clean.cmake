@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_initial_design.dir/ablation_initial_design.cpp.o"
+  "CMakeFiles/ablation_initial_design.dir/ablation_initial_design.cpp.o.d"
+  "ablation_initial_design"
+  "ablation_initial_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_initial_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

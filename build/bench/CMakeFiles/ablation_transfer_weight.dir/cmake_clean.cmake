@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transfer_weight.dir/ablation_transfer_weight.cpp.o"
+  "CMakeFiles/ablation_transfer_weight.dir/ablation_transfer_weight.cpp.o.d"
+  "ablation_transfer_weight"
+  "ablation_transfer_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transfer_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_toy.dir/fig1_toy.cpp.o"
+  "CMakeFiles/fig1_toy.dir/fig1_toy.cpp.o.d"
+  "fig1_toy"
+  "fig1_toy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_toy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

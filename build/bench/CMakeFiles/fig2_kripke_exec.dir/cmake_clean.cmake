@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_kripke_exec.dir/fig2_kripke_exec.cpp.o"
+  "CMakeFiles/fig2_kripke_exec.dir/fig2_kripke_exec.cpp.o.d"
+  "fig2_kripke_exec"
+  "fig2_kripke_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_kripke_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_kripke_energy.dir/fig3_kripke_energy.cpp.o"
+  "CMakeFiles/fig3_kripke_energy.dir/fig3_kripke_energy.cpp.o.d"
+  "fig3_kripke_energy"
+  "fig3_kripke_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_kripke_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

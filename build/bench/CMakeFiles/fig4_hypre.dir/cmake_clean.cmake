@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hypre.dir/fig4_hypre.cpp.o"
+  "CMakeFiles/fig4_hypre.dir/fig4_hypre.cpp.o.d"
+  "fig4_hypre"
+  "fig4_hypre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hypre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

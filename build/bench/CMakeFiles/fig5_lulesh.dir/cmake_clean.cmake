@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lulesh.dir/fig5_lulesh.cpp.o"
+  "CMakeFiles/fig5_lulesh.dir/fig5_lulesh.cpp.o.d"
+  "fig5_lulesh"
+  "fig5_lulesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_openatom.dir/fig6_openatom.cpp.o"
+  "CMakeFiles/fig6_openatom.dir/fig6_openatom.cpp.o.d"
+  "fig6_openatom"
+  "fig6_openatom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_openatom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

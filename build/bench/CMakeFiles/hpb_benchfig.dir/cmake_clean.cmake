@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libhpb_benchfig.a"
+  "../lib/libhpb_benchfig.pdb"
+  "CMakeFiles/hpb_benchfig.dir/figure_common.cpp.o"
+  "CMakeFiles/hpb_benchfig.dir/figure_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_benchfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

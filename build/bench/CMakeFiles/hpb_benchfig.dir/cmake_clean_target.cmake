@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libhpb_benchfig.a"
+)

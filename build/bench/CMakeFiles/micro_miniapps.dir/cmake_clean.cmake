@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_miniapps.dir/micro_miniapps.cpp.o"
+  "CMakeFiles/micro_miniapps.dir/micro_miniapps.cpp.o.d"
+  "micro_miniapps"
+  "micro_miniapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_miniapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

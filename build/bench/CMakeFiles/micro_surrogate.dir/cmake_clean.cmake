@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_surrogate.dir/micro_surrogate.cpp.o"
+  "CMakeFiles/micro_surrogate.dir/micro_surrogate.cpp.o.d"
+  "micro_surrogate"
+  "micro_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

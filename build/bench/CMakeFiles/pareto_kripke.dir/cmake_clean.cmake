@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_kripke.dir/pareto_kripke.cpp.o"
+  "CMakeFiles/pareto_kripke.dir/pareto_kripke.cpp.o.d"
+  "pareto_kripke"
+  "pareto_kripke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_kripke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shootout.dir/shootout.cpp.o"
+  "CMakeFiles/shootout.dir/shootout.cpp.o.d"
+  "shootout"
+  "shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

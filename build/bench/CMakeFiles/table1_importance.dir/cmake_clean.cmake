@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_importance.dir/table1_importance.cpp.o"
+  "CMakeFiles/table1_importance.dir/table1_importance.cpp.o.d"
+  "table1_importance"
+  "table1_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/batch_tuning.cpp" "examples/CMakeFiles/batch_tuning.dir/batch_tuning.cpp.o" "gcc" "examples/CMakeFiles/batch_tuning.dir/batch_tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/hpb_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hpb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hpb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/surface/CMakeFiles/hpb_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/hpb_tabular.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hpb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hpb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/hpb_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

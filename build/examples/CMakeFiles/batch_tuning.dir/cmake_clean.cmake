@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_tuning.dir/batch_tuning.cpp.o"
+  "CMakeFiles/batch_tuning.dir/batch_tuning.cpp.o.d"
+  "batch_tuning"
+  "batch_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/importance_analysis.dir/importance_analysis.cpp.o"
+  "CMakeFiles/importance_analysis.dir/importance_analysis.cpp.o.d"
+  "importance_analysis"
+  "importance_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/importance_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_kripke_sim.dir/tune_kripke_sim.cpp.o"
+  "CMakeFiles/tune_kripke_sim.dir/tune_kripke_sim.cpp.o.d"
+  "tune_kripke_sim"
+  "tune_kripke_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_kripke_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

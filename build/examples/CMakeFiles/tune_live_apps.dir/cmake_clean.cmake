@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_live_apps.dir/tune_live_apps.cpp.o"
+  "CMakeFiles/tune_live_apps.dir/tune_live_apps.cpp.o.d"
+  "tune_live_apps"
+  "tune_live_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_live_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/hypre.cpp" "src/apps/CMakeFiles/hpb_apps.dir/hypre.cpp.o" "gcc" "src/apps/CMakeFiles/hpb_apps.dir/hypre.cpp.o.d"
+  "/root/repo/src/apps/kripke.cpp" "src/apps/CMakeFiles/hpb_apps.dir/kripke.cpp.o" "gcc" "src/apps/CMakeFiles/hpb_apps.dir/kripke.cpp.o.d"
+  "/root/repo/src/apps/lulesh.cpp" "src/apps/CMakeFiles/hpb_apps.dir/lulesh.cpp.o" "gcc" "src/apps/CMakeFiles/hpb_apps.dir/lulesh.cpp.o.d"
+  "/root/repo/src/apps/minisolver.cpp" "src/apps/CMakeFiles/hpb_apps.dir/minisolver.cpp.o" "gcc" "src/apps/CMakeFiles/hpb_apps.dir/minisolver.cpp.o.d"
+  "/root/repo/src/apps/minisweep.cpp" "src/apps/CMakeFiles/hpb_apps.dir/minisweep.cpp.o" "gcc" "src/apps/CMakeFiles/hpb_apps.dir/minisweep.cpp.o.d"
+  "/root/repo/src/apps/openatom.cpp" "src/apps/CMakeFiles/hpb_apps.dir/openatom.cpp.o" "gcc" "src/apps/CMakeFiles/hpb_apps.dir/openatom.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/hpb_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/hpb_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/apps/CMakeFiles/hpb_apps.dir/stencil.cpp.o" "gcc" "src/apps/CMakeFiles/hpb_apps.dir/stencil.cpp.o.d"
+  "/root/repo/src/apps/transfer.cpp" "src/apps/CMakeFiles/hpb_apps.dir/transfer.cpp.o" "gcc" "src/apps/CMakeFiles/hpb_apps.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/hpb_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/surface/CMakeFiles/hpb_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/hpb_tabular.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpb_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_apps.dir/hypre.cpp.o"
+  "CMakeFiles/hpb_apps.dir/hypre.cpp.o.d"
+  "CMakeFiles/hpb_apps.dir/kripke.cpp.o"
+  "CMakeFiles/hpb_apps.dir/kripke.cpp.o.d"
+  "CMakeFiles/hpb_apps.dir/lulesh.cpp.o"
+  "CMakeFiles/hpb_apps.dir/lulesh.cpp.o.d"
+  "CMakeFiles/hpb_apps.dir/minisolver.cpp.o"
+  "CMakeFiles/hpb_apps.dir/minisolver.cpp.o.d"
+  "CMakeFiles/hpb_apps.dir/minisweep.cpp.o"
+  "CMakeFiles/hpb_apps.dir/minisweep.cpp.o.d"
+  "CMakeFiles/hpb_apps.dir/openatom.cpp.o"
+  "CMakeFiles/hpb_apps.dir/openatom.cpp.o.d"
+  "CMakeFiles/hpb_apps.dir/registry.cpp.o"
+  "CMakeFiles/hpb_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/hpb_apps.dir/stencil.cpp.o"
+  "CMakeFiles/hpb_apps.dir/stencil.cpp.o.d"
+  "CMakeFiles/hpb_apps.dir/transfer.cpp.o"
+  "CMakeFiles/hpb_apps.dir/transfer.cpp.o.d"
+  "libhpb_apps.a"
+  "libhpb_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpb_apps.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/boosted_trees.cpp" "src/baselines/CMakeFiles/hpb_baselines.dir/boosted_trees.cpp.o" "gcc" "src/baselines/CMakeFiles/hpb_baselines.dir/boosted_trees.cpp.o.d"
+  "/root/repo/src/baselines/camlp.cpp" "src/baselines/CMakeFiles/hpb_baselines.dir/camlp.cpp.o" "gcc" "src/baselines/CMakeFiles/hpb_baselines.dir/camlp.cpp.o.d"
+  "/root/repo/src/baselines/config_graph.cpp" "src/baselines/CMakeFiles/hpb_baselines.dir/config_graph.cpp.o" "gcc" "src/baselines/CMakeFiles/hpb_baselines.dir/config_graph.cpp.o.d"
+  "/root/repo/src/baselines/geist.cpp" "src/baselines/CMakeFiles/hpb_baselines.dir/geist.cpp.o" "gcc" "src/baselines/CMakeFiles/hpb_baselines.dir/geist.cpp.o.d"
+  "/root/repo/src/baselines/gp_tuner.cpp" "src/baselines/CMakeFiles/hpb_baselines.dir/gp_tuner.cpp.o" "gcc" "src/baselines/CMakeFiles/hpb_baselines.dir/gp_tuner.cpp.o.d"
+  "/root/repo/src/baselines/local_search.cpp" "src/baselines/CMakeFiles/hpb_baselines.dir/local_search.cpp.o" "gcc" "src/baselines/CMakeFiles/hpb_baselines.dir/local_search.cpp.o.d"
+  "/root/repo/src/baselines/perfnet.cpp" "src/baselines/CMakeFiles/hpb_baselines.dir/perfnet.cpp.o" "gcc" "src/baselines/CMakeFiles/hpb_baselines.dir/perfnet.cpp.o.d"
+  "/root/repo/src/baselines/random_search.cpp" "src/baselines/CMakeFiles/hpb_baselines.dir/random_search.cpp.o" "gcc" "src/baselines/CMakeFiles/hpb_baselines.dir/random_search.cpp.o.d"
+  "/root/repo/src/baselines/ridge_tuner.cpp" "src/baselines/CMakeFiles/hpb_baselines.dir/ridge_tuner.cpp.o" "gcc" "src/baselines/CMakeFiles/hpb_baselines.dir/ridge_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/hpb_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hpb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/hpb_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/hpb_tabular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_baselines.dir/boosted_trees.cpp.o"
+  "CMakeFiles/hpb_baselines.dir/boosted_trees.cpp.o.d"
+  "CMakeFiles/hpb_baselines.dir/camlp.cpp.o"
+  "CMakeFiles/hpb_baselines.dir/camlp.cpp.o.d"
+  "CMakeFiles/hpb_baselines.dir/config_graph.cpp.o"
+  "CMakeFiles/hpb_baselines.dir/config_graph.cpp.o.d"
+  "CMakeFiles/hpb_baselines.dir/geist.cpp.o"
+  "CMakeFiles/hpb_baselines.dir/geist.cpp.o.d"
+  "CMakeFiles/hpb_baselines.dir/gp_tuner.cpp.o"
+  "CMakeFiles/hpb_baselines.dir/gp_tuner.cpp.o.d"
+  "CMakeFiles/hpb_baselines.dir/local_search.cpp.o"
+  "CMakeFiles/hpb_baselines.dir/local_search.cpp.o.d"
+  "CMakeFiles/hpb_baselines.dir/perfnet.cpp.o"
+  "CMakeFiles/hpb_baselines.dir/perfnet.cpp.o.d"
+  "CMakeFiles/hpb_baselines.dir/random_search.cpp.o"
+  "CMakeFiles/hpb_baselines.dir/random_search.cpp.o.d"
+  "CMakeFiles/hpb_baselines.dir/ridge_tuner.cpp.o"
+  "CMakeFiles/hpb_baselines.dir/ridge_tuner.cpp.o.d"
+  "libhpb_baselines.a"
+  "libhpb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_common.dir/cli.cpp.o"
+  "CMakeFiles/hpb_common.dir/cli.cpp.o.d"
+  "CMakeFiles/hpb_common.dir/error.cpp.o"
+  "CMakeFiles/hpb_common.dir/error.cpp.o.d"
+  "CMakeFiles/hpb_common.dir/rng.cpp.o"
+  "CMakeFiles/hpb_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hpb_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/hpb_common.dir/thread_pool.cpp.o.d"
+  "libhpb_common.a"
+  "libhpb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

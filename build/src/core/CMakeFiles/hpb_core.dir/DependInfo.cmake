@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/density.cpp" "src/core/CMakeFiles/hpb_core.dir/density.cpp.o" "gcc" "src/core/CMakeFiles/hpb_core.dir/density.cpp.o.d"
+  "/root/repo/src/core/hiperbot.cpp" "src/core/CMakeFiles/hpb_core.dir/hiperbot.cpp.o" "gcc" "src/core/CMakeFiles/hpb_core.dir/hiperbot.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/hpb_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/hpb_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/history_io.cpp" "src/core/CMakeFiles/hpb_core.dir/history_io.cpp.o" "gcc" "src/core/CMakeFiles/hpb_core.dir/history_io.cpp.o.d"
+  "/root/repo/src/core/importance.cpp" "src/core/CMakeFiles/hpb_core.dir/importance.cpp.o" "gcc" "src/core/CMakeFiles/hpb_core.dir/importance.cpp.o.d"
+  "/root/repo/src/core/loop.cpp" "src/core/CMakeFiles/hpb_core.dir/loop.cpp.o" "gcc" "src/core/CMakeFiles/hpb_core.dir/loop.cpp.o.d"
+  "/root/repo/src/core/stopping.cpp" "src/core/CMakeFiles/hpb_core.dir/stopping.cpp.o" "gcc" "src/core/CMakeFiles/hpb_core.dir/stopping.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "src/core/CMakeFiles/hpb_core.dir/surrogate.cpp.o" "gcc" "src/core/CMakeFiles/hpb_core.dir/surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/hpb_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpb_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/hpb_tabular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

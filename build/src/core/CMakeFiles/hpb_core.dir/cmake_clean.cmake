@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_core.dir/density.cpp.o"
+  "CMakeFiles/hpb_core.dir/density.cpp.o.d"
+  "CMakeFiles/hpb_core.dir/hiperbot.cpp.o"
+  "CMakeFiles/hpb_core.dir/hiperbot.cpp.o.d"
+  "CMakeFiles/hpb_core.dir/history.cpp.o"
+  "CMakeFiles/hpb_core.dir/history.cpp.o.d"
+  "CMakeFiles/hpb_core.dir/history_io.cpp.o"
+  "CMakeFiles/hpb_core.dir/history_io.cpp.o.d"
+  "CMakeFiles/hpb_core.dir/importance.cpp.o"
+  "CMakeFiles/hpb_core.dir/importance.cpp.o.d"
+  "CMakeFiles/hpb_core.dir/loop.cpp.o"
+  "CMakeFiles/hpb_core.dir/loop.cpp.o.d"
+  "CMakeFiles/hpb_core.dir/stopping.cpp.o"
+  "CMakeFiles/hpb_core.dir/stopping.cpp.o.d"
+  "CMakeFiles/hpb_core.dir/surrogate.cpp.o"
+  "CMakeFiles/hpb_core.dir/surrogate.cpp.o.d"
+  "libhpb_core.a"
+  "libhpb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_eval.dir/experiment.cpp.o"
+  "CMakeFiles/hpb_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/hpb_eval.dir/methods.cpp.o"
+  "CMakeFiles/hpb_eval.dir/methods.cpp.o.d"
+  "CMakeFiles/hpb_eval.dir/metrics.cpp.o"
+  "CMakeFiles/hpb_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/hpb_eval.dir/pareto.cpp.o"
+  "CMakeFiles/hpb_eval.dir/pareto.cpp.o.d"
+  "CMakeFiles/hpb_eval.dir/report.cpp.o"
+  "CMakeFiles/hpb_eval.dir/report.cpp.o.d"
+  "libhpb_eval.a"
+  "libhpb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/hpb_linalg.dir/matrix.cpp.o.d"
+  "libhpb_linalg.a"
+  "libhpb_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

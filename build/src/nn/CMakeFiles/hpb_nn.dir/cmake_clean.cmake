@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_nn.dir/mlp.cpp.o"
+  "CMakeFiles/hpb_nn.dir/mlp.cpp.o.d"
+  "libhpb_nn.a"
+  "libhpb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

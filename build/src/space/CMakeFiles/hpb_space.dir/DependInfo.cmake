@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/space/parameter.cpp" "src/space/CMakeFiles/hpb_space.dir/parameter.cpp.o" "gcc" "src/space/CMakeFiles/hpb_space.dir/parameter.cpp.o.d"
+  "/root/repo/src/space/parameter_space.cpp" "src/space/CMakeFiles/hpb_space.dir/parameter_space.cpp.o" "gcc" "src/space/CMakeFiles/hpb_space.dir/parameter_space.cpp.o.d"
+  "/root/repo/src/space/sampling.cpp" "src/space/CMakeFiles/hpb_space.dir/sampling.cpp.o" "gcc" "src/space/CMakeFiles/hpb_space.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_space.dir/parameter.cpp.o"
+  "CMakeFiles/hpb_space.dir/parameter.cpp.o.d"
+  "CMakeFiles/hpb_space.dir/parameter_space.cpp.o"
+  "CMakeFiles/hpb_space.dir/parameter_space.cpp.o.d"
+  "CMakeFiles/hpb_space.dir/sampling.cpp.o"
+  "CMakeFiles/hpb_space.dir/sampling.cpp.o.d"
+  "libhpb_space.a"
+  "libhpb_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

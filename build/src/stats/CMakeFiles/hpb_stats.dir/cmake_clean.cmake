@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_stats.dir/divergence.cpp.o"
+  "CMakeFiles/hpb_stats.dir/divergence.cpp.o.d"
+  "CMakeFiles/hpb_stats.dir/histogram.cpp.o"
+  "CMakeFiles/hpb_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/hpb_stats.dir/inference.cpp.o"
+  "CMakeFiles/hpb_stats.dir/inference.cpp.o.d"
+  "CMakeFiles/hpb_stats.dir/kde.cpp.o"
+  "CMakeFiles/hpb_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/hpb_stats.dir/quantile.cpp.o"
+  "CMakeFiles/hpb_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/hpb_stats.dir/summary.cpp.o"
+  "CMakeFiles/hpb_stats.dir/summary.cpp.o.d"
+  "libhpb_stats.a"
+  "libhpb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_surface.dir/surface.cpp.o"
+  "CMakeFiles/hpb_surface.dir/surface.cpp.o.d"
+  "libhpb_surface.a"
+  "libhpb_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

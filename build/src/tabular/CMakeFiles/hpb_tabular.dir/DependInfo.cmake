@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tabular/csv.cpp" "src/tabular/CMakeFiles/hpb_tabular.dir/csv.cpp.o" "gcc" "src/tabular/CMakeFiles/hpb_tabular.dir/csv.cpp.o.d"
+  "/root/repo/src/tabular/tabular_objective.cpp" "src/tabular/CMakeFiles/hpb_tabular.dir/tabular_objective.cpp.o" "gcc" "src/tabular/CMakeFiles/hpb_tabular.dir/tabular_objective.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/hpb_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpb_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpb_tabular.dir/csv.cpp.o"
+  "CMakeFiles/hpb_tabular.dir/csv.cpp.o.d"
+  "CMakeFiles/hpb_tabular.dir/tabular_objective.cpp.o"
+  "CMakeFiles/hpb_tabular.dir/tabular_objective.cpp.o.d"
+  "libhpb_tabular.a"
+  "libhpb_tabular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpb_tabular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boosted_trees.dir/test_boosted_trees.cpp.o"
+  "CMakeFiles/test_boosted_trees.dir/test_boosted_trees.cpp.o.d"
+  "test_boosted_trees"
+  "test_boosted_trees.pdb"
+  "test_boosted_trees[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boosted_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_spaces.dir/test_fuzz_spaces.cpp.o"
+  "CMakeFiles/test_fuzz_spaces.dir/test_fuzz_spaces.cpp.o.d"
+  "test_fuzz_spaces"
+  "test_fuzz_spaces.pdb"
+  "test_fuzz_spaces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_camlp.dir/test_graph_camlp.cpp.o"
+  "CMakeFiles/test_graph_camlp.dir/test_graph_camlp.cpp.o.d"
+  "test_graph_camlp"
+  "test_graph_camlp.pdb"
+  "test_graph_camlp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_camlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

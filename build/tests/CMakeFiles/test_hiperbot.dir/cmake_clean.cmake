@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hiperbot.dir/test_hiperbot.cpp.o"
+  "CMakeFiles/test_hiperbot.dir/test_hiperbot.cpp.o.d"
+  "test_hiperbot"
+  "test_hiperbot.pdb"
+  "test_hiperbot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hiperbot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_pareto.dir/test_parallel_pareto.cpp.o"
+  "CMakeFiles/test_parallel_pareto.dir/test_parallel_pareto.cpp.o.d"
+  "test_parallel_pareto"
+  "test_parallel_pareto.pdb"
+  "test_parallel_pareto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tabular.dir/test_tabular.cpp.o"
+  "CMakeFiles/test_tabular.dir/test_tabular.cpp.o.d"
+  "test_tabular"
+  "test_tabular.pdb"
+  "test_tabular[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tabular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_space[1]_include.cmake")
+include("/root/repo/build/tests/test_tabular[1]_include.cmake")
+include("/root/repo/build/tests/test_surface[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_hiperbot[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_camlp[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_mlp[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_stencil[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_inference[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_local_search[1]_include.cmake")
+include("/root/repo/build/tests/test_boosted_trees[1]_include.cmake")
+include("/root/repo/build/tests/test_csv_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_miniapps[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_pareto[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_spaces[1]_include.cmake")
+include("/root/repo/build/tests/test_ridge[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiperbot.dir/hiperbot_cli.cpp.o"
+  "CMakeFiles/hiperbot.dir/hiperbot_cli.cpp.o.d"
+  "hiperbot"
+  "hiperbot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiperbot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
