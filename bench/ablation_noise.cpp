@@ -10,8 +10,8 @@
 
 #include "apps/kripke.hpp"
 #include "baselines/random_search.hpp"
+#include "core/engine.hpp"
 #include "core/hiperbot.hpp"
-#include "core/loop.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
 #include "figure_common.hpp"
@@ -58,7 +58,9 @@ NoiseResult run(hpb::tabular::TabularObjective& dataset, double sigma,
       tuner = std::make_unique<hpb::baselines::RandomSearch>(
           dataset.space_ptr(), seed, pool);
     }
-    const auto result = hpb::core::run_tuning(*tuner, noisy, 150);
+    const hpb::core::TuningEngine engine(
+        {.batch_size = hpb::eval::batch_from_env(1)});
+    const auto result = engine.run(*tuner, noisy, 150);
     // Report the TRUE value of the configuration the tuner believes best.
     double best_true = dataset.value_of(result.history.front().config);
     double best_observed = result.history.front().y;

@@ -8,8 +8,8 @@
 #include <iostream>
 
 #include "apps/transfer.hpp"
+#include "core/engine.hpp"
 #include "core/hiperbot.hpp"
-#include "core/loop.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
 #include "figure_common.hpp"
@@ -35,7 +35,9 @@ hpb::stats::RunningStats run_with_weight(hpb::apps::TransferPair& pair,
           pair.source.space_ptr(), pair.source.configs(),
           pair.source.values(), config.quantile));
     }
-    const auto result = hpb::core::run_tuning(tuner, pair.target, budget);
+    const hpb::core::TuningEngine engine(
+        {.batch_size = hpb::eval::batch_from_env(1)});
+    const auto result = engine.run(tuner, pair.target, budget);
     out.add(hpb::eval::recall_tolerance(pair.target, result.history, budget,
                                         0.10));
   }

@@ -10,8 +10,8 @@
 #include <iostream>
 
 #include "apps/registry.hpp"
+#include "core/engine.hpp"
 #include "core/hiperbot.hpp"
-#include "core/loop.hpp"
 #include "eval/experiment.hpp"
 #include "eval/report.hpp"
 #include "figure_common.hpp"
@@ -33,7 +33,9 @@ hpb::stats::RunningStats run_ratio(hpb::tabular::TabularObjective& dataset,
   for (std::size_t rep = 0; rep < reps; ++rep) {
     hpb::core::HiPerBOt tuner(dataset.space_ptr(), config, seeder.next_u64(),
                               pool);
-    const auto result = hpb::core::run_tuning(tuner, dataset, kTotalBudget);
+    const hpb::core::TuningEngine engine(
+        {.batch_size = hpb::eval::batch_from_env(1)});
+    const auto result = engine.run(tuner, dataset, kTotalBudget);
     out.add(result.best_value / dataset.best_value());
   }
   return out;

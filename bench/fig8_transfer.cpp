@@ -12,8 +12,8 @@
 
 #include "apps/transfer.hpp"
 #include "baselines/perfnet.hpp"
+#include "core/engine.hpp"
 #include "core/hiperbot.hpp"
-#include "core/loop.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
 #include "figure_common.hpp"
@@ -45,7 +45,9 @@ TransferResult run_hiperbot(TransferPair& pair, std::size_t budget,
     tuner.set_transfer_prior(hpb::core::make_transfer_prior(
         pair.source.space_ptr(), pair.source.configs(), pair.source.values(),
         config.quantile));
-    const auto result = hpb::core::run_tuning(tuner, pair.target, budget);
+    const hpb::core::TuningEngine engine(
+        {.batch_size = hpb::eval::batch_from_env(1)});
+    const auto result = engine.run(tuner, pair.target, budget);
     for (int g = 0; g < 4; ++g) {
       out.recall[g].add(hpb::eval::recall_tolerance(pair.target,
                                                     result.history, budget,

@@ -11,19 +11,6 @@
 #include "eval/report.hpp"
 
 namespace hpb::benchfig {
-namespace {
-
-std::size_t threads_from_env() {
-  if (const char* env = std::getenv("HPB_THREADS")) {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value >= 1) {
-      return static_cast<std::size_t>(value);
-    }
-  }
-  return 1;
-}
-
-}  // namespace
 
 std::string csv_path(const std::string& name) {
   std::filesystem::create_directories("bench_results");
@@ -40,7 +27,8 @@ int run_selection_figure(tabular::TabularObjective& dataset,
   config.reps = eval::reps_from_env(spec.default_reps);
   config.recall_percentile = spec.recall_percentile;
   config.seed = spec.seed;
-  const std::size_t threads = threads_from_env();
+  config.batch_size = eval::batch_from_env(1);
+  const std::size_t threads = eval::count_from_env("HPB_THREADS", 1);
   ThreadPool pool(threads);
   config.pool = threads > 1 ? &pool : nullptr;
 
@@ -57,8 +45,8 @@ int run_selection_figure(tabular::TabularObjective& dataset,
   std::cout << spec.title << "\n"
             << "dataset: " << dataset.name() << ", " << dataset.size()
             << " configurations, exhaustive best " << dataset.best_value()
-            << ", reps " << config.reps << ", recall ell "
-            << spec.recall_percentile << "%\n";
+            << ", reps " << config.reps << ", batch " << config.batch_size
+            << ", recall ell " << spec.recall_percentile << "%\n";
   if (spec.reference_value >= 0.0) {
     std::cout << "paper reference (" << spec.reference_label
               << "): " << spec.reference_value << '\n';

@@ -7,6 +7,9 @@
 //   HPB_REPS     replications per method (default 20; the paper uses 50).
 //   HPB_THREADS  worker threads for replicated runs (default 1 = serial;
 //                results are identical regardless).
+//   HPB_BATCH    suggest/observe batch size inside each run (default 1 =
+//                the paper's serial protocol; larger batches amortize
+//                surrogate fits and change the curves accordingly).
 #pragma once
 
 #include <cstddef>

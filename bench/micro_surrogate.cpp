@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "apps/lulesh.hpp"
+#include "core/engine.hpp"
 #include "core/hiperbot.hpp"
 #include "core/loop.hpp"
 #include "core/surrogate.hpp"
@@ -85,6 +86,26 @@ void BM_WholeTuningRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WholeTuningRun)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_BatchedTuningRun(benchmark::State& state) {
+  // Same 150-evaluation session driven through the batched engine: one
+  // surrogate fit + one acquisition pass per batch instead of per
+  // evaluation, so larger batches amortize the model-phase cost.
+  auto ds = hpb::apps::make_lulesh();
+  const hpb::core::TuningEngine engine(
+      {.batch_size = static_cast<std::size_t>(state.range(0))});
+  for (auto _ : state) {
+    hpb::core::HiPerBOt tuner(ds.space_ptr(), {}, 11);
+    const auto result = engine.run(tuner, ds, 150);
+    benchmark::DoNotOptimize(result.best_value);
+  }
+}
+BENCHMARK(BM_BatchedTuningRun)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16);
 
 void BM_HistogramPmf(benchmark::State& state) {
   hpb::stats::HistogramDensity hist(16);

@@ -13,8 +13,8 @@
 #include <unordered_set>
 
 #include "apps/kripke.hpp"
+#include "core/engine.hpp"
 #include "core/hiperbot.hpp"
-#include "core/loop.hpp"
 #include "eval/experiment.hpp"
 #include "eval/pareto.hpp"
 #include "figure_common.hpp"
@@ -54,6 +54,8 @@ int main() {
   std::ofstream csv(hpb::benchfig::csv_path("pareto_kripke"));
   csv << "rep,lambda,time,energy\n";
 
+  const hpb::core::TuningEngine engine(
+      {.batch_size = hpb::eval::batch_from_env(1)});
   hpb::Rng seeder(0xBA5E70);
   double hv_total = 0.0, covered_total = 0.0, evals_total = 0.0;
   for (std::size_t rep = 0; rep < reps; ++rep) {
@@ -69,8 +71,7 @@ int main() {
             return lambda * tn + (1.0 - lambda) * en;
           });
       hpb::core::HiPerBOt tuner(scalarized.space_ptr(), {}, seeder.next_u64());
-      const auto result =
-          hpb::core::run_tuning(tuner, scalarized, kBudgetPerLambda);
+      const auto result = engine.run(tuner, scalarized, kBudgetPerLambda);
       for (const auto& obs : result.history) {
         evaluated_rows.insert(time_ds.index_of(obs.config));
       }

@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "apps/registry.hpp"
-#include "core/loop.hpp"
+#include "core/engine.hpp"
 #include "eval/experiment.hpp"
 #include "eval/methods.hpp"
 #include "eval/metrics.hpp"
@@ -19,13 +19,16 @@
 
 int main() {
   const std::size_t reps = hpb::eval::reps_from_env(5);
+  const std::size_t batch = hpb::eval::batch_from_env(1);
   constexpr std::size_t kBudget = 150;
+  const hpb::core::TuningEngine engine({.batch_size = batch});
   std::ofstream csv(hpb::benchfig::csv_path("shootout"));
   csv << "dataset,method,best_mean,best_std,recall_mean,recall_std,"
          "p_vs_hiperbot\n";
 
   std::cout << "Method shootout: all tuners, all datasets (budget "
-            << kBudget << ", reps " << reps << ")\n\n";
+            << kBudget << ", reps " << reps << ", batch " << batch
+            << ")\n\n";
 
   for (const auto& info : hpb::apps::dataset_registry()) {
     auto dataset = info.make();
@@ -45,7 +48,7 @@ int main() {
       for (std::size_t rep = 0; rep < reps; ++rep) {
         auto tuner =
             hpb::eval::make_named_tuner(name, dataset, seeder.next_u64());
-        const auto result = hpb::core::run_tuning(*tuner, dataset, kBudget);
+        const auto result = engine.run(*tuner, dataset, kBudget);
         best_values.push_back(result.best_value);
         recalls.push_back(hpb::eval::recall_percentile(
             dataset, result.history, kBudget, 5.0));

@@ -9,9 +9,9 @@
 #include <iostream>
 
 #include "apps/registry.hpp"
+#include "core/engine.hpp"
 #include "core/hiperbot.hpp"
 #include "core/importance.hpp"
-#include "core/loop.hpp"
 #include "eval/experiment.hpp"
 #include "figure_common.hpp"
 
@@ -47,7 +47,9 @@ int main() {
         std::max<std::size_t>(25, dataset.size() / 10);
     hpb::core::HiPerBOtConfig config;
     hpb::core::HiPerBOt tuner(dataset.space_ptr(), config, 0x7AB1E1);
-    (void)hpb::core::run_tuning(tuner, dataset, budget);
+    const hpb::core::TuningEngine engine(
+        {.batch_size = hpb::eval::batch_from_env(1)});
+    (void)engine.run(tuner, dataset, budget);
     std::vector<hpb::space::Configuration> configs;
     std::vector<double> values;
     for (const auto& obs : tuner.history().observations()) {

@@ -1,16 +1,19 @@
 // Batch tuning: on a cluster you rarely evaluate one configuration at a
 // time — a job scheduler runs k of them concurrently. This example drives
-// HiPerBOt's suggest_batch() API: each round asks for the surrogate's
-// top-k un-evaluated configurations, evaluates the whole batch in parallel
-// on a worker pool, then feeds all k results back before the next round.
+// the batched TuningEngine: each round it asks the tuner for its top-k
+// un-evaluated configurations (suggest_batch), evaluates the whole batch in
+// parallel on a worker pool, then feeds all k results back in suggestion
+// order (observe_batch) before the next round. With batch_size = 1 and no
+// pool the engine reproduces the classic serial ask/tell loop bit for bit.
 //
 // Build & run:  ./build/examples/batch_tuning
+#include <algorithm>
 #include <iomanip>
 #include <iostream>
-#include <vector>
 
 #include "apps/kripke.hpp"
 #include "common/thread_pool.hpp"
+#include "core/engine.hpp"
 #include "core/hiperbot.hpp"
 
 int main() {
@@ -19,44 +22,34 @@ int main() {
             << " configurations, exhaustive best " << dataset.best_value()
             << " s)\n\n";
 
-  constexpr std::size_t kBatch = 8;    // concurrent "jobs" per round
-  constexpr std::size_t kRounds = 12;  // 12 x 8 = 96 evaluations total
+  constexpr std::size_t kBatch = 8;     // concurrent "jobs" per round
+  constexpr std::size_t kBudget = 96;   // 12 rounds of 8
 
   hpb::core::HiPerBOtConfig config;
   config.initial_samples = kBatch;  // first round is the random design
   hpb::core::HiPerBOt tuner(dataset.space_ptr(), config, 7);
+
+  // The pool evaluates each round's batch concurrently; slot i of the
+  // round holds configuration i's result, so the observe order (and thus
+  // the tuner state) is deterministic no matter how the pool schedules
+  // the work.
   hpb::ThreadPool pool(4);
+  const hpb::core::TuningEngine engine(
+      {.batch_size = kBatch, .pool = &pool});
+  const hpb::core::TuneResult result = engine.run(tuner, dataset, kBudget);
 
-  double best = 0.0;
-  bool have_best = false;
-  for (std::size_t round = 0; round < kRounds; ++round) {
-    const std::vector<hpb::space::Configuration> batch =
-        tuner.suggest_batch(kBatch);
-
-    // Evaluate the batch concurrently: slot i holds configuration i's
-    // result, so the observe order (and thus the tuner state) is
-    // deterministic no matter how the pool schedules the work.
-    std::vector<double> results(batch.size());
-    hpb::parallel_for_indexed(&pool, batch.size(), [&](std::size_t i) {
-      results[i] = dataset.value_of(batch[i]);  // "run the job"
-    });
-
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      tuner.observe(batch[i], results[i]);
-      if (!have_best || results[i] < best) {
-        best = results[i];
-        have_best = true;
-      }
-    }
+  // best_so_far is per-evaluation; print it at round granularity.
+  for (std::size_t round = 0; round * kBatch < kBudget; ++round) {
+    const std::size_t last = std::min(kBudget, (round + 1) * kBatch) - 1;
     std::cout << "round " << std::setw(2) << (round + 1) << ": batch of "
-              << batch.size() << ", best so far " << std::fixed
-              << std::setprecision(2) << best << " s\n";
+              << kBatch << ", best so far " << std::fixed
+              << std::setprecision(2) << result.best_so_far[last] << " s\n";
   }
 
-  std::cout << "\nfinal best: " << best << " s after " << kRounds * kBatch
-            << " evaluations in " << kRounds
-            << " scheduler rounds\n  config: "
-            << dataset.space().to_string(tuner.history().best_config())
+  std::cout << "\nfinal best: " << result.best_value << " s after "
+            << result.history.size() << " evaluations in "
+            << (kBudget + kBatch - 1) / kBatch << " scheduler rounds\n"
+            << "  config: " << dataset.space().to_string(result.best_config)
             << '\n';
   return 0;
 }

@@ -1,0 +1,85 @@
+#include "baselines/batch_util.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hpb::baselines::detail {
+
+std::vector<space::Configuration> greedy_argmin_batch(
+    std::size_t k, const std::vector<space::Configuration>& pool,
+    const space::ParameterSpace& space,
+    const std::unordered_set<std::uint64_t>& evaluated, Rng& rng,
+    const std::function<bool()>& explore_slot,
+    const std::function<void()>& ensure_fitted,
+    const std::function<double(const space::Configuration&)>& predict) {
+  HPB_REQUIRE(k > 0, "suggest_batch: k must be positive");
+  HPB_REQUIRE(evaluated.size() < pool.size(),
+              "suggest_batch: candidate pool exhausted");
+  const std::size_t want = std::min(k, pool.size() - evaluated.size());
+
+  std::vector<space::Configuration> batch;
+  batch.reserve(want);
+  std::unordered_set<std::uint64_t> taken;
+  auto excluded = [&](const space::Configuration& c) {
+    const std::uint64_t ordinal = space.ordinal_of(c);
+    return evaluated.contains(ordinal) || taken.contains(ordinal);
+  };
+
+  // Lazily built on the first model slot: the `want` best unevaluated
+  // candidates by predicted objective, in one scan.
+  std::vector<const space::Configuration*> ranked;
+  std::size_t ranked_next = 0;
+  bool ranked_ready = false;
+
+  while (batch.size() < want) {
+    const space::Configuration* pick = nullptr;
+    if (!explore_slot()) {
+      ensure_fitted();
+      if (!ranked_ready) {
+        std::vector<std::pair<double, const space::Configuration*>> scored;
+        for (const auto& c : pool) {
+          if (!evaluated.contains(space.ordinal_of(c))) {
+            scored.emplace_back(predict(c), &c);
+          }
+        }
+        const std::size_t take_n = std::min(want, scored.size());
+        std::partial_sort(scored.begin(),
+                          scored.begin() + static_cast<std::ptrdiff_t>(take_n),
+                          scored.end(), [](const auto& a, const auto& b) {
+                            return a.first < b.first;
+                          });
+        ranked.reserve(take_n);
+        for (std::size_t i = 0; i < take_n; ++i) {
+          ranked.push_back(scored[i].second);
+        }
+        ranked_ready = true;
+      }
+      // Skip candidates an exploration slot already claimed.
+      while (ranked_next < ranked.size() &&
+             taken.contains(space.ordinal_of(*ranked[ranked_next]))) {
+        ++ranked_next;
+      }
+      if (ranked_next < ranked.size()) {
+        pick = ranked[ranked_next++];
+      }
+    }
+    if (pick == nullptr) {
+      // Exploration slot, or the ranking ran dry: distinct uniform draw
+      // (terminates because want <= pool - evaluated).
+      for (;;) {
+        const auto& c = pool[rng.index(pool.size())];
+        if (!excluded(c)) {
+          pick = &c;
+          break;
+        }
+      }
+    }
+    taken.insert(space.ordinal_of(*pick));
+    batch.push_back(*pick);
+  }
+  return batch;
+}
+
+}  // namespace hpb::baselines::detail

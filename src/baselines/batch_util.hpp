@@ -1,0 +1,34 @@
+// Shared batch-assembly helper for the ε-greedy argmin model tuners
+// (RidgeTuner, BrtTuner): one top-k prediction scan serves every model slot
+// of the batch, and exploration slots draw distinct random configurations.
+//
+// This is the constant-liar batch specialized to tuners whose model is
+// frozen within a round: pretending each picked configuration was observed
+// at the incumbent value changes nothing about the (unrefitted) model's
+// ranking, so the fill-in reduces to "take the next-best distinct
+// candidate" — which is what this helper implements in a single scan.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::baselines::detail {
+
+/// Assemble up to `k` distinct not-yet-evaluated configurations (capped at
+/// the remaining pool). `explore_slot` is consulted once per slot (ε-greedy
+/// draw); `ensure_fitted` runs before the first model slot of the round;
+/// `predict` scores a candidate (lower is better).
+[[nodiscard]] std::vector<space::Configuration> greedy_argmin_batch(
+    std::size_t k, const std::vector<space::Configuration>& pool,
+    const space::ParameterSpace& space,
+    const std::unordered_set<std::uint64_t>& evaluated, Rng& rng,
+    const std::function<bool()>& explore_slot,
+    const std::function<void()>& ensure_fitted,
+    const std::function<double(const space::Configuration&)>& predict);
+
+}  // namespace hpb::baselines::detail

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "baselines/batch_util.hpp"
+
 namespace hpb::baselines {
 
 BoostedTrees::BoostedTrees(GbtConfig config) : config_(config) {
@@ -284,6 +286,27 @@ space::Configuration BrtTuner::suggest() {
   }
   HPB_REQUIRE(best != nullptr, "BrtTuner: pool exhausted");
   return *best;
+}
+
+std::vector<space::Configuration> BrtTuner::suggest_batch(std::size_t k) {
+  if (k == 1) {
+    return {suggest()};
+  }
+  return detail::greedy_argmin_batch(
+      k, *pool_, *space_, evaluated_, rng_,
+      [&] {
+        return y_.size() < config_.initial_samples ||
+               rng_.bernoulli(config_.epsilon);
+      },
+      [&] {
+        if (!model_.is_fitted() ||
+            y_.size() >= observations_at_fit_ + config_.refit_every) {
+          refit();
+        }
+      },
+      [&](const space::Configuration& c) {
+        return model_.predict(space_->encode(c));
+      });
 }
 
 void BrtTuner::observe(const space::Configuration& config, double y) {

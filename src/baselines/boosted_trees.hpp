@@ -102,6 +102,11 @@ class BrtTuner final : public core::Tuner {
            std::shared_ptr<const std::vector<space::Configuration>> pool);
 
   [[nodiscard]] space::Configuration suggest() override;
+  /// ε-greedy batch: model slots come from one top-k prediction scan
+  /// (constant-liar fill-in for the frozen model), exploration slots are
+  /// distinct random draws.
+  [[nodiscard]] std::vector<space::Configuration> suggest_batch(
+      std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
   [[nodiscard]] std::string name() const override { return "BoostedTrees"; }
 

@@ -65,7 +65,7 @@ void Geist::propagate_and_refill_queue() {
   std::vector<std::uint32_t> candidates;
   candidates.reserve(pool_->size() - observed_nodes_.size());
   for (std::uint32_t i = 0; i < pool_->size(); ++i) {
-    if (std::isnan(observed_[i])) {
+    if (std::isnan(observed_[i]) && !pending_.contains(i)) {
       candidates.push_back(i);
     }
   }
@@ -87,14 +87,18 @@ void Geist::propagate_and_refill_queue() {
 
 space::Configuration Geist::suggest() {
   if (observed_nodes_.size() < config_.initial_samples) {
-    HPB_REQUIRE(observed_nodes_.size() < pool_->size(),
+    HPB_REQUIRE(observed_nodes_.size() + pending_.size() < pool_->size(),
                 "Geist: pool exhausted");
     for (;;) {
       const std::size_t i = rng_.index(pool_->size());
-      if (std::isnan(observed_[i])) {
+      if (std::isnan(observed_[i]) &&
+          !pending_.contains(static_cast<std::uint32_t>(i))) {
         return (*pool_)[i];
       }
     }
+  }
+  while (!queue_.empty() && pending_.contains(queue_.front())) {
+    queue_.pop_front();  // claimed by an outstanding batch meanwhile
   }
   if (queue_.empty()) {
     propagate_and_refill_queue();
@@ -104,11 +108,29 @@ space::Configuration Geist::suggest() {
   return (*pool_)[node];
 }
 
+std::vector<space::Configuration> Geist::suggest_batch(std::size_t k) {
+  HPB_REQUIRE(k > 0, "suggest_batch: k must be positive");
+  if (k == 1) {
+    return {suggest()};
+  }
+  std::vector<space::Configuration> batch;
+  batch.reserve(k);
+  while (batch.size() < k &&
+         observed_nodes_.size() + pending_.size() < pool_->size()) {
+    space::Configuration c = suggest();
+    pending_.insert(node_of_ordinal_.at(space_->ordinal_of(c)));
+    batch.push_back(std::move(c));
+  }
+  HPB_REQUIRE(!batch.empty(), "Geist: pool exhausted");
+  return batch;
+}
+
 void Geist::observe(const space::Configuration& config, double y) {
   const auto it = node_of_ordinal_.find(space_->ordinal_of(config));
   HPB_REQUIRE(it != node_of_ordinal_.end(),
               "Geist::observe: configuration not in pool");
   const std::uint32_t node = it->second;
+  pending_.erase(node);
   if (std::isnan(observed_[node])) {
     observed_nodes_.push_back(node);
   }

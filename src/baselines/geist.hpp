@@ -11,6 +11,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "baselines/camlp.hpp"
@@ -44,6 +45,11 @@ class Geist final : public core::Tuner {
         std::shared_ptr<const ConfigGraph> graph);
 
   [[nodiscard]] space::Configuration suggest() override;
+  /// GEIST is natively a batch method (labels refresh between propagation
+  /// rounds); batch members are tracked as pending until observed so
+  /// neither the random bootstrap nor a re-propagation repeats them.
+  [[nodiscard]] std::vector<space::Configuration> suggest_batch(
+      std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
   [[nodiscard]] std::string name() const override { return "GEIST"; }
 
@@ -65,6 +71,7 @@ class Geist final : public core::Tuner {
   std::vector<std::uint32_t> observed_nodes_;
   std::vector<double> beliefs_;
   std::deque<std::uint32_t> queue_;   // planned suggestions
+  std::unordered_set<std::uint32_t> pending_;  // batched, not yet observed
 };
 
 }  // namespace hpb::baselines

@@ -149,7 +149,71 @@ space::Configuration GpTuner::suggest() {
   return *best;
 }
 
-void GpTuner::observe(const space::Configuration& config, double y) {
+std::vector<space::Configuration> GpTuner::suggest_batch(std::size_t k) {
+  HPB_REQUIRE(k > 0, "suggest_batch: k must be positive");
+  if (k == 1) {
+    return {suggest()};
+  }
+  HPB_REQUIRE(evaluated_.size() < pool_->size(), "GpTuner: pool exhausted");
+  std::vector<space::Configuration> batch;
+  std::unordered_set<std::uint64_t> taken;
+  auto excluded = [&](const space::Configuration& c) {
+    const std::uint64_t ordinal = space_->ordinal_of(c);
+    return evaluated_.contains(ordinal) || taken.contains(ordinal);
+  };
+  auto take = [&](const space::Configuration& c) {
+    taken.insert(space_->ordinal_of(c));
+    batch.push_back(c);
+  };
+  const std::size_t want = std::min(k, pool_->size() - evaluated_.size());
+  batch.reserve(want);
+
+  if (y_.size() >= config_.initial_samples) {
+    if (!fitted_) {
+      refit();
+    }
+    const double y_best = *std::min_element(y_.begin(), y_.end());
+    std::vector<std::pair<double, const space::Configuration*>> scored;
+    std::unordered_set<std::uint64_t> seen;  // subsampling can redraw
+    auto consider = [&](const space::Configuration& c) {
+      if (excluded(c) || !seen.insert(space_->ordinal_of(c)).second) {
+        return;
+      }
+      scored.emplace_back(expected_improvement(c, y_best), &c);
+    };
+    if (config_.candidate_subsample == 0 ||
+        config_.candidate_subsample >= pool_->size()) {
+      for (const auto& c : *pool_) {
+        consider(c);
+      }
+    } else {
+      for (std::size_t i = 0; i < config_.candidate_subsample; ++i) {
+        consider((*pool_)[rng_.index(pool_->size())]);
+      }
+    }
+    const std::size_t take_n = std::min(want, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(take_n),
+                      scored.end(), [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (std::size_t i = 0; i < take_n; ++i) {
+      take(*scored[i].second);
+    }
+  }
+  // Initial design, or the subsample surfaced fewer than `want` candidates:
+  // fill the rest with distinct uniform draws.
+  while (batch.size() < want) {
+    const auto& c = (*pool_)[rng_.index(pool_->size())];
+    if (!excluded(c)) {
+      take(c);
+    }
+  }
+  return batch;
+}
+
+void GpTuner::append_observation(const space::Configuration& config,
+                                 double y) {
   evaluated_.insert(space_->ordinal_of(config));
   x_.push_back(space_->encode(config));
   y_.push_back(y);
@@ -165,7 +229,20 @@ void GpTuner::observe(const space::Configuration& config, double y) {
     y_.erase(y_.begin() + static_cast<std::ptrdiff_t>(drop));
   }
   fitted_ = false;
+}
+
+void GpTuner::observe(const space::Configuration& config, double y) {
+  append_observation(config, y);
   if (y_.size() >= config_.initial_samples) {
+    refit();
+  }
+}
+
+void GpTuner::observe_batch(std::span<const core::Observation> observations) {
+  for (const core::Observation& o : observations) {
+    append_observation(o.config, o.y);
+  }
+  if (!observations.empty() && y_.size() >= config_.initial_samples) {
     refit();
   }
 }

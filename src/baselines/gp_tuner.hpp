@@ -38,7 +38,16 @@ class GpTuner final : public core::Tuner {
           std::shared_ptr<const std::vector<space::Configuration>> pool);
 
   [[nodiscard]] space::Configuration suggest() override;
+  /// Top-k expected improvement in a single candidate scan over the frozen
+  /// posterior (the constant-liar batch with a lie that never triggers a
+  /// refit reduces to exactly this), random-filled during the initial
+  /// design. One scan and one refit per batch instead of one per
+  /// evaluation.
+  [[nodiscard]] std::vector<space::Configuration> suggest_batch(
+      std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
+  /// Appends the whole batch, then refits the posterior once.
+  void observe_batch(std::span<const core::Observation> observations) override;
   [[nodiscard]] std::string name() const override { return "GP-EI"; }
 
   /// Posterior mean/variance at a configuration (for tests).
@@ -50,6 +59,8 @@ class GpTuner final : public core::Tuner {
 
  private:
   void refit();
+  /// Record one observation without refitting (shared by observe paths).
+  void append_observation(const space::Configuration& config, double y);
   [[nodiscard]] double kernel(std::span<const double> a,
                               std::span<const double> b) const;
   [[nodiscard]] double expected_improvement(const space::Configuration& c,

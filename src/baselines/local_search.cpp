@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "stats/summary.hpp"
 
@@ -72,6 +73,33 @@ space::Configuration SimulatedAnnealing::suggest() {
   pending_ = next;
   has_pending_ = true;
   return next;
+}
+
+std::vector<space::Configuration> SimulatedAnnealing::suggest_batch(
+    std::size_t k) {
+  HPB_REQUIRE(k > 0, "suggest_batch: k must be positive");
+  if (k == 1) {
+    return {suggest()};
+  }
+  HPB_REQUIRE(!has_pending_,
+              "SimulatedAnnealing: observe() the previous suggestion first");
+  std::vector<space::Configuration> batch;
+  batch.reserve(k);
+  std::unordered_set<std::uint64_t> taken;
+  int attempts = 0;
+  const int max_attempts = static_cast<int>(k) * 200;
+  while (batch.size() < k && attempts++ < max_attempts) {
+    space::Configuration c =
+        (initial_values_.size() < config_.initial_samples || !has_current_)
+            ? random_unevaluated()
+            : mutate(current_);
+    if (taken.insert(space_->ordinal_of(c)).second) {
+      batch.push_back(std::move(c));
+    }
+  }
+  HPB_REQUIRE(!batch.empty(),
+              "SimulatedAnnealing: could not assemble a batch");
+  return batch;
 }
 
 void SimulatedAnnealing::observe(const space::Configuration& config,
@@ -160,6 +188,28 @@ space::Configuration HillClimbing::suggest() {
   space::Configuration next = std::move(neighbors_.back());
   neighbors_.pop_back();
   return next;
+}
+
+std::vector<space::Configuration> HillClimbing::suggest_batch(std::size_t k) {
+  HPB_REQUIRE(k > 0, "suggest_batch: k must be positive");
+  if (k == 1) {
+    return {suggest()};
+  }
+  std::vector<space::Configuration> batch;
+  batch.reserve(k);
+  std::unordered_set<std::uint64_t> taken;
+  int attempts = 0;
+  const int max_attempts = static_cast<int>(k) * 200;
+  while (batch.size() < k && attempts++ < max_attempts) {
+    // Neighborhood pops are distinct and unevaluated; only random draws in
+    // the bootstrap/restart phase can collide within the batch.
+    space::Configuration c = suggest();
+    if (taken.insert(space_->ordinal_of(c)).second) {
+      batch.push_back(std::move(c));
+    }
+  }
+  HPB_REQUIRE(!batch.empty(), "HillClimbing: could not assemble a batch");
+  return batch;
 }
 
 void HillClimbing::observe(const space::Configuration& config, double y) {

@@ -33,6 +33,10 @@ class SimulatedAnnealing final : public core::Tuner {
                      std::uint64_t seed);
 
   [[nodiscard]] space::Configuration suggest() override;
+  /// k distinct moves proposed from the *current* incumbent; observations
+  /// are then applied through the Metropolis rule in suggestion order.
+  [[nodiscard]] std::vector<space::Configuration> suggest_batch(
+      std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
   [[nodiscard]] std::string name() const override { return "SimAnneal"; }
 
@@ -68,6 +72,10 @@ class HillClimbing final : public core::Tuner {
                std::uint64_t seed);
 
   [[nodiscard]] space::Configuration suggest() override;
+  /// Distinct batch: neighborhood pops are distinct by construction; the
+  /// random (re)start phase deduplicates redraws within the batch.
+  [[nodiscard]] std::vector<space::Configuration> suggest_batch(
+      std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
   [[nodiscard]] std::string name() const override { return "HillClimb"; }
 

@@ -35,6 +35,33 @@ space::Configuration RandomSearch::suggest() {
   return space_->sample_uniform(rng_);
 }
 
+std::vector<space::Configuration> RandomSearch::suggest_batch(std::size_t k) {
+  HPB_REQUIRE(k > 0, "suggest_batch: k must be positive");
+  if (k == 1) {
+    return {suggest()};
+  }
+  std::vector<space::Configuration> batch;
+  batch.reserve(k);
+  std::unordered_set<std::uint64_t> taken;
+  // Cap at the remaining pool; without a pool fall back to a bounded number
+  // of redraws per slot (continuous spaces never collide in practice).
+  std::size_t available = k;
+  if (pool_ != nullptr) {
+    available = pool_->size() - evaluated_.size();
+  }
+  while (batch.size() < std::min(k, available)) {
+    space::Configuration c = suggest();
+    bool fresh = true;
+    if (space_->is_finite()) {
+      fresh = taken.insert(space_->ordinal_of(c)).second;
+    }
+    if (fresh) {
+      batch.push_back(std::move(c));
+    }
+  }
+  return batch;
+}
+
 void RandomSearch::observe(const space::Configuration& config, double) {
   if (space_->is_finite()) {
     evaluated_.insert(space_->ordinal_of(config));

@@ -19,6 +19,10 @@ class RandomSearch final : public core::Tuner {
                std::shared_ptr<const std::vector<space::Configuration>> pool);
 
   [[nodiscard]] space::Configuration suggest() override;
+  /// Distinct draws within the batch (suggest() deduplicates only against
+  /// observed configurations, so the plain loop could repeat itself).
+  [[nodiscard]] std::vector<space::Configuration> suggest_batch(
+      std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
   [[nodiscard]] std::string name() const override { return "Random"; }
 

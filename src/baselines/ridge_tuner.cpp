@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "baselines/batch_util.hpp"
+
 namespace hpb::baselines {
 
 RidgeTuner::RidgeTuner(space::SpacePtr space, RidgeConfig config,
@@ -97,6 +99,25 @@ space::Configuration RidgeTuner::suggest() {
   return *best;
 }
 
+std::vector<space::Configuration> RidgeTuner::suggest_batch(std::size_t k) {
+  if (k == 1) {
+    return {suggest()};
+  }
+  return detail::greedy_argmin_batch(
+      k, *pool_, *space_, evaluated_, rng_,
+      [&] {
+        return y_.size() < config_.initial_samples ||
+               rng_.bernoulli(config_.epsilon);
+      },
+      [&] {
+        if (!fitted_ ||
+            y_.size() >= observations_at_fit_ + config_.refit_every) {
+          refit();
+        }
+      },
+      [&](const space::Configuration& c) { return predict(c); });
+}
+
 void RidgeTuner::observe(const space::Configuration& config, double y) {
   evaluated_.insert(space_->ordinal_of(config));
   x_.push_back(space_->encode(config));
@@ -120,6 +141,18 @@ ExhaustiveTuner::ExhaustiveTuner(
 space::Configuration ExhaustiveTuner::suggest() {
   HPB_REQUIRE(next_ < pool_->size(), "ExhaustiveTuner: pool exhausted");
   return (*pool_)[next_++];
+}
+
+std::vector<space::Configuration> ExhaustiveTuner::suggest_batch(
+    std::size_t k) {
+  HPB_REQUIRE(k > 0, "suggest_batch: k must be positive");
+  HPB_REQUIRE(next_ < pool_->size(), "ExhaustiveTuner: pool exhausted");
+  const std::size_t take = std::min(k, pool_->size() - next_);
+  std::vector<space::Configuration> batch(
+      pool_->begin() + static_cast<std::ptrdiff_t>(next_),
+      pool_->begin() + static_cast<std::ptrdiff_t>(next_ + take));
+  next_ += take;
+  return batch;
 }
 
 void ExhaustiveTuner::observe(const space::Configuration&, double) {}

@@ -1,0 +1,102 @@
+#include "core/engine.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hpb::core {
+
+TuningEngine::TuningEngine(EngineConfig config) : config_(config) {
+  HPB_REQUIRE(config_.batch_size > 0,
+              "TuningEngine: batch_size must be positive");
+}
+
+std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
+                                                 tabular::Objective& objective,
+                                                 std::size_t k) const {
+  std::vector<space::Configuration> batch = tuner.suggest_batch(k);
+  HPB_REQUIRE(!batch.empty(), "TuningEngine: tuner returned an empty batch");
+  HPB_REQUIRE(batch.size() <= k,
+              "TuningEngine: tuner returned more configurations than asked");
+  std::vector<double> values(batch.size());
+  parallel_for_indexed(batch.size() > 1 ? config_.pool : nullptr, batch.size(),
+                       [&](std::size_t i) {
+                         values[i] = objective.evaluate(batch[i]);
+                       });
+  std::vector<Observation> observations;
+  observations.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    observations.push_back({std::move(batch[i]), values[i]});
+  }
+  tuner.observe_batch(observations);
+  return observations;
+}
+
+TuneResult TuningEngine::run(Tuner& tuner, tabular::Objective& objective,
+                             std::size_t budget) const {
+  HPB_REQUIRE(budget > 0, "run_tuning: budget must be positive");
+  TuneResult result;
+  result.history.reserve(budget);
+  result.best_so_far.reserve(budget);
+  while (result.history.size() < budget) {
+    const std::size_t k =
+        std::min(config_.batch_size, budget - result.history.size());
+    for (Observation& o : run_round(tuner, objective, k)) {
+      if (result.history.empty() || o.y < result.best_value) {
+        result.best_value = o.y;
+        result.best_config = o.config;
+      }
+      result.history.push_back(std::move(o));
+      result.best_so_far.push_back(result.best_value);
+    }
+  }
+  return result;
+}
+
+StoppedTuneResult TuningEngine::run_until(Tuner& tuner,
+                                          tabular::Objective& objective,
+                                          const StopConfig& config) const {
+  HPB_REQUIRE(config.max_evaluations > 0,
+              "run_tuning_until: max_evaluations must be positive");
+  HPB_REQUIRE(config.min_relative_improvement >= 0.0,
+              "run_tuning_until: min_relative_improvement must be >= 0");
+  StoppedTuneResult out;
+  TuneResult& result = out.result;
+  result.history.reserve(config.max_evaluations);
+  result.best_so_far.reserve(config.max_evaluations);
+
+  std::size_t since_improvement = 0;
+  while (result.history.size() < config.max_evaluations) {
+    const std::size_t k = std::min(
+        config_.batch_size, config.max_evaluations - result.history.size());
+    for (Observation& o : run_round(tuner, objective, k)) {
+      const bool first = result.history.empty();
+      const bool improved =
+          first ||
+          o.y < result.best_value - config.min_relative_improvement *
+                                        std::abs(result.best_value);
+      if (first || o.y < result.best_value) {
+        result.best_value = o.y;
+        result.best_config = o.config;
+      }
+      result.history.push_back(std::move(o));
+      result.best_so_far.push_back(result.best_value);
+
+      if (result.best_value <= config.target_value) {
+        out.reason = StopReason::kTargetReached;
+        return out;
+      }
+      since_improvement = improved ? 0 : since_improvement + 1;
+      if (config.stagnation_patience > 0 &&
+          since_improvement >= config.stagnation_patience) {
+        out.reason = StopReason::kStagnation;
+        return out;
+      }
+    }
+  }
+  out.reason = StopReason::kBudgetExhausted;
+  return out;
+}
+
+}  // namespace hpb::core

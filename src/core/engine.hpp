@@ -1,0 +1,65 @@
+// TuningEngine: the batched tuning-loop driver.
+//
+// Each round asks the tuner for a batch of up to `batch_size` distinct
+// configurations (suggest_batch), evaluates them — in parallel on a
+// ThreadPool when one is supplied — and delivers the results back in
+// suggestion order (observe_batch). Results are reduced into the recorded
+// history in suggestion order, so a run is deterministic for a fixed seed
+// regardless of scheduling, and with batch_size == 1 the engine is
+// bitwise-identical to the historical serial driver (run_tuning /
+// run_tuning_until are now thin shims over this engine): the paper's
+// curves do not move.
+//
+// Parallel evaluation requires a thread-safe objective — true for
+// TabularObjective, whose evaluate() is a read-only table lookup; live
+// objectives that mutate state must be driven with pool == nullptr.
+#pragma once
+
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+#include "core/stopping.hpp"
+#include "core/tuner.hpp"
+#include "tabular/objective.hpp"
+
+namespace hpb::core {
+
+struct EngineConfig {
+  /// Configurations evaluated per suggest/observe round. 1 reproduces the
+  /// serial ask/tell loop exactly.
+  std::size_t batch_size = 1;
+  /// Worker pool for objective evaluations within a batch; nullptr (or a
+  /// single worker) evaluates serially in suggestion order.
+  ThreadPool* pool = nullptr;
+};
+
+class TuningEngine {
+ public:
+  explicit TuningEngine(EngineConfig config = {});
+
+  /// Run exactly `budget` evaluations (the final round shrinks to fit; a
+  /// tuner returning short batches near exhaustion just triggers more
+  /// rounds).
+  [[nodiscard]] TuneResult run(Tuner& tuner, tabular::Objective& objective,
+                               std::size_t budget) const;
+
+  /// Run until a stopping condition fires. When a target / stagnation stop
+  /// triggers mid-batch, the remaining batch members have already been
+  /// evaluated and observed by the tuner, but are not recorded in the
+  /// returned history — exactly the prefix up to the stopping point is
+  /// reported, matching the serial driver's semantics.
+  [[nodiscard]] StoppedTuneResult run_until(Tuner& tuner,
+                                            tabular::Objective& objective,
+                                            const StopConfig& config) const;
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+ private:
+  /// One suggest → evaluate → observe round of at most `k` evaluations.
+  [[nodiscard]] std::vector<Observation> run_round(
+      Tuner& tuner, tabular::Objective& objective, std::size_t k) const;
+
+  EngineConfig config_;
+};
+
+}  // namespace hpb::core

@@ -55,20 +55,28 @@ bool HiPerBOt::is_evaluated(const space::Configuration& c) const {
   return evaluated_.contains(space_->ordinal_of(c));
 }
 
+bool HiPerBOt::is_excluded(const space::Configuration& c) const {
+  if (!space_->is_finite()) {
+    return false;
+  }
+  const std::uint64_t ordinal = space_->ordinal_of(c);
+  return evaluated_.contains(ordinal) || pending_.contains(ordinal);
+}
+
 space::Configuration HiPerBOt::random_unevaluated() {
   if (pool_ != nullptr) {
-    HPB_REQUIRE(evaluated_.size() < pool_->size(),
+    HPB_REQUIRE(evaluated_.size() + pending_.size() < pool_->size(),
                 "HiPerBOt: candidate pool exhausted");
     for (;;) {
       const auto& c = (*pool_)[rng_.index(pool_->size())];
-      if (!is_evaluated(c)) {
+      if (!is_excluded(c)) {
         return c;
       }
     }
   }
   for (int attempt = 0; attempt < 10000; ++attempt) {
     space::Configuration c = space_->sample_uniform(rng_);
-    if (!is_evaluated(c)) {
+    if (!is_excluded(c)) {
       return c;
     }
   }
@@ -80,7 +88,7 @@ space::Configuration HiPerBOt::suggest_ranking(const TpeSurrogate& s) {
   const space::Configuration* best = nullptr;
   double best_score = 0.0;
   for (const auto& c : *pool_) {
-    if (is_evaluated(c)) {
+    if (is_excluded(c)) {
       continue;
     }
     const double score = s.acquisition(c);
@@ -98,7 +106,7 @@ space::Configuration HiPerBOt::suggest_proposal(const TpeSurrogate& s) {
   double best_score = 0.0;
   for (std::size_t k = 0; k < config_.proposal_candidates; ++k) {
     space::Configuration c = s.good().sample(rng_);
-    if (!space_->satisfies(c) || is_evaluated(c)) {
+    if (!space_->satisfies(c) || is_excluded(c)) {
       continue;
     }
     const double score = s.acquisition(c);
@@ -123,7 +131,7 @@ space::Configuration HiPerBOt::initial_suggestion() {
     while (!initial_queue_.empty()) {
       space::Configuration c = std::move(initial_queue_.back());
       initial_queue_.pop_back();
-      if (!is_evaluated(c)) {
+      if (!is_excluded(c)) {
         return c;
       }
     }
@@ -145,40 +153,34 @@ space::Configuration HiPerBOt::suggest() {
 std::vector<space::Configuration> HiPerBOt::suggest_batch(std::size_t k) {
   HPB_REQUIRE(k > 0, "suggest_batch: k must be positive");
   std::vector<space::Configuration> batch;
-  std::unordered_set<std::uint64_t> taken;  // within-batch dedup (finite)
-  auto is_taken = [&](const space::Configuration& c) {
-    return space_->is_finite() && taken.contains(space_->ordinal_of(c));
-  };
+  batch.reserve(k);
+  // Members enter pending_ as they are taken, so is_excluded() handles both
+  // within-batch deduplication and configurations still outstanding from an
+  // earlier, partially observed batch.
   auto take = [&](space::Configuration c) {
     if (space_->is_finite()) {
-      taken.insert(space_->ordinal_of(c));
+      pending_.insert(space_->ordinal_of(c));
     }
     batch.push_back(std::move(c));
   };
+  auto pool_exhausted = [&] {
+    return pool_ != nullptr &&
+           evaluated_.size() + pending_.size() >= pool_->size();
+  };
 
   if (history_.size() < config_.initial_samples) {
-    while (batch.size() < k) {
-      space::Configuration c = initial_suggestion();
-      if (is_taken(c)) {
-        // random_unevaluated can repeat within a batch; skip and retry, but
-        // bail out if the pool is nearly exhausted.
-        if (pool_ != nullptr &&
-            evaluated_.size() + batch.size() >= pool_->size()) {
-          break;
-        }
-        continue;
-      }
-      take(std::move(c));
+    while (batch.size() < k && !pool_exhausted()) {
+      take(initial_suggestion());
     }
     return batch;
   }
 
   const TpeSurrogate surrogate = fit_surrogate();
   if (config_.strategy == SelectionStrategy::kRanking) {
-    // Top-k unevaluated candidates by acquisition.
+    // Top-k available candidates by acquisition.
     std::vector<std::pair<double, const space::Configuration*>> scored;
     for (const auto& c : *pool_) {
-      if (!is_evaluated(c)) {
+      if (!is_excluded(c)) {
         scored.emplace_back(surrogate.acquisition(c), &c);
       }
     }
@@ -196,9 +198,13 @@ std::vector<space::Configuration> HiPerBOt::suggest_batch(std::size_t k) {
 
   // Proposal: oversample candidates, keep the k best distinct ones.
   std::vector<std::pair<double, space::Configuration>> scored;
+  std::unordered_set<std::uint64_t> seen;  // dedup among the proposals
   for (std::size_t i = 0; i < config_.proposal_candidates * k; ++i) {
     space::Configuration c = surrogate.good().sample(rng_);
-    if (!space_->satisfies(c) || is_evaluated(c) || is_taken(c)) {
+    if (!space_->satisfies(c) || is_excluded(c)) {
+      continue;
+    }
+    if (space_->is_finite() && !seen.insert(space_->ordinal_of(c)).second) {
       continue;
     }
     scored.emplace_back(surrogate.acquisition(c), std::move(c));
@@ -209,15 +215,10 @@ std::vector<space::Configuration> HiPerBOt::suggest_batch(std::size_t k) {
     if (batch.size() >= k) {
       break;
     }
-    if (!is_taken(c)) {
-      take(std::move(c));
-    }
+    take(std::move(c));
   }
-  while (batch.size() < k) {
-    space::Configuration c = random_unevaluated();
-    if (!is_taken(c)) {
-      take(std::move(c));
-    }
+  while (batch.size() < k && !pool_exhausted()) {
+    take(random_unevaluated());
   }
   return batch;
 }
@@ -226,7 +227,9 @@ void HiPerBOt::observe(const space::Configuration& config, double y) {
   HPB_REQUIRE(config.size() == space_->num_params(),
               "HiPerBOt::observe: configuration size mismatch");
   if (space_->is_finite()) {
-    evaluated_.insert(space_->ordinal_of(config));
+    const std::uint64_t ordinal = space_->ordinal_of(config);
+    pending_.erase(ordinal);
+    evaluated_.insert(ordinal);
   }
   history_.add(config, y);
 }

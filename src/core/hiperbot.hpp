@@ -72,9 +72,11 @@ class HiPerBOt final : public Tuner {
   /// Suggest up to k distinct configurations at once (for parallel
   /// evaluation on a batch scheduler). Under Ranking these are the top-k
   /// acquisition scores; under Proposal, the k best of the proposal set.
-  /// The batch is not marked evaluated — observe() every member before the
-  /// next suggestion round, or later batches may repeat configurations.
-  [[nodiscard]] std::vector<space::Configuration> suggest_batch(std::size_t k);
+  /// Batch members are tracked as *pending* until observed, so later
+  /// suggestions (single or batched) never repeat an outstanding
+  /// configuration even if the caller observes only part of a batch.
+  [[nodiscard]] std::vector<space::Configuration> suggest_batch(
+      std::size_t k) override;
 
   void observe(const space::Configuration& config, double y) override;
   [[nodiscard]] std::string name() const override { return "HiPerBOt"; }
@@ -92,6 +94,8 @@ class HiPerBOt final : public Tuner {
 
  private:
   [[nodiscard]] bool is_evaluated(const space::Configuration& c) const;
+  /// Evaluated, or suggested in a batch and awaiting its observation.
+  [[nodiscard]] bool is_excluded(const space::Configuration& c) const;
   [[nodiscard]] space::Configuration random_unevaluated();
   [[nodiscard]] space::Configuration initial_suggestion();
   [[nodiscard]] space::Configuration suggest_ranking(const TpeSurrogate& s);
@@ -103,6 +107,7 @@ class HiPerBOt final : public Tuner {
   History history_;
   std::shared_ptr<const std::vector<space::Configuration>> pool_;
   std::unordered_set<std::uint64_t> evaluated_;  // ordinals, finite spaces
+  std::unordered_set<std::uint64_t> pending_;    // batched, not yet observed
   std::optional<TransferPrior> prior_;
   std::vector<space::Configuration> initial_queue_;  // LHS design, if any
 };

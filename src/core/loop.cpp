@@ -1,27 +1,12 @@
 #include "core/loop.hpp"
 
-#include "common/error.hpp"
+#include "core/engine.hpp"
 
 namespace hpb::core {
 
 TuneResult run_tuning(Tuner& tuner, tabular::Objective& objective,
                       std::size_t budget) {
-  HPB_REQUIRE(budget > 0, "run_tuning: budget must be positive");
-  TuneResult result;
-  result.history.reserve(budget);
-  result.best_so_far.reserve(budget);
-  for (std::size_t t = 0; t < budget; ++t) {
-    space::Configuration c = tuner.suggest();
-    const double y = objective.evaluate(c);
-    tuner.observe(c, y);
-    if (result.history.empty() || y < result.best_value) {
-      result.best_value = y;
-      result.best_config = c;
-    }
-    result.history.push_back({std::move(c), y});
-    result.best_so_far.push_back(result.best_value);
-  }
-  return result;
+  return TuningEngine().run(tuner, objective, budget);
 }
 
 }  // namespace hpb::core

@@ -1,6 +1,10 @@
-// Tuning-loop driver: wires any Tuner to any Objective for a fixed
-// evaluation budget and records the trajectory needed by the paper's
+// Serial tuning-loop entry point: wires any Tuner to any Objective for a
+// fixed evaluation budget and records the trajectory needed by the paper's
 // metrics (best-so-far curve and the full selected-sample set H).
+//
+// run_tuning is a compatibility shim over core::TuningEngine with
+// batch_size == 1 (see core/engine.hpp); new code that wants batched or
+// parallel evaluation should construct the engine directly.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +26,7 @@ struct TuneResult {
 };
 
 /// Run `budget` evaluations of the objective, driven by the tuner.
+/// Equivalent to TuningEngine{{.batch_size = 1}}.run(...).
 [[nodiscard]] TuneResult run_tuning(Tuner& tuner, tabular::Objective& objective,
                                     std::size_t budget);
 

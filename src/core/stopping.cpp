@@ -1,52 +1,13 @@
 #include "core/stopping.hpp"
 
-#include "common/error.hpp"
+#include "core/engine.hpp"
 
 namespace hpb::core {
 
 StoppedTuneResult run_tuning_until(Tuner& tuner,
                                    tabular::Objective& objective,
                                    const StopConfig& config) {
-  HPB_REQUIRE(config.max_evaluations > 0,
-              "run_tuning_until: max_evaluations must be positive");
-  HPB_REQUIRE(config.min_relative_improvement >= 0.0,
-              "run_tuning_until: min_relative_improvement must be >= 0");
-  StoppedTuneResult out;
-  TuneResult& result = out.result;
-  result.history.reserve(config.max_evaluations);
-  result.best_so_far.reserve(config.max_evaluations);
-
-  std::size_t since_improvement = 0;
-  for (std::size_t t = 0; t < config.max_evaluations; ++t) {
-    space::Configuration c = tuner.suggest();
-    const double y = objective.evaluate(c);
-    tuner.observe(c, y);
-
-    const bool first = result.history.empty();
-    const bool improved =
-        first ||
-        y < result.best_value -
-                config.min_relative_improvement * std::abs(result.best_value);
-    if (first || y < result.best_value) {
-      result.best_value = y;
-      result.best_config = c;
-    }
-    result.history.push_back({std::move(c), y});
-    result.best_so_far.push_back(result.best_value);
-
-    if (result.best_value <= config.target_value) {
-      out.reason = StopReason::kTargetReached;
-      return out;
-    }
-    since_improvement = improved ? 0 : since_improvement + 1;
-    if (config.stagnation_patience > 0 &&
-        since_improvement >= config.stagnation_patience) {
-      out.reason = StopReason::kStagnation;
-      return out;
-    }
-  }
-  out.reason = StopReason::kBudgetExhausted;
-  return out;
+  return TuningEngine().run_until(tuner, objective, config);
 }
 
 }  // namespace hpb::core

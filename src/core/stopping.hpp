@@ -32,7 +32,8 @@ struct StoppedTuneResult {
   StopReason reason = StopReason::kBudgetExhausted;
 };
 
-/// Run the tuning loop until a stopping condition fires.
+/// Run the tuning loop until a stopping condition fires. Compatibility
+/// shim over TuningEngine{{.batch_size = 1}}.run_until(...).
 [[nodiscard]] StoppedTuneResult run_tuning_until(Tuner& tuner,
                                                  tabular::Objective& objective,
                                                  const StopConfig& config);

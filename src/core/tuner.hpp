@@ -1,14 +1,22 @@
-// Ask/tell tuner interface shared by HiPerBOt and every baseline.
+// Batched ask/tell tuner interface shared by HiPerBOt and every baseline.
 //
-// A tuner repeatedly suggests one configuration to evaluate (§III-A: the
-// argmax of the surrogate's expected improvement) and is then told the
-// observed objective value. Drivers in core/loop.hpp wire a Tuner to an
-// Objective for a fixed evaluation budget.
+// A tuner proposes configurations to evaluate (§III-A: the argmax of the
+// surrogate's expected improvement) and is then told the observed objective
+// values. The core abstraction is *batched*: suggest_batch(k) asks for up
+// to k distinct configurations so the engine (core/engine.hpp) can evaluate
+// them in parallel, and observe_batch() delivers the results in suggestion
+// order. The single-point suggest()/observe() pair remains the unit every
+// tuner must implement; the batch entry points default to looping it, and
+// tuners with a native batch strategy (HiPerBOt's top-k acquisition, the
+// constant-liar fill-ins of the model-based baselines) override them.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "space/configuration.hpp"
 
 namespace hpb::core {
@@ -29,6 +37,34 @@ class Tuner {
 
   /// Record the objective value of a previously suggested configuration.
   virtual void observe(const space::Configuration& config, double y) = 0;
+
+  /// Propose up to k configurations for parallel evaluation. May return
+  /// fewer than k when the space is nearly exhausted, but never zero (the
+  /// single-point path throws first). The default loops suggest(), which is
+  /// exact for k == 1 but may propose within-batch duplicates for tuners
+  /// whose deduplication happens in observe(); every shipped tuner
+  /// overrides this with a batch-aware strategy.
+  [[nodiscard]] virtual std::vector<space::Configuration> suggest_batch(
+      std::size_t k) {
+    HPB_REQUIRE(k > 0, "suggest_batch: k must be positive");
+    std::vector<space::Configuration> batch;
+    batch.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      batch.push_back(suggest());
+    }
+    return batch;
+  }
+
+  /// Record the results of a previously suggested batch, in suggestion
+  /// order. The default loops observe(); overrides may amortize model
+  /// refits across the batch. Engines must deliver a whole batch through
+  /// this entry point (not member-by-member observe() calls) so that
+  /// constant-liar overrides can retract their fill-in values.
+  virtual void observe_batch(std::span<const Observation> observations) {
+    for (const Observation& o : observations) {
+      observe(o.config, o.y);
+    }
+  }
 
   /// Short identifier used in reports ("HiPerBOt", "GEIST", "Random", ...).
   [[nodiscard]] virtual std::string name() const = 0;

@@ -1,7 +1,11 @@
 #include "eval/experiment.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
+#include <string>
 
 #include "common/error.hpp"
 #include "eval/metrics.hpp"
@@ -36,9 +40,14 @@ MethodCurve run_selection_experiment(tabular::TabularObjective& dataset,
   // order, so parallel and serial execution produce identical statistics.
   std::vector<std::vector<double>> best_per_rep(config.reps);
   std::vector<std::vector<double>> recall_per_rep(config.reps);
+  HPB_REQUIRE(config.batch_size >= 1,
+              "run_selection_experiment: batch_size must be >= 1");
+  // Evaluations within a rep are deliberately serial (pool = nullptr): reps
+  // already saturate `config.pool`, and nesting pools would deadlock.
+  const core::TuningEngine engine({.batch_size = config.batch_size});
   parallel_for_indexed(config.pool, config.reps, [&](std::size_t rep) {
     auto tuner = factory(seeds[rep]);
-    const core::TuneResult result = core::run_tuning(*tuner, dataset, budget);
+    const core::TuneResult result = engine.run(*tuner, dataset, budget);
     auto& bests = best_per_rep[rep];
     auto& recalls = recall_per_rep[rep];
     bests.reserve(config.sample_sizes.size());
@@ -58,14 +67,51 @@ MethodCurve run_selection_experiment(tabular::TabularObjective& dataset,
   return curve;
 }
 
-std::size_t reps_from_env(std::size_t fallback) {
-  if (const char* env = std::getenv("HPB_REPS")) {
-    const long value = std::strtol(env, nullptr, 10);
-    if (value >= 1) {
-      return static_cast<std::size_t>(value);
-    }
+std::size_t count_from_env(const char* name, std::size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) {
+    return fallback;
   }
-  return fallback;
+  const std::string raw(env);
+  auto fail = [&](const char* why) {
+    throw Error(std::string(name) + "=\"" + raw + "\": " + why +
+                " (expected a positive integer)");
+  };
+  const char* p = env;
+  while (std::isspace(static_cast<unsigned char>(*p))) {
+    ++p;
+  }
+  if (*p == '\0') {
+    fail("empty value");
+  }
+  if (!std::isdigit(static_cast<unsigned char>(*p))) {
+    fail(*p == '-' ? "negative value" : "not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(p, &end, 10);
+  if (errno == ERANGE ||
+      value > std::numeric_limits<std::size_t>::max()) {
+    fail("value overflows");
+  }
+  while (std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  if (*end != '\0') {
+    fail("trailing garbage");
+  }
+  if (value == 0) {
+    fail("must be >= 1");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+std::size_t reps_from_env(std::size_t fallback) {
+  return count_from_env("HPB_REPS", fallback);
+}
+
+std::size_t batch_from_env(std::size_t fallback) {
+  return count_from_env("HPB_BATCH", fallback);
 }
 
 }  // namespace hpb::eval

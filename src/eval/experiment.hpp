@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/engine.hpp"
 #include "core/loop.hpp"
 #include "core/tuner.hpp"
 #include "stats/summary.hpp"
@@ -36,6 +37,13 @@ struct SelectionExperimentConfig {
   /// Requires a thread-safe objective — true for TabularObjective — and
   /// tuner factories whose products share only immutable state.
   ThreadPool* pool = nullptr;
+  /// Suggest/observe batch size inside each replicated run (the engine's
+  /// batch knob; HPB_BATCH in the bench harnesses). 1 reproduces the
+  /// historical serial curves exactly; larger batches amortize surrogate
+  /// fits and acquisition scans within a run. Evaluations inside a rep stay
+  /// serial — reps are already parallelized across `pool` and a tabular
+  /// lookup is too cheap to fan out twice.
+  std::size_t batch_size = 1;
 };
 
 struct MethodCurve {
@@ -52,7 +60,18 @@ struct MethodCurve {
     tabular::TabularObjective& dataset, const std::string& method_name,
     const TunerFactory& factory, const SelectionExperimentConfig& config);
 
+/// Strictly parsed positive count from an environment variable, else
+/// `fallback` when the variable is unset. Rejects non-numeric, zero,
+/// negative, trailing-garbage, and overflowing values with a clear error
+/// instead of silently misparsing them.
+[[nodiscard]] std::size_t count_from_env(const char* name,
+                                         std::size_t fallback);
+
 /// Replications from the HPB_REPS environment variable, else `fallback`.
 [[nodiscard]] std::size_t reps_from_env(std::size_t fallback);
+
+/// Engine batch size from the HPB_BATCH environment variable, else
+/// `fallback` (same strict parsing as HPB_REPS).
+[[nodiscard]] std::size_t batch_from_env(std::size_t fallback = 1);
 
 }  // namespace hpb::eval

@@ -143,8 +143,10 @@ TEST(Experiment, RejectsBadConfig) {
 TEST(Experiment, RepsFromEnvParsesAndFallsBack) {
   ::setenv("HPB_REPS", "7", 1);
   EXPECT_EQ(reps_from_env(20), 7u);
+  // Malformed values are rejected loudly rather than silently ignored
+  // (full coverage in tests/test_engine.cpp EnvParsing).
   ::setenv("HPB_REPS", "garbage", 1);
-  EXPECT_EQ(reps_from_env(20), 20u);
+  EXPECT_THROW((void)reps_from_env(20), Error);
   ::unsetenv("HPB_REPS");
   EXPECT_EQ(reps_from_env(20), 20u);
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 build + test suite, then an
+# AddressSanitizer + UBSan build running the engine determinism /
+# batching / pending-tracking tests (tests/test_engine.cpp).
+#
+# Usage: tools/check.sh    (from anywhere; builds into build/ and
+#                           build-asan/ at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== tier 1: build + full test suite =="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo
+echo "== ASan + UBSan: engine determinism tests =="
+cmake -B build-asan -S . -DHPB_SANITIZE=ON \
+  -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs" \
+  -R 'Engine|HiPerBOtPending|EnvParsing'
+
+echo
+echo "check.sh: all green"

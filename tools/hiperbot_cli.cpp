@@ -3,6 +3,7 @@
 //
 //   hiperbot info       --csv runs.csv | --dataset kripke
 //   hiperbot tune       --csv runs.csv --method hiperbot --budget 100
+//                       [--batch 4]
 //   hiperbot importance --csv runs.csv [--alpha 0.2]
 //   hiperbot compare    --csv runs.csv --methods hiperbot,geist,random
 //                       --budget 100 --reps 10 [--ell 5]
@@ -18,6 +19,7 @@
 
 #include "apps/registry.hpp"
 #include "common/cli.hpp"
+#include "core/engine.hpp"
 #include "core/hiperbot.hpp"
 #include "core/importance.hpp"
 #include "core/history_io.hpp"
@@ -108,7 +110,8 @@ int cmd_tune(const hpb::cli::ArgParser& args) {
     stop.target_value = args.get_double("target");
   }
 
-  const auto stopped = hpb::core::run_tuning_until(*tuner, ds, stop);
+  const hpb::core::TuningEngine engine({.batch_size = args.get_size("batch")});
+  const auto stopped = engine.run_until(*tuner, ds, stop);
   const auto& result = stopped.result;
   std::cout << "method:      " << tuner->name() << '\n'
             << "evaluations: " << result.history.size() << " (stopped: ";
@@ -180,8 +183,8 @@ int cmd_transfer(const hpb::cli::ArgParser& args) {
   tuner.set_transfer_prior(hpb::core::make_transfer_prior(
       target.space_ptr(), source_configs, source_values, config.quantile));
 
-  const auto result =
-      hpb::core::run_tuning(tuner, target, args.get_size("budget"));
+  const hpb::core::TuningEngine engine({.batch_size = args.get_size("batch")});
+  const auto result = engine.run(tuner, target, args.get_size("budget"));
   std::cout << "source:      " << source.name() << " (" << source.size()
             << " observed runs, best " << source.best_value() << ")\n"
             << "target:      " << target.name() << " (" << target.size()
@@ -206,12 +209,13 @@ int cmd_compare(const hpb::cli::ArgParser& args) {
   // Per method: the per-rep best values and recalls.
   std::vector<std::vector<double>> bests(methods.size());
   std::vector<std::vector<double>> recalls(methods.size());
+  const hpb::core::TuningEngine engine({.batch_size = args.get_size("batch")});
   for (std::size_t m = 0; m < methods.size(); ++m) {
     hpb::Rng seeder(args.get_size("seed") + 17 * m);
     for (std::size_t rep = 0; rep < reps; ++rep) {
       auto tuner =
           hpb::eval::make_named_tuner(methods[m], ds, seeder.next_u64());
-      const auto result = hpb::core::run_tuning(*tuner, ds, budget);
+      const auto result = engine.run(*tuner, ds, budget);
       bests[m].push_back(result.best_value);
       recalls[m].push_back(
           hpb::eval::recall_percentile(ds, result.history, budget, ell));
@@ -270,6 +274,8 @@ int main(int argc, char** argv) {
                   "`transfer`: fully observed source-domain CSV")
       .add_double("weight", 2.0, "`transfer`: prior mixture weight w")
       .add_size("budget", 100, "evaluation budget")
+      .add_size("batch", 1,
+                "suggest/observe batch size per engine round (1 = serial)")
       .add_size("reps", 10, "`compare`: replications per method")
       .add_size("seed", 42, "random seed")
       .add_size("patience", 0, "`tune`: stop after N evals w/o improvement")
