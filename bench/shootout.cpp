@@ -14,12 +14,15 @@
 #include "eval/methods.hpp"
 #include "eval/metrics.hpp"
 #include "figure_common.hpp"
+#include "tabular/fault_injection.hpp"
 #include "stats/inference.hpp"
 #include "stats/summary.hpp"
 
 int main() {
   const std::size_t reps = hpb::eval::reps_from_env(5);
   const std::size_t batch = hpb::eval::batch_from_env(1);
+  const double fail_rate = hpb::tabular::fail_rate_from_env(0.0);
+  const double crash_rate = hpb::tabular::crash_rate_from_env(0.0);
   constexpr std::size_t kBudget = 150;
   const hpb::core::TuningEngine engine({.batch_size = batch});
   std::ofstream csv(hpb::benchfig::csv_path("shootout"));
@@ -27,8 +30,12 @@ int main() {
          "p_vs_hiperbot\n";
 
   std::cout << "Method shootout: all tuners, all datasets (budget "
-            << kBudget << ", reps " << reps << ", batch " << batch
-            << ")\n\n";
+            << kBudget << ", reps " << reps << ", batch " << batch << ")\n";
+  if (fail_rate > 0.0 || crash_rate > 0.0) {
+    std::cout << "fault injection: fail rate " << fail_rate
+              << ", crash rate " << crash_rate << '\n';
+  }
+  std::cout << '\n';
 
   for (const auto& info : hpb::apps::dataset_registry()) {
     auto dataset = info.make();
@@ -48,7 +55,13 @@ int main() {
       for (std::size_t rep = 0; rep < reps; ++rep) {
         auto tuner =
             hpb::eval::make_named_tuner(name, dataset, seeder.next_u64());
-        const auto result = engine.run(*tuner, dataset, kBudget);
+        // Pass-through when both rates are 0; otherwise a deterministic
+        // subset of each dataset fails (same regions for every method).
+        hpb::tabular::FaultInjectingObjective faulty(
+            dataset, {.fail_rate = fail_rate,
+                      .crash_rate = crash_rate,
+                      .seed = 0xfa011 + rep});
+        const auto result = engine.run(*tuner, faulty, kBudget);
         best_values.push_back(result.best_value);
         recalls.push_back(hpb::eval::recall_percentile(
             dataset, result.history, kBudget, 5.0));

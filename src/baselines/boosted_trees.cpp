@@ -315,4 +315,11 @@ void BrtTuner::observe(const space::Configuration& config, double y) {
   y_.push_back(y);
 }
 
+void BrtTuner::observe_failure(const space::Configuration& config,
+                               core::EvalStatus status) {
+  HPB_REQUIRE(status != core::EvalStatus::kOk,
+              "BrtTuner::observe_failure: status must be a failure");
+  evaluated_.insert(space_->ordinal_of(config));
+}
+
 }  // namespace hpb::baselines

@@ -57,6 +57,10 @@ void Geist::propagate_and_refill_queue() {
   for (std::uint32_t node : observed_nodes_) {
     labels[node] = observed_[node] < threshold ? std::int8_t{1} : std::int8_t{0};
   }
+  // Failed evaluations have no value but a definite verdict: hard-bad.
+  for (std::uint32_t node : failed_) {
+    labels[node] = 0;
+  }
   beliefs_ = camlp_propagate(*graph_, labels, config_.camlp);
 
   // Queue the top unlabeled nodes by good-belief (random tie-breaking via a
@@ -65,7 +69,8 @@ void Geist::propagate_and_refill_queue() {
   std::vector<std::uint32_t> candidates;
   candidates.reserve(pool_->size() - observed_nodes_.size());
   for (std::uint32_t i = 0; i < pool_->size(); ++i) {
-    if (std::isnan(observed_[i]) && !pending_.contains(i)) {
+    if (std::isnan(observed_[i]) && !pending_.contains(i) &&
+        !failed_.contains(i)) {
       candidates.push_back(i);
     }
   }
@@ -87,17 +92,20 @@ void Geist::propagate_and_refill_queue() {
 
 space::Configuration Geist::suggest() {
   if (observed_nodes_.size() < config_.initial_samples) {
-    HPB_REQUIRE(observed_nodes_.size() + pending_.size() < pool_->size(),
+    HPB_REQUIRE(observed_nodes_.size() + pending_.size() + failed_.size() <
+                    pool_->size(),
                 "Geist: pool exhausted");
     for (;;) {
       const std::size_t i = rng_.index(pool_->size());
       if (std::isnan(observed_[i]) &&
-          !pending_.contains(static_cast<std::uint32_t>(i))) {
+          !pending_.contains(static_cast<std::uint32_t>(i)) &&
+          !failed_.contains(static_cast<std::uint32_t>(i))) {
         return (*pool_)[i];
       }
     }
   }
-  while (!queue_.empty() && pending_.contains(queue_.front())) {
+  while (!queue_.empty() && (pending_.contains(queue_.front()) ||
+                             failed_.contains(queue_.front()))) {
     queue_.pop_front();  // claimed by an outstanding batch meanwhile
   }
   if (queue_.empty()) {
@@ -116,7 +124,8 @@ std::vector<space::Configuration> Geist::suggest_batch(std::size_t k) {
   std::vector<space::Configuration> batch;
   batch.reserve(k);
   while (batch.size() < k &&
-         observed_nodes_.size() + pending_.size() < pool_->size()) {
+         observed_nodes_.size() + pending_.size() + failed_.size() <
+             pool_->size()) {
     space::Configuration c = suggest();
     pending_.insert(node_of_ordinal_.at(space_->ordinal_of(c)));
     batch.push_back(std::move(c));
@@ -135,6 +144,18 @@ void Geist::observe(const space::Configuration& config, double y) {
     observed_nodes_.push_back(node);
   }
   observed_[node] = y;
+}
+
+void Geist::observe_failure(const space::Configuration& config,
+                            core::EvalStatus status) {
+  HPB_REQUIRE(status != core::EvalStatus::kOk,
+              "Geist::observe_failure: status must be a failure");
+  const auto it = node_of_ordinal_.find(space_->ordinal_of(config));
+  HPB_REQUIRE(it != node_of_ordinal_.end(),
+              "Geist::observe_failure: configuration not in pool");
+  const std::uint32_t node = it->second;
+  pending_.erase(node);
+  failed_.insert(node);  // hard-bad label; never suggested again
 }
 
 }  // namespace hpb::baselines

@@ -51,6 +51,12 @@ class Geist final : public core::Tuner {
   [[nodiscard]] std::vector<space::Configuration> suggest_batch(
       std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
+  /// A failed configuration is labeled hard-"bad" for label propagation and
+  /// excluded from every future suggestion; it does not count toward the
+  /// random bootstrap (which needs observed *values* for its quantile
+  /// threshold).
+  void observe_failure(const space::Configuration& config,
+                       core::EvalStatus status) override;
   [[nodiscard]] std::string name() const override { return "GEIST"; }
 
   /// Latest propagated good-beliefs (empty before the first propagation).
@@ -72,6 +78,7 @@ class Geist final : public core::Tuner {
   std::vector<double> beliefs_;
   std::deque<std::uint32_t> queue_;   // planned suggestions
   std::unordered_set<std::uint32_t> pending_;  // batched, not yet observed
+  std::unordered_set<std::uint32_t> failed_;   // failed evaluations
 };
 
 }  // namespace hpb::baselines

@@ -238,11 +238,24 @@ void GpTuner::observe(const space::Configuration& config, double y) {
   }
 }
 
+void GpTuner::observe_failure(const space::Configuration& config,
+                              core::EvalStatus status) {
+  HPB_REQUIRE(status != core::EvalStatus::kOk,
+              "GpTuner::observe_failure: status must be a failure");
+  evaluated_.insert(space_->ordinal_of(config));
+}
+
 void GpTuner::observe_batch(std::span<const core::Observation> observations) {
+  bool appended = false;
   for (const core::Observation& o : observations) {
-    append_observation(o.config, o.y);
+    if (o.ok()) {
+      append_observation(o.config, o.y);
+      appended = true;
+    } else {
+      observe_failure(o.config, o.status);
+    }
   }
-  if (!observations.empty() && y_.size() >= config_.initial_samples) {
+  if (appended && y_.size() >= config_.initial_samples) {
     refit();
   }
 }

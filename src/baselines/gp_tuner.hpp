@@ -46,7 +46,13 @@ class GpTuner final : public core::Tuner {
   [[nodiscard]] std::vector<space::Configuration> suggest_batch(
       std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
-  /// Appends the whole batch, then refits the posterior once.
+  /// Failed configurations are marked evaluated (never re-proposed) but are
+  /// NOT added to the GP fit: a NaN/penalty target would corrupt the
+  /// posterior, and exclusion alone keeps the model clean.
+  void observe_failure(const space::Configuration& config,
+                       core::EvalStatus status) override;
+  /// Appends the whole batch (routing failures to observe_failure), then
+  /// refits the posterior once.
   void observe_batch(std::span<const core::Observation> observations) override;
   [[nodiscard]] std::string name() const override { return "GP-EI"; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "stats/summary.hpp"
@@ -132,6 +133,20 @@ void SimulatedAnnealing::observe(const space::Configuration& config,
   temperature_ = std::max(temperature_ * config_.cooling_rate, 1e-12);
 }
 
+void SimulatedAnnealing::observe_failure(const space::Configuration& config,
+                                         core::EvalStatus status) {
+  HPB_REQUIRE(status != core::EvalStatus::kOk,
+              "SimulatedAnnealing::observe_failure: status must be a failure");
+  evaluated_[space_->ordinal_of(config)] =
+      std::numeric_limits<double>::infinity();
+  has_pending_ = false;
+  // Bootstrap draws contribute no value (the initial temperature needs real
+  // measurements); afterwards the move is rejected and the schedule cools.
+  if (initial_values_.size() >= config_.initial_samples) {
+    temperature_ = std::max(temperature_ * config_.cooling_rate, 1e-12);
+  }
+}
+
 // -------------------------------------------------------------- HillClimbing
 HillClimbing::HillClimbing(space::SpacePtr space, HillClimbConfig config,
                            std::uint64_t seed)
@@ -220,6 +235,14 @@ void HillClimbing::observe(const space::Configuration& config, double y) {
     has_incumbent_ = true;
     neighbors_.clear();  // new incumbent: explore its neighborhood instead
   }
+}
+
+void HillClimbing::observe_failure(const space::Configuration& config,
+                                   core::EvalStatus status) {
+  HPB_REQUIRE(status != core::EvalStatus::kOk,
+              "HillClimbing::observe_failure: status must be a failure");
+  evaluated_[space_->ordinal_of(config)] =
+      std::numeric_limits<double>::infinity();
 }
 
 }  // namespace hpb::baselines

@@ -38,6 +38,12 @@ class SimulatedAnnealing final : public core::Tuner {
   [[nodiscard]] std::vector<space::Configuration> suggest_batch(
       std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
+  /// A failed move is a rejected move: the walk stays at the current
+  /// incumbent, the configuration is never re-proposed, and (past the
+  /// bootstrap) the temperature still cools — the schedule tracks budget
+  /// spent, not successes.
+  void observe_failure(const space::Configuration& config,
+                       core::EvalStatus status) override;
   [[nodiscard]] std::string name() const override { return "SimAnneal"; }
 
   [[nodiscard]] double temperature() const noexcept { return temperature_; }
@@ -77,6 +83,10 @@ class HillClimbing final : public core::Tuner {
   [[nodiscard]] std::vector<space::Configuration> suggest_batch(
       std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
+  /// A failed neighbor never becomes the incumbent; it is only marked
+  /// evaluated so the walk does not retry it.
+  void observe_failure(const space::Configuration& config,
+                       core::EvalStatus status) override;
   [[nodiscard]] std::string name() const override { return "HillClimb"; }
 
   [[nodiscard]] std::size_t restarts() const noexcept { return restarts_; }

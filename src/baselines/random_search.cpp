@@ -68,4 +68,13 @@ void RandomSearch::observe(const space::Configuration& config, double) {
   }
 }
 
+void RandomSearch::observe_failure(const space::Configuration& config,
+                                   core::EvalStatus status) {
+  HPB_REQUIRE(status != core::EvalStatus::kOk,
+              "RandomSearch::observe_failure: status must be a failure");
+  if (space_->is_finite()) {
+    evaluated_.insert(space_->ordinal_of(config));
+  }
+}
+
 }  // namespace hpb::baselines

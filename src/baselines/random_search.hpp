@@ -24,6 +24,9 @@ class RandomSearch final : public core::Tuner {
   [[nodiscard]] std::vector<space::Configuration> suggest_batch(
       std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
+  /// Failed configurations are simply never redrawn (finite spaces).
+  void observe_failure(const space::Configuration& config,
+                       core::EvalStatus status) override;
   [[nodiscard]] std::string name() const override { return "Random"; }
 
  private:

@@ -124,6 +124,13 @@ void RidgeTuner::observe(const space::Configuration& config, double y) {
   y_.push_back(y);
 }
 
+void RidgeTuner::observe_failure(const space::Configuration& config,
+                                 core::EvalStatus status) {
+  HPB_REQUIRE(status != core::EvalStatus::kOk,
+              "RidgeTuner::observe_failure: status must be a failure");
+  evaluated_.insert(space_->ordinal_of(config));
+}
+
 ExhaustiveTuner::ExhaustiveTuner(space::SpacePtr space)
     : ExhaustiveTuner(space,
                       std::make_shared<const std::vector<space::Configuration>>(

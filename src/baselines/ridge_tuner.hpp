@@ -41,6 +41,10 @@ class RidgeTuner final : public core::Tuner {
   [[nodiscard]] std::vector<space::Configuration> suggest_batch(
       std::size_t k) override;
   void observe(const space::Configuration& config, double y) override;
+  /// Failed configurations are excluded from future suggestions but never
+  /// enter the regression targets (a penalty value would bias the fit).
+  void observe_failure(const space::Configuration& config,
+                       core::EvalStatus status) override;
   [[nodiscard]] std::string name() const override { return "Ridge"; }
 
   /// Prediction for a configuration (fitted model required).

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -41,6 +42,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (task_error_) {
+    std::exception_ptr error = std::exchange(task_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -56,9 +62,20 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    // A throwing task must not terminate the process or leak in_flight_
+    // (which would deadlock wait_idle); capture the first error and surface
+    // it from the next wait_idle() instead.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock lock(mutex_);
+      if (error && !task_error_) {
+        task_error_ = error;
+      }
       --in_flight_;
       if (in_flight_ == 0) {
         idle_.notify_all();

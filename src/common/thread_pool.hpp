@@ -30,11 +30,14 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue one task; returns immediately. Tasks must not throw past the
-  /// pool — use parallel_for_indexed for exception-safe batches.
+  /// Enqueue one task; returns immediately. A task that throws does not
+  /// terminate the process: the first uncaught exception is captured and
+  /// rethrown from the next wait_idle(). parallel_for_indexed does its own
+  /// per-index capture and never lets exceptions reach the pool.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. Rethrows (and clears)
+  /// the first exception any task threw since the last wait_idle().
   void wait_idle();
 
  private:
@@ -47,6 +50,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  std::exception_ptr task_error_;  // first error from a submitted task
 };
 
 /// Run fn(0) … fn(n-1) across the pool and wait for completion. Each index

@@ -19,18 +19,46 @@ std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
   HPB_REQUIRE(!batch.empty(), "TuningEngine: tuner returned an empty batch");
   HPB_REQUIRE(batch.size() <= k,
               "TuningEngine: tuner returned more configurations than asked");
-  std::vector<double> values(batch.size());
-  parallel_for_indexed(batch.size() > 1 ? config_.pool : nullptr, batch.size(),
-                       [&](std::size_t i) {
-                         values[i] = objective.evaluate(batch[i]);
-                       });
+  std::vector<tabular::EvalResult> results(batch.size());
+  parallel_for_indexed(
+      batch.size() > 1 ? config_.pool : nullptr, batch.size(),
+      [&](std::size_t i) {
+        tabular::EvalResult r = objective.evaluate_result(batch[i]);
+        // Only kCrashed is plausibly transient; bounded retries occupy the
+        // same budget slot.
+        for (std::size_t retry = 0;
+             r.status == EvalStatus::kCrashed &&
+             retry < config_.failure.max_retries;
+             ++retry) {
+          r = objective.evaluate_result(batch[i]);
+        }
+        HPB_REQUIRE(!r.ok() || std::isfinite(r.value),
+                    "TuningEngine: objective returned a non-finite value "
+                    "with status ok");
+        results[i] = r;
+      });
   std::vector<Observation> observations;
   observations.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    observations.push_back({std::move(batch[i]), values[i]});
+    observations.push_back(
+        {std::move(batch[i]), results[i].value, results[i].status});
   }
   tuner.observe_batch(observations);
   return observations;
+}
+
+void TuningEngine::record(TuneResult& result, Observation o) {
+  if (o.ok()) {
+    if (result.history.size() == result.num_failed ||
+        o.y < result.best_value) {
+      result.best_value = o.y;
+      result.best_config = o.config;
+    }
+  } else {
+    ++result.num_failed;
+  }
+  result.history.push_back(std::move(o));
+  result.best_so_far.push_back(result.best_value);
 }
 
 TuneResult TuningEngine::run(Tuner& tuner, tabular::Objective& objective,
@@ -43,12 +71,7 @@ TuneResult TuningEngine::run(Tuner& tuner, tabular::Objective& objective,
     const std::size_t k =
         std::min(config_.batch_size, budget - result.history.size());
     for (Observation& o : run_round(tuner, objective, k)) {
-      if (result.history.empty() || o.y < result.best_value) {
-        result.best_value = o.y;
-        result.best_config = o.config;
-      }
-      result.history.push_back(std::move(o));
-      result.best_so_far.push_back(result.best_value);
+      record(result, std::move(o));
     }
   }
   return result;
@@ -67,32 +90,43 @@ StoppedTuneResult TuningEngine::run_until(Tuner& tuner,
   result.best_so_far.reserve(config.max_evaluations);
 
   std::size_t since_improvement = 0;
+  bool stopped = false;
   while (result.history.size() < config.max_evaluations) {
     const std::size_t k = std::min(
         config_.batch_size, config.max_evaluations - result.history.size());
     for (Observation& o : run_round(tuner, objective, k)) {
-      const bool first = result.history.empty();
+      // A failed evaluation never improves and can never hit the target; a
+      // first success "improves" by definition.
+      const bool first_success =
+          o.ok() && result.history.size() == result.num_failed;
       const bool improved =
-          first ||
-          o.y < result.best_value - config.min_relative_improvement *
-                                        std::abs(result.best_value);
-      if (first || o.y < result.best_value) {
-        result.best_value = o.y;
-        result.best_config = o.config;
-      }
-      result.history.push_back(std::move(o));
-      result.best_so_far.push_back(result.best_value);
+          o.ok() &&
+          (first_success ||
+           o.y < result.best_value - config.min_relative_improvement *
+                                         std::abs(result.best_value));
+      record(result, std::move(o));
 
+      // Stopping conditions are evaluated per observation (stagnation
+      // patience counts within a batch too), but the rest of the round is
+      // still recorded above before we return: those evaluations already
+      // happened and were observe_batch()ed into the tuner.
+      if (stopped) {
+        continue;
+      }
       if (result.best_value <= config.target_value) {
         out.reason = StopReason::kTargetReached;
-        return out;
+        stopped = true;
+        continue;
       }
       since_improvement = improved ? 0 : since_improvement + 1;
       if (config.stagnation_patience > 0 &&
           since_improvement >= config.stagnation_patience) {
         out.reason = StopReason::kStagnation;
-        return out;
+        stopped = true;
       }
+    }
+    if (stopped) {
+      return out;
     }
   }
   out.reason = StopReason::kBudgetExhausted;

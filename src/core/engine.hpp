@@ -24,6 +24,15 @@
 
 namespace hpb::core {
 
+/// How the engine treats failed evaluations (EvalStatus != kOk).
+struct FailurePolicy {
+  /// Immediate re-evaluations of a configuration whose attempt came back
+  /// kCrashed (the one transient status) before it is recorded as failed.
+  /// Retries are extra objective calls but occupy the same budget slot.
+  /// kInvalid / kTimeout are deterministic verdicts and are never retried.
+  std::size_t max_retries = 1;
+};
+
 struct EngineConfig {
   /// Configurations evaluated per suggest/observe round. 1 reproduces the
   /// serial ask/tell loop exactly.
@@ -31,6 +40,10 @@ struct EngineConfig {
   /// Worker pool for objective evaluations within a batch; nullptr (or a
   /// single worker) evaluates serially in suggestion order.
   ThreadPool* pool = nullptr;
+  /// Retry policy for transient failures. Failed evaluations (after
+  /// retries) count toward the budget, are delivered to the tuner via
+  /// observe_failure, and never update best_value/best_config.
+  FailurePolicy failure;
 };
 
 class TuningEngine {
@@ -43,11 +56,13 @@ class TuningEngine {
   [[nodiscard]] TuneResult run(Tuner& tuner, tabular::Objective& objective,
                                std::size_t budget) const;
 
-  /// Run until a stopping condition fires. When a target / stagnation stop
-  /// triggers mid-batch, the remaining batch members have already been
-  /// evaluated and observed by the tuner, but are not recorded in the
-  /// returned history — exactly the prefix up to the stopping point is
-  /// reported, matching the serial driver's semantics.
+  /// Run until a stopping condition fires. Stopping conditions are checked
+  /// per observation — stagnation patience counts every observation,
+  /// including within a batch — but when a stop triggers mid-batch the
+  /// whole already-evaluated round is still drained into the returned
+  /// history first: those evaluations were spent (and delivered to the
+  /// tuner via observe_batch), so reported counts match actual spend. At
+  /// batch_size == 1 this is exactly the serial driver's behavior.
   [[nodiscard]] StoppedTuneResult run_until(Tuner& tuner,
                                             tabular::Objective& objective,
                                             const StopConfig& config) const;
@@ -58,6 +73,11 @@ class TuningEngine {
   /// One suggest → evaluate → observe round of at most `k` evaluations.
   [[nodiscard]] std::vector<Observation> run_round(
       Tuner& tuner, tabular::Objective& objective, std::size_t k) const;
+
+  /// Append one observation to the result: successes update the best-*
+  /// fields, failures only bump num_failed; both extend history and
+  /// best_so_far (budget was spent either way).
+  static void record(TuneResult& result, Observation o);
 
   EngineConfig config_;
 };

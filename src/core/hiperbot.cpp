@@ -234,10 +234,24 @@ void HiPerBOt::observe(const space::Configuration& config, double y) {
   history_.add(config, y);
 }
 
+void HiPerBOt::observe_failure(const space::Configuration& config,
+                               EvalStatus status) {
+  HPB_REQUIRE(config.size() == space_->num_params(),
+              "HiPerBOt::observe_failure: configuration size mismatch");
+  HPB_REQUIRE(status != EvalStatus::kOk,
+              "HiPerBOt::observe_failure: status must be a failure");
+  if (space_->is_finite()) {
+    const std::uint64_t ordinal = space_->ordinal_of(config);
+    pending_.erase(ordinal);
+    evaluated_.insert(ordinal);  // never re-propose a failed configuration
+  }
+  failed_.push_back(config);  // joins the bad density group on the next fit
+}
+
 TpeSurrogate HiPerBOt::fit_surrogate() const {
   return TpeSurrogate(space_, history_, config_.quantile, config_.density,
                       prior_ ? &*prior_ : nullptr,
-                      prior_ ? config_.transfer_weight : 0.0);
+                      prior_ ? config_.transfer_weight : 0.0, failed_);
 }
 
 std::vector<double> HiPerBOt::parameter_importance() const {

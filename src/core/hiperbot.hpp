@@ -79,9 +79,20 @@ class HiPerBOt final : public Tuner {
       std::size_t k) override;
 
   void observe(const space::Configuration& config, double y) override;
+  /// Failed configurations join the excluded-ordinal set (never re-proposed)
+  /// and the surrogate's "bad" density group (§III-C's pb), steering pg/pb
+  /// away from failure regions without poisoning the good density. They do
+  /// not count toward the initial random design — the surrogate still waits
+  /// for `initial_samples` *successful* observations.
+  void observe_failure(const space::Configuration& config,
+                       EvalStatus status) override;
   [[nodiscard]] std::string name() const override { return "HiPerBOt"; }
 
   [[nodiscard]] const History& history() const noexcept { return history_; }
+  [[nodiscard]] const std::vector<space::Configuration>& failed_configs()
+      const noexcept {
+    return failed_;
+  }
   [[nodiscard]] const HiPerBOtConfig& config() const noexcept {
     return config_;
   }
@@ -108,6 +119,7 @@ class HiPerBOt final : public Tuner {
   std::shared_ptr<const std::vector<space::Configuration>> pool_;
   std::unordered_set<std::uint64_t> evaluated_;  // ordinals, finite spaces
   std::unordered_set<std::uint64_t> pending_;    // batched, not yet observed
+  std::vector<space::Configuration> failed_;     // evaluations that failed
   std::optional<TransferPrior> prior_;
   std::vector<space::Configuration> initial_queue_;  // LHS design, if any
 };

@@ -1,10 +1,10 @@
 #include "core/history_io.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <unordered_map>
 #include <vector>
 
@@ -14,27 +14,46 @@ namespace hpb::core {
 namespace {
 
 std::vector<std::string> split_line(const std::string& line) {
+  // Manual scan rather than getline(is, field, ','): getline drops a
+  // trailing empty field, which silently shifted every column left on rows
+  // ending in a comma instead of failing the field-count check.
   std::vector<std::string> fields;
-  std::string field;
-  std::istringstream is(line);
-  while (std::getline(is, field, ',')) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    const std::string field =
+        comma == std::string::npos ? line.substr(start)
+                                   : line.substr(start, comma - start);
     const auto begin = field.find_first_not_of(" \t\r");
     const auto end = field.find_last_not_of(" \t\r");
     fields.push_back(begin == std::string::npos
                          ? std::string{}
                          : field.substr(begin, end - begin + 1));
+    if (comma == std::string::npos) {
+      return fields;
+    }
+    start = comma + 1;
   }
-  return fields;
 }
 
 }  // namespace
 
 void write_history_csv(std::ostream& out, const space::ParameterSpace& space,
                        std::span<const Observation> observations) {
+  // The status column is only emitted when some observation failed, so
+  // histories from failure-free runs keep the legacy layout readable by
+  // TabularObjective and older tools.
+  const bool with_status =
+      std::any_of(observations.begin(), observations.end(),
+                  [](const Observation& o) { return !o.ok(); });
   for (std::size_t p = 0; p < space.num_params(); ++p) {
     out << space.param(p).name() << ',';
   }
-  out << "objective\n";
+  out << "objective";
+  if (with_status) {
+    out << ",status";
+  }
+  out << '\n';
   for (const auto& obs : observations) {
     HPB_REQUIRE(obs.config.size() == space.num_params(),
                 "write_history_csv: configuration size mismatch");
@@ -46,7 +65,11 @@ void write_history_csv(std::ostream& out, const space::ParameterSpace& space,
       }
       out << ',';
     }
-    out << obs.y << '\n';
+    out << obs.y;
+    if (with_status) {
+      out << ',' << tabular::status_name(obs.status);
+    }
+    out << '\n';
   }
 }
 
@@ -65,13 +88,22 @@ std::size_t warm_start_from_csv(std::istream& in,
   HPB_REQUIRE(static_cast<bool>(std::getline(in, line)),
               "warm_start_from_csv: missing header");
   const auto header = split_line(line);
-  HPB_REQUIRE(header.size() == space.num_params() + 1,
+  const bool with_status = !header.empty() && header.back() == "status";
+  const std::size_t expected =
+      space.num_params() + 1 + (with_status ? 1 : 0);
+  HPB_REQUIRE(header.size() == expected,
               "warm_start_from_csv: header has " +
                   std::to_string(header.size()) + " columns, expected " +
-                  std::to_string(space.num_params() + 1));
-  // Columns may be reordered relative to the space; map by name.
-  std::vector<std::size_t> param_of_column(header.size() - 1);
-  for (std::size_t c = 0; c + 1 < header.size(); ++c) {
+                  std::to_string(expected));
+  const std::size_t objective_col = space.num_params();
+  HPB_REQUIRE(header[objective_col] == "objective",
+              "warm_start_from_csv: column " +
+                  std::to_string(objective_col) +
+                  " must be 'objective', got '" + header[objective_col] +
+                  "'");
+  // Parameter columns may be reordered relative to the space; map by name.
+  std::vector<std::size_t> param_of_column(objective_col);
+  for (std::size_t c = 0; c < objective_col; ++c) {
     param_of_column[c] = space.index_of(header[c]);
   }
 
@@ -99,7 +131,7 @@ std::size_t warm_start_from_csv(std::istream& in,
                 "warm_start_from_csv: bad field count on line " +
                     std::to_string(line_no));
     std::vector<double> values(space.num_params(), 0.0);
-    for (std::size_t c = 0; c + 1 < fields.size(); ++c) {
+    for (std::size_t c = 0; c < objective_col; ++c) {
       const std::size_t p = param_of_column[c];
       const std::string& cell = fields[c];
       if (space.param(p).is_discrete()) {
@@ -118,13 +150,23 @@ std::size_t warm_start_from_csv(std::istream& in,
         values[p] = v;
       }
     }
-    double y = 0.0;
-    const std::string& y_cell = fields.back();
-    const auto [ptr, ec] =
-        std::from_chars(y_cell.data(), y_cell.data() + y_cell.size(), y);
-    HPB_REQUIRE(ec == std::errc{} && ptr == y_cell.data() + y_cell.size(),
-                "warm_start_from_csv: bad objective '" + y_cell + "'");
-    tuner.observe(space::Configuration(std::move(values)), y);
+    tabular::EvalStatus status = tabular::EvalStatus::kOk;
+    if (with_status) {
+      status = tabular::status_from_name(fields.back());
+    }
+    space::Configuration config(std::move(values));
+    if (status == tabular::EvalStatus::kOk) {
+      double y = 0.0;
+      const std::string& y_cell = fields[objective_col];
+      const auto [ptr, ec] =
+          std::from_chars(y_cell.data(), y_cell.data() + y_cell.size(), y);
+      HPB_REQUIRE(ec == std::errc{} && ptr == y_cell.data() + y_cell.size(),
+                  "warm_start_from_csv: bad objective '" + y_cell + "'");
+      tuner.observe(std::move(config), y);
+    } else {
+      // Failed rows carry no usable objective ("nan"); replay the verdict.
+      tuner.observe_failure(std::move(config), status);
+    }
     ++replayed;
   }
   return replayed;

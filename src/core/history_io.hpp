@@ -17,6 +17,8 @@ namespace hpb::core {
 
 /// Write a sequence of observations as CSV (header row from the space's
 /// parameter names). Accepts History::observations() or TuneResult::history.
+/// If any observation failed, a trailing "status" column records each row's
+/// EvalStatus; failure-free histories keep the legacy layout.
 void write_history_csv(const std::string& path,
                        const space::ParameterSpace& space,
                        std::span<const Observation> observations);
@@ -25,8 +27,10 @@ void write_history_csv(std::ostream& out, const space::ParameterSpace& space,
 
 /// Read a history CSV previously written by write_history_csv (or any CSV
 /// whose parameter columns use the space's level labels / numeric values)
-/// and replay each observation into the tuner via observe().
-/// Returns the number of observations replayed.
+/// and replay each row into the tuner: successes via observe(), rows whose
+/// optional trailing "status" column marks a failure via observe_failure().
+/// The column after the parameters must be named "objective".
+/// Returns the number of rows replayed (successes plus failures).
 std::size_t warm_start_from_csv(const std::string& path,
                                 const space::ParameterSpace& space,
                                 Tuner& tuner);

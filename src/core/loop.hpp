@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "core/tuner.hpp"
@@ -16,13 +17,21 @@
 namespace hpb::core {
 
 struct TuneResult {
-  /// All evaluated observations in evaluation order (the set H of eq. 11).
+  /// All evaluated observations in evaluation order (the set H of eq. 11),
+  /// including failed evaluations (status != kOk, y == NaN) — they spent
+  /// budget and belong to the record.
   std::vector<Observation> history;
   /// best_so_far[t] = min objective value over the first t+1 evaluations
-  /// (the "Best Performing Configuration" metric, §IV-B1).
+  /// (the "Best Performing Configuration" metric, §IV-B1). Entries before
+  /// the first *successful* evaluation are +inf.
   std::vector<double> best_so_far;
+  /// Best successful observation; best_value stays +inf (and best_config
+  /// empty) when every evaluation failed. A failed configuration is never
+  /// reported here.
   space::Configuration best_config;
-  double best_value = 0.0;
+  double best_value = std::numeric_limits<double>::infinity();
+  /// Number of failed evaluations in `history`.
+  std::size_t num_failed = 0;
 };
 
 /// Run `budget` evaluations of the objective, driven by the tuner.

@@ -55,12 +55,15 @@ TransferPrior make_transfer_prior(space::SpacePtr space,
 
 TpeSurrogate::TpeSurrogate(space::SpacePtr space, const History& history,
                            double alpha, const DensityConfig& density_config,
-                           const TransferPrior* prior, double prior_weight)
+                           const TransferPrior* prior, double prior_weight,
+                           std::span<const space::Configuration> failed)
     : good_(space, {}, density_config), bad_(space, {}, density_config) {
   const HistorySplit split = history.split(alpha);
   threshold_ = split.threshold;
   const auto good_configs = gather(history, split.good);
-  const auto bad_configs = gather(history, split.bad);
+  auto bad_configs = gather(history, split.bad);
+  // Failed evaluations are "worse than any value": they always rank bad.
+  bad_configs.insert(bad_configs.end(), failed.begin(), failed.end());
   good_ = FactorizedDensity(space, good_configs, density_config);
   bad_ = FactorizedDensity(space, bad_configs, density_config);
   if (prior != nullptr && prior_weight > 0.0) {

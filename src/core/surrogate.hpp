@@ -35,10 +35,16 @@ class TpeSurrogate {
  public:
   /// Fit the surrogate to a history (needs >= 2 observations). When `prior`
   /// is non-null its densities are mixed in with weight `prior_weight`.
+  /// `failed` configurations (crashed/invalid/timed-out evaluations, which
+  /// have no finite value and therefore cannot enter the history) are
+  /// appended to the bad group before the density fit: they are worse than
+  /// any observed value, so they belong below the α-quantile threshold and
+  /// steer pg/pb away from failure regions.
   TpeSurrogate(space::SpacePtr space, const History& history, double alpha,
                const DensityConfig& density_config = {},
                const TransferPrior* prior = nullptr,
-               double prior_weight = 0.0);
+               double prior_weight = 0.0,
+               std::span<const space::Configuration> failed = {});
 
   /// Acquisition score: log pg(x) − log pb(x); maximizing it maximizes the
   /// expected improvement of eq. 5.

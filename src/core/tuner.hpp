@@ -18,14 +18,22 @@
 
 #include "common/error.hpp"
 #include "space/configuration.hpp"
+#include "tabular/objective.hpp"
 
 namespace hpb::core {
 
+/// Evaluation outcome statuses, shared with the objective layer.
+using tabular::EvalStatus;
+
 /// One evaluated (configuration, objective value) pair — an element of the
-/// observation history H_t.
+/// observation history H_t. `y` is finite exactly when status == kOk; a
+/// failed evaluation records NaN and the failure status instead.
 struct Observation {
   space::Configuration config;
   double y = 0.0;
+  EvalStatus status = EvalStatus::kOk;
+
+  [[nodiscard]] bool ok() const noexcept { return status == EvalStatus::kOk; }
 };
 
 class Tuner {
@@ -36,7 +44,21 @@ class Tuner {
   [[nodiscard]] virtual space::Configuration suggest() = 0;
 
   /// Record the objective value of a previously suggested configuration.
+  /// Successful evaluations only — y must be finite.
   virtual void observe(const space::Configuration& config, double y) = 0;
+
+  /// Record that a previously suggested configuration failed to evaluate
+  /// (invalid / crashed / timed out). Tuners must release any pending-batch
+  /// tracking for the configuration and should exclude it from future
+  /// suggestions without letting it poison their model of *successful*
+  /// values — HiPerBOt folds failures into its "bad" density, the
+  /// model-based baselines only mark the configuration evaluated. The
+  /// default ignores the event (safe for tuners without exclusion state).
+  virtual void observe_failure(const space::Configuration& config,
+                               EvalStatus status) {
+    (void)config;
+    (void)status;
+  }
 
   /// Propose up to k configurations for parallel evaluation. May return
   /// fewer than k when the space is nearly exhausted, but never zero (the
@@ -56,13 +78,19 @@ class Tuner {
   }
 
   /// Record the results of a previously suggested batch, in suggestion
-  /// order. The default loops observe(); overrides may amortize model
-  /// refits across the batch. Engines must deliver a whole batch through
-  /// this entry point (not member-by-member observe() calls) so that
-  /// constant-liar overrides can retract their fill-in values.
+  /// order. The default routes each member by status — observe() for
+  /// successes, observe_failure() for failures; overrides may amortize
+  /// model refits across the batch but must keep that routing. Engines must
+  /// deliver a whole batch through this entry point (not member-by-member
+  /// observe() calls) so that constant-liar overrides can retract their
+  /// fill-in values.
   virtual void observe_batch(std::span<const Observation> observations) {
     for (const Observation& o : observations) {
-      observe(o.config, o.y);
+      if (o.ok()) {
+        observe(o.config, o.y);
+      } else {
+        observe_failure(o.config, o.status);
+      }
     }
   }
 

@@ -1,6 +1,8 @@
 #include "eval/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -17,7 +19,7 @@ double recall_with_threshold(const tabular::TabularObjective& dataset,
   n = std::min(n, history.size());
   std::size_t hits = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (history[i].y <= threshold) {
+    if (history[i].ok() && history[i].y <= threshold) {
       ++hits;
     }
   }
@@ -30,10 +32,15 @@ double best_of_first(std::span<const core::Observation> history,
                      std::size_t n) {
   HPB_REQUIRE(!history.empty(), "best_of_first: empty history");
   n = std::min(n, history.size());
-  double best = history[0].y;
-  for (std::size_t i = 1; i < n; ++i) {
-    best = std::min(best, history[i].y);
+  // Failed observations carry NaN and must not poison the minimum.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (history[i].ok()) {
+      best = std::min(best, history[i].y);
+    }
   }
+  HPB_REQUIRE(std::isfinite(best),
+              "best_of_first: no successful observation in the first n");
   return best;
 }
 

@@ -16,6 +16,8 @@
 namespace hpb::eval {
 
 /// Best (smallest) objective value among the first `n` observations.
+/// Failed observations are skipped; requires at least one success among
+/// the first `n`.
 [[nodiscard]] double best_of_first(std::span<const core::Observation> history,
                                    std::size_t n);
 

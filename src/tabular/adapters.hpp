@@ -23,6 +23,14 @@ class MaximizeAdapter final : public Objective {
   [[nodiscard]] double evaluate(const space::Configuration& c) override {
     return -inner_->evaluate(c);
   }
+  [[nodiscard]] EvalResult evaluate_result(
+      const space::Configuration& c) override {
+    EvalResult r = inner_->evaluate_result(c);
+    if (r.ok()) {
+      r.value = -r.value;
+    }
+    return r;
+  }
   [[nodiscard]] std::string name() const override {
     return inner_->name() + "(maximized)";
   }
@@ -43,6 +51,11 @@ class CountingObjective final : public Objective {
   [[nodiscard]] double evaluate(const space::Configuration& c) override {
     ++count_;
     return inner_->evaluate(c);
+  }
+  [[nodiscard]] EvalResult evaluate_result(
+      const space::Configuration& c) override {
+    ++count_;  // failed attempts spend budget too
+    return inner_->evaluate_result(c);
   }
   [[nodiscard]] std::string name() const override { return inner_->name(); }
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
@@ -69,6 +82,14 @@ class NoisyObjective final : public Objective {
   [[nodiscard]] double evaluate(const space::Configuration& c) override {
     const double y = inner_->evaluate(c);
     return y * (1.0 + sigma_ * rng_.normal());
+  }
+  [[nodiscard]] EvalResult evaluate_result(
+      const space::Configuration& c) override {
+    EvalResult r = inner_->evaluate_result(c);
+    if (r.ok()) {
+      r.value *= 1.0 + sigma_ * rng_.normal();
+    }
+    return r;
   }
   [[nodiscard]] std::string name() const override {
     return inner_->name() + "(noisy)";

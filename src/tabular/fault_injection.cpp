@@ -1,0 +1,147 @@
+#include "tabular/fault_injection.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpb::tabular {
+namespace {
+
+// Domain-separation salts so the region and crash streams are independent.
+constexpr std::uint64_t kRegionSalt = 0x9ab1e5ULL;
+constexpr std::uint64_t kKindSalt = 0x7e57ab1eULL;
+constexpr std::uint64_t kCrashSalt = 0xc4a54ULL;
+
+}  // namespace
+
+FaultInjectingObjective::FaultInjectingObjective(Objective& inner,
+                                                 FaultConfig config)
+    : inner_(&inner), config_(config) {
+  HPB_REQUIRE(config_.fail_rate >= 0.0 && config_.fail_rate < 1.0,
+              "FaultInjectingObjective: fail_rate must be in [0, 1)");
+  HPB_REQUIRE(config_.crash_rate >= 0.0 && config_.crash_rate < 1.0,
+              "FaultInjectingObjective: crash_rate must be in [0, 1)");
+}
+
+std::uint64_t FaultInjectingObjective::key_of(
+    const space::Configuration& c) const {
+  if (inner_->space().is_finite()) {
+    return inner_->space().ordinal_of(c);
+  }
+  std::uint64_t key = 0x5eedULL;
+  for (std::size_t p = 0; p < c.size(); ++p) {
+    std::uint64_t bits = 0;
+    const double v = c[p];
+    std::memcpy(&bits, &v, sizeof(bits));
+    key = hash_combine(key, bits);
+  }
+  return key;
+}
+
+bool FaultInjectingObjective::in_failure_region(
+    const space::Configuration& c) const {
+  if (config_.fail_rate <= 0.0) {
+    return false;
+  }
+  const std::uint64_t key = hash_combine(
+      hash_combine(config_.seed, kRegionSalt), key_of(c));
+  return hash_to_unit(splitmix64(key)) < config_.fail_rate;
+}
+
+EvalResult FaultInjectingObjective::evaluate_result(
+    const space::Configuration& c) {
+  const std::uint64_t key = key_of(c);
+  if (config_.crash_rate > 0.0) {
+    std::uint64_t attempt = 0;
+    {
+      std::scoped_lock lock(mutex_);
+      attempt = attempts_[key]++;
+    }
+    const std::uint64_t crash_key = hash_combine(
+        hash_combine(hash_combine(config_.seed, kCrashSalt), key), attempt);
+    if (hash_to_unit(splitmix64(crash_key)) < config_.crash_rate) {
+      std::scoped_lock lock(mutex_);
+      ++failures_injected_;
+      return EvalResult::failure(EvalStatus::kCrashed);
+    }
+  }
+  if (in_failure_region(c)) {
+    const std::uint64_t kind_key = hash_combine(
+        hash_combine(config_.seed, kKindSalt), key);
+    const EvalStatus status = hash_to_unit(splitmix64(kind_key)) < 0.5
+                                  ? EvalStatus::kInvalid
+                                  : EvalStatus::kTimeout;
+    std::scoped_lock lock(mutex_);
+    ++failures_injected_;
+    return EvalResult::failure(status);
+  }
+  return inner_->evaluate_result(c);
+}
+
+double FaultInjectingObjective::evaluate(const space::Configuration& c) {
+  const EvalResult r = evaluate_result(c);
+  HPB_REQUIRE(r.ok(), "FaultInjectingObjective::evaluate: configuration "
+                      "failed (" +
+                          std::string(status_name(r.status)) +
+                          "); use evaluate_result for the failure path");
+  return r.value;
+}
+
+std::size_t FaultInjectingObjective::failures_injected() const {
+  std::scoped_lock lock(mutex_);
+  return failures_injected_;
+}
+
+namespace {
+
+double rate_from_env(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) {
+    return fallback;
+  }
+  const std::string raw(env);
+  auto fail = [&](const char* why) {
+    throw Error(std::string(name) + "=\"" + raw + "\": " + why +
+                " (expected a rate in [0, 1))");
+  };
+  const char* p = env;
+  while (std::isspace(static_cast<unsigned char>(*p))) {
+    ++p;
+  }
+  if (*p == '\0') {
+    fail("empty value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(p, &end);
+  if (end == p || errno == ERANGE) {
+    fail("not a number");
+  }
+  while (std::isspace(static_cast<unsigned char>(*end))) {
+    ++end;
+  }
+  if (*end != '\0') {
+    fail("trailing garbage");
+  }
+  if (!(value >= 0.0) || value >= 1.0) {
+    fail("out of range");
+  }
+  return value;
+}
+
+}  // namespace
+
+double fail_rate_from_env(double fallback) {
+  return rate_from_env("HPB_FAIL_RATE", fallback);
+}
+
+double crash_rate_from_env(double fallback) {
+  return rate_from_env("HPB_CRASH_RATE", fallback);
+}
+
+}  // namespace hpb::tabular

@@ -1,0 +1,84 @@
+// Deterministic fault injection for failure-path testing.
+//
+// Wraps any Objective and makes a hash-seeded subset of the space fail,
+// mimicking the invalid/crashing/timing-out configurations real HPC
+// applications exhibit (Kripke nestings rejected by the decomposition,
+// HYPRE solver/smoother combinations that diverge, OOMing OpenAtom maps):
+//
+//   * failure regions — configurations whose keyed hash falls below
+//     `fail_rate` permanently fail (split deterministically between
+//     kInvalid and kTimeout), modeling constraint violations the space
+//     definition does not know about;
+//   * transient crashes — every evaluation attempt of any configuration
+//     independently crashes (kCrashed) with probability `crash_rate`,
+//     keyed on (seed, configuration, attempt number), so a retry of the
+//     same configuration can succeed and a rerun of the whole experiment
+//     reproduces the exact same crash sequence.
+//
+// Everything is a pure function of the wrapper seed and the configuration,
+// so tuning runs remain bitwise reproducible: same seed + same rates =>
+// identical history. With both rates 0 the wrapper is a transparent
+// pass-through.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "tabular/objective.hpp"
+
+namespace hpb::tabular {
+
+struct FaultConfig {
+  /// Fraction of the space inside a permanent failure region, in [0, 1).
+  double fail_rate = 0.0;
+  /// Per-attempt transient crash probability, in [0, 1).
+  double crash_rate = 0.0;
+  /// Hash seed for the failure regions and crash sequence.
+  std::uint64_t seed = 0x0f0f0f0fULL;
+};
+
+/// Objective wrapper injecting deterministic failures (see file comment).
+/// Thread-safe when the wrapped objective is: the per-configuration attempt
+/// counters that drive transient crashes are mutex-protected.
+class FaultInjectingObjective final : public Objective {
+ public:
+  FaultInjectingObjective(Objective& inner, FaultConfig config);
+
+  [[nodiscard]] const space::ParameterSpace& space() const override {
+    return inner_->space();
+  }
+  /// Throws on a failed configuration — the numeric entry point cannot
+  /// report an outcome. Failure-aware callers use evaluate_result.
+  [[nodiscard]] double evaluate(const space::Configuration& c) override;
+  [[nodiscard]] EvalResult evaluate_result(
+      const space::Configuration& c) override;
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "(faulty)";
+  }
+
+  /// True when c lies in a permanent failure region (kInvalid/kTimeout).
+  [[nodiscard]] bool in_failure_region(const space::Configuration& c) const;
+
+  /// Total failed attempts injected so far (all statuses).
+  [[nodiscard]] std::size_t failures_injected() const;
+
+ private:
+  [[nodiscard]] std::uint64_t key_of(const space::Configuration& c) const;
+
+  Objective* inner_;
+  FaultConfig config_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> attempts_;
+  std::size_t failures_injected_ = 0;
+};
+
+/// Permanent-failure-region rate from the HPB_FAIL_RATE environment
+/// variable, else `fallback`. Strictly parsed double in [0, 1); rejects
+/// garbage with a clear error instead of silently misparsing it.
+[[nodiscard]] double fail_rate_from_env(double fallback = 0.0);
+
+/// Transient crash rate from HPB_CRASH_RATE, same parsing.
+[[nodiscard]] double crash_rate_from_env(double fallback = 0.0);
+
+}  // namespace hpb::tabular

@@ -1,0 +1,39 @@
+#include "tabular/objective.hpp"
+
+#include "common/error.hpp"
+
+namespace hpb::tabular {
+
+const char* status_name(EvalStatus status) noexcept {
+  switch (status) {
+    case EvalStatus::kOk:
+      return "ok";
+    case EvalStatus::kInvalid:
+      return "invalid";
+    case EvalStatus::kCrashed:
+      return "crashed";
+    case EvalStatus::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+EvalStatus status_from_name(const std::string& name) {
+  if (name == "ok") {
+    return EvalStatus::kOk;
+  }
+  if (name == "invalid") {
+    return EvalStatus::kInvalid;
+  }
+  if (name == "crashed") {
+    return EvalStatus::kCrashed;
+  }
+  if (name == "timeout") {
+    return EvalStatus::kTimeout;
+  }
+  HPB_REQUIRE(false, "status_from_name: unknown evaluation status '" + name +
+                         "' (expected ok, invalid, crashed, or timeout)");
+  return EvalStatus::kOk;  // unreachable
+}
+
+}  // namespace hpb::tabular

@@ -2,13 +2,49 @@
 // (eq. 6). Implementations include the enumerated TabularObjective (frozen
 // datasets, as in the paper's evaluation) and live objectives that actually
 // run a kernel (examples/tune_stencil).
+//
+// Real HPC evaluations do not always return a number: configurations can be
+// invalid for the application, crash/OOM on the cluster, or exceed their
+// time allocation. EvalResult carries that outcome explicitly so the tuning
+// stack can survive failed configurations instead of aborting the run.
 #pragma once
 
+#include <cmath>
 #include <string>
 
 #include "space/parameter_space.hpp"
 
 namespace hpb::tabular {
+
+/// Outcome of one objective evaluation.
+enum class EvalStatus {
+  kOk,       // evaluation succeeded; value is the metric to minimize
+  kInvalid,  // configuration rejected by the application (never succeeds)
+  kCrashed,  // evaluation crashed/OOMed; possibly transient, retry may help
+  kTimeout,  // evaluation exceeded its time allocation
+};
+
+/// Short lower-case label ("ok", "invalid", "crashed", "timeout") used in
+/// reports and the history CSV status column.
+[[nodiscard]] const char* status_name(EvalStatus status) noexcept;
+
+/// Inverse of status_name; throws on an unknown label.
+[[nodiscard]] EvalStatus status_from_name(const std::string& name);
+
+/// One evaluation outcome: a finite value when status == kOk, NaN otherwise.
+struct EvalResult {
+  double value = 0.0;
+  EvalStatus status = EvalStatus::kOk;
+
+  [[nodiscard]] bool ok() const noexcept { return status == EvalStatus::kOk; }
+
+  [[nodiscard]] static EvalResult success(double value) noexcept {
+    return {value, EvalStatus::kOk};
+  }
+  [[nodiscard]] static EvalResult failure(EvalStatus status) noexcept {
+    return {std::nan(""), status};
+  }
+};
 
 class Objective {
  public:
@@ -18,8 +54,19 @@ class Objective {
   [[nodiscard]] virtual const space::ParameterSpace& space() const = 0;
 
   /// Run the "application" at configuration c and return the metric to
-  /// minimize (execution time, energy, ...). May be expensive.
+  /// minimize (execution time, energy, ...). May be expensive. Objectives
+  /// that can fail should throw here and report through evaluate_result —
+  /// this entry point promises a number.
   [[nodiscard]] virtual double evaluate(const space::Configuration& c) = 0;
+
+  /// Failure-aware evaluation: run the application and report the outcome.
+  /// The default wraps evaluate() as an always-successful result; objectives
+  /// with invalid/crashing configurations (fault injection, live runs)
+  /// override this. The TuningEngine drives this entry point.
+  [[nodiscard]] virtual EvalResult evaluate_result(
+      const space::Configuration& c) {
+    return EvalResult::success(evaluate(c));
+  }
 
   /// Short identifier used in reports.
   [[nodiscard]] virtual std::string name() const { return "objective"; }

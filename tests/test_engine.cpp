@@ -146,7 +146,7 @@ TEST(EngineRunUntil, BatchOneMatchesLegacyStoppingSemantics) {
   expect_identical(expected.result, actual.result);
 }
 
-TEST(EngineRunUntil, TargetStopMidBatchReportsPrefixOnly) {
+TEST(EngineRunUntil, TargetStopMidBatchDrainsWholeRound) {
   auto ds = testutil::separable_dataset();
   core::StopConfig stop;
   stop.max_evaluations = ds.size();
@@ -156,12 +156,19 @@ TEST(EngineRunUntil, TargetStopMidBatchReportsPrefixOnly) {
   const auto stopped = engine.run_until(*tuner, ds, stop);
   EXPECT_EQ(stopped.reason, core::StopReason::kTargetReached);
   EXPECT_EQ(stopped.result.best_value, ds.best_value());
-  // The recorded history ends exactly at the evaluation that hit the
-  // target, even when it landed mid-batch.
-  EXPECT_EQ(stopped.result.history.back().y, ds.best_value());
-  for (std::size_t i = 0; i + 1 < stopped.result.history.size(); ++i) {
-    EXPECT_GT(stopped.result.history[i].y, ds.best_value());
+  // Every evaluation of the stopping round was paid for and is recorded:
+  // the history is a whole number of full batches, the target value appears
+  // in the final batch, and nothing before that batch beats the target.
+  EXPECT_EQ(stopped.result.history.size() % 4, 0u);
+  const std::size_t last_round = stopped.result.history.size() - 4;
+  bool hit = false;
+  for (std::size_t i = 0; i < stopped.result.history.size(); ++i) {
+    if (stopped.result.history[i].y == ds.best_value()) {
+      EXPECT_GE(i, last_round);
+      hit = true;
+    }
   }
+  EXPECT_TRUE(hit);
 }
 
 TEST(HiPerBOtPending, OverlappingBatchesNeverRepeatOutstandingConfigs) {

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 build + test suite, then an
 # AddressSanitizer + UBSan build running the engine determinism /
-# batching / pending-tracking tests (tests/test_engine.cpp).
+# batching / pending-tracking tests (tests/test_engine.cpp) and the
+# failure-path + thread-pool tests (tests/test_failures.cpp), then a
+# fault-injected shootout smoke run (HPB_FAIL_RATE=0.2).
 #
 # Usage: tools/check.sh    (from anywhere; builds into build/ and
 #                           build-asan/ at the repo root)
@@ -16,12 +18,17 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo
-echo "== ASan + UBSan: engine determinism tests =="
+echo "== ASan + UBSan: engine determinism + failure-path tests =="
 cmake -B build-asan -S . -DHPB_SANITIZE=ON \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-  -R 'Engine|HiPerBOtPending|EnvParsing'
+  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv'
+
+echo
+echo "== fault-injected shootout smoke (HPB_FAIL_RATE=0.2) =="
+HPB_FAIL_RATE=0.2 HPB_CRASH_RATE=0.05 HPB_REPS=1 HPB_BATCH=4 \
+  ./build/bench/shootout
 
 echo
 echo "check.sh: all green"

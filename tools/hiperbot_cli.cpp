@@ -3,7 +3,7 @@
 //
 //   hiperbot info       --csv runs.csv | --dataset kripke
 //   hiperbot tune       --csv runs.csv --method hiperbot --budget 100
-//                       [--batch 4]
+//                       [--batch 4] [--fail-rate 0.2] [--crash-rate 0.05]
 //   hiperbot importance --csv runs.csv [--alpha 0.2]
 //   hiperbot compare    --csv runs.csv --methods hiperbot,geist,random
 //                       --budget 100 --reps 10 [--ell 5]
@@ -31,6 +31,7 @@
 #include "eval/report.hpp"
 #include "stats/inference.hpp"
 #include "tabular/csv.hpp"
+#include "tabular/fault_injection.hpp"
 
 namespace {
 
@@ -111,7 +112,12 @@ int cmd_tune(const hpb::cli::ArgParser& args) {
   }
 
   const hpb::core::TuningEngine engine({.batch_size = args.get_size("batch")});
-  const auto stopped = engine.run_until(*tuner, ds, stop);
+  // Pass-through when both rates are 0 (the default).
+  hpb::tabular::FaultInjectingObjective faulty(
+      ds, {.fail_rate = args.get_double("fail-rate"),
+           .crash_rate = args.get_double("crash-rate"),
+           .seed = static_cast<std::uint64_t>(args.get_size("seed"))});
+  const auto stopped = engine.run_until(*tuner, faulty, stop);
   const auto& result = stopped.result;
   std::cout << "method:      " << tuner->name() << '\n'
             << "evaluations: " << result.history.size() << " (stopped: ";
@@ -126,11 +132,18 @@ int cmd_tune(const hpb::cli::ArgParser& args) {
       std::cout << "target reached";
       break;
   }
-  std::cout << ")\n"
-            << "best value:  " << result.best_value << "  (exhaustive best "
-            << ds.best_value() << ")\n"
-            << "best config: " << ds.space().to_string(result.best_config)
-            << '\n';
+  std::cout << ")\n";
+  if (result.num_failed > 0) {
+    std::cout << "failed:      " << result.num_failed << " evaluations\n";
+  }
+  if (result.history.size() == result.num_failed) {
+    std::cout << "best value:  n/a (no successful evaluation)\n";
+  } else {
+    std::cout << "best value:  " << result.best_value << "  (exhaustive best "
+              << ds.best_value() << ")\n"
+              << "best config: " << ds.space().to_string(result.best_config)
+              << '\n';
+  }
   std::cout << "trajectory:  ";
   const std::size_t n = result.best_so_far.size();
   for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 8)) {
@@ -280,6 +293,11 @@ int main(int argc, char** argv) {
       .add_size("seed", 42, "random seed")
       .add_size("patience", 0, "`tune`: stop after N evals w/o improvement")
       .add_double("target", 0.0, "`tune`: stop when best <= target")
+      .add_double("fail-rate", 0.0,
+                  "`tune`: fraction of the space failing permanently "
+                  "(deterministic fault injection)")
+      .add_double("crash-rate", 0.0,
+                  "`tune`: per-attempt transient crash probability")
       .add_double("alpha", 0.2, "good/bad split quantile")
       .add_double("ell", 5.0, "recall percentile");
 
