@@ -4,6 +4,7 @@
 // confidence intervals and Mann–Whitney significance against HiPerBOt.
 // This widens the paper's two-baseline comparison to the full span of
 // autotuning search strategies it cites in §VIII.
+#include <chrono>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -23,17 +24,23 @@ int main() {
   const std::size_t batch = hpb::eval::batch_from_env(1);
   const double fail_rate = hpb::tabular::fail_rate_from_env(0.0);
   const double crash_rate = hpb::tabular::crash_rate_from_env(0.0);
+  const double hang_rate = hpb::tabular::hang_rate_from_env(0.0);
+  const std::size_t timeout_ms = hpb::eval::eval_timeout_ms_from_env(
+      hang_rate > 0.0 ? 50 : 0);  // injected hangs need a watchdog to end
   constexpr std::size_t kBudget = 150;
-  const hpb::core::TuningEngine engine({.batch_size = batch});
+  const hpb::core::TuningEngine engine(
+      {.batch_size = batch,
+       .eval_deadline = std::chrono::milliseconds(timeout_ms)});
   std::ofstream csv(hpb::benchfig::csv_path("shootout"));
   csv << "dataset,method,best_mean,best_std,recall_mean,recall_std,"
          "p_vs_hiperbot\n";
 
   std::cout << "Method shootout: all tuners, all datasets (budget "
             << kBudget << ", reps " << reps << ", batch " << batch << ")\n";
-  if (fail_rate > 0.0 || crash_rate > 0.0) {
+  if (fail_rate > 0.0 || crash_rate > 0.0 || hang_rate > 0.0) {
     std::cout << "fault injection: fail rate " << fail_rate
-              << ", crash rate " << crash_rate << '\n';
+              << ", crash rate " << crash_rate << ", hang rate " << hang_rate
+              << " (watchdog " << timeout_ms << " ms)\n";
   }
   std::cout << '\n';
 
@@ -55,11 +62,12 @@ int main() {
       for (std::size_t rep = 0; rep < reps; ++rep) {
         auto tuner =
             hpb::eval::make_named_tuner(name, dataset, seeder.next_u64());
-        // Pass-through when both rates are 0; otherwise a deterministic
+        // Pass-through when all rates are 0; otherwise a deterministic
         // subset of each dataset fails (same regions for every method).
         hpb::tabular::FaultInjectingObjective faulty(
             dataset, {.fail_rate = fail_rate,
                       .crash_rate = crash_rate,
+                      .hang_rate = hang_rate,
                       .seed = 0xfa011 + rep});
         const auto result = engine.run(*tuner, faulty, kBudget);
         best_values.push_back(result.best_value);

@@ -1,0 +1,71 @@
+// Cooperative cancellation for expensive evaluations.
+//
+// A CancellationToken bundles the two ways a long-running objective
+// evaluation can be asked to give up: a wall-clock deadline (the engine's
+// per-evaluation watchdog, EngineConfig.eval_deadline) and an external stop
+// flag (a SIGINT/SIGTERM handler requesting graceful shutdown). The token
+// is purely observational — cancellation is cooperative: objectives poll
+// cancelled() between units of work and return early; nothing is ever
+// interrupted forcibly, so no evaluation dies mid-write.
+//
+// A default-constructed token can never cancel (can_cancel() == false),
+// which is the zero-overhead path for objectives that ignore it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace hpb {
+
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never cancels: no deadline, no stop flag.
+  CancellationToken() = default;
+
+  CancellationToken(Clock::time_point deadline,
+                    const std::atomic<bool>* stop_flag) noexcept
+      : deadline_(deadline), stop_(stop_flag) {}
+
+  [[nodiscard]] static CancellationToken with_deadline(
+      Clock::time_point deadline) noexcept {
+    return {deadline, nullptr};
+  }
+  [[nodiscard]] static CancellationToken with_stop_flag(
+      const std::atomic<bool>* stop_flag) noexcept {
+    return {Clock::time_point::max(), stop_flag};
+  }
+
+  /// True when this token could ever report cancellation. Objectives that
+  /// would block forever waiting for it (e.g. an injected hang) must check
+  /// this first and fail fast instead of hanging unkillably.
+  [[nodiscard]] bool can_cancel() const noexcept {
+    return stop_ != nullptr || deadline_ != Clock::time_point::max();
+  }
+
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_ != Clock::time_point::max();
+  }
+  [[nodiscard]] Clock::time_point deadline() const noexcept {
+    return deadline_;
+  }
+  [[nodiscard]] bool deadline_passed() const noexcept {
+    return has_deadline() && Clock::now() >= deadline_;
+  }
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+  }
+
+  /// The cooperative check: stop requested or deadline exceeded.
+  [[nodiscard]] bool cancelled() const noexcept {
+    return stop_requested() || deadline_passed();
+  }
+
+ private:
+  Clock::time_point deadline_ = Clock::time_point::max();
+  const std::atomic<bool>* stop_ = nullptr;
+};
+
+}  // namespace hpb

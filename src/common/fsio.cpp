@@ -1,0 +1,76 @@
+#include "common/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace hpb::fs {
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+std::string parent_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+void write_all(int fd, std::string_view data, const std::string& path) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      HPB_REQUIRE(false, "write '" + path + "': " + errno_text());
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+void sync_fd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    HPB_REQUIRE(false, "fsync '" + path + "': " + errno_text());
+  }
+}
+
+void sync_parent_dir(const std::string& path) {
+  const std::string dir = parent_of(path);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  HPB_REQUIRE(fd >= 0, "open directory '" + dir + "': " + errno_text());
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  HPB_REQUIRE(rc == 0, "fsync directory '" + dir + "': " + errno_text());
+}
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  HPB_REQUIRE(fd >= 0, "open '" + tmp + "': " + errno_text());
+  try {
+    write_all(fd, contents, tmp);
+    sync_fd(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errno_text();
+    ::unlink(tmp.c_str());
+    HPB_REQUIRE(false, "rename '" + tmp + "' -> '" + path + "': " + why);
+  }
+  sync_parent_dir(path);
+}
+
+}  // namespace hpb::fs

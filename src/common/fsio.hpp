@@ -1,0 +1,25 @@
+// Crash-safe file-system primitives shared by the observation journal and
+// the history CSV writer: durable appends (write + fsync) and atomic
+// whole-file replacement (write temp, fsync, rename, fsync directory).
+// POSIX-only, like the rest of the repo's tooling.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hpb::fs {
+
+/// Flush a file descriptor's data and metadata to stable storage.
+/// Throws hpb::Error on failure.
+void sync_fd(int fd, const std::string& path);
+
+/// fsync the directory containing `path`, making a just-created or
+/// just-renamed entry durable. Throws hpb::Error on failure.
+void sync_parent_dir(const std::string& path);
+
+/// Replace `path` atomically with `contents`: write to `<path>.tmp`, fsync,
+/// rename over `path`, fsync the directory. Readers either see the old file
+/// or the complete new one — never a torn prefix. Throws hpb::Error.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+}  // namespace hpb::fs

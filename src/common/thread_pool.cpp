@@ -49,6 +49,19 @@ void ThreadPool::wait_idle() {
   }
 }
 
+bool ThreadPool::wait_idle_until(std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lock(mutex_);
+  if (!idle_.wait_until(lock, deadline, [this] { return in_flight_ == 0; })) {
+    return false;  // still busy; no error is consumed while work remains
+  }
+  if (task_error_) {
+    std::exception_ptr error = std::exchange(task_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -39,6 +40,14 @@ class ThreadPool {
   /// Block until every submitted task has finished. Rethrows (and clears)
   /// the first exception any task threw since the last wait_idle().
   void wait_idle();
+
+  /// Deadline-aware wait: block until every submitted task has finished or
+  /// the deadline passes, whichever comes first. Returns true when the pool
+  /// went idle (rethrowing any captured task error, like wait_idle); false
+  /// when tasks are still in flight at the deadline — the caller keeps
+  /// ownership of the timeout decision and the stragglers keep running.
+  [[nodiscard]] bool wait_idle_until(
+      std::chrono::steady_clock::time_point deadline);
 
  private:
   void worker_loop();

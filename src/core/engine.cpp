@@ -3,13 +3,17 @@
 #include <cmath>
 #include <utility>
 
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
+#include "core/journal.hpp"
 
 namespace hpb::core {
 
 TuningEngine::TuningEngine(EngineConfig config) : config_(config) {
   HPB_REQUIRE(config_.batch_size > 0,
               "TuningEngine: batch_size must be positive");
+  HPB_REQUIRE(config_.eval_deadline.count() >= 0,
+              "TuningEngine: eval_deadline must be >= 0");
 }
 
 std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
@@ -19,18 +23,53 @@ std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
   HPB_REQUIRE(!batch.empty(), "TuningEngine: tuner returned an empty batch");
   HPB_REQUIRE(batch.size() <= k,
               "TuningEngine: tuner returned more configurations than asked");
+  // The round marker goes out before evaluation starts: a crash mid-round
+  // leaves an incomplete round the reader drops and re-evaluates.
+  if (config_.journal != nullptr) {
+    config_.journal->begin_round(k, batch.size());
+  }
+  // The watchdog path only engages when a deadline or stop flag exists;
+  // otherwise the historical call path runs untouched.
+  const bool watched =
+      config_.eval_deadline.count() > 0 || config_.stop_flag != nullptr;
   std::vector<tabular::EvalResult> results(batch.size());
   parallel_for_indexed(
       batch.size() > 1 ? config_.pool : nullptr, batch.size(),
       [&](std::size_t i) {
-        tabular::EvalResult r = objective.evaluate_result(batch[i]);
-        // Only kCrashed is plausibly transient; bounded retries occupy the
-        // same budget slot.
-        for (std::size_t retry = 0;
-             r.status == EvalStatus::kCrashed &&
-             retry < config_.failure.max_retries;
-             ++retry) {
+        tabular::EvalResult r;
+        if (watched) {
+          const CancellationToken token(
+              config_.eval_deadline.count() > 0
+                  ? CancellationToken::Clock::now() + config_.eval_deadline
+                  : CancellationToken::Clock::time_point::max(),
+              config_.stop_flag);
+          r = objective.evaluate_result(batch[i], token);
+          // Only kCrashed is plausibly transient; bounded retries occupy
+          // the same budget slot — but not once the token fired: the time
+          // allocation is spent.
+          for (std::size_t retry = 0;
+               r.status == EvalStatus::kCrashed &&
+               retry < config_.failure.max_retries && !token.cancelled();
+               ++retry) {
+            r = objective.evaluate_result(batch[i], token);
+          }
+          // An evaluation that comes back after its deadline exceeded its
+          // time allocation, whatever it returned. (Stop-flag cancellation
+          // does not rewrite results: the round drains and the session
+          // reports kInterrupted.)
+          if (token.deadline_passed()) {
+            r = tabular::EvalResult::failure(EvalStatus::kTimeout);
+          }
+        } else {
           r = objective.evaluate_result(batch[i]);
+          // Only kCrashed is plausibly transient; bounded retries occupy
+          // the same budget slot.
+          for (std::size_t retry = 0;
+               r.status == EvalStatus::kCrashed &&
+               retry < config_.failure.max_retries;
+               ++retry) {
+            r = objective.evaluate_result(batch[i]);
+          }
         }
         HPB_REQUIRE(!r.ok() || std::isfinite(r.value),
                     "TuningEngine: objective returned a non-finite value "
@@ -42,6 +81,13 @@ std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
   for (std::size_t i = 0; i < batch.size(); ++i) {
     observations.push_back(
         {std::move(batch[i]), results[i].value, results[i].status});
+  }
+  // Records hit the disk before the tuner sees them: on-disk state always
+  // leads in-memory state, so replay can reconstruct the tuner exactly.
+  if (config_.journal != nullptr) {
+    for (const Observation& o : observations) {
+      config_.journal->append_observation(o);
+    }
   }
   tuner.observe_batch(observations);
   return observations;
@@ -63,10 +109,19 @@ void TuningEngine::record(TuneResult& result, Observation o) {
 
 TuneResult TuningEngine::run(Tuner& tuner, tabular::Objective& objective,
                              std::size_t budget) const {
+  return run(tuner, objective, budget, {});
+}
+
+TuneResult TuningEngine::run(Tuner& tuner, tabular::Objective& objective,
+                             std::size_t budget,
+                             std::span<const Observation> replayed) const {
   HPB_REQUIRE(budget > 0, "run_tuning: budget must be positive");
   TuneResult result;
-  result.history.reserve(budget);
-  result.best_so_far.reserve(budget);
+  result.history.reserve(std::max(budget, replayed.size()));
+  result.best_so_far.reserve(std::max(budget, replayed.size()));
+  for (const Observation& o : replayed) {
+    record(result, o);
+  }
   while (result.history.size() < budget) {
     const std::size_t k =
         std::min(config_.batch_size, budget - result.history.size());
@@ -74,16 +129,28 @@ TuneResult TuningEngine::run(Tuner& tuner, tabular::Objective& objective,
       record(result, std::move(o));
     }
   }
+  if (config_.journal != nullptr) {
+    config_.journal->finalize(
+        stop_reason_name(StopReason::kBudgetExhausted));
+  }
   return result;
 }
 
 StoppedTuneResult TuningEngine::run_until(Tuner& tuner,
                                           tabular::Objective& objective,
                                           const StopConfig& config) const {
+  return run_until(tuner, objective, config, {});
+}
+
+StoppedTuneResult TuningEngine::run_until(
+    Tuner& tuner, tabular::Objective& objective, const StopConfig& config,
+    std::span<const Observation> replayed) const {
   HPB_REQUIRE(config.max_evaluations > 0,
               "run_tuning_until: max_evaluations must be positive");
   HPB_REQUIRE(config.min_relative_improvement >= 0.0,
               "run_tuning_until: min_relative_improvement must be >= 0");
+  HPB_REQUIRE(config.max_wall_time_seconds >= 0.0,
+              "run_tuning_until: max_wall_time_seconds must be >= 0");
   StoppedTuneResult out;
   TuneResult& result = out.result;
   result.history.reserve(config.max_evaluations);
@@ -91,46 +158,83 @@ StoppedTuneResult TuningEngine::run_until(Tuner& tuner,
 
   std::size_t since_improvement = 0;
   bool stopped = false;
+  // One observation's worth of stopping bookkeeping — identical for a
+  // replayed and a freshly evaluated observation, which is what makes a
+  // resumed session stop exactly where the uninterrupted one would.
+  auto apply = [&](Observation o) {
+    // A failed evaluation never improves and can never hit the target; a
+    // first success "improves" by definition.
+    const bool first_success =
+        o.ok() && result.history.size() == result.num_failed;
+    const bool improved =
+        o.ok() &&
+        (first_success ||
+         o.y < result.best_value - config.min_relative_improvement *
+                                       std::abs(result.best_value));
+    record(result, std::move(o));
+
+    // Stopping conditions are evaluated per observation (stagnation
+    // patience counts within a batch too), but the rest of the round is
+    // still recorded above before we return: those evaluations already
+    // happened and were observe_batch()ed into the tuner.
+    if (stopped) {
+      return;
+    }
+    if (result.best_value <= config.target_value) {
+      out.reason = StopReason::kTargetReached;
+      stopped = true;
+      return;
+    }
+    since_improvement = improved ? 0 : since_improvement + 1;
+    if (config.stagnation_patience > 0 &&
+        since_improvement >= config.stagnation_patience) {
+      out.reason = StopReason::kStagnation;
+      stopped = true;
+    }
+  };
+
+  auto finish = [&]() -> StoppedTuneResult {
+    // kInterrupted deliberately leaves the journal unfinalized: an
+    // interrupted session is exactly what --resume expects to find.
+    if (config_.journal != nullptr && out.reason != StopReason::kInterrupted) {
+      config_.journal->finalize(stop_reason_name(out.reason));
+    }
+    return std::move(out);
+  };
+
+  for (const Observation& o : replayed) {
+    apply(o);
+  }
+  if (stopped) {
+    return finish();
+  }
+
+  const auto started = std::chrono::steady_clock::now();
   while (result.history.size() < config.max_evaluations) {
+    if (config_.stop_flag != nullptr &&
+        config_.stop_flag->load(std::memory_order_relaxed)) {
+      out.reason = StopReason::kInterrupted;
+      return finish();
+    }
+    if (config.max_wall_time_seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - started;
+      if (elapsed.count() >= config.max_wall_time_seconds) {
+        out.reason = StopReason::kWallTime;
+        return finish();
+      }
+    }
     const std::size_t k = std::min(
         config_.batch_size, config.max_evaluations - result.history.size());
     for (Observation& o : run_round(tuner, objective, k)) {
-      // A failed evaluation never improves and can never hit the target; a
-      // first success "improves" by definition.
-      const bool first_success =
-          o.ok() && result.history.size() == result.num_failed;
-      const bool improved =
-          o.ok() &&
-          (first_success ||
-           o.y < result.best_value - config.min_relative_improvement *
-                                         std::abs(result.best_value));
-      record(result, std::move(o));
-
-      // Stopping conditions are evaluated per observation (stagnation
-      // patience counts within a batch too), but the rest of the round is
-      // still recorded above before we return: those evaluations already
-      // happened and were observe_batch()ed into the tuner.
-      if (stopped) {
-        continue;
-      }
-      if (result.best_value <= config.target_value) {
-        out.reason = StopReason::kTargetReached;
-        stopped = true;
-        continue;
-      }
-      since_improvement = improved ? 0 : since_improvement + 1;
-      if (config.stagnation_patience > 0 &&
-          since_improvement >= config.stagnation_patience) {
-        out.reason = StopReason::kStagnation;
-        stopped = true;
-      }
+      apply(std::move(o));
     }
     if (stopped) {
-      return out;
+      return finish();
     }
   }
   out.reason = StopReason::kBudgetExhausted;
-  return out;
+  return finish();
 }
 
 }  // namespace hpb::core

@@ -15,7 +15,10 @@
 // objectives that mutate state must be driven with pool == nullptr.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <span>
 
 #include "common/thread_pool.hpp"
 #include "core/stopping.hpp"
@@ -23,6 +26,8 @@
 #include "tabular/objective.hpp"
 
 namespace hpb::core {
+
+class JournalWriter;
 
 /// How the engine treats failed evaluations (EvalStatus != kOk).
 struct FailurePolicy {
@@ -44,6 +49,24 @@ struct EngineConfig {
   /// retries) count toward the budget, are delivered to the tuner via
   /// observe_failure, and never update best_value/best_config.
   FailurePolicy failure;
+  /// Wall-clock watchdog: per-evaluation deadline. Each evaluation receives
+  /// a CancellationToken carrying now() + eval_deadline; cooperative
+  /// objectives return early, and any evaluation that comes back after its
+  /// deadline is converted to kTimeout either way, flowing through the
+  /// normal FailurePolicy / observe_failure path. Zero disables the
+  /// watchdog, and the engine then drives the exact historical
+  /// evaluate_result(c) call path.
+  std::chrono::milliseconds eval_deadline{0};
+  /// Write-ahead journal appended each round (round marker after
+  /// suggest_batch, one record per observation after evaluation) and
+  /// finalized when a run completes. nullptr disables journaling. Not
+  /// owned; must outlive the run.
+  JournalWriter* journal = nullptr;
+  /// Graceful-shutdown flag (typically raised by a SIGINT/SIGTERM
+  /// handler), checked between rounds and propagated to evaluations via
+  /// their CancellationToken. run_until returns kInterrupted with the
+  /// partial result; the journal is left resumable. Not owned.
+  const std::atomic<bool>* stop_flag = nullptr;
 };
 
 class TuningEngine {
@@ -56,6 +79,13 @@ class TuningEngine {
   [[nodiscard]] TuneResult run(Tuner& tuner, tabular::Objective& objective,
                                std::size_t budget) const;
 
+  /// Resuming variant: `replayed` observations (from replay_journal, which
+  /// already drove them through the tuner) are recorded into the result
+  /// first and count toward `budget`; only the remainder is evaluated.
+  [[nodiscard]] TuneResult run(Tuner& tuner, tabular::Objective& objective,
+                               std::size_t budget,
+                               std::span<const Observation> replayed) const;
+
   /// Run until a stopping condition fires. Stopping conditions are checked
   /// per observation — stagnation patience counts every observation,
   /// including within a batch — but when a stop triggers mid-batch the
@@ -63,9 +93,18 @@ class TuningEngine {
   /// history first: those evaluations were spent (and delivered to the
   /// tuner via observe_batch), so reported counts match actual spend. At
   /// batch_size == 1 this is exactly the serial driver's behavior.
+  /// The stop flag and max_wall_time_seconds are checked between rounds.
   [[nodiscard]] StoppedTuneResult run_until(Tuner& tuner,
                                             tabular::Objective& objective,
                                             const StopConfig& config) const;
+
+  /// Resuming variant of run_until: replayed observations pass through the
+  /// same per-observation stopping bookkeeping (stagnation counters, target
+  /// checks) before fresh rounds start, so a resumed session stops exactly
+  /// where the uninterrupted one would have.
+  [[nodiscard]] StoppedTuneResult run_until(
+      Tuner& tuner, tabular::Objective& objective, const StopConfig& config,
+      std::span<const Observation> replayed) const;
 
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 

@@ -5,10 +5,12 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 
 namespace hpb::core {
 namespace {
@@ -76,9 +78,11 @@ void write_history_csv(std::ostream& out, const space::ParameterSpace& space,
 void write_history_csv(const std::string& path,
                        const space::ParameterSpace& space,
                        std::span<const Observation> observations) {
-  std::ofstream out(path);
-  HPB_REQUIRE(out.good(), "write_history_csv: cannot open '" + path + "'");
+  // Atomic replace (tmp + fsync + rename): a crash mid-write can never
+  // leave a truncated CSV where a previous complete one stood.
+  std::ostringstream out;
   write_history_csv(out, space, observations);
+  fs::write_file_atomic(path, out.str());
 }
 
 std::size_t warm_start_from_csv(std::istream& in,

@@ -19,6 +19,8 @@ namespace hpb::core {
 /// parameter names). Accepts History::observations() or TuneResult::history.
 /// If any observation failed, a trailing "status" column records each row's
 /// EvalStatus; failure-free histories keep the legacy layout.
+/// The path overload replaces the file atomically (written to "<path>.tmp",
+/// fsynced, then renamed) so readers never see a partial CSV.
 void write_history_csv(const std::string& path,
                        const space::ParameterSpace& space,
                        std::span<const Observation> observations);

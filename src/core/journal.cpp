@@ -1,0 +1,392 @@
+#include "core/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fsio.hpp"
+
+namespace hpb::core {
+namespace {
+
+constexpr std::string_view kMagic = "hpbj v1";
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double double_of(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string hex16(double v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits_of(v)));
+  return buf;
+}
+
+bool parse_u64(std::string_view tok, std::uint64_t& out, int base = 10) {
+  if (tok.empty()) {
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), out, base);
+  return ec == std::errc{} && ptr == tok.data() + tok.size();
+}
+
+bool parse_bits(std::string_view tok, double& out) {
+  std::uint64_t bits = 0;
+  if (tok.size() != 16 || !parse_u64(tok, bits, 16)) {
+    return false;
+  }
+  out = double_of(bits);
+  return true;
+}
+
+/// Split a line into at most `max_tokens` space-separated tokens; the last
+/// token keeps the rest of the line verbatim (meta values and end reasons
+/// may contain spaces).
+std::vector<std::string_view> tokenize(std::string_view line,
+                                       std::size_t max_tokens) {
+  std::vector<std::string_view> tokens;
+  std::size_t start = 0;
+  while (start < line.size() && tokens.size() + 1 < max_tokens) {
+    const std::size_t space = line.find(' ', start);
+    if (space == std::string_view::npos) {
+      break;
+    }
+    tokens.push_back(line.substr(start, space - start));
+    start = space + 1;
+  }
+  if (start <= line.size()) {
+    tokens.push_back(line.substr(start));
+  }
+  return tokens;
+}
+
+std::vector<std::string_view> split_all(std::string_view line) {
+  return tokenize(line, std::numeric_limits<std::size_t>::max());
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer
+
+JournalWriter::JournalWriter(std::string path, int fd, std::size_t next_round)
+    : path_(std::move(path)), fd_(fd), next_round_(next_round) {}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      next_round_(other.next_round_) {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_round_ = other.next_round_;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void JournalWriter::write_line(std::string_view line) {
+  HPB_REQUIRE(fd_ >= 0, "JournalWriter: writer was moved from or closed");
+  std::string buf(line);
+  buf.push_back('\n');
+  std::string_view rest(buf);
+  while (!rest.empty()) {
+    const ssize_t n = ::write(fd_, rest.data(), rest.size());
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      HPB_REQUIRE(false, "journal write '" + path_ + "': " + errno_text());
+    }
+    rest.remove_prefix(static_cast<std::size_t>(n));
+  }
+  fs::sync_fd(fd_, path_);
+}
+
+JournalWriter JournalWriter::create(const std::string& path,
+                                    const JournalHeader& header) {
+  HPB_REQUIRE(!header.method.empty(), "journal: header.method is empty");
+  HPB_REQUIRE(header.num_params > 0, "journal: header.num_params must be > 0");
+  HPB_REQUIRE(header.batch_size > 0, "journal: header.batch_size must be > 0");
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  HPB_REQUIRE(fd >= 0, "journal open '" + path + "': " + errno_text());
+  JournalWriter writer(path, fd, 0);
+  // The whole header goes out in one durable write: it is either entirely
+  // present or the journal is unusable — no torn-header states to handle.
+  std::ostringstream head;
+  head << kMagic << '\n'
+       << "meta method " << header.method << '\n'
+       << "meta dataset " << header.dataset << '\n';
+  if (!header.warm_start.empty()) {
+    head << "meta warm_start " << header.warm_start << '\n';
+  }
+  head << "meta seed " << header.seed << '\n'
+       << "meta batch " << header.batch_size << '\n'
+       << "meta params " << header.num_params << '\n'
+       << "meta budget " << header.max_evaluations << '\n'
+       << "meta patience " << header.stagnation_patience << '\n'
+       << "meta target " << hex16(header.target_value) << '\n'
+       << "meta fail_rate " << hex16(header.fail_rate) << '\n'
+       << "meta crash_rate " << hex16(header.crash_rate) << '\n'
+       << "meta hang_rate " << hex16(header.hang_rate);
+  writer.write_line(head.str());
+  fs::sync_parent_dir(path);
+  return writer;
+}
+
+JournalWriter JournalWriter::append(const std::string& path,
+                                    const JournalContents& contents) {
+  HPB_REQUIRE(contents.valid_bytes > 0,
+              "journal append: contents carry no validated prefix");
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  HPB_REQUIRE(fd >= 0, "journal open '" + path + "': " + errno_text());
+  // Drop the torn tail / incomplete round / end marker, then continue.
+  if (::ftruncate(fd, static_cast<off_t>(contents.valid_bytes)) != 0 ||
+      ::lseek(fd, 0, SEEK_END) < 0) {
+    const std::string why = errno_text();
+    ::close(fd);
+    HPB_REQUIRE(false, "journal truncate '" + path + "': " + why);
+  }
+  JournalWriter writer(path, fd, contents.rounds.size());
+  fs::sync_fd(fd, path);
+  return writer;
+}
+
+void JournalWriter::begin_round(std::size_t requested, std::size_t actual) {
+  HPB_REQUIRE(actual > 0 && actual <= requested,
+              "journal begin_round: actual batch out of range");
+  std::ostringstream line;
+  line << "round " << next_round_ << ' ' << requested << ' ' << actual;
+  write_line(line.str());
+  ++next_round_;
+}
+
+void JournalWriter::append_observation(const Observation& o) {
+  std::ostringstream line;
+  line << "obs " << tabular::status_name(o.status) << ' ' << hex16(o.y);
+  for (std::size_t p = 0; p < o.config.size(); ++p) {
+    line << ' ' << hex16(o.config[p]);
+  }
+  write_line(line.str());
+}
+
+void JournalWriter::finalize(std::string_view reason) {
+  HPB_REQUIRE(!reason.empty() && reason.find('\n') == std::string_view::npos,
+              "journal finalize: reason must be a single non-empty line");
+  std::string line = "end ";
+  line += reason;
+  write_line(line);
+}
+
+// ---------------------------------------------------------------- reader
+
+JournalContents read_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HPB_REQUIRE(in.good(), "read_journal: cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string data = buffer.str();
+
+  JournalContents contents;
+  std::size_t offset = 0;
+  // Pull the next '\n'-terminated line; a line without its newline is a
+  // torn tail and does not count.
+  auto next_line = [&](std::string_view& line) {
+    const std::size_t nl = data.find('\n', offset);
+    if (nl == std::string::npos) {
+      return false;
+    }
+    line = std::string_view(data).substr(offset, nl - offset);
+    offset = nl + 1;
+    return true;
+  };
+
+  std::string_view line;
+  HPB_REQUIRE(next_line(line) && line == kMagic,
+              "read_journal: '" + path + "' is not a v1 observation journal");
+
+  JournalHeader& h = contents.header;
+  bool in_header = true;
+  contents.valid_bytes = offset;
+  while (in_header) {
+    const std::size_t line_start = offset;
+    if (!next_line(line)) {
+      break;  // header-only journal (valid: zero rounds)
+    }
+    const auto tokens = tokenize(line, 3);
+    if (tokens.size() == 3 && tokens[0] == "meta") {
+      const std::string_view key = tokens[1];
+      const std::string_view value = tokens[2];
+      std::uint64_t u = 0;
+      bool ok = true;
+      if (key == "method") {
+        h.method = value;
+      } else if (key == "dataset") {
+        h.dataset = value;
+      } else if (key == "warm_start") {
+        h.warm_start = value;
+      } else if (key == "seed") {
+        ok = parse_u64(value, h.seed);
+      } else if (key == "batch") {
+        ok = parse_u64(value, u);
+        h.batch_size = u;
+      } else if (key == "params") {
+        ok = parse_u64(value, u);
+        h.num_params = u;
+      } else if (key == "budget") {
+        ok = parse_u64(value, u);
+        h.max_evaluations = u;
+      } else if (key == "patience") {
+        ok = parse_u64(value, u);
+        h.stagnation_patience = u;
+      } else if (key == "target") {
+        ok = parse_bits(value, h.target_value);
+      } else if (key == "fail_rate") {
+        ok = parse_bits(value, h.fail_rate);
+      } else if (key == "crash_rate") {
+        ok = parse_bits(value, h.crash_rate);
+      } else if (key == "hang_rate") {
+        ok = parse_bits(value, h.hang_rate);
+      }  // unknown meta keys are skipped for forward compatibility
+      HPB_REQUIRE(ok, "read_journal: malformed header line '" +
+                          std::string(line) + "'");
+      contents.valid_bytes = offset;
+    } else {
+      // First non-meta line: the header is complete; rewind and leave.
+      offset = line_start;
+      in_header = false;
+    }
+  }
+  HPB_REQUIRE(!h.method.empty() && h.num_params > 0 && h.batch_size > 0,
+              "read_journal: incomplete header in '" + path + "'");
+
+  // Rounds, until the end marker, EOF, or the first torn/malformed line.
+  for (;;) {
+    if (!next_line(line)) {
+      break;
+    }
+    auto tokens = split_all(line);
+    if (tokens.size() == 2 && tokens[0] == "end") {
+      contents.finalized = true;
+      contents.finish_reason = tokens[1];
+      break;  // valid_bytes deliberately excludes the end marker
+    }
+    std::uint64_t index = 0, requested = 0, actual = 0;
+    if (tokens.size() != 4 || tokens[0] != "round" ||
+        !parse_u64(tokens[1], index) || !parse_u64(tokens[2], requested) ||
+        !parse_u64(tokens[3], actual) || index != contents.rounds.size() ||
+        actual == 0 || actual > requested) {
+      break;  // torn or foreign tail; the prefix so far stands
+    }
+    JournalRound round;
+    round.requested = static_cast<std::size_t>(requested);
+    bool complete = true;
+    for (std::uint64_t i = 0; i < actual; ++i) {
+      if (!next_line(line)) {
+        complete = false;
+        break;
+      }
+      tokens = split_all(line);
+      if (tokens.size() != 3 + h.num_params || tokens[0] != "obs") {
+        complete = false;
+        break;
+      }
+      Observation o;
+      try {
+        o.status = tabular::status_from_name(std::string(tokens[1]));
+      } catch (const Error&) {
+        complete = false;
+        break;
+      }
+      if (!parse_bits(tokens[2], o.y)) {
+        complete = false;
+        break;
+      }
+      std::vector<double> values(h.num_params, 0.0);
+      for (std::size_t p = 0; p < h.num_params; ++p) {
+        if (!parse_bits(tokens[3 + p], values[p])) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) {
+        break;
+      }
+      o.config = space::Configuration(std::move(values));
+      round.observations.push_back(std::move(o));
+    }
+    if (!complete) {
+      break;  // incomplete round: dropped, will be re-evaluated on resume
+    }
+    contents.rounds.push_back(std::move(round));
+    contents.valid_bytes = offset;
+  }
+  return contents;
+}
+
+// ---------------------------------------------------------------- replay
+
+std::vector<Observation> replay_journal(Tuner& tuner,
+                                        const space::ParameterSpace& space,
+                                        const JournalContents& contents) {
+  HPB_REQUIRE(contents.header.num_params == space.num_params(),
+              "replay_journal: journal has " +
+                  std::to_string(contents.header.num_params) +
+                  " parameters but the space has " +
+                  std::to_string(space.num_params()));
+  std::vector<Observation> replayed;
+  replayed.reserve(contents.num_observations());
+  for (std::size_t r = 0; r < contents.rounds.size(); ++r) {
+    const JournalRound& round = contents.rounds[r];
+    const std::vector<space::Configuration> batch =
+        tuner.suggest_batch(round.requested);
+    HPB_REQUIRE(batch.size() == round.observations.size(),
+                "replay_journal: round " + std::to_string(r) +
+                    " diverged — tuner proposed " +
+                    std::to_string(batch.size()) + " configurations, journal "
+                    "recorded " + std::to_string(round.observations.size()) +
+                    " (wrong method, seed, or dataset?)");
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      HPB_REQUIRE(
+          batch[i].values() == round.observations[i].config.values(),
+          "replay_journal: round " + std::to_string(r) + " observation " +
+              std::to_string(i) +
+              " diverged — the tuner did not re-propose the journaled "
+              "configuration (wrong method, seed, or dataset?)");
+    }
+    tuner.observe_batch(round.observations);
+    replayed.insert(replayed.end(), round.observations.begin(),
+                    round.observations.end());
+  }
+  return replayed;
+}
+
+}  // namespace hpb::core

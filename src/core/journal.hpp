@@ -1,0 +1,152 @@
+// Write-ahead observation journal: crash-tolerant persistence for tuning
+// sessions.
+//
+// The TuningEngine appends one fsync'd record per observation, so the
+// on-disk state is always a valid prefix of the run: kill -9 the process at
+// any byte and what survives is the header plus zero or more complete
+// rounds (a torn tail — a partial line or a half-written round — is
+// detected and dropped by the reader). Resume is replay-based: tuners are
+// deterministic given their suggest/observe call sequence, so driving a
+// fresh tuner through the journal's rounds — suggest_batch(requested) per
+// round, observations answered from the journal instead of re-evaluating
+// the objective — reconstructs the exact in-memory state (including RNG
+// position and pending-batch tracking) the session had when it died. The
+// continued run is therefore bitwise identical to an uninterrupted one.
+//
+// Format (line-oriented text; doubles as 16-hex-digit IEEE-754 bit
+// patterns so values round-trip exactly):
+//
+//   hpbj v1
+//   meta <key> <value>            # session parameters, see JournalHeader
+//   round <index> <requested> <actual>
+//   obs <status> <y-bits> <v0-bits> <v1-bits> ...
+//   ...                           # exactly <actual> obs lines per round
+//   end <reason>                  # present only when the session completed
+//
+// The round marker is written after suggest_batch (so <actual> is known)
+// and before evaluation; its records follow once the round is evaluated. A
+// round with fewer than <actual> records is incomplete and is dropped on
+// resume — its evaluations are re-run, which is safe because the tuner
+// state that produced them is reconstructed exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/tuner.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::core {
+
+/// Session parameters stored in the journal header — everything needed to
+/// reconstruct the run besides the dataset itself. `dataset` and
+/// `num_params` guard against resuming over the wrong data.
+struct JournalHeader {
+  std::string method;
+  std::string dataset;
+  /// Warm-start CSV replayed into the tuner before the session, if any.
+  std::string warm_start;
+  std::uint64_t seed = 0;
+  std::size_t batch_size = 1;
+  std::size_t num_params = 0;
+  std::size_t max_evaluations = 0;
+  std::size_t stagnation_patience = 0;
+  double target_value = -std::numeric_limits<double>::infinity();
+  double fail_rate = 0.0;
+  double crash_rate = 0.0;
+  double hang_rate = 0.0;
+};
+
+/// One engine round as journaled: the batch size the engine requested and
+/// the observations (in suggestion order) the tuner's batch produced.
+struct JournalRound {
+  std::size_t requested = 0;
+  std::vector<Observation> observations;
+};
+
+/// A validated journal: header, every complete round, and whether the
+/// session finished. `valid_bytes` is the length of the durable prefix
+/// (excluding any torn tail and the end marker); appending resumes there.
+struct JournalContents {
+  JournalHeader header;
+  std::vector<JournalRound> rounds;
+  bool finalized = false;
+  std::string finish_reason;
+  std::uint64_t valid_bytes = 0;
+
+  [[nodiscard]] std::size_t num_observations() const noexcept {
+    std::size_t n = 0;
+    for (const JournalRound& r : rounds) {
+      n += r.observations.size();
+    }
+    return n;
+  }
+};
+
+/// Appending writer. Every line is written with a single write(2) followed
+/// by fsync, so a crash can only tear the final line — never reorder or
+/// interleave records.
+class JournalWriter {
+ public:
+  /// Start a fresh journal at `path` (truncating any existing file) and
+  /// durably write the header.
+  static JournalWriter create(const std::string& path,
+                              const JournalHeader& header);
+
+  /// Continue an interrupted session: truncate `path` to the validated
+  /// prefix (dropping a torn tail, an incomplete round, and the end
+  /// marker) and position round numbering after the last complete round.
+  /// `contents` must be the result of read_journal(path).
+  static JournalWriter append(const std::string& path,
+                              const JournalContents& contents);
+
+  JournalWriter(JournalWriter&& other) noexcept;
+  JournalWriter& operator=(JournalWriter&& other) noexcept;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter();
+
+  /// Open a round: the engine requested `requested` configurations and the
+  /// tuner returned `actual`. Written before evaluation starts.
+  void begin_round(std::size_t requested, std::size_t actual);
+
+  /// Append one evaluated observation of the current round.
+  void append_observation(const Observation& o);
+
+  /// Durably mark the session complete (e.g. "budget_exhausted"). Not
+  /// called on interruption — an unfinalized journal is what resume
+  /// expects.
+  void finalize(std::string_view reason);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  JournalWriter(std::string path, int fd, std::size_t next_round);
+
+  void write_line(std::string_view line);
+
+  std::string path_;
+  int fd_ = -1;
+  std::size_t next_round_ = 0;
+};
+
+/// Read and validate a journal, stopping at the first torn or malformed
+/// line: everything after the last complete round is ignored (and reported
+/// via valid_bytes for truncation on append). Throws only when the file is
+/// unreadable or the header itself is invalid.
+[[nodiscard]] JournalContents read_journal(const std::string& path);
+
+/// Deterministic resume: drive a fresh tuner through the journal's rounds
+/// — suggest_batch(requested), observations answered from the journal —
+/// without touching the objective. Throws if the tuner's suggestions
+/// diverge from the journaled configurations (wrong method, seed, or
+/// dataset). Returns all replayed observations in engine order, ready to
+/// hand to TuningEngine::run/run_until as the replayed prefix.
+[[nodiscard]] std::vector<Observation> replay_journal(
+    Tuner& tuner, const space::ParameterSpace& space,
+    const JournalContents& contents);
+
+}  // namespace hpb::core

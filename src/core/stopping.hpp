@@ -23,9 +23,27 @@ struct StopConfig {
   double min_relative_improvement = 1e-6;
   /// Stop as soon as the best value is <= target (-inf disables).
   double target_value = -std::numeric_limits<double>::infinity();
+  /// Stop once the session has run this many wall-clock seconds, checked
+  /// between rounds (an in-flight round always drains); 0 disables. The
+  /// session still ends with a consistent journal and partial result.
+  double max_wall_time_seconds = 0.0;
 };
 
-enum class StopReason { kBudgetExhausted, kStagnation, kTargetReached };
+enum class StopReason {
+  kBudgetExhausted,
+  kStagnation,
+  kTargetReached,
+  /// StopConfig::max_wall_time_seconds elapsed. A completion, not a crash:
+  /// the journal (if any) is finalized.
+  kWallTime,
+  /// The engine's stop flag was raised (SIGINT/SIGTERM). The journal is
+  /// left unfinalized so the session can be resumed.
+  kInterrupted,
+};
+
+/// Stable lower-snake-case label ("budget_exhausted", ...) used in reports
+/// and journal end markers.
+[[nodiscard]] const char* stop_reason_name(StopReason reason) noexcept;
 
 struct StoppedTuneResult {
   TuneResult result;

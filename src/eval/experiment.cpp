@@ -114,4 +114,22 @@ std::size_t batch_from_env(std::size_t fallback) {
   return count_from_env("HPB_BATCH", fallback);
 }
 
+std::size_t eval_timeout_ms_from_env(std::size_t fallback) {
+  return count_from_env("HPB_EVAL_TIMEOUT_MS", fallback);
+}
+
+std::string journal_path_from_env() {
+  const char* env = std::getenv("HPB_JOURNAL");
+  if (env == nullptr) {
+    return {};
+  }
+  const std::string raw(env);
+  if (raw.find_first_not_of(" \t") == std::string::npos) {
+    throw Error("HPB_JOURNAL=\"" + raw +
+                "\": empty value (expected a journal path, or unset the "
+                "variable to disable journaling)");
+  }
+  return raw;
+}
+
 }  // namespace hpb::eval

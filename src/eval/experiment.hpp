@@ -74,4 +74,13 @@ struct MethodCurve {
 /// `fallback` (same strict parsing as HPB_REPS).
 [[nodiscard]] std::size_t batch_from_env(std::size_t fallback = 1);
 
+/// Per-evaluation watchdog deadline in milliseconds from HPB_EVAL_TIMEOUT_MS,
+/// else `fallback` (same strict positive-integer parsing; 0 — the disabled
+/// watchdog — can only come from the fallback, not the environment).
+[[nodiscard]] std::size_t eval_timeout_ms_from_env(std::size_t fallback = 0);
+
+/// Journal path from HPB_JOURNAL, else an empty string (journaling off).
+/// Rejects a set-but-blank variable instead of silently journaling nowhere.
+[[nodiscard]] std::string journal_path_from_env();
+
 }  // namespace hpb::eval

@@ -2,9 +2,11 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -12,10 +14,12 @@
 namespace hpb::tabular {
 namespace {
 
-// Domain-separation salts so the region and crash streams are independent.
+// Domain-separation salts so the region, crash, and hang streams are
+// independent.
 constexpr std::uint64_t kRegionSalt = 0x9ab1e5ULL;
 constexpr std::uint64_t kKindSalt = 0x7e57ab1eULL;
 constexpr std::uint64_t kCrashSalt = 0xc4a54ULL;
+constexpr std::uint64_t kHangSalt = 0x4a4eULL;
 
 }  // namespace
 
@@ -26,6 +30,8 @@ FaultInjectingObjective::FaultInjectingObjective(Objective& inner,
               "FaultInjectingObjective: fail_rate must be in [0, 1)");
   HPB_REQUIRE(config_.crash_rate >= 0.0 && config_.crash_rate < 1.0,
               "FaultInjectingObjective: crash_rate must be in [0, 1)");
+  HPB_REQUIRE(config_.hang_rate >= 0.0 && config_.hang_rate < 1.0,
+              "FaultInjectingObjective: hang_rate must be in [0, 1)");
 }
 
 std::uint64_t FaultInjectingObjective::key_of(
@@ -53,8 +59,23 @@ bool FaultInjectingObjective::in_failure_region(
   return hash_to_unit(splitmix64(key)) < config_.fail_rate;
 }
 
+bool FaultInjectingObjective::in_hang_region(
+    const space::Configuration& c) const {
+  if (config_.hang_rate <= 0.0) {
+    return false;
+  }
+  const std::uint64_t key =
+      hash_combine(hash_combine(config_.seed, kHangSalt), key_of(c));
+  return hash_to_unit(splitmix64(key)) < config_.hang_rate;
+}
+
 EvalResult FaultInjectingObjective::evaluate_result(
     const space::Configuration& c) {
+  return evaluate_result(c, CancellationToken{});
+}
+
+EvalResult FaultInjectingObjective::evaluate_result(
+    const space::Configuration& c, const CancellationToken& token) {
   const std::uint64_t key = key_of(c);
   if (config_.crash_rate > 0.0) {
     std::uint64_t attempt = 0;
@@ -70,6 +91,18 @@ EvalResult FaultInjectingObjective::evaluate_result(
       return EvalResult::failure(EvalStatus::kCrashed);
     }
   }
+  if (in_hang_region(c)) {
+    // A real hang never returns; the cooperative stand-in sleeps until the
+    // watchdog deadline (or a shutdown signal) cancels it. A token that can
+    // never cancel gets the timeout verdict immediately instead of wedging
+    // the worker forever.
+    while (token.can_cancel() && !token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::scoped_lock lock(mutex_);
+    ++failures_injected_;
+    return EvalResult::failure(EvalStatus::kTimeout);
+  }
   if (in_failure_region(c)) {
     const std::uint64_t kind_key = hash_combine(
         hash_combine(config_.seed, kKindSalt), key);
@@ -80,7 +113,7 @@ EvalResult FaultInjectingObjective::evaluate_result(
     ++failures_injected_;
     return EvalResult::failure(status);
   }
-  return inner_->evaluate_result(c);
+  return inner_->evaluate_result(c, token);
 }
 
 double FaultInjectingObjective::evaluate(const space::Configuration& c) {
@@ -142,6 +175,10 @@ double fail_rate_from_env(double fallback) {
 
 double crash_rate_from_env(double fallback) {
   return rate_from_env("HPB_CRASH_RATE", fallback);
+}
+
+double hang_rate_from_env(double fallback) {
+  return rate_from_env("HPB_HANG_RATE", fallback);
 }
 
 }  // namespace hpb::tabular

@@ -13,7 +13,15 @@
 //     independently crashes (kCrashed) with probability `crash_rate`,
 //     keyed on (seed, configuration, attempt number), so a retry of the
 //     same configuration can succeed and a rerun of the whole experiment
-//     reproduces the exact same crash sequence.
+//     reproduces the exact same crash sequence;
+//
+//   * hangs — configurations whose keyed hash falls below `hang_rate`
+//     never return on their own: the evaluation sleeps until the
+//     CancellationToken cancels it (the engine's watchdog deadline or a
+//     shutdown signal), then reports kTimeout. Hangs exercise the
+//     wall-clock watchdog; with a token that can never cancel, the
+//     injector reports kTimeout immediately rather than blocking the
+//     worker forever.
 //
 // Everything is a pure function of the wrapper seed and the configuration,
 // so tuning runs remain bitwise reproducible: same seed + same rates =>
@@ -34,6 +42,8 @@ struct FaultConfig {
   double fail_rate = 0.0;
   /// Per-attempt transient crash probability, in [0, 1).
   double crash_rate = 0.0;
+  /// Fraction of the space that hangs until cancelled, in [0, 1).
+  double hang_rate = 0.0;
   /// Hash seed for the failure regions and crash sequence.
   std::uint64_t seed = 0x0f0f0f0fULL;
 };
@@ -53,12 +63,18 @@ class FaultInjectingObjective final : public Objective {
   [[nodiscard]] double evaluate(const space::Configuration& c) override;
   [[nodiscard]] EvalResult evaluate_result(
       const space::Configuration& c) override;
+  [[nodiscard]] EvalResult evaluate_result(
+      const space::Configuration& c,
+      const CancellationToken& token) override;
   [[nodiscard]] std::string name() const override {
     return inner_->name() + "(faulty)";
   }
 
   /// True when c lies in a permanent failure region (kInvalid/kTimeout).
   [[nodiscard]] bool in_failure_region(const space::Configuration& c) const;
+
+  /// True when c is an injected hang (sleeps until the token cancels).
+  [[nodiscard]] bool in_hang_region(const space::Configuration& c) const;
 
   /// Total failed attempts injected so far (all statuses).
   [[nodiscard]] std::size_t failures_injected() const;
@@ -80,5 +96,8 @@ class FaultInjectingObjective final : public Objective {
 
 /// Transient crash rate from HPB_CRASH_RATE, same parsing.
 [[nodiscard]] double crash_rate_from_env(double fallback = 0.0);
+
+/// Hang-region rate from HPB_HANG_RATE, same parsing.
+[[nodiscard]] double hang_rate_from_env(double fallback = 0.0);
 
 }  // namespace hpb::tabular

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <string>
 
+#include "common/cancellation.hpp"
 #include "space/parameter_space.hpp"
 
 namespace hpb::tabular {
@@ -66,6 +67,18 @@ class Objective {
   [[nodiscard]] virtual EvalResult evaluate_result(
       const space::Configuration& c) {
     return EvalResult::success(evaluate(c));
+  }
+
+  /// Cancellable evaluation: the engine's watchdog passes a token carrying
+  /// its per-evaluation deadline and the session's stop flag. Long-running
+  /// objectives should poll token.cancelled() between units of work and
+  /// return kTimeout early; the default ignores the token, which is always
+  /// correct for cheap evaluations (the engine still converts overdue
+  /// results to kTimeout after the fact).
+  [[nodiscard]] virtual EvalResult evaluate_result(
+      const space::Configuration& c, const CancellationToken& token) {
+    (void)token;
+    return evaluate_result(c);
   }
 
   /// Short identifier used in reports.

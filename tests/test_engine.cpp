@@ -17,6 +17,7 @@
 #include "common/thread_pool.hpp"
 #include "core/engine.hpp"
 #include "core/hiperbot.hpp"
+#include "core/journal.hpp"
 #include "core/loop.hpp"
 #include "core/stopping.hpp"
 #include "eval/experiment.hpp"
@@ -224,6 +225,67 @@ TEST(HiPerBOtPending, ObservingReleasesPendingForReasoningNotRepeats) {
     EXPECT_TRUE(seen.insert(ds.space().ordinal_of(o.config)).second);
   }
   EXPECT_EQ(seen.size(), ds.size());
+}
+
+TEST(EngineJournal, JournalingDoesNotPerturbAnyTunerBitwise) {
+  // A journaled run and a plain run are the same run: the journal is
+  // write-only bookkeeping on the side of the loop.
+  auto ds = testutil::separable_dataset();
+  for (const std::string& name : eval::tuner_names()) {
+    SCOPED_TRACE(name);
+    auto plain_tuner = eval::make_named_tuner(name, ds, kSeed);
+    const TuneResult plain =
+        TuningEngine({.batch_size = 4}).run(*plain_tuner, ds, kBudget);
+
+    const std::string path = ::testing::TempDir() + "engine_" + name + ".hpbj";
+    core::JournalHeader header;
+    header.method = name;
+    header.dataset = ds.name();
+    header.seed = kSeed;
+    header.batch_size = 4;
+    header.num_params = ds.space().num_params();
+    header.max_evaluations = kBudget;
+    auto journaled_tuner = eval::make_named_tuner(name, ds, kSeed);
+    core::JournalWriter writer = core::JournalWriter::create(path, header);
+    const TuneResult journaled =
+        TuningEngine({.batch_size = 4, .journal = &writer})
+            .run(*journaled_tuner, ds, kBudget);
+    expect_identical(plain, journaled);
+  }
+}
+
+TEST(EngineJournal, EveryTunerResumesBitwiseFromAMidRunJournal) {
+  // Truncate each tuner's journal at a round boundary mid-run and resume:
+  // the replayed-prefix overload must land on the identical final result.
+  auto ds = testutil::separable_dataset();
+  const TuningEngine engine({.batch_size = 4});
+  for (const std::string& name : eval::tuner_names()) {
+    SCOPED_TRACE(name);
+    const std::string path = ::testing::TempDir() + "resume_" + name + ".hpbj";
+    core::JournalHeader header;
+    header.method = name;
+    header.dataset = ds.name();
+    header.seed = kSeed;
+    header.batch_size = 4;
+    header.num_params = ds.space().num_params();
+    header.max_evaluations = kBudget;
+    auto full_tuner = eval::make_named_tuner(name, ds, kSeed);
+    core::JournalWriter writer = core::JournalWriter::create(path, header);
+    const TuneResult full =
+        TuningEngine({.batch_size = 4, .journal = &writer})
+            .run(*full_tuner, ds, kBudget);
+
+    core::JournalContents contents = core::read_journal(path);
+    ASSERT_GT(contents.rounds.size(), 2u);
+    contents.rounds.resize(contents.rounds.size() / 2);  // mid-run snapshot
+    auto resumed_tuner = eval::make_named_tuner(name, ds, kSeed);
+    const std::vector<Observation> replayed =
+        core::replay_journal(*resumed_tuner, ds.space(), contents);
+    ASSERT_FALSE(replayed.empty());
+    const TuneResult resumed =
+        engine.run(*resumed_tuner, ds, kBudget, replayed);
+    expect_identical(full, resumed);
+  }
 }
 
 class EnvParsing : public ::testing::Test {

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 build + test suite, then an
 # AddressSanitizer + UBSan build running the engine determinism /
-# batching / pending-tracking tests (tests/test_engine.cpp) and the
-# failure-path + thread-pool tests (tests/test_failures.cpp), then a
-# fault-injected shootout smoke run (HPB_FAIL_RATE=0.2).
+# batching / pending-tracking tests (tests/test_engine.cpp), the
+# failure-path + thread-pool tests (tests/test_failures.cpp), and the
+# session-durability tests (tests/test_journal.cpp); then a
+# ThreadSanitizer build running the concurrency-sensitive subset
+# (engine, thread pool, watchdog, shutdown); then a fault-injected
+# shootout smoke run (HPB_FAIL_RATE=0.2) and a CLI crash-resume smoke
+# (journal a run, truncate the journal mid-record, resume, and require
+# the identical history CSV).
 #
-# Usage: tools/check.sh    (from anywhere; builds into build/ and
-#                           build-asan/ at the repo root)
+# Usage: tools/check.sh    (from anywhere; builds into build/,
+#                           build-asan/, and build-tsan/ at the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,17 +23,44 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo
-echo "== ASan + UBSan: engine determinism + failure-path tests =="
-cmake -B build-asan -S . -DHPB_SANITIZE=ON \
+echo "== ASan + UBSan: engine determinism + failure-path + journal tests =="
+cmake -B build-asan -S . -DHPB_SANITIZE=address \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv'
+  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume'
+
+echo
+echo "== TSan: engine / thread-pool / watchdog / shutdown tests =="
+cmake -B build-tsan -S . -DHPB_SANITIZE=thread \
+  -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j "$jobs"
+ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure'
 
 echo
 echo "== fault-injected shootout smoke (HPB_FAIL_RATE=0.2) =="
 HPB_FAIL_RATE=0.2 HPB_CRASH_RATE=0.05 HPB_REPS=1 HPB_BATCH=4 \
   ./build/bench/shootout
+
+echo
+echo "== CLI crash-resume smoke: journal, truncate, resume, compare =="
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./build/tools/hiperbot tune --dataset kripke --method random --budget 40 \
+  --batch 4 --fail-rate 0.2 --journal "$smoke_dir/full.hpbj" \
+  --history-out "$smoke_dir/full.csv" > /dev/null
+# Kill the session mid-record: keep a prefix that tears the journal inside
+# a round, then resume it to completion.
+head -c "$(($(stat -c %s "$smoke_dir/full.hpbj") * 2 / 3))" \
+  "$smoke_dir/full.hpbj" > "$smoke_dir/cut.hpbj"
+./build/tools/hiperbot tune --dataset kripke --resume "$smoke_dir/cut.hpbj" \
+  --history-out "$smoke_dir/resumed.csv" > /dev/null
+diff "$smoke_dir/full.csv" "$smoke_dir/resumed.csv" \
+  || { echo "resumed history differs from uninterrupted run"; exit 1; }
+cmp -s "$smoke_dir/full.hpbj" "$smoke_dir/cut.hpbj" \
+  || { echo "healed journal differs from uninterrupted journal"; exit 1; }
+echo "crash-resume smoke: identical history and journal"
 
 echo
 echo "check.sh: all green"

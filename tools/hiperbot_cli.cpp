@@ -4,6 +4,9 @@
 //   hiperbot info       --csv runs.csv | --dataset kripke
 //   hiperbot tune       --csv runs.csv --method hiperbot --budget 100
 //                       [--batch 4] [--fail-rate 0.2] [--crash-rate 0.05]
+//                       [--journal tune.hpbj] [--eval-timeout 500]
+//                       [--max-seconds 60]
+//   hiperbot tune       --csv runs.csv --resume tune.hpbj
 //   hiperbot importance --csv runs.csv [--alpha 0.2]
 //   hiperbot compare    --csv runs.csv --methods hiperbot,geist,random
 //                       --budget 100 --reps 10 [--ell 5]
@@ -13,8 +16,12 @@
 // The CSV format is one header row (parameter columns, objective last) and
 // one row per measured configuration — the same layout `info --export`
 // writes for the built-in datasets.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "apps/registry.hpp"
@@ -23,6 +30,7 @@
 #include "core/hiperbot.hpp"
 #include "core/importance.hpp"
 #include "core/history_io.hpp"
+#include "core/journal.hpp"
 #include "core/surrogate.hpp"
 #include "core/stopping.hpp"
 #include "eval/experiment.hpp"
@@ -90,34 +98,121 @@ int cmd_info(const hpb::cli::ArgParser& args) {
   return 0;
 }
 
+// Raised by SIGINT/SIGTERM; the engine checks it between rounds and winds
+// the session down with a resumable journal and a partial result. A lock-
+// free atomic store is the only async-signal-safe thing the handler does.
+std::atomic<bool> g_stop{false};
+static_assert(std::atomic<bool>::is_always_lock_free);
+
+void handle_shutdown_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
 int cmd_tune(const hpb::cli::ArgParser& args) {
   TabularObjective ds = load_dataset(args);
-  const std::string& method = args.get_string("method");
-  auto tuner =
-      hpb::eval::make_named_tuner(method, ds, args.get_size("seed"));
 
-  const std::string& warm_start = args.get_string("warm-start");
-  if (!warm_start.empty()) {
-    const std::size_t replayed =
-        hpb::core::warm_start_from_csv(warm_start, ds.space(), *tuner);
-    std::cout << "warm start: replayed " << replayed << " observations from "
-              << warm_start << '\n';
-  }
+  const std::string& resume_path = args.get_string("resume");
+  const std::string journal_path = args.was_set("journal")
+                                       ? args.get_string("journal")
+                                       : hpb::eval::journal_path_from_env();
+  HPB_REQUIRE(resume_path.empty() || journal_path.empty(),
+              "tune: --resume continues its own journal; do not also pass "
+              "--journal / HPB_JOURNAL");
 
+  // Session parameters: from the flags for a fresh session, from the
+  // journal header for a resumed one — a resumed run *is* the same run, so
+  // its method/seed/batch/stopping/fault setup is not renegotiable.
+  std::string method = args.get_string("method");
+  std::uint64_t seed = static_cast<std::uint64_t>(args.get_size("seed"));
+  std::size_t batch = args.get_size("batch");
+  std::string warm_start = args.get_string("warm-start");
   hpb::core::StopConfig stop;
   stop.max_evaluations = args.get_size("budget");
   stop.stagnation_patience = args.get_size("patience");
   if (args.was_set("target")) {
     stop.target_value = args.get_double("target");
   }
+  hpb::tabular::FaultConfig faults{.fail_rate = args.get_double("fail-rate"),
+                                   .crash_rate = args.get_double("crash-rate"),
+                                   .hang_rate = args.get_double("hang-rate"),
+                                   .seed = seed};
 
-  const hpb::core::TuningEngine engine({.batch_size = args.get_size("batch")});
-  // Pass-through when both rates are 0 (the default).
-  hpb::tabular::FaultInjectingObjective faulty(
-      ds, {.fail_rate = args.get_double("fail-rate"),
-           .crash_rate = args.get_double("crash-rate"),
-           .seed = static_cast<std::uint64_t>(args.get_size("seed"))});
-  const auto stopped = engine.run_until(*tuner, faulty, stop);
+  std::optional<hpb::core::JournalContents> resumed;
+  if (!resume_path.empty()) {
+    resumed = hpb::core::read_journal(resume_path);
+    if (resumed->finalized) {
+      std::cout << "journal " << resume_path << " is already complete ("
+                << resumed->finish_reason << "); nothing to resume\n";
+      return 0;
+    }
+    const hpb::core::JournalHeader& h = resumed->header;
+    HPB_REQUIRE(h.dataset == ds.name(),
+                "tune --resume: journal was recorded on dataset '" +
+                    h.dataset + "' but --csv/--dataset loaded '" + ds.name() +
+                    "'");
+    method = h.method;
+    seed = h.seed;
+    batch = h.batch_size;
+    warm_start = h.warm_start;
+    stop.max_evaluations = h.max_evaluations;
+    stop.stagnation_patience = h.stagnation_patience;
+    stop.target_value = h.target_value;
+    faults = {.fail_rate = h.fail_rate,
+              .crash_rate = h.crash_rate,
+              .hang_rate = h.hang_rate,
+              .seed = h.seed};
+  }
+  // Runtime knobs (not session identity): allowed to differ on resume.
+  stop.max_wall_time_seconds = args.get_double("max-seconds");
+  const std::size_t timeout_ms =
+      args.was_set("eval-timeout")
+          ? args.get_size("eval-timeout")
+          : hpb::eval::eval_timeout_ms_from_env(0);
+
+  auto tuner = hpb::eval::make_named_tuner(method, ds, seed);
+  if (!warm_start.empty()) {
+    const std::size_t rows =
+        hpb::core::warm_start_from_csv(warm_start, ds.space(), *tuner);
+    std::cout << "warm start: replayed " << rows << " observations from "
+              << warm_start << '\n';
+  }
+
+  std::optional<hpb::core::JournalWriter> journal;
+  std::vector<hpb::core::Observation> replayed;
+  if (resumed) {
+    replayed = hpb::core::replay_journal(*tuner, ds.space(), *resumed);
+    std::cout << "resume: replayed " << replayed.size()
+              << " journaled observations (" << resumed->rounds.size()
+              << " rounds) from " << resume_path << '\n';
+    journal.emplace(hpb::core::JournalWriter::append(resume_path, *resumed));
+  } else if (!journal_path.empty()) {
+    hpb::core::JournalHeader h;
+    h.method = method;
+    h.dataset = ds.name();
+    h.warm_start = warm_start;
+    h.seed = seed;
+    h.batch_size = batch;
+    h.num_params = ds.space().num_params();
+    h.max_evaluations = stop.max_evaluations;
+    h.stagnation_patience = stop.stagnation_patience;
+    h.target_value = stop.target_value;
+    h.fail_rate = faults.fail_rate;
+    h.crash_rate = faults.crash_rate;
+    h.hang_rate = faults.hang_rate;
+    journal.emplace(hpb::core::JournalWriter::create(journal_path, h));
+  }
+
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+
+  const hpb::core::TuningEngine engine(
+      {.batch_size = batch,
+       .eval_deadline = std::chrono::milliseconds(timeout_ms),
+       .journal = journal ? &*journal : nullptr,
+       .stop_flag = &g_stop});
+  // Pass-through when all rates are 0 (the default).
+  hpb::tabular::FaultInjectingObjective faulty(ds, faults);
+  const auto stopped = engine.run_until(*tuner, faulty, stop, replayed);
   const auto& result = stopped.result;
   std::cout << "method:      " << tuner->name() << '\n'
             << "evaluations: " << result.history.size() << " (stopped: ";
@@ -130,6 +225,12 @@ int cmd_tune(const hpb::cli::ArgParser& args) {
       break;
     case hpb::core::StopReason::kTargetReached:
       std::cout << "target reached";
+      break;
+    case hpb::core::StopReason::kWallTime:
+      std::cout << "wall-clock limit";
+      break;
+    case hpb::core::StopReason::kInterrupted:
+      std::cout << "interrupted";
       break;
   }
   std::cout << ")\n";
@@ -144,12 +245,21 @@ int cmd_tune(const hpb::cli::ArgParser& args) {
               << "best config: " << ds.space().to_string(result.best_config)
               << '\n';
   }
-  std::cout << "trajectory:  ";
-  const std::size_t n = result.best_so_far.size();
-  for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 8)) {
-    std::cout << result.best_so_far[i] << ' ';
+  if (!result.best_so_far.empty()) {
+    std::cout << "trajectory:  ";
+    const std::size_t n = result.best_so_far.size();
+    for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 8)) {
+      std::cout << result.best_so_far[i] << ' ';
+    }
+    std::cout << result.best_so_far.back() << '\n';
   }
-  std::cout << result.best_so_far.back() << '\n';
+  if (stopped.reason == hpb::core::StopReason::kInterrupted && journal) {
+    std::cout << "session interrupted; resume with: hiperbot tune "
+              << (args.get_string("csv").empty()
+                      ? "--dataset " + args.get_string("dataset")
+                      : "--csv " + args.get_string("csv"))
+              << " --resume " << journal->path() << '\n';
+  }
   const std::string& history_out = args.get_string("history-out");
   if (!history_out.empty()) {
     hpb::core::write_history_csv(history_out, ds.space(), result.history);
@@ -283,6 +393,22 @@ int main(int argc, char** argv) {
                   "`tune`: write the evaluated history to this CSV path")
       .add_string("warm-start", "",
                   "`tune`: replay a previous history CSV before tuning")
+      .add_string("journal", "",
+                  "`tune`: write-ahead observation journal (crash-tolerant; "
+                  "default $HPB_JOURNAL)")
+      .add_string("resume", "",
+                  "`tune`: resume an interrupted session from its journal "
+                  "(method/seed/budget come from the journal header)")
+      .add_size("eval-timeout", 0,
+                "`tune`: per-evaluation watchdog deadline in ms; overdue "
+                "evaluations become timeout failures (0 = off; default "
+                "$HPB_EVAL_TIMEOUT_MS)")
+      .add_double("max-seconds", 0.0,
+                  "`tune`: wall-clock limit for the session, checked between "
+                  "rounds (0 = off)")
+      .add_double("hang-rate", 0.0,
+                  "`tune`: fraction of the space hanging until the watchdog "
+                  "cancels it (fault injection)")
       .add_string("source-csv", "",
                   "`transfer`: fully observed source-domain CSV")
       .add_double("weight", 2.0, "`transfer`: prior mixture weight w")
