@@ -8,9 +8,11 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 
 #include "apps/registry.hpp"
 #include "core/engine.hpp"
+#include "obs/trace.hpp"
 #include "eval/experiment.hpp"
 #include "eval/methods.hpp"
 #include "eval/metrics.hpp"
@@ -28,9 +30,17 @@ int main() {
   const std::size_t timeout_ms = hpb::eval::eval_timeout_ms_from_env(
       hang_rate > 0.0 ? 50 : 0);  // injected hangs need a watchdog to end
   constexpr std::size_t kBudget = 150;
+  // HPB_TRACE=<file> traces every run of the shootout into one JSONL file
+  // (strictly parsed: a set-but-blank value is an error, not silence).
+  const std::string trace_path = hpb::eval::trace_path_from_env();
+  std::optional<hpb::obs::JsonlTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink.emplace(hpb::obs::JsonlTraceSink::create(trace_path));
+  }
   const hpb::core::TuningEngine engine(
       {.batch_size = batch,
-       .eval_deadline = std::chrono::milliseconds(timeout_ms)});
+       .eval_deadline = std::chrono::milliseconds(timeout_ms),
+       .recorder = {.trace = trace_sink ? &*trace_sink : nullptr}});
   std::ofstream csv(hpb::benchfig::csv_path("shootout"));
   csv << "dataset,method,best_mean,best_std,recall_mean,recall_std,"
          "p_vs_hiperbot\n";
@@ -103,6 +113,10 @@ int main() {
           << recall_stats.stddev() << ',' << p << '\n';
     }
     std::cout << '\n';
+  }
+  if (trace_sink) {
+    trace_sink->flush();
+    std::cout << "trace written to " << trace_sink->path() << '\n';
   }
   std::cout << "wrote " << hpb::benchfig::csv_path("shootout") << '\n';
   return 0;

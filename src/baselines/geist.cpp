@@ -88,6 +88,54 @@ void Geist::propagate_and_refill_queue() {
                     });
   queue_.assign(candidates.begin(),
                 candidates.begin() + static_cast<std::ptrdiff_t>(take));
+
+  // Export propagation internals. Reads only — the queue above is already
+  // fixed, so a traced Geist proposes exactly what an untraced one would.
+  if (recorder_ != nullptr && recorder_->active()) {
+    std::size_t good_labels = 0;
+    for (std::uint32_t node : observed_nodes_) {
+      if (labels[node] == 1) {
+        ++good_labels;
+      }
+    }
+    double belief_sum = 0.0;
+    double belief_top = 0.0;
+    for (std::uint32_t node : candidates) {
+      belief_sum += beliefs_[node];
+      belief_top = std::max(belief_top, beliefs_[node]);
+    }
+    const double belief_mean =
+        belief_sum / static_cast<double>(candidates.size());
+    if (recorder_->metrics != nullptr) {
+      recorder_->metrics->counter("geist.propagations").add(1);
+      recorder_->metrics->gauge("geist.observed")
+          .set(static_cast<double>(observed_nodes_.size()));
+      recorder_->metrics->gauge("geist.good_labels")
+          .set(static_cast<double>(good_labels));
+      recorder_->metrics->gauge("geist.queue")
+          .set(static_cast<double>(queue_.size()));
+      recorder_->metrics->gauge("geist.belief_mean").set(belief_mean);
+      recorder_->metrics->gauge("geist.belief_top").set(belief_top);
+    }
+    if (recorder_->trace != nullptr) {
+      const std::uint64_t now = recorder_->now_ns();
+      const obs::TraceAttr attrs[] = {
+          obs::TraceAttr::uint("observed", observed_nodes_.size()),
+          obs::TraceAttr::uint("good_labels", good_labels),
+          obs::TraceAttr::uint("failed", failed_.size()),
+          obs::TraceAttr::uint("queue", queue_.size()),
+          obs::TraceAttr::num("threshold", threshold),
+          obs::TraceAttr::num("belief_mean", belief_mean),
+          obs::TraceAttr::num("belief_top", belief_top),
+      };
+      recorder_->trace->emit({.name = "geist.propagate",
+                              .id = recorder_->trace->next_id(),
+                              .parent = 0,
+                              .start_ns = now,
+                              .end_ns = now,
+                              .attrs = attrs});
+    }
+  }
 }
 
 space::Configuration Geist::suggest() {

@@ -70,6 +70,31 @@ void GpTuner::refit() {
   }
   alpha_ = linalg::cholesky_solve(chol_, centered);
   fitted_ = true;
+
+  // Export fit internals (reads only; suggestion order is unaffected).
+  if (recorder_ != nullptr && recorder_->active()) {
+    if (recorder_->metrics != nullptr) {
+      recorder_->metrics->counter("gp.fits").add(1);
+      recorder_->metrics->gauge("gp.history").set(static_cast<double>(n));
+      recorder_->metrics->gauge("gp.y_mean").set(y_mean_);
+      recorder_->metrics->gauge("gp.y_std").set(y_std_);
+    }
+    if (recorder_->trace != nullptr) {
+      const std::uint64_t now = recorder_->now_ns();
+      const obs::TraceAttr attrs[] = {
+          obs::TraceAttr::uint("history", n),
+          obs::TraceAttr::num("y_mean", y_mean_),
+          obs::TraceAttr::num("y_std", y_std_),
+          obs::TraceAttr::num("length_scale", config_.length_scale),
+      };
+      recorder_->trace->emit({.name = "gp.fit",
+                              .id = recorder_->trace->next_id(),
+                              .parent = 0,
+                              .start_ns = now,
+                              .end_ns = now,
+                              .attrs = attrs});
+    }
+  }
 }
 
 GpTuner::Posterior GpTuner::posterior_encoded(std::span<const double> x) const {

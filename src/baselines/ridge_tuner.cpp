@@ -64,6 +64,35 @@ void RidgeTuner::refit() {
   beta_ = linalg::cholesky_solve(linalg::cholesky(gram), xty);
   fitted_ = true;
   observations_at_fit_ = n;
+
+  // Export refit internals (reads only; suggestion order is unaffected).
+  if (recorder_ != nullptr && recorder_->active()) {
+    double beta_norm2 = 0.0;
+    for (std::size_t i = 0; i < beta_.size(); ++i) {
+      beta_norm2 += beta_[i] * beta_[i];
+    }
+    if (recorder_->metrics != nullptr) {
+      recorder_->metrics->counter("ridge.refits").add(1);
+      recorder_->metrics->gauge("ridge.history").set(static_cast<double>(n));
+      recorder_->metrics->gauge("ridge.beta_norm2").set(beta_norm2);
+      recorder_->metrics->gauge("ridge.intercept").set(beta_.back());
+    }
+    if (recorder_->trace != nullptr) {
+      const std::uint64_t now = recorder_->now_ns();
+      const obs::TraceAttr attrs[] = {
+          obs::TraceAttr::uint("history", n),
+          obs::TraceAttr::uint("features", d),
+          obs::TraceAttr::num("beta_norm2", beta_norm2),
+          obs::TraceAttr::num("intercept", beta_.back()),
+      };
+      recorder_->trace->emit({.name = "ridge.refit",
+                              .id = recorder_->trace->next_id(),
+                              .parent = 0,
+                              .start_ns = now,
+                              .end_ns = now,
+                              .attrs = attrs});
+    }
+  }
 }
 
 double RidgeTuner::predict(const space::Configuration& c) const {

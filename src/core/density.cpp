@@ -113,4 +113,14 @@ const stats::HistogramDensity& FactorizedDensity::histogram(
   return *hist;
 }
 
+std::optional<double> FactorizedDensity::kde_bandwidth(
+    std::size_t param) const {
+  HPB_REQUIRE(param < marginals_.size(), "kde_bandwidth: index out of range");
+  if (const auto* kde =
+          std::get_if<stats::KernelDensity>(&marginals_[param])) {
+    return kde->bandwidth();
+  }
+  return std::nullopt;
+}
+
 }  // namespace hpb::core

@@ -69,6 +69,11 @@ class FactorizedDensity {
   /// Access the underlying discrete histogram (discrete parameters only).
   [[nodiscard]] const stats::HistogramDensity& histogram(std::size_t param) const;
 
+  /// KDE bandwidth of parameter i (fixed or Silverman-selected), or
+  /// nullopt for discrete parameters. Exported as a tuner internal by the
+  /// observability layer.
+  [[nodiscard]] std::optional<double> kde_bandwidth(std::size_t param) const;
+
  private:
   using Marginal = std::variant<stats::HistogramDensity, stats::KernelDensity>;
 

@@ -1,7 +1,9 @@
 #include "core/engine.hpp"
 
 #include <cmath>
+#include <limits>
 #include <utility>
+#include <vector>
 
 #include "common/cancellation.hpp"
 #include "common/error.hpp"
@@ -9,7 +11,7 @@
 
 namespace hpb::core {
 
-TuningEngine::TuningEngine(EngineConfig config) : config_(config) {
+TuningEngine::TuningEngine(EngineConfig config) : config_(std::move(config)) {
   HPB_REQUIRE(config_.batch_size > 0,
               "TuningEngine: batch_size must be positive");
   HPB_REQUIRE(config_.eval_deadline.count() >= 0,
@@ -18,11 +20,36 @@ TuningEngine::TuningEngine(EngineConfig config) : config_(config) {
 
 std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
                                                  tabular::Objective& objective,
-                                                 std::size_t k) const {
+                                                 std::size_t k,
+                                                 std::size_t round_index) const {
+  const obs::Recorder& rec = config_.recorder;
+  const bool tracing = rec.tracing();
+  // The round span id is allocated before any child span so children can
+  // point at it; the span record itself is emitted last, when its duration
+  // is known.
+  std::uint64_t round_id = 0;
+  std::uint64_t round_start = 0;
+  if (tracing) {
+    round_id = rec.trace->next_id();
+    round_start = rec.now_ns();
+  }
+
+  const std::uint64_t suggest_start = tracing ? rec.now_ns() : 0;
   std::vector<space::Configuration> batch = tuner.suggest_batch(k);
   HPB_REQUIRE(!batch.empty(), "TuningEngine: tuner returned an empty batch");
   HPB_REQUIRE(batch.size() <= k,
               "TuningEngine: tuner returned more configurations than asked");
+  if (tracing) {
+    const obs::TraceAttr attrs[] = {
+        obs::TraceAttr::uint("requested", k),
+        obs::TraceAttr::uint("actual", batch.size())};
+    rec.trace->emit({.name = "suggest",
+                     .id = rec.trace->next_id(),
+                     .parent = round_id,
+                     .start_ns = suggest_start,
+                     .end_ns = rec.now_ns(),
+                     .attrs = attrs});
+  }
   // The round marker goes out before evaluation starts: a crash mid-round
   // leaves an incomplete round the reader drops and re-evaluates.
   if (config_.journal != nullptr) {
@@ -32,10 +59,23 @@ std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
   // otherwise the historical call path runs untouched.
   const bool watched =
       config_.eval_deadline.count() > 0 || config_.stop_flag != nullptr;
+  // Per-evaluation wall time and attempt counts, captured on the worker
+  // that ran the evaluation but only when a recorder is attached — the
+  // default path performs no clock reads at all.
+  struct EvalMeter {
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::uint64_t attempts = 1;
+  };
+  std::vector<EvalMeter> meters(rec.active() ? batch.size() : 0);
   std::vector<tabular::EvalResult> results(batch.size());
   parallel_for_indexed(
       batch.size() > 1 ? config_.pool : nullptr, batch.size(),
       [&](std::size_t i) {
+        if (!meters.empty()) {
+          meters[i].start_ns = rec.now_ns();
+        }
+        std::uint64_t attempts = 1;
         tabular::EvalResult r;
         if (watched) {
           const CancellationToken token(
@@ -52,6 +92,7 @@ std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
                retry < config_.failure.max_retries && !token.cancelled();
                ++retry) {
             r = objective.evaluate_result(batch[i], token);
+            ++attempts;
           }
           // An evaluation that comes back after its deadline exceeded its
           // time allocation, whatever it returned. (Stop-flag cancellation
@@ -69,13 +110,59 @@ std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
                retry < config_.failure.max_retries;
                ++retry) {
             r = objective.evaluate_result(batch[i]);
+            ++attempts;
           }
         }
         HPB_REQUIRE(!r.ok() || std::isfinite(r.value),
                     "TuningEngine: objective returned a non-finite value "
                     "with status ok");
         results[i] = r;
+        if (!meters.empty()) {
+          meters[i].end_ns = rec.now_ns();
+          meters[i].attempts = attempts;
+        }
       });
+  // Evaluation spans and meters are reduced in suggestion order on the
+  // caller's thread: trace files stay deterministic under a fake clock
+  // even though the evaluations themselves may have run on pool workers.
+  std::size_t failed = 0;
+  std::uint64_t retries = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!results[i].ok()) {
+      ++failed;
+    }
+    if (!meters.empty()) {
+      retries += meters[i].attempts - 1;
+    }
+    if (tracing) {
+      std::vector<obs::TraceAttr> attrs;
+      attrs.reserve(4);
+      attrs.push_back(obs::TraceAttr::uint("index", i));
+      attrs.push_back(obs::TraceAttr::str(
+          "status", tabular::status_name(results[i].status)));
+      if (results[i].ok()) {
+        attrs.push_back(obs::TraceAttr::num("value", results[i].value));
+      }
+      attrs.push_back(obs::TraceAttr::uint("attempts", meters[i].attempts));
+      rec.trace->emit({.name = "evaluate",
+                       .id = rec.trace->next_id(),
+                       .parent = round_id,
+                       .start_ns = meters[i].start_ns,
+                       .end_ns = meters[i].end_ns,
+                       .attrs = attrs});
+    }
+  }
+  if (rec.metrics != nullptr) {
+    rec.metrics->counter("engine.rounds").add(1);
+    rec.metrics->counter("engine.evaluations").add(batch.size());
+    rec.metrics->counter("engine.failures").add(failed);
+    rec.metrics->counter("engine.eval_retries").add(retries);
+    obs::Histogram& eval_ms = rec.metrics->histogram(
+        "engine.eval_ms", obs::default_latency_buckets_ms());
+    for (const EvalMeter& m : meters) {
+      eval_ms.record(static_cast<double>(m.end_ns - m.start_ns) * 1e-6);
+    }
+  }
   std::vector<Observation> observations;
   observations.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -85,15 +172,64 @@ std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
   // Records hit the disk before the tuner sees them: on-disk state always
   // leads in-memory state, so replay can reconstruct the tuner exactly.
   if (config_.journal != nullptr) {
-    for (const Observation& o : observations) {
-      config_.journal->append_observation(o);
+    for (std::size_t i = 0; i < observations.size(); ++i) {
+      config_.journal->append_observation(observations[i]);
+      if (tracing) {
+        const std::uint64_t ts = rec.now_ns();
+        const obs::TraceAttr attrs[] = {obs::TraceAttr::uint("index", i)};
+        rec.trace->emit({.name = "journal.append",
+                         .id = rec.trace->next_id(),
+                         .parent = round_id,
+                         .start_ns = ts,
+                         .end_ns = ts,
+                         .attrs = attrs});
+      }
     }
   }
+  const std::uint64_t observe_start = tracing ? rec.now_ns() : 0;
   tuner.observe_batch(observations);
+  if (tracing) {
+    rec.trace->emit({.name = "observe",
+                     .id = rec.trace->next_id(),
+                     .parent = round_id,
+                     .start_ns = observe_start,
+                     .end_ns = rec.now_ns(),
+                     .attrs = {}});
+    const std::uint64_t round_end = rec.now_ns();
+    const obs::TraceAttr attrs[] = {
+        obs::TraceAttr::uint("round", round_index),
+        obs::TraceAttr::uint("requested", k),
+        obs::TraceAttr::uint("actual", observations.size()),
+        obs::TraceAttr::uint("failed", failed)};
+    rec.trace->emit({.name = "round",
+                     .id = round_id,
+                     .parent = 0,
+                     .start_ns = round_start,
+                     .end_ns = round_end,
+                     .attrs = attrs});
+  }
+  if (rec.metrics != nullptr && !meters.empty()) {
+    // Round wall time: the traced span when available, else the envelope
+    // of the evaluation meters (metrics-only runs make no round-level
+    // clock reads).
+    std::uint64_t start = meters.front().start_ns;
+    std::uint64_t end = meters.front().end_ns;
+    for (const EvalMeter& m : meters) {
+      start = std::min(start, m.start_ns);
+      end = std::max(end, m.end_ns);
+    }
+    if (tracing) {
+      start = round_start;
+      end = rec.now_ns();
+    }
+    rec.metrics
+        ->histogram("engine.round_ms", obs::default_latency_buckets_ms())
+        .record(static_cast<double>(end - start) * 1e-6);
+  }
   return observations;
 }
 
-void TuningEngine::record(TuneResult& result, Observation o) {
+void TuningEngine::record(TuneResult& result, Observation o) const {
   if (o.ok()) {
     if (result.history.size() == result.num_failed ||
         o.y < result.best_value) {
@@ -105,6 +241,11 @@ void TuningEngine::record(TuneResult& result, Observation o) {
   }
   result.history.push_back(std::move(o));
   result.best_so_far.push_back(result.best_value);
+  if (config_.recorder.metrics != nullptr &&
+      result.best_value != std::numeric_limits<double>::infinity()) {
+    config_.recorder.metrics->gauge("engine.best_value")
+        .set(result.best_value);
+  }
 }
 
 TuneResult TuningEngine::run(Tuner& tuner, tabular::Objective& objective,
@@ -116,18 +257,23 @@ TuneResult TuningEngine::run(Tuner& tuner, tabular::Objective& objective,
                              std::size_t budget,
                              std::span<const Observation> replayed) const {
   HPB_REQUIRE(budget > 0, "run_tuning: budget must be positive");
+  if (config_.recorder.active()) {
+    tuner.set_recorder(&config_.recorder);
+  }
   TuneResult result;
   result.history.reserve(std::max(budget, replayed.size()));
   result.best_so_far.reserve(std::max(budget, replayed.size()));
   for (const Observation& o : replayed) {
     record(result, o);
   }
+  std::size_t round_index = 0;
   while (result.history.size() < budget) {
     const std::size_t k =
         std::min(config_.batch_size, budget - result.history.size());
-    for (Observation& o : run_round(tuner, objective, k)) {
+    for (Observation& o : run_round(tuner, objective, k, round_index)) {
       record(result, std::move(o));
     }
+    ++round_index;
   }
   if (config_.journal != nullptr) {
     config_.journal->finalize(
@@ -151,6 +297,9 @@ StoppedTuneResult TuningEngine::run_until(
               "run_tuning_until: min_relative_improvement must be >= 0");
   HPB_REQUIRE(config.max_wall_time_seconds >= 0.0,
               "run_tuning_until: max_wall_time_seconds must be >= 0");
+  if (config_.recorder.active()) {
+    tuner.set_recorder(&config_.recorder);
+  }
   StoppedTuneResult out;
   TuneResult& result = out.result;
   result.history.reserve(config.max_evaluations);
@@ -210,6 +359,7 @@ StoppedTuneResult TuningEngine::run_until(
   }
 
   const auto started = std::chrono::steady_clock::now();
+  std::size_t round_index = 0;
   while (result.history.size() < config.max_evaluations) {
     if (config_.stop_flag != nullptr &&
         config_.stop_flag->load(std::memory_order_relaxed)) {
@@ -226,9 +376,10 @@ StoppedTuneResult TuningEngine::run_until(
     }
     const std::size_t k = std::min(
         config_.batch_size, config.max_evaluations - result.history.size());
-    for (Observation& o : run_round(tuner, objective, k)) {
+    for (Observation& o : run_round(tuner, objective, k, round_index)) {
       apply(std::move(o));
     }
+    ++round_index;
     if (stopped) {
       return finish();
     }

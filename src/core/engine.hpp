@@ -23,6 +23,7 @@
 #include "common/thread_pool.hpp"
 #include "core/stopping.hpp"
 #include "core/tuner.hpp"
+#include "obs/recorder.hpp"
 #include "tabular/objective.hpp"
 
 namespace hpb::core {
@@ -67,6 +68,15 @@ struct EngineConfig {
   /// their CancellationToken. run_until returns kInterrupted with the
   /// partial result; the journal is left resumable. Not owned.
   const std::atomic<bool>* stop_flag = nullptr;
+  /// Observability hooks (trace sink / metrics registry / clock), all
+  /// optional and not owned. When active, the engine emits one span per
+  /// round, suggest, evaluation, and observe (plus an instant event per
+  /// journal append) and meters evaluations/failures/retries/latencies,
+  /// and installs the recorder on the tuner so it can export its model
+  /// internals. The all-null default performs no clock reads, no
+  /// allocations, and no extra branches inside evaluations: default runs
+  /// are bitwise identical to a recorder-free build of the loop.
+  obs::Recorder recorder;
 };
 
 class TuningEngine {
@@ -110,13 +120,16 @@ class TuningEngine {
 
  private:
   /// One suggest → evaluate → observe round of at most `k` evaluations.
+  /// `round_index` is the engine-local round number (trace attribute).
   [[nodiscard]] std::vector<Observation> run_round(
-      Tuner& tuner, tabular::Objective& objective, std::size_t k) const;
+      Tuner& tuner, tabular::Objective& objective, std::size_t k,
+      std::size_t round_index) const;
 
   /// Append one observation to the result: successes update the best-*
   /// fields, failures only bump num_failed; both extend history and
-  /// best_so_far (budget was spent either way).
-  static void record(TuneResult& result, Observation o);
+  /// best_so_far (budget was spent either way). Updates the best-value
+  /// gauge when a metrics registry is attached.
+  void record(TuneResult& result, Observation o) const;
 
   EngineConfig config_;
 };

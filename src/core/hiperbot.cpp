@@ -144,10 +144,14 @@ space::Configuration HiPerBOt::suggest() {
     return initial_suggestion();
   }
   const TpeSurrogate surrogate = fit_surrogate();
-  if (config_.strategy == SelectionStrategy::kRanking) {
-    return suggest_ranking(surrogate);
+  space::Configuration chosen =
+      config_.strategy == SelectionStrategy::kRanking
+          ? suggest_ranking(surrogate)
+          : suggest_proposal(surrogate);
+  if (recorder_ != nullptr && recorder_->active()) {
+    export_fit(surrogate, surrogate.acquisition(chosen));
   }
-  return suggest_proposal(surrogate);
+  return chosen;
 }
 
 std::vector<space::Configuration> HiPerBOt::suggest_batch(std::size_t k) {
@@ -193,6 +197,9 @@ std::vector<space::Configuration> HiPerBOt::suggest_batch(std::size_t k) {
     for (std::size_t i = 0; i < take_n; ++i) {
       take(*scored[i].second);
     }
+    if (recorder_ != nullptr && recorder_->active() && !batch.empty()) {
+      export_fit(surrogate, surrogate.acquisition(batch.front()));
+    }
     return batch;
   }
 
@@ -220,6 +227,9 @@ std::vector<space::Configuration> HiPerBOt::suggest_batch(std::size_t k) {
   while (batch.size() < k && !pool_exhausted()) {
     take(random_unevaluated());
   }
+  if (recorder_ != nullptr && recorder_->active() && !batch.empty()) {
+    export_fit(surrogate, surrogate.acquisition(batch.front()));
+  }
   return batch;
 }
 
@@ -246,6 +256,44 @@ void HiPerBOt::observe_failure(const space::Configuration& config,
     evaluated_.insert(ordinal);  // never re-propose a failed configuration
   }
   failed_.push_back(config);  // joins the bad density group on the next fit
+}
+
+void HiPerBOt::export_fit(const TpeSurrogate& s, double chosen_score) const {
+  const obs::Recorder& rec = *recorder_;
+  const std::uint64_t excluded = evaluated_.size() + pending_.size();
+  if (rec.metrics != nullptr) {
+    rec.metrics->counter("hiperbot.fits").add(1);
+    rec.metrics->gauge("hiperbot.good_size")
+        .set(static_cast<double>(s.num_good()));
+    rec.metrics->gauge("hiperbot.bad_size")
+        .set(static_cast<double>(s.num_bad()));
+    rec.metrics->gauge("hiperbot.threshold").set(s.threshold());
+    rec.metrics->gauge("hiperbot.kde_bandwidth").set(s.mean_kde_bandwidth());
+    rec.metrics->gauge("hiperbot.excluded").set(static_cast<double>(excluded));
+    rec.metrics->gauge("hiperbot.acquisition_best").set(chosen_score);
+  }
+  if (rec.trace != nullptr) {
+    const std::uint64_t now = rec.now_ns();
+    const obs::TraceAttr attrs[] = {
+        obs::TraceAttr::str("strategy",
+                            config_.strategy == SelectionStrategy::kRanking
+                                ? "ranking"
+                                : "proposal"),
+        obs::TraceAttr::uint("history", history_.size()),
+        obs::TraceAttr::uint("good", s.num_good()),
+        obs::TraceAttr::uint("bad", s.num_bad()),
+        obs::TraceAttr::uint("excluded", excluded),
+        obs::TraceAttr::num("threshold", s.threshold()),
+        obs::TraceAttr::num("kde_bandwidth", s.mean_kde_bandwidth()),
+        obs::TraceAttr::num("acquisition_best", chosen_score),
+    };
+    rec.trace->emit({.name = "hiperbot.fit",
+                     .id = rec.trace->next_id(),
+                     .parent = 0,
+                     .start_ns = now,
+                     .end_ns = now,
+                     .attrs = attrs});
+  }
 }
 
 TpeSurrogate HiPerBOt::fit_surrogate() const {

@@ -111,6 +111,11 @@ class HiPerBOt final : public Tuner {
   [[nodiscard]] space::Configuration initial_suggestion();
   [[nodiscard]] space::Configuration suggest_ranking(const TpeSurrogate& s);
   [[nodiscard]] space::Configuration suggest_proposal(const TpeSurrogate& s);
+  /// Export the internals of one surrogate fit (good/bad split sizes, KDE
+  /// bandwidth, threshold, exclusion-set size, acquisition score of the
+  /// chosen candidate) to the installed recorder. Pure reads: a traced run
+  /// proposes exactly the configurations an untraced one would.
+  void export_fit(const TpeSurrogate& s, double chosen_score) const;
 
   space::SpacePtr space_;
   HiPerBOtConfig config_;

@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -148,6 +149,9 @@ JournalWriter JournalWriter::create(const std::string& path,
   if (!header.warm_start.empty()) {
     head << "meta warm_start " << header.warm_start << '\n';
   }
+  if (!header.trace_path.empty()) {
+    head << "meta trace " << header.trace_path << '\n';
+  }
   head << "meta seed " << header.seed << '\n'
        << "meta batch " << header.batch_size << '\n'
        << "meta params " << header.num_params << '\n'
@@ -253,6 +257,8 @@ JournalContents read_journal(const std::string& path) {
         h.dataset = value;
       } else if (key == "warm_start") {
         h.warm_start = value;
+      } else if (key == "trace") {
+        h.trace_path = value;
       } else if (key == "seed") {
         ok = parse_u64(value, h.seed);
       } else if (key == "batch") {
@@ -327,6 +333,13 @@ JournalContents read_journal(const std::string& path) {
         break;
       }
       if (!parse_bits(tokens[2], o.y)) {
+        complete = false;
+        break;
+      }
+      // A successful observation never carries NaN (the writer reserves it
+      // for failed records), so NaN bits under an ok status are corruption.
+      // Infinities stay legal: extreme objective values round-trip exactly.
+      if (o.status == tabular::EvalStatus::kOk && std::isnan(o.y)) {
         complete = false;
         break;
       }

@@ -49,6 +49,10 @@ struct JournalHeader {
   std::string dataset;
   /// Warm-start CSV replayed into the tuner before the session, if any.
   std::string warm_start;
+  /// JSON-lines trace file the session wrote, if any. A resumed session
+  /// re-opens this file in append mode and continues its span ids, so the
+  /// stitched trace reads as one uninterrupted session.
+  std::string trace_path;
   std::uint64_t seed = 0;
   std::size_t batch_size = 1;
   std::size_t num_params = 0;

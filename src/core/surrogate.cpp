@@ -64,6 +64,8 @@ TpeSurrogate::TpeSurrogate(space::SpacePtr space, const History& history,
   auto bad_configs = gather(history, split.bad);
   // Failed evaluations are "worse than any value": they always rank bad.
   bad_configs.insert(bad_configs.end(), failed.begin(), failed.end());
+  num_good_ = good_configs.size();
+  num_bad_ = bad_configs.size();
   good_ = FactorizedDensity(space, good_configs, density_config);
   bad_ = FactorizedDensity(space, bad_configs, density_config);
   if (prior != nullptr && prior_weight > 0.0) {
@@ -74,6 +76,18 @@ TpeSurrogate::TpeSurrogate(space::SpacePtr space, const History& history,
 
 double TpeSurrogate::acquisition(const space::Configuration& c) const {
   return good_.log_density(c) - bad_.log_density(c);
+}
+
+double TpeSurrogate::mean_kde_bandwidth() const {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < good_.num_params(); ++i) {
+    if (const auto bw = good_.kde_bandwidth(i)) {
+      total += *bw;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
 }
 
 std::vector<double> TpeSurrogate::parameter_importance() const {

@@ -56,6 +56,16 @@ class TpeSurrogate {
   [[nodiscard]] const FactorizedDensity& good() const noexcept { return good_; }
   [[nodiscard]] const FactorizedDensity& bad() const noexcept { return bad_; }
 
+  /// Observations in the good / bad density groups of this fit (the bad
+  /// count includes appended failed configurations). Exported as tuner
+  /// internals by the observability layer.
+  [[nodiscard]] std::size_t num_good() const noexcept { return num_good_; }
+  [[nodiscard]] std::size_t num_bad() const noexcept { return num_bad_; }
+
+  /// Mean KDE bandwidth of the good density's continuous marginals, or 0
+  /// when the space is fully discrete.
+  [[nodiscard]] double mean_kde_bandwidth() const;
+
   /// Per-parameter Jensen–Shannon divergence between the good and bad
   /// marginals (§VI): the importance score reported in Table I.
   [[nodiscard]] std::vector<double> parameter_importance() const;
@@ -64,6 +74,8 @@ class TpeSurrogate {
   FactorizedDensity good_;
   FactorizedDensity bad_;
   double threshold_ = 0.0;
+  std::size_t num_good_ = 0;
+  std::size_t num_bad_ = 0;
 };
 
 }  // namespace hpb::core

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/recorder.hpp"
 #include "space/configuration.hpp"
 #include "tabular/objective.hpp"
 
@@ -96,6 +97,21 @@ class Tuner {
 
   /// Short identifier used in reports ("HiPerBOt", "GEIST", "Random", ...).
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Install the observability hooks this tuner exports its internals to
+  /// (model-fit spans, split sizes, acquisition scores, ...). The recorder
+  /// is not owned and must outlive the tuner's suggest/observe calls; null
+  /// (the default) disables all exports. Tuners only ever *read* their
+  /// state when recording, so a tuner with a recorder proposes exactly the
+  /// same configurations as one without.
+  void set_recorder(const obs::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
+ protected:
+  /// Observability hooks, or null. Derived tuners guard every export on
+  /// this (and on the specific sink they need).
+  const obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace hpb::core

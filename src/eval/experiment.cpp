@@ -132,4 +132,18 @@ std::string journal_path_from_env() {
   return raw;
 }
 
+std::string trace_path_from_env() {
+  const char* env = std::getenv("HPB_TRACE");
+  if (env == nullptr) {
+    return {};
+  }
+  const std::string raw(env);
+  if (raw.find_first_not_of(" \t") == std::string::npos) {
+    throw Error("HPB_TRACE=\"" + raw +
+                "\": empty value (expected a trace path, or unset the "
+                "variable to disable tracing)");
+  }
+  return raw;
+}
+
 }  // namespace hpb::eval

@@ -83,4 +83,8 @@ struct MethodCurve {
 /// Rejects a set-but-blank variable instead of silently journaling nowhere.
 [[nodiscard]] std::string journal_path_from_env();
 
+/// JSON-lines trace path from HPB_TRACE, else an empty string (tracing
+/// off). Rejects a set-but-blank variable instead of tracing nowhere.
+[[nodiscard]] std::string trace_path_from_env();
+
 }  // namespace hpb::eval

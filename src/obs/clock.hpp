@@ -1,0 +1,64 @@
+// Injectable time source for the observability layer.
+//
+// Every timestamp the tracer or the metrics layer records flows through a
+// ClockSource so that tests can substitute a FakeClock and obtain
+// byte-identical trace files for identical runs: the real clock is the only
+// nondeterministic input to a trace of a seeded tuning session. Production
+// code uses SystemClock (monotonic, ns resolution); nothing in the repo
+// reads wall-clock time for observability.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace hpb::obs {
+
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  /// Monotonic nanoseconds since an arbitrary epoch. Must be safe to call
+  /// from multiple threads (evaluation spans are timed on pool workers).
+  [[nodiscard]] virtual std::uint64_t now_ns() = 0;
+};
+
+/// std::chrono::steady_clock — the default when no clock is injected.
+class SystemClock final : public ClockSource {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Shared process-wide instance (stateless, so sharing is free).
+  [[nodiscard]] static SystemClock& instance() {
+    static SystemClock clock;
+    return clock;
+  }
+};
+
+/// Deterministic clock for tests: every now_ns() call returns the previous
+/// value advanced by a fixed step, so a run that makes the same sequence of
+/// clock calls produces the same sequence of timestamps — and therefore a
+/// byte-identical trace file. Thread-safe (atomic advance), though parallel
+/// callers naturally race for ticks; determinism tests drive the engine
+/// serially.
+class FakeClock final : public ClockSource {
+ public:
+  explicit FakeClock(std::uint64_t start_ns = 0,
+                     std::uint64_t step_ns = 1000) noexcept
+      : next_(start_ns), step_(step_ns) {}
+
+  [[nodiscard]] std::uint64_t now_ns() override {
+    return next_.fetch_add(step_, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_;
+  std::uint64_t step_;
+};
+
+}  // namespace hpb::obs

@@ -1,0 +1,64 @@
+// Tiny JSON formatting helpers shared by the metrics snapshot and the
+// JSONL trace sink. Deterministic by construction: doubles render in their
+// shortest round-trip decimal form, so identical values always serialize
+// to identical bytes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace hpb::obs {
+
+/// Shortest decimal form of `v` that parses back to exactly `v`.
+inline std::string json_double(double v) {
+  char full[32];
+  std::snprintf(full, sizeof(full), "%.17g", v);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) {
+      return shorter;
+    }
+  }
+  return full;
+}
+
+/// Escape a string for inclusion inside JSON double quotes.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpb::obs

@@ -1,0 +1,38 @@
+// Recorder: the bundle of observability hooks a component records into.
+//
+// Three optional, non-owned pieces — a trace sink, a metrics registry, and
+// a clock — travel together through the stack (EngineConfig.recorder →
+// Tuner::set_recorder). All-null is the default and means "observability
+// off": callers guard every emission on the corresponding pointer, so a
+// default-constructed Recorder adds zero work to the tuning loop and the
+// run stays bitwise identical to one without any recorder at all.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hpb::obs {
+
+struct Recorder {
+  /// Span sink; null disables tracing entirely (no ids, no clock reads).
+  TraceSink* trace = nullptr;
+  /// Metrics registry; null disables counters/gauges/histograms.
+  MetricsRegistry* metrics = nullptr;
+  /// Time source for spans and latency metrics; null selects the process
+  /// SystemClock. Inject a FakeClock for deterministic traces.
+  ClockSource* clock = nullptr;
+
+  [[nodiscard]] bool active() const noexcept {
+    return trace != nullptr || metrics != nullptr;
+  }
+  [[nodiscard]] bool tracing() const noexcept { return trace != nullptr; }
+
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return (clock != nullptr ? *clock : SystemClock::instance()).now_ns();
+  }
+};
+
+}  // namespace hpb::obs

@@ -1,0 +1,157 @@
+#include "obs/trace.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/json_util.hpp"
+
+namespace hpb::obs {
+namespace {
+
+/// Flush threshold: spans are buffered (tracing must not add an fsync per
+/// evaluation to the hot path) and written out in chunks.
+constexpr std::size_t kFlushBytes = 1 << 16;
+
+std::string errno_text() { return std::strerror(errno); }
+
+void append_attr(std::string& line, const TraceAttr& attr) {
+  line += '"';
+  line += json_escape(attr.key);
+  line += "\":";
+  switch (attr.kind) {
+    case TraceAttr::Kind::kString:
+      line += '"';
+      line += json_escape(attr.string_value);
+      line += '"';
+      break;
+    case TraceAttr::Kind::kDouble:
+      line += json_double(attr.double_value);
+      break;
+    case TraceAttr::Kind::kUint:
+      line += std::to_string(attr.uint_value);
+      break;
+  }
+}
+
+}  // namespace
+
+std::uint64_t max_trace_id(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return 0;
+  }
+  std::uint64_t max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view needle = "\"id\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) {
+      continue;
+    }
+    std::uint64_t id = 0;
+    const char* begin = line.data() + at + needle.size();
+    const char* end = line.data() + line.size();
+    if (std::from_chars(begin, end, id).ec == std::errc{}) {
+      max_id = std::max(max_id, id);
+    }
+  }
+  return max_id;
+}
+
+JsonlTraceSink::JsonlTraceSink(std::string path, int fd, std::uint64_t first_id)
+    : path_(std::move(path)), fd_(fd), next_id_(first_id) {}
+
+JsonlTraceSink::JsonlTraceSink(JsonlTraceSink&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_.load(std::memory_order_relaxed)),
+      buffer_(std::move(other.buffer_)) {}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (fd_ >= 0) {
+    try {
+      flush();
+    } catch (const Error&) {
+      // Destructors must not throw; a torn trace tail is survivable.
+    }
+    ::close(fd_);
+  }
+}
+
+JsonlTraceSink JsonlTraceSink::create(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  HPB_REQUIRE(fd >= 0, "trace open '" + path + "': " + errno_text());
+  return JsonlTraceSink(path, fd, 1);
+}
+
+JsonlTraceSink JsonlTraceSink::append_to(const std::string& path) {
+  const std::uint64_t last = max_trace_id(path);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  HPB_REQUIRE(fd >= 0, "trace open '" + path + "': " + errno_text());
+  return JsonlTraceSink(path, fd, last + 1);
+}
+
+void JsonlTraceSink::emit(const TraceEvent& event) {
+  std::string line;
+  line.reserve(128);
+  line += "{\"id\":";
+  line += std::to_string(event.id);
+  if (event.parent != 0) {
+    line += ",\"parent\":";
+    line += std::to_string(event.parent);
+  }
+  line += ",\"name\":\"";
+  line += json_escape(event.name);
+  line += "\",\"ts\":";
+  line += std::to_string(event.start_ns);
+  line += ",\"dur\":";
+  line += std::to_string(event.end_ns - event.start_ns);
+  if (!event.attrs.empty()) {
+    line += ",\"attrs\":{";
+    for (std::size_t i = 0; i < event.attrs.size(); ++i) {
+      if (i > 0) {
+        line += ',';
+      }
+      append_attr(line, event.attrs[i]);
+    }
+    line += '}';
+  }
+  line += "}\n";
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffer_ += line;
+  if (buffer_.size() >= kFlushBytes) {
+    flush_locked();
+  }
+}
+
+void JsonlTraceSink::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  HPB_REQUIRE(fd_ >= 0, "JsonlTraceSink: sink was moved from or closed");
+  flush_locked();
+}
+
+void JsonlTraceSink::flush_locked() {
+  std::string pending;
+  pending.swap(buffer_);
+  std::string_view rest(pending);
+  while (!rest.empty()) {
+    const ssize_t n = ::write(fd_, rest.data(), rest.size());
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      HPB_REQUIRE(false, "trace write '" + path_ + "': " + errno_text());
+    }
+    rest.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace hpb::obs

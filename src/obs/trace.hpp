@@ -1,0 +1,133 @@
+// Structured trace sink: JSON-lines spans for the tuning stack.
+//
+// The engine and the tuners describe what they did as *completed spans*
+// (name, id, optional parent id, start timestamp, duration, typed
+// attributes) and instant events (duration 0). A span id is allocated
+// before its children are emitted, so children can carry parent pointers
+// while the file stays strictly append-only — children appear before the
+// parent's record, consumers stitch by id.
+//
+// Two sinks ship:
+//   - NoopTraceSink: every call is a no-op returning id 0. The engine's
+//     behavior with a noop sink is bitwise identical to no sink at all
+//     (proven by tests/test_obs.cpp) because tracing only ever *reads*
+//     tuning state.
+//   - JsonlTraceSink: one JSON object per line, flushed on destruction.
+//     Append mode re-opens an existing trace and continues span ids after
+//     the largest id already present, which is how a resumed session
+//     (--resume) stitches its spans onto the crashed session's file.
+//
+// Timestamps come from an injectable ClockSource (obs/clock.hpp); under a
+// FakeClock two identical runs produce byte-identical trace files.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace hpb::obs {
+
+/// One typed key/value attribute of a span. Keys and string values are
+/// borrowed (string_view): attributes live only for the emit() call.
+struct TraceAttr {
+  enum class Kind { kString, kDouble, kUint };
+
+  std::string_view key;
+  Kind kind = Kind::kUint;
+  std::string_view string_value;
+  double double_value = 0.0;
+  std::uint64_t uint_value = 0;
+
+  [[nodiscard]] static TraceAttr str(std::string_view key,
+                                     std::string_view value) noexcept {
+    return {key, Kind::kString, value, 0.0, 0};
+  }
+  [[nodiscard]] static TraceAttr num(std::string_view key,
+                                     double value) noexcept {
+    return {key, Kind::kDouble, {}, value, 0};
+  }
+  [[nodiscard]] static TraceAttr uint(std::string_view key,
+                                      std::uint64_t value) noexcept {
+    return {key, Kind::kUint, {}, 0.0, value};
+  }
+};
+
+/// A completed span (start_ns < end_ns) or instant event (start == end).
+struct TraceEvent {
+  std::string_view name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::span<const TraceAttr> attrs;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Allocate the next span id (ids are unique and increasing per sink).
+  [[nodiscard]] virtual std::uint64_t next_id() = 0;
+
+  /// Record one completed span / instant event. Thread-safe.
+  virtual void emit(const TraceEvent& event) = 0;
+};
+
+/// Discards everything. Exists so callers can hold a TraceSink& without
+/// branching; the engine treats a null sink pointer identically.
+class NoopTraceSink final : public TraceSink {
+ public:
+  [[nodiscard]] std::uint64_t next_id() override { return 0; }
+  void emit(const TraceEvent&) override {}
+};
+
+/// JSON-lines file sink. Lines look like
+///   {"id":7,"parent":3,"name":"evaluate","ts":120,"dur":45,
+///    "attrs":{"index":1,"status":"ok","value":8.43}}
+/// with ts/dur in nanoseconds of the session's ClockSource.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Start a fresh trace at `path` (truncating); ids start at 1.
+  [[nodiscard]] static JsonlTraceSink create(const std::string& path);
+
+  /// Continue an existing trace: span ids resume after the largest id in
+  /// the file (a missing file degrades to create()).
+  [[nodiscard]] static JsonlTraceSink append_to(const std::string& path);
+
+  JsonlTraceSink(JsonlTraceSink&& other) noexcept;
+  JsonlTraceSink& operator=(JsonlTraceSink&&) = delete;
+  JsonlTraceSink(const JsonlTraceSink&) = delete;
+  JsonlTraceSink& operator=(const JsonlTraceSink&) = delete;
+  ~JsonlTraceSink() override;
+
+  [[nodiscard]] std::uint64_t next_id() override {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void emit(const TraceEvent& event) override;
+
+  /// Flush buffered lines to the OS (destruction flushes too).
+  void flush();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  JsonlTraceSink(std::string path, int fd, std::uint64_t first_id);
+
+  /// Drain the buffer to the fd; mutex_ must be held.
+  void flush_locked();
+
+  std::string path_;
+  int fd_ = -1;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex mutex_;      // serializes emit/flush
+  std::string buffer_;    // pending lines (guarded by mutex_)
+};
+
+/// Scan an existing JSON-lines trace for the largest "id" value (0 when
+/// the file is missing or holds none). Exposed for tests.
+[[nodiscard]] std::uint64_t max_trace_id(const std::string& path);
+
+}  // namespace hpb::obs

@@ -572,6 +572,7 @@ class DurabilityEnv : public ::testing::Test {
     unsetenv("HPB_EVAL_TIMEOUT_MS");
     unsetenv("HPB_JOURNAL");
     unsetenv("HPB_HANG_RATE");
+    unsetenv("HPB_TRACE");
   }
 };
 
@@ -579,9 +580,11 @@ TEST_F(DurabilityEnv, UnsetFallsBack) {
   unsetenv("HPB_EVAL_TIMEOUT_MS");
   unsetenv("HPB_JOURNAL");
   unsetenv("HPB_HANG_RATE");
+  unsetenv("HPB_TRACE");
   EXPECT_EQ(eval::eval_timeout_ms_from_env(0), 0u);
   EXPECT_EQ(eval::eval_timeout_ms_from_env(250), 250u);
   EXPECT_TRUE(eval::journal_path_from_env().empty());
+  EXPECT_TRUE(eval::trace_path_from_env().empty());
   EXPECT_EQ(tabular::hang_rate_from_env(0.25), 0.25);
 }
 
@@ -590,6 +593,8 @@ TEST_F(DurabilityEnv, SetValuesParseStrictly) {
   EXPECT_EQ(eval::eval_timeout_ms_from_env(0), 500u);
   setenv("HPB_JOURNAL", "runs/session.hpbj", 1);
   EXPECT_EQ(eval::journal_path_from_env(), "runs/session.hpbj");
+  setenv("HPB_TRACE", "runs/session.trace.jsonl", 1);
+  EXPECT_EQ(eval::trace_path_from_env(), "runs/session.trace.jsonl");
   setenv("HPB_HANG_RATE", "0.125", 1);
   EXPECT_EQ(tabular::hang_rate_from_env(0.0), 0.125);
 }
@@ -607,6 +612,159 @@ TEST_F(DurabilityEnv, GarbageIsRejected) {
   }
   setenv("HPB_JOURNAL", "   ", 1);
   EXPECT_THROW((void)eval::journal_path_from_env(), Error);
+  setenv("HPB_TRACE", "   ", 1);
+  EXPECT_THROW((void)eval::trace_path_from_env(), Error);
+}
+
+// ------------------------------------------------------------------ fuzz
+
+/// The bytes of a real journaled session (mixed ok / failed records) to
+/// mutate.
+std::string valid_session_bytes() {
+  auto ds = testutil::separable_dataset();
+  const std::string path = temp_path("fuzz_seed.hpbj");
+  {
+    JournalWriter journal =
+        JournalWriter::create(path, make_header(ds, "hiperbot", 3, 24));
+    tabular::FaultInjectingObjective faulty(
+        ds, {.fail_rate = 0.15, .seed = 0xfa11});
+    const TuningEngine engine({.batch_size = 3, .journal = &journal});
+    auto tuner = eval::make_named_tuner("hiperbot", ds, kSeed);
+    (void)engine.run(*tuner, faulty, 24);
+  }
+  std::string bytes = slurp(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+/// Whatever the reader salvages from a mutated file must be internally
+/// consistent: a sane header, well-formed observations, and a valid_bytes
+/// prefix that re-reads to the same contents and accepts appended rounds.
+void expect_valid_salvage(const JournalContents& contents,
+                          const std::string& mutated,
+                          const std::string& path) {
+  EXPECT_FALSE(contents.header.method.empty());
+  EXPECT_GT(contents.header.num_params, 0u);
+  EXPECT_GT(contents.header.batch_size, 0u);
+  ASSERT_LE(contents.valid_bytes, mutated.size());
+  for (const core::JournalRound& round : contents.rounds) {
+    EXPECT_GT(round.observations.size(), 0u);
+    EXPECT_LE(round.observations.size(), round.requested);
+    for (const Observation& o : round.observations) {
+      EXPECT_EQ(o.config.size(), contents.header.num_params);
+      if (o.ok()) {
+        EXPECT_FALSE(std::isnan(o.y))
+            << "reader accepted an ok record with a NaN objective";
+      } else {
+        EXPECT_NO_THROW((void)tabular::status_name(o.status));
+      }
+    }
+  }
+  // Truncating to the validated prefix must reproduce the salvage exactly —
+  // that is the file JournalWriter::append will continue.
+  spill(path, mutated.substr(0, contents.valid_bytes));
+  const JournalContents again = core::read_journal(path);
+  EXPECT_EQ(again.header.method, contents.header.method);
+  EXPECT_EQ(again.header.num_params, contents.header.num_params);
+  ASSERT_EQ(again.rounds.size(), contents.rounds.size());
+  for (std::size_t r = 0; r < again.rounds.size(); ++r) {
+    ASSERT_EQ(again.rounds[r].observations.size(),
+              contents.rounds[r].observations.size());
+    for (std::size_t i = 0; i < again.rounds[r].observations.size(); ++i) {
+      const Observation& a = again.rounds[r].observations[i];
+      const Observation& b = contents.rounds[r].observations[i];
+      EXPECT_EQ(a.config.values(), b.config.values());
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.y),
+                std::bit_cast<std::uint64_t>(b.y));
+      EXPECT_EQ(a.status, b.status);
+    }
+  }
+  EXPECT_EQ(again.valid_bytes, contents.valid_bytes);
+  // And the salvaged prefix accepts a continued session.
+  {
+    JournalWriter writer = JournalWriter::append(path, again);
+    writer.begin_round(1, 1);
+    writer.append_observation(
+        {space::Configuration(std::vector<double>(
+             contents.header.num_params, 0.0)),
+         1.0, tabular::EvalStatus::kOk});
+  }
+  const JournalContents extended = core::read_journal(path);
+  EXPECT_EQ(extended.rounds.size(), contents.rounds.size() + 1);
+}
+
+TEST(JournalFuzz, RandomByteMutationsNeverCrashOrAcceptCorruptRecords) {
+  const std::string pristine = valid_session_bytes();
+  ASSERT_GT(pristine.size(), 100u);
+  const std::string path = temp_path("fuzz.hpbj");
+  Rng rng(0xf022);
+  std::size_t salvaged = 0;
+  constexpr int kTrials = 400;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::string mutated = pristine;
+    const std::size_t edits = 1 + rng.index(4);
+    for (std::size_t e = 0; e < edits && !mutated.empty(); ++e) {
+      const std::size_t at = rng.index(mutated.size());
+      switch (rng.index(4)) {
+        case 0:  // flip one byte
+          mutated[at] = static_cast<char>(rng.next_u64() & 0xff);
+          break;
+        case 1:  // insert a random byte
+          mutated.insert(at, 1, static_cast<char>(rng.next_u64() & 0xff));
+          break;
+        case 2:  // delete one byte
+          mutated.erase(at, 1);
+          break;
+        case 3:  // tear the tail (crash mid-write)
+          mutated.resize(at);
+          break;
+      }
+    }
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    spill(path, mutated);
+    JournalContents contents;
+    try {
+      contents = core::read_journal(path);
+    } catch (const Error&) {
+      continue;  // rejecting the whole file is always a valid outcome
+    }
+    ++salvaged;
+    expect_valid_salvage(contents, mutated, path);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+  // Most single-digit mutations land in the body, so the header usually
+  // survives and the reader salvages a prefix instead of rejecting.
+  EXPECT_GT(salvaged, kTrials / 4) << "fuzzer mostly hit the header; "
+                                      "mutation mix needs rebalancing";
+  std::remove(path.c_str());
+}
+
+TEST(JournalFuzz, OkRecordWithNaNObjectiveIsATornTail) {
+  auto ds = testutil::separable_dataset();
+  const std::string path = temp_path("nonfinite.hpbj");
+  {
+    JournalWriter writer =
+        JournalWriter::create(path, make_header(ds, "random", 1, 4));
+    writer.begin_round(1, 1);
+    writer.append_observation({ds.configs()[0], 2.0,
+                               tabular::EvalStatus::kOk});
+  }
+  std::string bytes = slurp(path);
+  // Forge a second round whose ok record carries NaN bits.
+  std::ostringstream forged;
+  forged << "round 1 1 1\nobs ok 7ff8000000000000";
+  for (std::size_t p = 0; p < ds.space().num_params(); ++p) {
+    forged << " 3ff0000000000000";
+  }
+  forged << '\n';
+  spill(path, bytes + forged.str());
+  const JournalContents contents = core::read_journal(path);
+  EXPECT_EQ(contents.rounds.size(), 1u) << "NaN-valued ok record was "
+                                           "accepted instead of dropped";
+  EXPECT_EQ(contents.valid_bytes, bytes.size());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,386 @@
+// Observability layer:
+//   - metrics registry units: counter/gauge/histogram semantics, kind
+//     collisions, deterministic JSON snapshots, lock-free hot path under
+//     concurrent hammering;
+//   - trace sink: JSONL format, id continuation across append_to (the
+//     --resume stitching path), max_trace_id;
+//   - the zero-cost guarantee: an engine run with a NoopTraceSink (or no
+//     recorder at all) is bitwise identical to a traceless run;
+//   - determinism: same seed + FakeClock => byte-identical trace files;
+//   - coverage: a traced, journaled session emits one round span per round,
+//     one evaluate span per evaluation, one journal.append per record, and
+//     the tuner's fit events once the surrogate engages.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/engine.hpp"
+#include "core/journal.hpp"
+#include "eval/methods.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace hpb {
+namespace {
+
+using core::TuneResult;
+using core::TuningEngine;
+
+constexpr std::uint64_t kSeed = 0x0b5e7e57;
+
+std::string temp_path(const std::string& stem) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "obs_" + info->test_suite_name() + "_" +
+         info->name() + "_" + stem;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void expect_identical(const TuneResult& a, const TuneResult& b) {
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].config.values(), b.history[i].config.values())
+        << "history diverges at evaluation " << i;
+    EXPECT_EQ(a.history[i].status, b.history[i].status);
+  }
+  EXPECT_EQ(a.best_so_far, b.best_so_far);
+  EXPECT_EQ(a.best_value, b.best_value);
+  EXPECT_EQ(a.best_config.values(), b.best_config.values());
+  EXPECT_EQ(a.num_failed, b.num_failed);
+}
+
+// ------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  obs::Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-0.25);
+  EXPECT_EQ(g.value(), -0.25);
+}
+
+TEST(Metrics, HistogramBucketsAndSum) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  obs::Histogram h{std::span<const double>(bounds)};
+  h.record(0.5);    // <= 1
+  h.record(1.0);    // <= 1 (bounds are inclusive upper edges)
+  h.record(5.0);    // <= 10
+  h.record(1000.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+}
+
+TEST(Metrics, HistogramRejectsBadBounds) {
+  const double unsorted[] = {1.0, 1.0};
+  EXPECT_THROW(obs::Histogram{std::span<const double>(unsorted)}, Error);
+  EXPECT_THROW(obs::Histogram{std::span<const double>()}, Error);
+}
+
+TEST(Metrics, RegistryFindsOrCreatesAndRejectsKindCollisions) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("x.count");
+  c.add(3);
+  EXPECT_EQ(&reg.counter("x.count"), &c);  // stable handle
+  EXPECT_EQ(reg.counter("x.count").value(), 3u);
+  EXPECT_THROW((void)reg.gauge("x.count"), Error);
+  const double bounds[] = {1.0};
+  EXPECT_THROW((void)reg.histogram("x.count", bounds), Error);
+  // Re-registering a histogram keeps the original bounds.
+  const double first[] = {1.0, 2.0};
+  const double other[] = {5.0};
+  obs::Histogram& h = reg.histogram("lat", first);
+  EXPECT_EQ(&reg.histogram("lat", other), &h);
+  EXPECT_EQ(h.bounds().size(), 2u);
+}
+
+TEST(Metrics, JsonSnapshotIsDeterministicAndOrdered) {
+  auto build = [] {
+    obs::MetricsRegistry reg;
+    reg.counter("b.count").add(2);
+    reg.gauge("a.gauge").set(1.5);
+    const double bounds[] = {1.0, 10.0};
+    reg.histogram("c.hist", bounds).record(3.0);
+    return reg.to_json();
+  };
+  const std::string a = build();
+  EXPECT_EQ(a, build());
+  // Name order, not registration order.
+  EXPECT_LT(a.find("a.gauge"), a.find("b.count"));
+  EXPECT_LT(a.find("b.count"), a.find("c.hist"));
+  EXPECT_NE(a.find("\"value\":1.5"), std::string::npos) << a;
+}
+
+TEST(Metrics, WriteJsonRoundTrips) {
+  obs::MetricsRegistry reg;
+  reg.counter("n").add(7);
+  const std::string path = temp_path("metrics.json");
+  reg.write_json(path);
+  EXPECT_EQ(slurp(path), reg.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, HotPathIsExactUnderConcurrency) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("hits");
+  const double bounds[] = {10.0, 100.0, 1000.0};
+  obs::Histogram& h = reg.histogram("lat", bounds);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(static_cast<double>((t * kPerThread + i) % 2000));
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+    bucket_total += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, h.count());
+  // Sum is CAS-accumulated: no lost updates. 4 full sweeps of 0..1999.
+  const double sweep = 2000.0 * 1999.0 / 2.0;
+  EXPECT_DOUBLE_EQ(h.sum(), kThreads * (kPerThread / 2000) * sweep);
+}
+
+// --------------------------------------------------------------- trace
+
+TEST(TraceSink, JsonlFormatAndIds) {
+  const std::string path = temp_path("trace.jsonl");
+  {
+    obs::JsonlTraceSink sink = obs::JsonlTraceSink::create(path);
+    const std::uint64_t parent = sink.next_id();
+    EXPECT_EQ(parent, 1u);
+    const obs::TraceAttr attrs[] = {
+        obs::TraceAttr::uint("index", 2),
+        obs::TraceAttr::str("status", "ok"),
+        obs::TraceAttr::num("value", 8.5),
+    };
+    sink.emit({.name = "evaluate",
+               .id = sink.next_id(),
+               .parent = parent,
+               .start_ns = 100,
+               .end_ns = 145,
+               .attrs = attrs});
+    sink.emit({.name = "round",
+               .id = parent,
+               .parent = 0,
+               .start_ns = 90,
+               .end_ns = 150,
+               .attrs = {}});
+  }
+  const std::string text = slurp(path);
+  EXPECT_EQ(text,
+            "{\"id\":2,\"parent\":1,\"name\":\"evaluate\",\"ts\":100,"
+            "\"dur\":45,\"attrs\":{\"index\":2,\"status\":\"ok\","
+            "\"value\":8.5}}\n"
+            "{\"id\":1,\"name\":\"round\",\"ts\":90,\"dur\":60}\n");
+  EXPECT_EQ(obs::max_trace_id(path), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSink, AppendContinuesIdsAfterTheLargestInTheFile) {
+  const std::string path = temp_path("trace.jsonl");
+  {
+    obs::JsonlTraceSink sink = obs::JsonlTraceSink::create(path);
+    for (int i = 0; i < 5; ++i) {
+      sink.emit({.name = "e", .id = sink.next_id(), .start_ns = 1,
+                 .end_ns = 1, .attrs = {}});
+    }
+  }
+  {
+    obs::JsonlTraceSink sink = obs::JsonlTraceSink::append_to(path);
+    EXPECT_EQ(sink.next_id(), 6u);  // continues, never reuses
+    sink.emit({.name = "e", .id = 6, .start_ns = 2, .end_ns = 2,
+               .attrs = {}});
+  }
+  EXPECT_EQ(obs::max_trace_id(path), 6u);
+  // The first session's lines are intact (append, not truncate).
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"id\":1,"), std::string::npos);
+  EXPECT_NE(text.find("\"id\":6,"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSink, AppendToMissingFileDegradesToCreate) {
+  const std::string path = temp_path("fresh.jsonl");
+  std::remove(path.c_str());
+  obs::JsonlTraceSink sink = obs::JsonlTraceSink::append_to(path);
+  EXPECT_EQ(sink.next_id(), 1u);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------- zero-cost / determinism
+
+TEST(ObsEngine, NoopSinkRunIsBitwiseIdenticalToTraceless) {
+  auto ds = testutil::separable_dataset();
+  obs::NoopTraceSink noop;
+  obs::FakeClock clock;
+  const TuningEngine plain({.batch_size = 2});
+  const TuningEngine nooped(
+      {.batch_size = 2, .recorder = {.trace = &noop, .clock = &clock}});
+  auto a = eval::make_named_tuner("hiperbot", ds, kSeed);
+  auto b = eval::make_named_tuner("hiperbot", ds, kSeed);
+  expect_identical(plain.run(*a, ds, 40), nooped.run(*b, ds, 40));
+}
+
+TEST(ObsEngine, MetricsOnlyRunIsBitwiseIdenticalToPlain) {
+  auto ds = testutil::separable_dataset();
+  obs::MetricsRegistry metrics;
+  const TuningEngine plain({.batch_size = 2});
+  const TuningEngine metered({.batch_size = 2,
+                              .recorder = {.metrics = &metrics}});
+  auto a = eval::make_named_tuner("hiperbot", ds, kSeed);
+  auto b = eval::make_named_tuner("hiperbot", ds, kSeed);
+  expect_identical(plain.run(*a, ds, 40), metered.run(*b, ds, 40));
+  EXPECT_EQ(metrics.counter("engine.evaluations").value(), 40u);
+  EXPECT_EQ(metrics.counter("engine.rounds").value(), 20u);
+  EXPECT_EQ(metrics.gauge("engine.best_value").value(), 1.0);
+  EXPECT_GE(metrics.counter("hiperbot.fits").value(), 1u);
+}
+
+TEST(ObsEngine, SameSeedAndFakeClockProduceByteIdenticalTraces) {
+  auto ds = testutil::separable_dataset();
+  auto traced_run = [&](const std::string& path) {
+    obs::FakeClock clock(1000, 10);
+    obs::JsonlTraceSink sink = obs::JsonlTraceSink::create(path);
+    const TuningEngine engine(
+        {.batch_size = 2, .recorder = {.trace = &sink, .clock = &clock}});
+    auto tuner = eval::make_named_tuner("hiperbot", ds, kSeed);
+    (void)engine.run(*tuner, ds, 40);
+    sink.flush();
+  };
+  const std::string first = temp_path("a.jsonl");
+  const std::string second = temp_path("b.jsonl");
+  traced_run(first);
+  traced_run(second);
+  const std::string a = slurp(first);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(second));
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+// ------------------------------------------------------------ coverage
+
+std::size_t count_spans(const std::string& text, const std::string& name) {
+  const std::string needle = "\"name\":\"" + name + "\"";
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ObsEngine, TracedJournaledSessionCoversEveryRoundEvalAndAppend) {
+  auto ds = testutil::separable_dataset();
+  const std::string trace_path = temp_path("session.jsonl");
+  const std::string journal_path = temp_path("session.hpbj");
+  constexpr std::size_t kBudget = 30;
+  constexpr std::size_t kBatch = 4;
+  {
+    core::JournalHeader header;
+    header.method = "hiperbot";
+    header.dataset = ds.name();
+    header.seed = kSeed;
+    header.batch_size = kBatch;
+    header.num_params = ds.space().num_params();
+    header.max_evaluations = kBudget;
+    header.trace_path = trace_path;
+    core::JournalWriter journal =
+        core::JournalWriter::create(journal_path, header);
+    obs::FakeClock clock;
+    obs::JsonlTraceSink sink = obs::JsonlTraceSink::create(trace_path);
+    obs::MetricsRegistry metrics;
+    const TuningEngine engine({.batch_size = kBatch,
+                               .journal = &journal,
+                               .recorder = {.trace = &sink,
+                                            .metrics = &metrics,
+                                            .clock = &clock}});
+    auto tuner = eval::make_named_tuner("hiperbot", ds, kSeed);
+    const TuneResult result = engine.run(*tuner, ds, kBudget);
+    ASSERT_EQ(result.history.size(), kBudget);
+    sink.flush();
+  }
+  const std::string text = slurp(trace_path);
+  // 30 evaluations at batch 4 = 8 rounds (7 full + one of 2).
+  const std::size_t rounds = (kBudget + kBatch - 1) / kBatch;
+  EXPECT_EQ(count_spans(text, "round"), rounds);
+  EXPECT_EQ(count_spans(text, "suggest"), rounds);
+  EXPECT_EQ(count_spans(text, "observe"), rounds);
+  EXPECT_EQ(count_spans(text, "evaluate"), kBudget);
+  EXPECT_EQ(count_spans(text, "journal.append"), kBudget);
+  // Default HiPerBOt config fits the surrogate once 20 initial samples are
+  // in: rounds 5.. propose from the model.
+  EXPECT_GE(count_spans(text, "hiperbot.fit"), 1u);
+  // Every line is a JSON object with an id.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find("\"id\":"), 1u) << line;
+  }
+  // The journal points at the trace, so --resume can stitch spans.
+  const core::JournalContents contents = core::read_journal(journal_path);
+  EXPECT_EQ(contents.header.trace_path, trace_path);
+  std::remove(trace_path.c_str());
+  std::remove(journal_path.c_str());
+}
+
+TEST(ObsEngine, BaselineTunersExportTheirFits) {
+  auto ds = testutil::separable_dataset();
+  for (const char* method : {"gp", "ridge", "geist"}) {
+    SCOPED_TRACE(method);
+    obs::MetricsRegistry metrics;
+    const TuningEngine engine({.recorder = {.metrics = &metrics}});
+    auto tuner = eval::make_named_tuner(method, ds, kSeed);
+    (void)engine.run(*tuner, ds, 40);
+    const std::string json = metrics.to_json();
+    const std::string counter = std::string(method) == "gp"      ? "gp.fits"
+                                : std::string(method) == "ridge" ? "ridge.refits"
+                                                           : "geist.propagations";
+    EXPECT_GE(metrics.counter(counter).value(), 1u) << json;
+  }
+}
+
+}  // namespace
+}  // namespace hpb

@@ -2,13 +2,15 @@
 # Full verification: the tier-1 build + test suite, then an
 # AddressSanitizer + UBSan build running the engine determinism /
 # batching / pending-tracking tests (tests/test_engine.cpp), the
-# failure-path + thread-pool tests (tests/test_failures.cpp), and the
-# session-durability tests (tests/test_journal.cpp); then a
-# ThreadSanitizer build running the concurrency-sensitive subset
-# (engine, thread pool, watchdog, shutdown); then a fault-injected
-# shootout smoke run (HPB_FAIL_RATE=0.2) and a CLI crash-resume smoke
-# (journal a run, truncate the journal mid-record, resume, and require
-# the identical history CSV).
+# failure-path + thread-pool tests (tests/test_failures.cpp), the
+# session-durability + journal-fuzz tests (tests/test_journal.cpp), and
+# the observability tests (tests/test_obs.cpp); then a ThreadSanitizer
+# build running the concurrency-sensitive subset (engine, thread pool,
+# watchdog, shutdown, metrics hot path); then a fault-injected shootout
+# smoke run (HPB_FAIL_RATE=0.2), a CLI crash-resume smoke (journal a
+# run, truncate the journal mid-record, resume, and require the
+# identical history CSV), and the gcov line-coverage gate for src/core
+# + src/obs (tools/coverage.sh).
 #
 # Usage: tools/check.sh    (from anywhere; builds into build/,
 #                           build-asan/, and build-tsan/ at the repo root)
@@ -23,20 +25,20 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo
-echo "== ASan + UBSan: engine determinism + failure-path + journal tests =="
+echo "== ASan + UBSan: engine + failure-path + journal + observability tests =="
 cmake -B build-asan -S . -DHPB_SANITIZE=address \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume'
+  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality'
 
 echo
-echo "== TSan: engine / thread-pool / watchdog / shutdown tests =="
+echo "== TSan: engine / thread-pool / watchdog / shutdown / metrics tests =="
 cmake -B build-tsan -S . -DHPB_SANITIZE=thread \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure'
+  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality'
 
 echo
 echo "== fault-injected shootout smoke (HPB_FAIL_RATE=0.2) =="
@@ -61,6 +63,10 @@ diff "$smoke_dir/full.csv" "$smoke_dir/resumed.csv" \
 cmp -s "$smoke_dir/full.hpbj" "$smoke_dir/cut.hpbj" \
   || { echo "healed journal differs from uninterrupted journal"; exit 1; }
 echo "crash-resume smoke: identical history and journal"
+
+echo
+echo "== coverage gate: src/core + src/obs line coverage =="
+tools/coverage.sh
 
 echo
 echo "check.sh: all green"

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the tuning core (src/core) and the observability
+# layer (src/obs): builds an instrumented tree into build-cov/, runs the
+# tier-1 test suite (`ctest -L tier1`), aggregates gcov line coverage over
+# the .cpp files of both layers, and fails if the combined percentage drops
+# below the floor.
+#
+# Only .cpp files count: headers are re-reported by gcov once per including
+# translation unit, which would double-count their lines.
+#
+# Usage: tools/coverage.sh            (floor defaults to 90%)
+#        HPB_COVERAGE_FLOOR=85 tools/coverage.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+floor="${HPB_COVERAGE_FLOOR:-90}"
+
+echo "== coverage: instrumented build + tier-1 tests =="
+cmake -B build-cov -S . -DHPB_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug \
+  -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
+cmake --build build-cov -j "$jobs"
+find build-cov -name '*.gcda' -delete  # stale counters skew reruns
+ctest --test-dir build-cov --output-on-failure -j "$jobs" -L tier1
+
+gcda_files=$(find build-cov/src/core build-cov/src/obs -name '*.gcda')
+if [ -z "$gcda_files" ]; then
+  echo "coverage: no .gcda files under build-cov/src/{core,obs}" >&2
+  exit 1
+fi
+
+# gcov -n prints, per object, a "File '<path>'" line followed by a
+# "Lines executed:<pct>% of <n>" line; keep only src/core + src/obs .cpp.
+echo
+echo "== coverage: per-file line coverage (src/core + src/obs) =="
+# shellcheck disable=SC2086  # word-splitting the .gcda list is intended
+gcov -n $gcda_files 2>/dev/null | awk -v floor="$floor" '
+  /^File / {
+    file = substr($0, 7, length($0) - 7)  # strip the File '...' quoting
+    keep = (file ~ /src\/(core|obs)\/[^\/]+\.cpp$/)
+  }
+  keep && /^Lines executed:/ {
+    line = $0
+    sub(/^Lines executed:/, "", line)
+    split(line, parts, /% of /)
+    printf "  %-44s %6.2f%% of %d\n", file, parts[1], parts[2]
+    covered += parts[1] * parts[2] / 100.0
+    total += parts[2]
+    keep = 0
+  }
+  END {
+    if (total == 0) {
+      print "coverage: no src/core or src/obs .cpp files in gcov output" \
+        > "/dev/stderr"
+      exit 1
+    }
+    pct = 100.0 * covered / total
+    printf "coverage: %.2f%% of %d lines (floor %s%%)\n", pct, total, floor
+    if (pct + 1e-9 < floor) {
+      printf "coverage: below the %s%% floor\n", floor > "/dev/stderr"
+      exit 1
+    }
+  }
+'
+echo "coverage: ok"

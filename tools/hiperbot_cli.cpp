@@ -5,7 +5,8 @@
 //   hiperbot tune       --csv runs.csv --method hiperbot --budget 100
 //                       [--batch 4] [--fail-rate 0.2] [--crash-rate 0.05]
 //                       [--journal tune.hpbj] [--eval-timeout 500]
-//                       [--max-seconds 60]
+//                       [--max-seconds 60] [--trace tune.trace.jsonl]
+//                       [--metrics-out tune.metrics.json]
 //   hiperbot tune       --csv runs.csv --resume tune.hpbj
 //   hiperbot importance --csv runs.csv [--alpha 0.2]
 //   hiperbot compare    --csv runs.csv --methods hiperbot,geist,random
@@ -37,6 +38,8 @@
 #include "eval/methods.hpp"
 #include "eval/metrics.hpp"
 #include "eval/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/inference.hpp"
 #include "tabular/csv.hpp"
 #include "tabular/fault_injection.hpp"
@@ -118,6 +121,10 @@ int cmd_tune(const hpb::cli::ArgParser& args) {
   HPB_REQUIRE(resume_path.empty() || journal_path.empty(),
               "tune: --resume continues its own journal; do not also pass "
               "--journal / HPB_JOURNAL");
+  std::string trace_path = args.was_set("trace")
+                               ? args.get_string("trace")
+                               : hpb::eval::trace_path_from_env();
+  const std::string& metrics_out = args.get_string("metrics-out");
 
   // Session parameters: from the flags for a fresh session, from the
   // journal header for a resumed one — a resumed run *is* the same run, so
@@ -161,6 +168,15 @@ int cmd_tune(const hpb::cli::ArgParser& args) {
               .crash_rate = h.crash_rate,
               .hang_rate = h.hang_rate,
               .seed = h.seed};
+    // The trace file is part of the session: a resumed run appends to the
+    // journaled trace (span ids continue after the crash point) rather
+    // than starting a second file.
+    if (!h.trace_path.empty()) {
+      HPB_REQUIRE(trace_path.empty() || trace_path == h.trace_path,
+                  "tune --resume: journal traces to '" + h.trace_path +
+                      "'; do not pass a different --trace / HPB_TRACE");
+      trace_path = h.trace_path;
+    }
   }
   // Runtime knobs (not session identity): allowed to differ on resume.
   stop.max_wall_time_seconds = args.get_double("max-seconds");
@@ -199,8 +215,19 @@ int cmd_tune(const hpb::cli::ArgParser& args) {
     h.fail_rate = faults.fail_rate;
     h.crash_rate = faults.crash_rate;
     h.hang_rate = faults.hang_rate;
+    h.trace_path = trace_path;
     journal.emplace(hpb::core::JournalWriter::create(journal_path, h));
   }
+
+  // Observability sinks; absent flags leave the recorder all-null and the
+  // run bitwise identical to an untraced one.
+  std::optional<hpb::obs::JsonlTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink.emplace(resumed
+                           ? hpb::obs::JsonlTraceSink::append_to(trace_path)
+                           : hpb::obs::JsonlTraceSink::create(trace_path));
+  }
+  hpb::obs::MetricsRegistry metrics;
 
   std::signal(SIGINT, handle_shutdown_signal);
   std::signal(SIGTERM, handle_shutdown_signal);
@@ -209,7 +236,9 @@ int cmd_tune(const hpb::cli::ArgParser& args) {
       {.batch_size = batch,
        .eval_deadline = std::chrono::milliseconds(timeout_ms),
        .journal = journal ? &*journal : nullptr,
-       .stop_flag = &g_stop});
+       .stop_flag = &g_stop,
+       .recorder = {.trace = trace_sink ? &*trace_sink : nullptr,
+                    .metrics = metrics_out.empty() ? nullptr : &metrics}});
   // Pass-through when all rates are 0 (the default).
   hpb::tabular::FaultInjectingObjective faulty(ds, faults);
   const auto stopped = engine.run_until(*tuner, faulty, stop, replayed);
@@ -264,6 +293,14 @@ int cmd_tune(const hpb::cli::ArgParser& args) {
   if (!history_out.empty()) {
     hpb::core::write_history_csv(history_out, ds.space(), result.history);
     std::cout << "history written to " << history_out << '\n';
+  }
+  if (trace_sink) {
+    trace_sink->flush();
+    std::cout << "trace written to " << trace_sink->path() << '\n';
+  }
+  if (!metrics_out.empty()) {
+    metrics.write_json(metrics_out);
+    std::cout << "metrics written to " << metrics_out << '\n';
   }
   return 0;
 }
@@ -399,6 +436,12 @@ int main(int argc, char** argv) {
       .add_string("resume", "",
                   "`tune`: resume an interrupted session from its journal "
                   "(method/seed/budget come from the journal header)")
+      .add_string("trace", "",
+                  "`tune`: write JSON-lines spans (rounds, evaluations, "
+                  "tuner fits) to this file (default $HPB_TRACE)")
+      .add_string("metrics-out", "",
+                  "`tune`: write the aggregated metrics registry as JSON to "
+                  "this file at session end")
       .add_size("eval-timeout", 0,
                 "`tune`: per-evaluation watchdog deadline in ms; overdue "
                 "evaluations become timeout failures (0 = off; default "
