@@ -1,0 +1,307 @@
+// Micro-benchmark of the Ranking acquisition sweep (core/acquisition.hpp):
+// serial direct scoring (TpeSurrogate::acquisition per candidate) vs the
+// precomputed score table, serial and parallel, across pool sizes
+// 2^12..2^22 and history sizes {25, 100, 400}, plus one mixed
+// discrete+continuous scenario where the distinct-value memo collapses the
+// per-candidate KDE cost.
+//
+// Every timed sweep is an argmax (top-1) with the history's configurations
+// excluded, matching what HiPerBOt::suggest does each iteration; the direct
+// and table winners are checked bitwise before timings are reported.
+//
+// Usage: micro_acquisition [--smoke] [--out PATH]
+//   --smoke   tiny sizes / single rep (CI wiring check, label `bench`)
+//   --out     JSON output path (default BENCH_acquisition.json)
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/acquisition.hpp"
+#include "core/history.hpp"
+#include "core/surrogate.hpp"
+#include "obs/json_util.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+/// An all-discrete space whose cross product is exactly 2^log2_pool,
+/// factored into 16-level parameters plus one remainder parameter.
+space::SpacePtr discrete_space(std::size_t log2_pool) {
+  auto s = std::make_shared<space::ParameterSpace>();
+  std::size_t p = 0;
+  for (; p + 4 <= log2_pool; p += 4) {
+    s->add(space::Parameter::integer("p" + std::to_string(p / 4), 0, 15));
+  }
+  if (p < log2_pool) {
+    s->add(space::Parameter::integer(
+        "rem", 0, (std::int64_t{1} << (log2_pool - p)) - 1));
+  }
+  return s;
+}
+
+/// Mixed space: one 16-level discrete knob and one continuous knob.
+space::SpacePtr mixed_space() {
+  auto s = std::make_shared<space::ParameterSpace>();
+  s->add(space::Parameter::integer("level", 0, 15));
+  s->add(space::Parameter::continuous("t", 0.0, 1.0));
+  return s;
+}
+
+/// Pool for the mixed space: 16 levels crossed with a 64-point value grid,
+/// tiled to `size` rows — the gridded-value case the distinct-value memo is
+/// built for (64 distinct values, size/64 repeats each).
+std::vector<space::Configuration> mixed_pool(std::size_t size) {
+  std::vector<space::Configuration> pool;
+  pool.reserve(size);
+  for (std::size_t j = 0; j < size; ++j) {
+    const double level = static_cast<double>(j % 16);
+    const double t = static_cast<double>((j / 16) % 64) / 64.0;
+    pool.push_back(space::Configuration({level, t}));
+  }
+  return pool;
+}
+
+/// A history of `n` uniform configurations with a separable objective
+/// (plus a tie-breaking ramp), giving the surrogate a non-trivial split.
+core::History make_history(const space::SpacePtr& space, std::size_t n,
+                           Rng& rng) {
+  core::History h;
+  for (std::size_t i = 0; i < n; ++i) {
+    space::Configuration c = space->sample_uniform(rng);
+    double y = static_cast<double>(i) * 1e-6;
+    for (std::size_t p = 0; p < c.size(); ++p) {
+      const double d = c[p] - 1.0;
+      y += d * d;
+    }
+    h.add(std::move(c), y);
+  }
+  return h;
+}
+
+struct Measurement {
+  std::string scenario;
+  std::size_t pool_size = 0;
+  std::size_t history = 0;
+  std::size_t params = 0;
+  std::uint64_t direct_ns = 0;        // serial per-candidate scoring
+  std::uint64_t table_build_ns = 0;   // score-table construction (per fit)
+  std::uint64_t table_sweep_ns = 0;   // serial table sweep
+  std::uint64_t parallel_sweep_ns = 0;  // table sweep on the thread pool
+};
+
+/// Best-of-`reps` timing of one sweep path; the winning hit is checked
+/// against `expect` bitwise when provided.
+template <class Fn>
+std::uint64_t best_of(std::size_t reps, const Fn& fn,
+                      const core::SweepHit* expect) {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    const std::vector<core::SweepHit> hits = fn();
+    const auto t1 = Clock::now();
+    best = std::min(best, elapsed_ns(t0, t1));
+    if (expect != nullptr) {
+      if (hits.empty() || hits.front().index != expect->index ||
+          std::bit_cast<std::uint64_t>(hits.front().score) !=
+              std::bit_cast<std::uint64_t>(expect->score)) {
+        std::fprintf(stderr, "FATAL: sweep paths disagree\n");
+        std::exit(1);
+      }
+    }
+  }
+  return best;
+}
+
+Measurement measure(const std::string& scenario, const space::SpacePtr& space,
+                    const std::vector<space::Configuration>& pool,
+                    std::size_t history_size, std::size_t reps,
+                    ThreadPool& workers, Rng& rng) {
+  const core::History h = make_history(space, history_size, rng);
+  const core::TpeSurrogate s(space, h, 0.2);
+  const core::PoolColumns columns(*space, pool);
+
+  // Exclude the history's ordinals, like a real suggest would.
+  std::vector<std::uint64_t> excluded_ordinals;
+  if (space->is_finite()) {
+    for (const auto& obs : h.observations()) {
+      excluded_ordinals.push_back(space->ordinal_of(obs.config));
+    }
+    std::sort(excluded_ordinals.begin(), excluded_ordinals.end());
+  }
+  const auto excluded = [&](std::size_t j) {
+    if (excluded_ordinals.empty()) {
+      return false;
+    }
+    return std::binary_search(excluded_ordinals.begin(),
+                              excluded_ordinals.end(), columns.ordinals()[j]);
+  };
+
+  Measurement m;
+  m.scenario = scenario;
+  m.pool_size = pool.size();
+  m.history = history_size;
+  m.params = space->num_params();
+
+  // Reference winner (and correctness oracle) from the direct path.
+  const std::vector<core::SweepHit> reference = core::acquisition_topk(
+      pool.size(), 1, nullptr,
+      [&](std::size_t j) { return s.acquisition(pool[j]); }, excluded);
+  const core::SweepHit expect = reference.front();
+
+  m.direct_ns = best_of(
+      reps,
+      [&] {
+        return core::acquisition_topk(
+            pool.size(), 1, nullptr,
+            [&](std::size_t j) { return s.acquisition(pool[j]); }, excluded);
+      },
+      &expect);
+
+  {
+    const auto t0 = Clock::now();
+    const core::AcquisitionTable table(s, columns);
+    const auto t1 = Clock::now();
+    m.table_build_ns = elapsed_ns(t0, t1);
+    const auto sweep = [&](ThreadPool* p) {
+      return core::acquisition_topk(
+          columns.size(), 1, p,
+          [&](std::size_t j) { return table.score(columns, j); }, excluded);
+    };
+    m.table_sweep_ns = best_of(reps, [&] { return sweep(nullptr); }, &expect);
+    m.parallel_sweep_ns =
+        best_of(reps, [&] { return sweep(&workers); }, &expect);
+  }
+  return m;
+}
+
+void append_json(std::string& out, const Measurement& m) {
+  const double direct = static_cast<double>(m.direct_ns);
+  const double table =
+      static_cast<double>(m.table_build_ns + m.table_sweep_ns);
+  const double parallel =
+      static_cast<double>(m.table_build_ns + m.parallel_sweep_ns);
+  out += "    {\"scenario\":\"" + m.scenario + "\"";
+  out += ",\"pool\":" + std::to_string(m.pool_size);
+  out += ",\"history\":" + std::to_string(m.history);
+  out += ",\"params\":" + std::to_string(m.params);
+  out += ",\"direct_ns\":" + std::to_string(m.direct_ns);
+  out += ",\"table_build_ns\":" + std::to_string(m.table_build_ns);
+  out += ",\"table_sweep_ns\":" + std::to_string(m.table_sweep_ns);
+  out += ",\"parallel_sweep_ns\":" + std::to_string(m.parallel_sweep_ns);
+  out += ",\"speedup_table\":" + obs::json_double(direct / table);
+  out += ",\"speedup_parallel\":" + obs::json_double(direct / parallel);
+  out += "}";
+}
+
+int run(bool smoke, const std::string& out_path) {
+  const std::vector<std::size_t> log2_pools =
+      smoke ? std::vector<std::size_t>{12, 14}
+            : std::vector<std::size_t>{12, 14, 16, 18, 20, 22};
+  const std::vector<std::size_t> histories =
+      smoke ? std::vector<std::size_t>{25} : std::vector<std::size_t>{25, 100, 400};
+
+  ThreadPool workers(0);  // hardware concurrency
+  Rng rng(0xacc5eed);
+  std::vector<Measurement> results;
+
+  std::printf("%-10s %10s %8s %14s %14s %14s %9s\n", "scenario", "pool",
+              "history", "direct_ns", "table_ns", "parallel_ns", "speedup");
+  for (const std::size_t log2_pool : log2_pools) {
+    const space::SpacePtr space = discrete_space(log2_pool);
+    const std::vector<space::Configuration> pool = space->enumerate();
+    for (const std::size_t history : histories) {
+      const std::size_t reps = smoke ? 1
+                                     : std::clamp<std::size_t>(
+                                           (std::size_t{1} << 22) >> log2_pool,
+                                           3, 64);
+      Measurement m = measure("discrete", space, pool, history, reps,
+                              workers, rng);
+      std::printf("%-10s %10zu %8zu %14llu %14llu %14llu %8.1fx\n",
+                  m.scenario.c_str(), m.pool_size, m.history,
+                  static_cast<unsigned long long>(m.direct_ns),
+                  static_cast<unsigned long long>(m.table_build_ns +
+                                                  m.table_sweep_ns),
+                  static_cast<unsigned long long>(m.table_build_ns +
+                                                  m.parallel_sweep_ns),
+                  static_cast<double>(m.direct_ns) /
+                      static_cast<double>(m.table_build_ns +
+                                          m.parallel_sweep_ns));
+      results.push_back(std::move(m));
+    }
+  }
+  {
+    const space::SpacePtr space = mixed_space();
+    const std::size_t pool_size = smoke ? (1u << 12) : (1u << 16);
+    const std::vector<space::Configuration> pool = mixed_pool(pool_size);
+    for (const std::size_t history : histories) {
+      Measurement m = measure("mixed", space, pool, history,
+                              smoke ? 1 : 8, workers, rng);
+      std::printf("%-10s %10zu %8zu %14llu %14llu %14llu %8.1fx\n",
+                  m.scenario.c_str(), m.pool_size, m.history,
+                  static_cast<unsigned long long>(m.direct_ns),
+                  static_cast<unsigned long long>(m.table_build_ns +
+                                                  m.table_sweep_ns),
+                  static_cast<unsigned long long>(m.table_build_ns +
+                                                  m.parallel_sweep_ns),
+                  static_cast<double>(m.direct_ns) /
+                      static_cast<double>(m.table_build_ns +
+                                          m.parallel_sweep_ns));
+      results.push_back(std::move(m));
+    }
+  }
+
+  std::string json = "{\n  \"bench\": \"acquisition_sweep\",\n";
+  json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"threads\": " + std::to_string(workers.size()) + ",\n";
+  json += "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    append_json(json, results[i]);
+    json += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpb
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_acquisition.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return hpb::run(smoke, out_path);
+}

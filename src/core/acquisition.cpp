@@ -1,0 +1,95 @@
+#include "core/acquisition.hpp"
+
+#include <cmath>
+
+namespace hpb::core {
+
+PoolColumns::PoolColumns(const space::ParameterSpace& space,
+                         std::span<const space::Configuration> pool)
+    : size_(pool.size()) {
+  const std::size_t n_params = space.num_params();
+  for (const auto& c : pool) {
+    HPB_REQUIRE(c.size() == n_params,
+                "PoolColumns: configuration size mismatch");
+  }
+  columns_.resize(n_params);
+  distinct_.resize(n_params);
+  table_sizes_.assign(n_params, 0);
+  continuous_.assign(n_params, 0);
+  for (std::size_t i = 0; i < n_params; ++i) {
+    std::vector<std::uint32_t>& col = columns_[i];
+    col.resize(size_);
+    const space::Parameter& p = space.param(i);
+    if (p.is_discrete()) {
+      const std::size_t levels = p.num_levels();
+      table_sizes_[i] = levels;
+      for (std::size_t j = 0; j < size_; ++j) {
+        const std::size_t level = pool[j].level(i);
+        HPB_REQUIRE(level < levels, "PoolColumns: level out of range");
+        col[j] = static_cast<std::uint32_t>(level);
+      }
+    } else {
+      continuous_[i] = 1;
+      std::vector<double>& distinct = distinct_[i];
+      distinct.reserve(size_);
+      for (std::size_t j = 0; j < size_; ++j) {
+        const double v = pool[j][i];
+        HPB_REQUIRE(std::isfinite(v),
+                    "PoolColumns: non-finite continuous value");
+        distinct.push_back(v);
+      }
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      table_sizes_[i] = distinct.size();
+      for (std::size_t j = 0; j < size_; ++j) {
+        const auto it = std::lower_bound(distinct.begin(), distinct.end(),
+                                         pool[j][i]);
+        col[j] = static_cast<std::uint32_t>(it - distinct.begin());
+      }
+    }
+  }
+  if (space.is_finite()) {
+    ordinals_.resize(size_);
+    for (std::size_t j = 0; j < size_; ++j) {
+      ordinals_[j] = space.ordinal_of(pool[j]);
+    }
+  }
+}
+
+AcquisitionTable::AcquisitionTable(const TpeSurrogate& surrogate,
+                                   const PoolColumns& columns) {
+  const std::size_t n_params = columns.num_params();
+  HPB_REQUIRE(surrogate.good().num_params() == n_params,
+              "AcquisitionTable: parameter count mismatch");
+  offsets_.resize(n_params);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n_params; ++i) {
+    offsets_[i] = total;
+    total += columns.table_size(i);
+  }
+  log_good_.reserve(total);
+  log_bad_.reserve(total);
+  for (std::size_t i = 0; i < n_params; ++i) {
+    // Entries are computed by the exact marginal calls the direct path
+    // makes (log_pmf / log_pdf), so a table lookup reproduces the direct
+    // score bit for bit.
+    std::vector<double> good;
+    std::vector<double> bad;
+    if (columns.is_continuous(i)) {
+      const std::span<const double> values = columns.distinct_values(i);
+      good = surrogate.good().kernel(i).log_pdf_many(values);
+      bad = surrogate.bad().kernel(i).log_pdf_many(values);
+    } else {
+      good = surrogate.good().histogram(i).log_pmf_table();
+      bad = surrogate.bad().histogram(i).log_pmf_table();
+    }
+    HPB_REQUIRE(good.size() == columns.table_size(i) &&
+                    bad.size() == columns.table_size(i),
+                "AcquisitionTable: table size mismatch");
+    log_good_.insert(log_good_.end(), good.begin(), good.end());
+    log_bad_.insert(log_bad_.end(), bad.begin(), bad.end());
+  }
+}
+
+}  // namespace hpb::core

@@ -1,0 +1,191 @@
+// Fast acquisition engine for the Ranking strategy's candidate sweep.
+//
+// The Ranking strategy (§III-D, the configuration used for every figure in
+// the paper) rescores the entire candidate pool on every suggest. The
+// direct path — TpeSurrogate::acquisition per candidate — walks every
+// marginal through variant dispatch and computes two log() calls per
+// parameter per candidate; with pools up to 2^24 that sweep dominates a
+// tuning session's wall-clock. This module makes the sweep a streaming
+// table scan instead:
+//
+//   - PoolColumns: a structure-of-arrays mirror of the candidate pool.
+//     One contiguous per-parameter column of small indices (the level for
+//     discrete parameters, the rank of the candidate's value among the
+//     pool's distinct values for continuous ones), built once per pool, so
+//     the sweep streams through cache instead of chasing heap-allocated
+//     Configuration vectors.
+//   - AcquisitionTable: per-fit score tables. For every discrete parameter
+//     a `level -> (log pg, log pb)` table computed once per surrogate fit;
+//     for every continuous parameter the same memo over the pool's
+//     distinct values. Scoring a candidate becomes num_params table
+//     lookups per accumulator, added in the same order as
+//     FactorizedDensity::log_density — the resulting doubles are
+//     bitwise-identical to the direct path's.
+//   - acquisition_topk: a deterministic chunked argmax/top-k over the
+//     shared common::ThreadPool. Chunk boundaries are fixed (independent
+//     of worker count) and ties break toward the lowest candidate index,
+//     so the result is identical for any thread count, including serial.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/surrogate.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::core {
+
+/// Structure-of-arrays mirror of a candidate pool (built once per pool).
+class PoolColumns {
+ public:
+  PoolColumns(const space::ParameterSpace& space,
+              std::span<const space::Configuration> pool);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t num_params() const noexcept {
+    return columns_.size();
+  }
+
+  /// Per-candidate index column of parameter i: the level index for
+  /// discrete parameters, the distinct-value rank for continuous ones.
+  [[nodiscard]] std::span<const std::uint32_t> column(
+      std::size_t param) const {
+    return columns_[param];
+  }
+
+  /// Sorted distinct values of a continuous parameter's column (empty for
+  /// discrete parameters). column(i)[j] indexes into this.
+  [[nodiscard]] std::span<const double> distinct_values(
+      std::size_t param) const {
+    return distinct_[param];
+  }
+
+  /// Rows of the score table for parameter i: the level count for discrete
+  /// parameters, the distinct-value count for continuous ones.
+  [[nodiscard]] std::size_t table_size(std::size_t param) const {
+    return table_sizes_[param];
+  }
+
+  [[nodiscard]] bool is_continuous(std::size_t param) const {
+    return continuous_[param] != 0;
+  }
+
+  /// Per-candidate space ordinals (exclusion checks); empty unless the
+  /// space is finite.
+  [[nodiscard]] std::span<const std::uint64_t> ordinals() const noexcept {
+    return ordinals_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::vector<std::uint32_t>> columns_;
+  std::vector<std::vector<double>> distinct_;  // continuous params only
+  std::vector<std::size_t> table_sizes_;
+  std::vector<char> continuous_;  // per-param kind (char: vector<bool> races)
+  std::vector<std::uint64_t> ordinals_;
+};
+
+/// Per-fit `index -> (log pg, log pb)` tables over a PoolColumns layout.
+class AcquisitionTable {
+ public:
+  AcquisitionTable(const TpeSurrogate& surrogate, const PoolColumns& columns);
+
+  /// Acquisition score of pool candidate j: bitwise-identical to
+  /// surrogate.acquisition(pool[j]) — both log-density accumulators add
+  /// the per-parameter terms in parameter order before subtracting.
+  [[nodiscard]] double score(const PoolColumns& columns,
+                             std::size_t j) const {
+    double log_good = 0.0;
+    double log_bad = 0.0;
+    for (std::size_t i = 0; i < offsets_.size(); ++i) {
+      const std::size_t at = offsets_[i] + columns.column(i)[j];
+      log_good += log_good_[at];
+      log_bad += log_bad_[at];
+    }
+    return log_good - log_bad;
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  // per-param start into the flat tables
+  std::vector<double> log_good_;
+  std::vector<double> log_bad_;
+};
+
+/// One sweep result: a candidate index and its acquisition score.
+struct SweepHit {
+  std::size_t index = 0;
+  double score = 0.0;
+};
+
+/// Strict ordering of the sweep: descending score, ties broken by lowest
+/// candidate index (indices are unique, so this is a total order).
+[[nodiscard]] inline bool sweep_better(const SweepHit& a,
+                                       const SweepHit& b) noexcept {
+  return a.score > b.score || (a.score == b.score && a.index < b.index);
+}
+
+/// Fixed sweep chunk size. Chunk boundaries depend only on the pool size,
+/// never on the worker count, so chunk-local results — and therefore the
+/// final reduction — are identical for any thread count.
+inline constexpr std::size_t kSweepChunk = 8192;
+
+/// Deterministic chunked top-k sweep over candidates 0..n-1. `score(j)`
+/// must be a pure function of j; `excluded(j)` hides a candidate from the
+/// result. Chunks run on `pool` (serial when null or single-threaded); the
+/// per-chunk winners are reduced serially in chunk order under
+/// sweep_better, so the result is independent of scheduling. Returns at
+/// most k hits, best first; fewer when the unexcluded pool is smaller.
+template <class ScoreFn, class ExcludedFn>
+[[nodiscard]] std::vector<SweepHit> acquisition_topk(std::size_t n,
+                                                     std::size_t k,
+                                                     ThreadPool* pool,
+                                                     const ScoreFn& score,
+                                                     const ExcludedFn& excluded) {
+  if (n == 0 || k == 0) {
+    return {};
+  }
+  const std::size_t num_chunks = (n + kSweepChunk - 1) / kSweepChunk;
+  std::vector<std::vector<SweepHit>> chunk_best(num_chunks);
+  parallel_for_indexed(pool, num_chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kSweepChunk;
+    const std::size_t end = std::min(begin + kSweepChunk, n);
+    std::vector<SweepHit>& best = chunk_best[chunk];
+    best.reserve(std::min(k, end - begin));
+    for (std::size_t j = begin; j < end; ++j) {
+      if (excluded(j)) {
+        continue;
+      }
+      const SweepHit hit{j, score(j)};
+      if (best.size() == k && !sweep_better(hit, best.back())) {
+        continue;
+      }
+      // Insert in sorted position; scanning from the back is cheap for the
+      // small k of a suggest batch.
+      std::size_t pos = best.size();
+      while (pos > 0 && sweep_better(hit, best[pos - 1])) {
+        --pos;
+      }
+      best.insert(best.begin() + static_cast<std::ptrdiff_t>(pos), hit);
+      if (best.size() > k) {
+        best.pop_back();
+      }
+    }
+  });
+  // Serial merge in chunk order: chunk-local lists are sorted, and
+  // sweep_better is total, so the merged order is unique.
+  std::vector<SweepHit> merged;
+  for (const auto& best : chunk_best) {
+    merged.insert(merged.end(), best.begin(), best.end());
+  }
+  std::sort(merged.begin(), merged.end(), sweep_better);
+  if (merged.size() > k) {
+    merged.resize(k);
+  }
+  return merged;
+}
+
+}  // namespace hpb::core

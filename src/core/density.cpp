@@ -1,5 +1,6 @@
 #include "core/density.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace hpb::core {
@@ -98,7 +99,15 @@ std::vector<double> FactorizedDensity::marginal_probabilities(
     probs[b] = kde.pdf(mid) * width;
     total += probs[b];
   }
-  HPB_REQUIRE(total > 0.0, "marginal_probabilities: degenerate KDE");
+  // Degenerate KDE: a very tight bandwidth with samples at the domain edge
+  // can put ~zero pdf mass on every bin midpoint. That is a legitimate
+  // (if extreme) fit — exporting parameter importance must not kill the
+  // run, so fall back to the uniform distribution instead of aborting.
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    std::fill(probs.begin(), probs.end(),
+              1.0 / static_cast<double>(bins));
+    return probs;
+  }
   for (double& p : probs) {
     p /= total;
   }
@@ -111,6 +120,13 @@ const stats::HistogramDensity& FactorizedDensity::histogram(
   const auto* hist = std::get_if<stats::HistogramDensity>(&marginals_[param]);
   HPB_REQUIRE(hist != nullptr, "histogram: parameter is continuous");
   return *hist;
+}
+
+const stats::KernelDensity& FactorizedDensity::kernel(std::size_t param) const {
+  HPB_REQUIRE(param < marginals_.size(), "kernel: index out of range");
+  const auto* kde = std::get_if<stats::KernelDensity>(&marginals_[param]);
+  HPB_REQUIRE(kde != nullptr, "kernel: parameter is discrete");
+  return *kde;
 }
 
 std::optional<double> FactorizedDensity::kde_bandwidth(

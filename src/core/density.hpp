@@ -69,6 +69,10 @@ class FactorizedDensity {
   /// Access the underlying discrete histogram (discrete parameters only).
   [[nodiscard]] const stats::HistogramDensity& histogram(std::size_t param) const;
 
+  /// Access the underlying KDE (continuous parameters only). Acquisition
+  /// score tables read per-marginal densities through this.
+  [[nodiscard]] const stats::KernelDensity& kernel(std::size_t param) const;
+
   /// KDE bandwidth of parameter i (fixed or Silverman-selected), or
   /// nullopt for discrete parameters. Exported as a tuner internal by the
   /// observability layer.

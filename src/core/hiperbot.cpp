@@ -65,8 +65,28 @@ bool HiPerBOt::is_excluded(const space::Configuration& c) const {
 
 space::Configuration HiPerBOt::random_unevaluated() {
   if (pool_ != nullptr) {
-    HPB_REQUIRE(evaluated_.size() + pending_.size() < pool_->size(),
+    const std::size_t excluded = evaluated_.size() + pending_.size();
+    HPB_REQUIRE(excluded < pool_->size(),
                 "HiPerBOt: candidate pool exhausted");
+    // Rejection sampling needs ~pool/(pool-excluded) draws in expectation;
+    // once half the pool is excluded that blows up (a 2^24-entry pool
+    // evaluated down to a few free slots would spin for millions of
+    // iterations), so pick uniformly among the unexcluded entries with one
+    // linear scan instead.
+    if (excluded >= pool_->size() / 2) {
+      std::size_t r = rng_.index(pool_->size() - excluded);
+      for (const auto& c : *pool_) {
+        if (is_excluded(c)) {
+          continue;
+        }
+        if (r == 0) {
+          return c;
+        }
+        --r;
+      }
+      // Unreachable while evaluated_/pending_ only ever hold pool members.
+      HPB_REQUIRE(false, "HiPerBOt: exclusion bookkeeping out of sync");
+    }
     for (;;) {
       const auto& c = (*pool_)[rng_.index(pool_->size())];
       if (!is_excluded(c)) {
@@ -84,21 +104,76 @@ space::Configuration HiPerBOt::random_unevaluated() {
   return {};  // unreachable
 }
 
-space::Configuration HiPerBOt::suggest_ranking(const TpeSurrogate& s) {
-  const space::Configuration* best = nullptr;
-  double best_score = 0.0;
-  for (const auto& c : *pool_) {
-    if (is_excluded(c)) {
-      continue;
-    }
-    const double score = s.acquisition(c);
-    if (best == nullptr || score > best_score) {
-      best = &c;
-      best_score = score;
-    }
+void HiPerBOt::ensure_columns() {
+  if (!columns_) {
+    columns_.emplace(*space_, *pool_);
   }
-  HPB_REQUIRE(best != nullptr, "HiPerBOt: candidate pool exhausted");
-  return *best;
+}
+
+std::vector<SweepHit> HiPerBOt::ranked_topk(const TpeSurrogate& s,
+                                            std::size_t k) {
+  const bool tracing = recorder_ != nullptr && recorder_->tracing();
+  const std::uint64_t sweep_start = tracing ? recorder_->now_ns() : 0;
+  std::uint64_t table_built = sweep_start;
+  std::vector<SweepHit> hits;
+  if (config_.acquisition == AcquisitionMode::kDirect) {
+    const std::vector<space::Configuration>& pool = *pool_;
+    hits = acquisition_topk(
+        pool.size(), k, nullptr,
+        [&](std::size_t j) { return s.acquisition(pool[j]); },
+        [&](std::size_t j) { return is_excluded(pool[j]); });
+  } else {
+    ensure_columns();
+    const AcquisitionTable table(s, *columns_);
+    if (tracing) {
+      table_built = recorder_->now_ns();
+    }
+    const PoolColumns& columns = *columns_;
+    const std::span<const std::uint64_t> ordinals = columns.ordinals();
+    const bool finite = !ordinals.empty();
+    hits = acquisition_topk(
+        columns.size(), k, sweep_pool_,
+        [&](std::size_t j) { return table.score(columns, j); },
+        [&](std::size_t j) {
+          if (!finite) {
+            return false;  // continuous spaces: no ordinal bookkeeping
+          }
+          const std::uint64_t ordinal = ordinals[j];
+          return evaluated_.contains(ordinal) || pending_.contains(ordinal);
+        });
+  }
+  if (recorder_ != nullptr && recorder_->metrics != nullptr) {
+    recorder_->metrics->counter("hiperbot.sweeps").add(1);
+  }
+  if (tracing) {
+    const std::uint64_t sweep_end = recorder_->now_ns();
+    const obs::TraceAttr attrs[] = {
+        obs::TraceAttr::str("mode",
+                            config_.acquisition == AcquisitionMode::kDirect
+                                ? "direct"
+                                : "table"),
+        obs::TraceAttr::uint("pool", pool_->size()),
+        obs::TraceAttr::uint("k", k),
+        obs::TraceAttr::uint("excluded", evaluated_.size() + pending_.size()),
+        obs::TraceAttr::uint("threads",
+                             sweep_pool_ != nullptr ? sweep_pool_->size() : 1),
+        obs::TraceAttr::uint("table_build_ns", table_built - sweep_start),
+        obs::TraceAttr::uint("sweep_ns", sweep_end - table_built),
+    };
+    recorder_->trace->emit({.name = "hiperbot.sweep",
+                            .id = recorder_->trace->next_id(),
+                            .parent = 0,
+                            .start_ns = sweep_start,
+                            .end_ns = sweep_end,
+                            .attrs = attrs});
+  }
+  return hits;
+}
+
+space::Configuration HiPerBOt::suggest_ranking(const TpeSurrogate& s) {
+  const std::vector<SweepHit> hits = ranked_topk(s, 1);
+  HPB_REQUIRE(!hits.empty(), "HiPerBOt: candidate pool exhausted");
+  return (*pool_)[hits.front().index];
 }
 
 space::Configuration HiPerBOt::suggest_proposal(const TpeSurrogate& s) {
@@ -140,16 +215,24 @@ space::Configuration HiPerBOt::initial_suggestion() {
 }
 
 space::Configuration HiPerBOt::suggest() {
+  space::Configuration chosen;
   if (history_.size() < config_.initial_samples) {
-    return initial_suggestion();
+    chosen = initial_suggestion();
+  } else {
+    const TpeSurrogate surrogate = fit_surrogate();
+    chosen = config_.strategy == SelectionStrategy::kRanking
+                 ? suggest_ranking(surrogate)
+                 : suggest_proposal(surrogate);
+    if (recorder_ != nullptr && recorder_->active()) {
+      export_fit(surrogate, surrogate.acquisition(chosen));
+    }
   }
-  const TpeSurrogate surrogate = fit_surrogate();
-  space::Configuration chosen =
-      config_.strategy == SelectionStrategy::kRanking
-          ? suggest_ranking(surrogate)
-          : suggest_proposal(surrogate);
-  if (recorder_ != nullptr && recorder_->active()) {
-    export_fit(surrogate, surrogate.acquisition(chosen));
+  // A serial suggestion is outstanding until observed, exactly like a batch
+  // member: without this, two suggest() calls with no intervening observe()
+  // return the same configuration, and a later suggest_batch can duplicate
+  // the outstanding one. observe()/observe_failure() release the ordinal.
+  if (space_->is_finite()) {
+    pending_.insert(space_->ordinal_of(chosen));
   }
   return chosen;
 }
@@ -181,21 +264,10 @@ std::vector<space::Configuration> HiPerBOt::suggest_batch(std::size_t k) {
 
   const TpeSurrogate surrogate = fit_surrogate();
   if (config_.strategy == SelectionStrategy::kRanking) {
-    // Top-k available candidates by acquisition.
-    std::vector<std::pair<double, const space::Configuration*>> scored;
-    for (const auto& c : *pool_) {
-      if (!is_excluded(c)) {
-        scored.emplace_back(surrogate.acquisition(c), &c);
-      }
-    }
-    const std::size_t take_n = std::min(k, scored.size());
-    std::partial_sort(scored.begin(),
-                      scored.begin() + static_cast<std::ptrdiff_t>(take_n),
-                      scored.end(), [](const auto& a, const auto& b) {
-                        return a.first > b.first;
-                      });
-    for (std::size_t i = 0; i < take_n; ++i) {
-      take(*scored[i].second);
+    // Top-k available candidates by acquisition (ties toward the lowest
+    // pool index, matching the serial argmax).
+    for (const SweepHit& hit : ranked_topk(surrogate, k)) {
+      take((*pool_)[hit.index]);
     }
     if (recorder_ != nullptr && recorder_->active() && !batch.empty()) {
       export_fit(surrogate, surrogate.acquisition(batch.front()));

@@ -18,6 +18,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+#include "core/acquisition.hpp"
 #include "core/surrogate.hpp"
 #include "core/tuner.hpp"
 
@@ -26,6 +28,17 @@ namespace hpb::core {
 enum class SelectionStrategy {
   kRanking,   // exhaustive scoring of a finite candidate pool
   kProposal,  // sample candidates from pg(x)
+};
+
+enum class AcquisitionMode {
+  /// Precomputed per-fit score tables swept over the structure-of-arrays
+  /// pool mirror (core/acquisition.hpp); parallel when a sweep pool is
+  /// installed. The default — scores, and therefore suggestions, are
+  /// bitwise-identical to kDirect at any thread count.
+  kTable,
+  /// Per-candidate TpeSurrogate::acquisition calls, always serial. The
+  /// pre-table reference path, kept as a test/bench hook.
+  kDirect,
 };
 
 enum class InitialDesign {
@@ -46,6 +59,10 @@ struct HiPerBOtConfig {
   std::size_t proposal_candidates = 64;
   /// Density estimation knobs (histogram smoothing, KDE bandwidth).
   DensityConfig density;
+  /// How Ranking sweeps score the candidate pool (kTable = fast path;
+  /// kDirect = per-candidate reference evaluation). Suggestions are
+  /// identical either way.
+  AcquisitionMode acquisition = AcquisitionMode::kTable;
   /// Transfer-prior mixture weight w of eq. 9–10 (used only when a prior is
   /// installed via set_transfer_prior).
   double transfer_weight = 1.0;
@@ -66,6 +83,12 @@ class HiPerBOt final : public Tuner {
   /// Install the transfer-learning prior (eq. 9–10); weight comes from
   /// config.transfer_weight.
   void set_transfer_prior(TransferPrior prior);
+
+  /// Worker pool for the Ranking acquisition sweep (not owned; must outlive
+  /// suggest calls). Null (the default) sweeps serially. The sweep uses
+  /// fixed chunk boundaries and lowest-index tie-breaking, so suggestions
+  /// are bitwise-identical for any pool size, including none.
+  void set_sweep_pool(ThreadPool* pool) noexcept { sweep_pool_ = pool; }
 
   [[nodiscard]] space::Configuration suggest() override;
 
@@ -105,12 +128,20 @@ class HiPerBOt final : public Tuner {
 
  private:
   [[nodiscard]] bool is_evaluated(const space::Configuration& c) const;
-  /// Evaluated, or suggested in a batch and awaiting its observation.
+  /// Evaluated, or suggested (serially or in a batch) and awaiting its
+  /// observation.
   [[nodiscard]] bool is_excluded(const space::Configuration& c) const;
   [[nodiscard]] space::Configuration random_unevaluated();
   [[nodiscard]] space::Configuration initial_suggestion();
   [[nodiscard]] space::Configuration suggest_ranking(const TpeSurrogate& s);
   [[nodiscard]] space::Configuration suggest_proposal(const TpeSurrogate& s);
+  /// The Ranking sweep: top-k unexcluded pool candidates by acquisition
+  /// score, best first, ties toward the lowest pool index. Dispatches on
+  /// config_.acquisition and emits the hiperbot.sweep span when tracing.
+  [[nodiscard]] std::vector<SweepHit> ranked_topk(const TpeSurrogate& s,
+                                                  std::size_t k);
+  /// Build the structure-of-arrays pool mirror on first use.
+  void ensure_columns();
   /// Export the internals of one surrogate fit (good/bad split sizes, KDE
   /// bandwidth, threshold, exclusion-set size, acquisition score of the
   /// chosen candidate) to the installed recorder. Pure reads: a traced run
@@ -122,6 +153,8 @@ class HiPerBOt final : public Tuner {
   Rng rng_;
   History history_;
   std::shared_ptr<const std::vector<space::Configuration>> pool_;
+  std::optional<PoolColumns> columns_;  // SoA pool mirror, built lazily
+  ThreadPool* sweep_pool_ = nullptr;    // Ranking sweep workers, not owned
   std::unordered_set<std::uint64_t> evaluated_;  // ordinals, finite spaces
   std::unordered_set<std::uint64_t> pending_;    // batched, not yet observed
   std::vector<space::Configuration> failed_;     // evaluations that failed

@@ -1,10 +1,10 @@
 #include "core/history.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <utility>
 
 #include "common/error.hpp"
+#include "stats/quantile.hpp"
 
 namespace hpb::core {
 
@@ -29,24 +29,14 @@ const space::Configuration& History::best_config() const {
 HistorySplit History::split(double alpha) const {
   HPB_REQUIRE(alpha > 0.0 && alpha < 1.0, "History::split: alpha in (0,1)");
   HPB_REQUIRE(obs_.size() >= 2, "History::split: need >= 2 observations");
-  const std::size_t n = obs_.size();
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(), [this](std::size_t a,
-                                                      std::size_t b) {
-    return obs_[a].y < obs_[b].y;
-  });
-  std::size_t n_good = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::floor(alpha * static_cast<double>(n))));
-  n_good = std::min(n_good, n - 1);
-
-  HistorySplit split;
-  split.good.assign(order.begin(),
-                    order.begin() + static_cast<std::ptrdiff_t>(n_good));
-  split.bad.assign(order.begin() + static_cast<std::ptrdiff_t>(n_good),
-                   order.end());
-  split.threshold = obs_[order[n_good]].y;  // first value ranked "bad"
-  return split;
+  std::vector<double> ys;
+  ys.reserve(obs_.size());
+  for (const Observation& o : obs_) {
+    ys.push_back(o.y);
+  }
+  stats::RankSplit split = stats::rank_split(ys, alpha);
+  return HistorySplit{std::move(split.good), std::move(split.bad),
+                      split.threshold};
 }
 
 }  // namespace hpb::core

@@ -27,30 +27,22 @@ TransferPrior make_transfer_prior(space::SpacePtr space,
   HPB_REQUIRE(configs.size() == values.size(),
               "make_transfer_prior: size mismatch");
   HPB_REQUIRE(configs.size() >= 2, "make_transfer_prior: need >= 2 samples");
-  const double threshold = stats::split_threshold(values, alpha);
-  std::vector<space::Configuration> good_configs;
-  std::vector<space::Configuration> bad_configs;
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    if (values[i] < threshold) {
-      good_configs.push_back(configs[i]);
-    } else {
-      bad_configs.push_back(configs[i]);
+  // Rank-based split, shared with History::split via stats::rank_split, so
+  // the prior partitions tied values exactly like a surrogate fit would
+  // (a value-threshold split used to drop every tie into the bad group).
+  // Rank splitting also guarantees both groups are non-empty for n >= 2.
+  const stats::RankSplit split = stats::rank_split(values, alpha);
+  auto pick = [&configs](std::span<const std::size_t> idx) {
+    std::vector<space::Configuration> out;
+    out.reserve(idx.size());
+    for (std::size_t i : idx) {
+      out.push_back(configs[i]);
     }
-  }
-  // Degenerate ties (many equal values) can empty the good group; fall back
-  // to the single best observation so the prior is always usable.
-  if (good_configs.empty()) {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < values.size(); ++i) {
-      if (values[i] < values[best]) {
-        best = i;
-      }
-    }
-    good_configs.push_back(configs[best]);
-  }
+    return out;
+  };
   return TransferPrior{
-      FactorizedDensity(space, good_configs, density_config),
-      FactorizedDensity(space, bad_configs, density_config)};
+      FactorizedDensity(space, pick(split.good), density_config),
+      FactorizedDensity(space, pick(split.bad), density_config)};
 }
 
 TpeSurrogate::TpeSurrogate(space::SpacePtr space, const History& history,

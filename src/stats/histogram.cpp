@@ -44,6 +44,14 @@ std::vector<double> HistogramDensity::probabilities() const {
   return probs;
 }
 
+std::vector<double> HistogramDensity::log_pmf_table() const {
+  std::vector<double> table(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    table[i] = log_pmf(i);
+  }
+  return table;
+}
+
 void HistogramDensity::mix_in(const HistogramDensity& other, double weight) {
   HPB_REQUIRE(other.counts_.size() == counts_.size(),
               "HistogramDensity::mix_in: level count mismatch");

@@ -32,6 +32,11 @@ class HistogramDensity {
   /// Full probability vector (sums to 1).
   [[nodiscard]] std::vector<double> probabilities() const;
 
+  /// log pmf of every level at once. Entry l equals log_pmf(l) bitwise —
+  /// acquisition score tables precompute this once per surrogate fit so a
+  /// candidate sweep replaces per-candidate log/divide with a table lookup.
+  [[nodiscard]] std::vector<double> log_pmf_table() const;
+
   /// Mix another histogram over the same levels into this one with weight w
   /// (implements the transfer prior of eq. 9–10: counts += w * other.counts).
   void mix_in(const HistogramDensity& other, double weight);

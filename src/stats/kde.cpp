@@ -89,6 +89,15 @@ double KernelDensity::log_pdf(double x) const {
   return std::log(std::max(pdf(x), 1e-300));
 }
 
+std::vector<double> KernelDensity::log_pdf_many(
+    std::span<const double> xs) const {
+  std::vector<double> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = log_pdf(xs[i]);
+  }
+  return out;
+}
+
 double KernelDensity::sample(Rng& rng) const {
   if (centers_.empty()) {
     return rng.uniform(lo_, hi_);

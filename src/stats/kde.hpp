@@ -27,6 +27,13 @@ class KernelDensity {
   /// log pdf(x).
   [[nodiscard]] double log_pdf(double x) const;
 
+  /// log pdf of many points at once; entry i equals log_pdf(xs[i]) bitwise.
+  /// Acquisition score tables memoize the distinct values of a candidate
+  /// pool through this, turning the O(pool * samples) ranking sweep into
+  /// O(distinct * samples) + table lookups.
+  [[nodiscard]] std::vector<double> log_pdf_many(
+      std::span<const double> xs) const;
+
   /// Draw one sample: pick a kernel center uniformly, add Gaussian noise,
   /// reflect into [lo, hi]. Used by the Proposal selection strategy (§III-D).
   [[nodiscard]] double sample(Rng& rng) const;

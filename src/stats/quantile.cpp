@@ -42,6 +42,29 @@ double split_threshold(std::span<const double> values, double alpha) {
   return sorted[n_good];
 }
 
+RankSplit rank_split(std::span<const double> values, double alpha) {
+  HPB_REQUIRE(alpha > 0.0 && alpha < 1.0, "rank_split: alpha in (0,1)");
+  HPB_REQUIRE(values.size() >= 2, "rank_split: need >= 2 values");
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&values](std::size_t a, std::size_t b) {
+                     return values[a] < values[b];
+                   });
+  std::size_t n_good = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(alpha * static_cast<double>(n))));
+  n_good = std::min(n_good, n - 1);
+
+  RankSplit split;
+  split.good.assign(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(n_good));
+  split.bad.assign(order.begin() + static_cast<std::ptrdiff_t>(n_good),
+                   order.end());
+  split.threshold = values[order[n_good]];  // first value ranked "bad"
+  return split;
+}
+
 std::vector<std::size_t> smallest_k_indices(std::span<const double> values,
                                             std::size_t k) {
   HPB_REQUIRE(k <= values.size(), "smallest_k_indices: k > size");

@@ -27,4 +27,20 @@ namespace hpb::stats {
 [[nodiscard]] std::vector<std::size_t> smallest_k_indices(
     std::span<const double> values, std::size_t k);
 
+/// The TPE good/bad split by *rank*: exactly max(1, floor(alpha*n)) indices
+/// (clamped to n-1) go into `good`, ordered by ascending value with ties
+/// broken by original index (stable). `threshold` is the value of the first
+/// observation ranked "bad". This is the single split definition shared by
+/// History::split and make_transfer_prior, so heavy ties partition the same
+/// data into identical groups everywhere.
+struct RankSplit {
+  std::vector<std::size_t> good;
+  std::vector<std::size_t> bad;
+  double threshold = 0.0;
+};
+
+/// Split `values` (n >= 2, alpha in (0,1)) by rank as described above.
+[[nodiscard]] RankSplit rank_split(std::span<const double> values,
+                                   double alpha);
+
 }  // namespace hpb::stats
