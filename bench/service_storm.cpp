@@ -1,0 +1,462 @@
+// Load generator for the tuning service: drives thousands of interleaved
+// sessions through a real LineServer socket and reports wire-level
+// latency.
+//
+// Topology: one in-process SessionManager (journal-backed, LRU-evicting)
+// behind a WireService + LineServer on a Unix socket; N worker threads,
+// each holding one connection and a *window* of open sessions it
+// round-robins across. The window interleaving is the point — a session is
+// touched, left idle while its worker serves the rest of the window, and
+// touched again, which is exactly the access pattern that drives LRU
+// eviction and journal resume when max_resident < workers × window. Each
+// session runs create → (suggest → evaluate client-side → observe)* →
+// close for a fixed number of evaluations.
+//
+// Reported (and written as JSON): client-observed p50/p99/mean latency per
+// verb, sessions/sec, suggests/sec, and the manager's eviction/resume
+// counters, so a perf regression in the striped registry, the wire codec,
+// or the journal replay path shows up as a number, not a feeling.
+//
+// Usage: service_storm [--smoke] [--sessions N] [--workers N] [--window N]
+//                      [--evals N] [--batch N] [--max-resident N]
+//                      [--method NAME] [--dataset NAME] [--out PATH]
+//   --smoke   tiny run (CI wiring check, label `bench`)
+//   --out     JSON output path (default BENCH_service.json)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/session_manager.hpp"
+#include "obs/json_util.hpp"
+#include "service/factory.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+[[noreturn]] void die(const std::string& message) {
+  std::fprintf(stderr, "service_storm: %s\n", message.c_str());
+  std::exit(1);
+}
+
+/// Blocking line-oriented client over a Unix socket.
+class LineClient {
+ public:
+  explicit LineClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      die("socket: " + std::string(std::strerror(errno)));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      die("connect '" + path + "': " + std::strerror(errno));
+    }
+  }
+  ~LineClient() { ::close(fd_); }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  std::string rpc(const std::string& request) {
+    std::string out = request + "\n";
+    std::string_view data = out;
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        die("send: " + std::string(std::strerror(errno)));
+      }
+      data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n <= 0) {
+        die("server closed the connection mid-response");
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+service::JsonValue expect_ok(const std::string& response) {
+  service::JsonValue v = service::parse_json(response);
+  const service::JsonValue* ok = v.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    die("request failed: " + response);
+  }
+  return v;
+}
+
+struct Percentiles {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  std::size_t count = 0;
+};
+
+Percentiles summarize(std::vector<std::uint64_t>& ns) {
+  Percentiles out;
+  out.count = ns.size();
+  if (ns.empty()) {
+    return out;
+  }
+  std::sort(ns.begin(), ns.end());
+  const auto at = [&](double q) {
+    const std::size_t i = std::min(
+        ns.size() - 1, static_cast<std::size_t>(q * double(ns.size() - 1)));
+    return static_cast<double>(ns[i]) * 1e-6;
+  };
+  out.p50_ms = at(0.50);
+  out.p99_ms = at(0.99);
+  double sum = 0.0;
+  for (const std::uint64_t v : ns) {
+    sum += static_cast<double>(v);
+  }
+  out.mean_ms = sum * 1e-6 / static_cast<double>(ns.size());
+  return out;
+}
+
+struct Options {
+  std::size_t sessions = 10000;
+  std::size_t workers = 8;
+  std::size_t window = 32;
+  std::size_t evals = 6;
+  std::size_t batch = 2;
+  std::size_t max_resident = 128;
+  std::string method = "random";
+  std::string dataset = "kripke";
+  std::string out = "BENCH_service.json";
+  bool smoke = false;
+};
+
+struct WorkerStats {
+  std::vector<std::uint64_t> suggest_ns;
+  std::vector<std::uint64_t> observe_ns;
+  std::size_t sessions_completed = 0;
+};
+
+/// One open session as the client sees it: its name and how far along it
+/// is.
+struct SlotState {
+  std::string name;
+  std::size_t evals_done = 0;
+  bool active = false;
+};
+
+void run_worker(const Options& opt, const std::string& socket_path,
+                tabular::TabularObjective& dataset,
+                std::atomic<std::size_t>& next_session, WorkerStats& stats) {
+  LineClient client(socket_path);
+  std::vector<SlotState> window(opt.window);
+  const std::string create_suffix =
+      std::string("\",\"dataset\":\"") + opt.dataset + "\",\"method\":\"" +
+      opt.method + "\",\"batch_size\":" + std::to_string(opt.batch) +
+      ",\"max_evaluations\":" + std::to_string(opt.evals) + ",\"seed\":";
+
+  std::size_t active = 0;
+  bool draining = false;
+  std::size_t slot = 0;
+  while (true) {
+    // Fill empty slots with fresh sessions until the global quota is out.
+    if (!draining) {
+      for (SlotState& s : window) {
+        if (s.active) {
+          continue;
+        }
+        const std::size_t id =
+            next_session.fetch_add(1, std::memory_order_relaxed);
+        if (id >= opt.sessions) {
+          draining = true;
+          break;
+        }
+        s.name = "s" + std::to_string(id);
+        s.evals_done = 0;
+        s.active = true;
+        ++active;
+        expect_ok(client.rpc("{\"verb\":\"create\",\"session\":\"" + s.name +
+                             create_suffix + std::to_string(id) + "}"));
+      }
+    }
+    if (active == 0) {
+      return;  // drained: every session this worker owned is closed
+    }
+    // Round-robin: one suggest/observe round for the next active slot.
+    while (!window[slot % opt.window].active) {
+      ++slot;
+    }
+    SlotState& s = window[slot % opt.window];
+    ++slot;
+
+    const auto t0 = Clock::now();
+    const service::JsonValue suggest = expect_ok(
+        client.rpc("{\"verb\":\"suggest\",\"session\":\"" + s.name + "\"}"));
+    stats.suggest_ns.push_back(elapsed_ns(t0, Clock::now()));
+
+    // Evaluate client-side against the same tabular dataset the service
+    // tunes over — the remote-evaluation split the service exists for.
+    std::string results = "[";
+    const auto& configs = suggest.find("configs")->as_array();
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const auto& values = configs[i].as_array();
+      space::Configuration config;
+      config.values().reserve(values.size());
+      std::string config_json = "[";
+      for (std::size_t j = 0; j < values.size(); ++j) {
+        config.values().push_back(values[j].as_number());
+        config_json +=
+            (j > 0 ? "," : "") + obs::json_double(values[j].as_number());
+      }
+      config_json += ']';
+      const tabular::EvalResult r = dataset.evaluate_result(config);
+      if (i > 0) {
+        results += ',';
+      }
+      results += "{\"config\":" + config_json +
+                 ",\"y\":" + obs::json_double(r.value) + "}";
+    }
+    results += ']';
+    s.evals_done += configs.size();
+
+    const auto t1 = Clock::now();
+    expect_ok(client.rpc("{\"verb\":\"observe\",\"session\":\"" + s.name +
+                         "\",\"results\":" + results + "}"));
+    stats.observe_ns.push_back(elapsed_ns(t1, Clock::now()));
+
+    if (s.evals_done >= opt.evals) {
+      expect_ok(client.rpc("{\"verb\":\"close\",\"session\":\"" + s.name +
+                           "\"}"));
+      s.active = false;
+      --active;
+      ++stats.sessions_completed;
+    }
+  }
+}
+
+int run(Options opt) {
+  if (opt.smoke) {
+    opt.sessions = 60;
+    opt.workers = 2;
+    opt.window = 8;
+    opt.evals = 4;
+    opt.max_resident = 8;
+  }
+  const std::string run_tag = "storm." + std::to_string(::getpid());
+  const std::string session_dir = run_tag + ".sessions";
+  const std::string socket_path = run_tag + ".sock";
+
+  core::SessionManagerConfig mconfig;
+  mconfig.journal_dir = session_dir;
+  mconfig.max_resident = opt.max_resident;
+  core::SessionManager manager(service::dataset_session_factory(),
+                               std::move(mconfig));
+  service::WireService wire(manager);
+  service::LineServer server(
+      [&wire](std::string_view line) { return wire.handle_line(line); },
+      {.unix_path = socket_path});
+  server.start();
+
+  // The client-side copy of the dataset (the service's factory builds its
+  // own; values are identical by construction). Tabular evaluation is a
+  // read-only lookup, safe to share across worker threads.
+  tabular::TabularObjective dataset = apps::dataset_by_name(opt.dataset).make();
+
+  std::printf(
+      "service_storm: %zu sessions x %zu evals (batch %zu, method %s), "
+      "%zu workers x window %zu, max_resident %zu\n",
+      opt.sessions, opt.evals, opt.batch, opt.method.c_str(), opt.workers,
+      opt.window, opt.max_resident);
+
+  std::atomic<std::size_t> next_session{0};
+  std::vector<WorkerStats> stats(opt.workers);
+  std::vector<std::thread> workers;
+  workers.reserve(opt.workers);
+  const auto t0 = Clock::now();
+  for (std::size_t w = 0; w < opt.workers; ++w) {
+    workers.emplace_back([&, w] {
+      run_worker(opt, socket_path, dataset, next_session, stats[w]);
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  const double wall_s = static_cast<double>(elapsed_ns(t0, Clock::now())) * 1e-9;
+  server.stop();
+
+  std::vector<std::uint64_t> suggest_ns;
+  std::vector<std::uint64_t> observe_ns;
+  std::size_t completed = 0;
+  for (WorkerStats& s : stats) {
+    suggest_ns.insert(suggest_ns.end(), s.suggest_ns.begin(),
+                      s.suggest_ns.end());
+    observe_ns.insert(observe_ns.end(), s.observe_ns.begin(),
+                      s.observe_ns.end());
+    completed += s.sessions_completed;
+  }
+  if (completed != opt.sessions) {
+    die("completed " + std::to_string(completed) + " of " +
+        std::to_string(opt.sessions) + " sessions");
+  }
+  if (manager.resident_count() != 0) {
+    die("expected every session closed, " +
+        std::to_string(manager.resident_count()) + " still resident");
+  }
+  const Percentiles suggest = summarize(suggest_ns);
+  const Percentiles observe = summarize(observe_ns);
+  const double sessions_per_sec =
+      static_cast<double>(completed) / std::max(wall_s, 1e-9);
+
+  std::printf("  wall time      %.2fs (%.0f sessions/s, %.0f suggests/s)\n",
+              wall_s, sessions_per_sec,
+              static_cast<double>(suggest.count) / std::max(wall_s, 1e-9));
+  std::printf("  suggest        p50 %.3fms  p99 %.3fms  mean %.3fms  (n=%zu)\n",
+              suggest.p50_ms, suggest.p99_ms, suggest.mean_ms, suggest.count);
+  std::printf("  observe        p50 %.3fms  p99 %.3fms  mean %.3fms  (n=%zu)\n",
+              observe.p50_ms, observe.p99_ms, observe.mean_ms, observe.count);
+  std::printf("  manager        %llu created, %llu evicted, %llu resumed, "
+              "%llu closed\n",
+              static_cast<unsigned long long>(manager.created_count()),
+              static_cast<unsigned long long>(manager.evicted_count()),
+              static_cast<unsigned long long>(manager.resumed_count()),
+              static_cast<unsigned long long>(manager.closed_count()));
+
+  // Interleaved windows larger than the residency cap must actually have
+  // exercised the eviction/resume path — a silent zero here would mean the
+  // bench measured nothing but the hot path.
+  if (opt.max_resident < opt.workers * opt.window &&
+      (manager.evicted_count() == 0 || manager.resumed_count() == 0)) {
+    die("eviction/resume path was not exercised (evicted=" +
+        std::to_string(manager.evicted_count()) + ", resumed=" +
+        std::to_string(manager.resumed_count()) + ")");
+  }
+
+  std::string json = "{\n  \"bench\": \"service_storm\",\n";
+  json += "  \"sessions\": " + std::to_string(opt.sessions) + ",\n";
+  json += "  \"workers\": " + std::to_string(opt.workers) + ",\n";
+  json += "  \"window\": " + std::to_string(opt.window) + ",\n";
+  json += "  \"evals_per_session\": " + std::to_string(opt.evals) + ",\n";
+  json += "  \"batch_size\": " + std::to_string(opt.batch) + ",\n";
+  json += "  \"max_resident\": " + std::to_string(opt.max_resident) + ",\n";
+  json += "  \"method\": \"" + opt.method + "\",\n";
+  json += "  \"dataset\": \"" + opt.dataset + "\",\n";
+  json += "  \"wall_seconds\": " + obs::json_double(wall_s) + ",\n";
+  json += "  \"sessions_per_sec\": " + obs::json_double(sessions_per_sec) +
+          ",\n";
+  const auto verb_json = [](const char* name, const Percentiles& p) {
+    return std::string("  \"") + name + "\": {\"p50_ms\": " +
+           obs::json_double(p.p50_ms) + ", \"p99_ms\": " +
+           obs::json_double(p.p99_ms) + ", \"mean_ms\": " +
+           obs::json_double(p.mean_ms) + ", \"count\": " +
+           std::to_string(p.count) + "}";
+  };
+  json += verb_json("suggest", suggest) + ",\n";
+  json += verb_json("observe", observe) + ",\n";
+  json += "  \"evicted\": " + std::to_string(manager.evicted_count()) + ",\n";
+  json += "  \"resumed\": " + std::to_string(manager.resumed_count()) + ",\n";
+  json += "  \"connections\": " +
+          std::to_string(server.connections_accepted()) + "\n}\n";
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    die("cannot write " + opt.out);
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("  wrote %s\n", opt.out.c_str());
+
+  // The journals are run artifacts, not results: a clean exit leaves only
+  // the JSON report behind.
+  std::error_code ec;
+  std::filesystem::remove_all(session_dir, ec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hpb
+
+int main(int argc, char** argv) {
+  hpb::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "service_storm: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--sessions") {
+      opt.sessions = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--workers") {
+      opt.workers = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--window") {
+      opt.window = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--evals") {
+      opt.evals = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--batch") {
+      opt.batch = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--max-resident") {
+      opt.max_resident = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--method") {
+      opt.method = next();
+    } else if (arg == "--dataset") {
+      opt.dataset = next();
+    } else if (arg == "--out") {
+      opt.out = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: service_storm [--smoke] [--sessions N] "
+                   "[--workers N] [--window N] [--evals N] [--batch N] "
+                   "[--max-resident N] [--method NAME] [--dataset NAME] "
+                   "[--out PATH]\n");
+      return 2;
+    }
+  }
+  if (opt.sessions == 0 || opt.workers == 0 || opt.window == 0 ||
+      opt.evals == 0 || opt.batch == 0) {
+    std::fprintf(stderr, "service_storm: all sizes must be positive\n");
+    return 2;
+  }
+  return hpb::run(opt);
+}

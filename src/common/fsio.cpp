@@ -1,6 +1,7 @@
 #include "common/fsio.hpp"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -71,6 +72,35 @@ void write_file_atomic(const std::string& path, std::string_view contents) {
     HPB_REQUIRE(false, "rename '" + tmp + "' -> '" + path + "': " + why);
   }
   sync_parent_dir(path);
+}
+
+bool dir_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+void ensure_dir(const std::string& path) {
+  HPB_REQUIRE(!path.empty(), "ensure_dir: path must not be empty");
+  // Walk the path a component at a time; EEXIST from a concurrent creator
+  // is success, anything already present must actually be a directory.
+  std::size_t pos = path.front() == '/' ? 1 : 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    const std::string prefix =
+        slash == std::string::npos ? path : path.substr(0, slash);
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      HPB_REQUIRE(false, "mkdir '" + prefix + "': " + errno_text());
+    }
+    if (!prefix.empty()) {
+      HPB_REQUIRE(dir_exists(prefix),
+                  "ensure_dir: '" + prefix + "' exists but is not a directory");
+    }
+    if (slash == std::string::npos) {
+      break;
+    }
+    pos = slash + 1;
+  }
 }
 
 }  // namespace hpb::fs

@@ -22,4 +22,12 @@ void sync_parent_dir(const std::string& path);
 /// or the complete new one — never a torn prefix. Throws hpb::Error.
 void write_file_atomic(const std::string& path, std::string_view contents);
 
+/// mkdir -p: create `path` and any missing ancestors (mode 0755). A path
+/// that already exists as a directory is fine; anything else (a component
+/// exists as a file, permission denied, ...) throws hpb::Error.
+void ensure_dir(const std::string& path);
+
+/// True when `path` names an existing directory.
+[[nodiscard]] bool dir_exists(const std::string& path);
+
 }  // namespace hpb::fs

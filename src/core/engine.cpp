@@ -1,7 +1,6 @@
 #include "core/engine.hpp"
 
 #include <cmath>
-#include <limits>
 #include <utility>
 #include <vector>
 
@@ -18,43 +17,19 @@ TuningEngine::TuningEngine(EngineConfig config) : config_(std::move(config)) {
               "TuningEngine: eval_deadline must be >= 0");
 }
 
-std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
-                                                 tabular::Objective& objective,
-                                                 std::size_t k,
-                                                 std::size_t round_index) const {
-  const obs::Recorder& rec = config_.recorder;
-  const bool tracing = rec.tracing();
-  // The round span id is allocated before any child span so children can
-  // point at it; the span record itself is emitted last, when its duration
-  // is known.
-  std::uint64_t round_id = 0;
-  std::uint64_t round_start = 0;
-  if (tracing) {
-    round_id = rec.trace->next_id();
-    round_start = rec.now_ns();
-  }
+SessionConfig TuningEngine::session_config(StopConfig stop) const {
+  return {.batch_size = config_.batch_size,
+          .failure = config_.failure,
+          .eval_deadline = config_.eval_deadline,
+          .stop_flag = config_.stop_flag,
+          .recorder = config_.recorder,
+          .stop = stop};
+}
 
-  const std::uint64_t suggest_start = tracing ? rec.now_ns() : 0;
-  std::vector<space::Configuration> batch = tuner.suggest_batch(k);
-  HPB_REQUIRE(!batch.empty(), "TuningEngine: tuner returned an empty batch");
-  HPB_REQUIRE(batch.size() <= k,
-              "TuningEngine: tuner returned more configurations than asked");
-  if (tracing) {
-    const obs::TraceAttr attrs[] = {
-        obs::TraceAttr::uint("requested", k),
-        obs::TraceAttr::uint("actual", batch.size())};
-    rec.trace->emit({.name = "suggest",
-                     .id = rec.trace->next_id(),
-                     .parent = round_id,
-                     .start_ns = suggest_start,
-                     .end_ns = rec.now_ns(),
-                     .attrs = attrs});
-  }
-  // The round marker goes out before evaluation starts: a crash mid-round
-  // leaves an incomplete round the reader drops and re-evaluates.
-  if (config_.journal != nullptr) {
-    config_.journal->begin_round(k, batch.size());
-  }
+void TuningEngine::drive_round(Session& session, tabular::Objective& objective,
+                               std::size_t k) const {
+  const obs::Recorder& rec = config_.recorder;
+  std::vector<space::Configuration> batch = session.suggest(k);
   // The watchdog path only engages when a deadline or stop flag exists;
   // otherwise the historical call path runs untouched.
   const bool watched =
@@ -62,11 +37,6 @@ std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
   // Per-evaluation wall time and attempt counts, captured on the worker
   // that ran the evaluation but only when a recorder is attached — the
   // default path performs no clock reads at all.
-  struct EvalMeter {
-    std::uint64_t start_ns = 0;
-    std::uint64_t end_ns = 0;
-    std::uint64_t attempts = 1;
-  };
   std::vector<EvalMeter> meters(rec.active() ? batch.size() : 0);
   std::vector<tabular::EvalResult> results(batch.size());
   parallel_for_indexed(
@@ -122,130 +92,13 @@ std::vector<Observation> TuningEngine::run_round(Tuner& tuner,
           meters[i].attempts = attempts;
         }
       });
-  // Evaluation spans and meters are reduced in suggestion order on the
-  // caller's thread: trace files stay deterministic under a fake clock
-  // even though the evaluations themselves may have run on pool workers.
-  std::size_t failed = 0;
-  std::uint64_t retries = 0;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (!results[i].ok()) {
-      ++failed;
-    }
-    if (!meters.empty()) {
-      retries += meters[i].attempts - 1;
-    }
-    if (tracing) {
-      std::vector<obs::TraceAttr> attrs;
-      attrs.reserve(4);
-      attrs.push_back(obs::TraceAttr::uint("index", i));
-      attrs.push_back(obs::TraceAttr::str(
-          "status", tabular::status_name(results[i].status)));
-      if (results[i].ok()) {
-        attrs.push_back(obs::TraceAttr::num("value", results[i].value));
-      }
-      attrs.push_back(obs::TraceAttr::uint("attempts", meters[i].attempts));
-      rec.trace->emit({.name = "evaluate",
-                       .id = rec.trace->next_id(),
-                       .parent = round_id,
-                       .start_ns = meters[i].start_ns,
-                       .end_ns = meters[i].end_ns,
-                       .attrs = attrs});
-    }
-  }
-  if (rec.metrics != nullptr) {
-    rec.metrics->counter("engine.rounds").add(1);
-    rec.metrics->counter("engine.evaluations").add(batch.size());
-    rec.metrics->counter("engine.failures").add(failed);
-    rec.metrics->counter("engine.eval_retries").add(retries);
-    obs::Histogram& eval_ms = rec.metrics->histogram(
-        "engine.eval_ms", obs::default_latency_buckets_ms());
-    for (const EvalMeter& m : meters) {
-      eval_ms.record(static_cast<double>(m.end_ns - m.start_ns) * 1e-6);
-    }
-  }
   std::vector<Observation> observations;
   observations.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     observations.push_back(
         {std::move(batch[i]), results[i].value, results[i].status});
   }
-  // Records hit the disk before the tuner sees them: on-disk state always
-  // leads in-memory state, so replay can reconstruct the tuner exactly.
-  if (config_.journal != nullptr) {
-    for (std::size_t i = 0; i < observations.size(); ++i) {
-      config_.journal->append_observation(observations[i]);
-      if (tracing) {
-        const std::uint64_t ts = rec.now_ns();
-        const obs::TraceAttr attrs[] = {obs::TraceAttr::uint("index", i)};
-        rec.trace->emit({.name = "journal.append",
-                         .id = rec.trace->next_id(),
-                         .parent = round_id,
-                         .start_ns = ts,
-                         .end_ns = ts,
-                         .attrs = attrs});
-      }
-    }
-  }
-  const std::uint64_t observe_start = tracing ? rec.now_ns() : 0;
-  tuner.observe_batch(observations);
-  if (tracing) {
-    rec.trace->emit({.name = "observe",
-                     .id = rec.trace->next_id(),
-                     .parent = round_id,
-                     .start_ns = observe_start,
-                     .end_ns = rec.now_ns(),
-                     .attrs = {}});
-    const std::uint64_t round_end = rec.now_ns();
-    const obs::TraceAttr attrs[] = {
-        obs::TraceAttr::uint("round", round_index),
-        obs::TraceAttr::uint("requested", k),
-        obs::TraceAttr::uint("actual", observations.size()),
-        obs::TraceAttr::uint("failed", failed)};
-    rec.trace->emit({.name = "round",
-                     .id = round_id,
-                     .parent = 0,
-                     .start_ns = round_start,
-                     .end_ns = round_end,
-                     .attrs = attrs});
-  }
-  if (rec.metrics != nullptr && !meters.empty()) {
-    // Round wall time: the traced span when available, else the envelope
-    // of the evaluation meters (metrics-only runs make no round-level
-    // clock reads).
-    std::uint64_t start = meters.front().start_ns;
-    std::uint64_t end = meters.front().end_ns;
-    for (const EvalMeter& m : meters) {
-      start = std::min(start, m.start_ns);
-      end = std::max(end, m.end_ns);
-    }
-    if (tracing) {
-      start = round_start;
-      end = rec.now_ns();
-    }
-    rec.metrics
-        ->histogram("engine.round_ms", obs::default_latency_buckets_ms())
-        .record(static_cast<double>(end - start) * 1e-6);
-  }
-  return observations;
-}
-
-void TuningEngine::record(TuneResult& result, Observation o) const {
-  if (o.ok()) {
-    if (result.history.size() == result.num_failed ||
-        o.y < result.best_value) {
-      result.best_value = o.y;
-      result.best_config = o.config;
-    }
-  } else {
-    ++result.num_failed;
-  }
-  result.history.push_back(std::move(o));
-  result.best_so_far.push_back(result.best_value);
-  if (config_.recorder.metrics != nullptr &&
-      result.best_value != std::numeric_limits<double>::infinity()) {
-    config_.recorder.metrics->gauge("engine.best_value")
-        .set(result.best_value);
-  }
+  session.observe(std::move(observations), meters);
 }
 
 TuneResult TuningEngine::run(Tuner& tuner, tabular::Objective& objective,
@@ -260,26 +113,20 @@ TuneResult TuningEngine::run(Tuner& tuner, tabular::Objective& objective,
   if (config_.recorder.active()) {
     tuner.set_recorder(&config_.recorder);
   }
-  TuneResult result;
-  result.history.reserve(std::max(budget, replayed.size()));
-  result.best_so_far.reserve(std::max(budget, replayed.size()));
-  for (const Observation& o : replayed) {
-    record(result, o);
-  }
-  std::size_t round_index = 0;
-  while (result.history.size() < budget) {
+  // The fixed-budget driver ignores the session's stopping verdict (no
+  // target / stagnation checks, exactly as before the session split); the
+  // StopConfig below only sizes the bookkeeping.
+  Session session(tuner, session_config({.max_evaluations = budget}),
+                  config_.journal);
+  session.reserve(std::max(budget, replayed.size()));
+  session.replay(replayed);
+  while (session.evaluations() < budget) {
     const std::size_t k =
-        std::min(config_.batch_size, budget - result.history.size());
-    for (Observation& o : run_round(tuner, objective, k, round_index)) {
-      record(result, std::move(o));
-    }
-    ++round_index;
+        std::min(config_.batch_size, budget - session.evaluations());
+    drive_round(session, objective, k);
   }
-  if (config_.journal != nullptr) {
-    config_.journal->finalize(
-        stop_reason_name(StopReason::kBudgetExhausted));
-  }
-  return result;
+  session.finish(StopReason::kBudgetExhausted);
+  return session.take_result();
 }
 
 StoppedTuneResult TuningEngine::run_until(Tuner& tuner,
@@ -300,92 +147,45 @@ StoppedTuneResult TuningEngine::run_until(
   if (config_.recorder.active()) {
     tuner.set_recorder(&config_.recorder);
   }
-  StoppedTuneResult out;
-  TuneResult& result = out.result;
-  result.history.reserve(config.max_evaluations);
-  result.best_so_far.reserve(config.max_evaluations);
+  Session session(tuner, session_config(config), config_.journal);
+  session.reserve(config.max_evaluations);
 
-  std::size_t since_improvement = 0;
-  bool stopped = false;
-  // One observation's worth of stopping bookkeeping — identical for a
-  // replayed and a freshly evaluated observation, which is what makes a
-  // resumed session stop exactly where the uninterrupted one would.
-  auto apply = [&](Observation o) {
-    // A failed evaluation never improves and can never hit the target; a
-    // first success "improves" by definition.
-    const bool first_success =
-        o.ok() && result.history.size() == result.num_failed;
-    const bool improved =
-        o.ok() &&
-        (first_success ||
-         o.y < result.best_value - config.min_relative_improvement *
-                                       std::abs(result.best_value));
-    record(result, std::move(o));
-
-    // Stopping conditions are evaluated per observation (stagnation
-    // patience counts within a batch too), but the rest of the round is
-    // still recorded above before we return: those evaluations already
-    // happened and were observe_batch()ed into the tuner.
-    if (stopped) {
-      return;
-    }
-    if (result.best_value <= config.target_value) {
-      out.reason = StopReason::kTargetReached;
-      stopped = true;
-      return;
-    }
-    since_improvement = improved ? 0 : since_improvement + 1;
-    if (config.stagnation_patience > 0 &&
-        since_improvement >= config.stagnation_patience) {
-      out.reason = StopReason::kStagnation;
-      stopped = true;
-    }
+  auto finish = [&](StopReason reason) {
+    // finish(kInterrupted) leaves the journal unfinalized: an interrupted
+    // session is exactly what --resume expects to find.
+    session.finish(reason);
+    StoppedTuneResult out;
+    out.reason = reason;
+    out.result = session.take_result();
+    return out;
   };
 
-  auto finish = [&]() -> StoppedTuneResult {
-    // kInterrupted deliberately leaves the journal unfinalized: an
-    // interrupted session is exactly what --resume expects to find.
-    if (config_.journal != nullptr && out.reason != StopReason::kInterrupted) {
-      config_.journal->finalize(stop_reason_name(out.reason));
-    }
-    return std::move(out);
-  };
-
-  for (const Observation& o : replayed) {
-    apply(o);
-  }
-  if (stopped) {
-    return finish();
+  session.replay(replayed);
+  if (session.stopped()) {
+    return finish(session.stop_reason());
   }
 
   const auto started = std::chrono::steady_clock::now();
-  std::size_t round_index = 0;
-  while (result.history.size() < config.max_evaluations) {
+  while (session.evaluations() < config.max_evaluations) {
     if (config_.stop_flag != nullptr &&
         config_.stop_flag->load(std::memory_order_relaxed)) {
-      out.reason = StopReason::kInterrupted;
-      return finish();
+      return finish(StopReason::kInterrupted);
     }
     if (config.max_wall_time_seconds > 0.0) {
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - started;
       if (elapsed.count() >= config.max_wall_time_seconds) {
-        out.reason = StopReason::kWallTime;
-        return finish();
+        return finish(StopReason::kWallTime);
       }
     }
     const std::size_t k = std::min(
-        config_.batch_size, config.max_evaluations - result.history.size());
-    for (Observation& o : run_round(tuner, objective, k, round_index)) {
-      apply(std::move(o));
-    }
-    ++round_index;
-    if (stopped) {
-      return finish();
+        config_.batch_size, config.max_evaluations - session.evaluations());
+    drive_round(session, objective, k);
+    if (session.stopped()) {
+      return finish(session.stop_reason());
     }
   }
-  out.reason = StopReason::kBudgetExhausted;
-  return finish();
+  return finish(StopReason::kBudgetExhausted);
 }
 
 }  // namespace hpb::core

@@ -1,14 +1,19 @@
-// TuningEngine: the batched tuning-loop driver.
+// TuningEngine: the batched tuning-loop driver, now a thin loop over a
+// core::Session.
 //
-// Each round asks the tuner for a batch of up to `batch_size` distinct
-// configurations (suggest_batch), evaluates them — in parallel on a
-// ThreadPool when one is supplied — and delivers the results back in
-// suggestion order (observe_batch). Results are reduced into the recorded
-// history in suggestion order, so a run is deterministic for a fixed seed
-// regardless of scheduling, and with batch_size == 1 the engine is
-// bitwise-identical to the historical serial driver (run_tuning /
-// run_tuning_until are now thin shims over this engine): the paper's
-// curves do not move.
+// Each round asks the session for a batch of up to `batch_size` distinct
+// configurations (Session::suggest → tuner.suggest_batch), evaluates them —
+// in parallel on a ThreadPool when one is supplied — and delivers the
+// results back in suggestion order (Session::observe → tuner.observe_batch).
+// The session owns all per-run state (journal, recorder emissions, pending
+// round, best-so-far, stopping bookkeeping); the engine owns only the
+// evaluation of the objective (worker pool, watchdog, retry policy) and the
+// decision of when to stop driving. A run over the session split is
+// bitwise-identical to the pre-split single-function driver — history,
+// journal bytes, and trace spans all match (pinned by
+// tests/test_session.cpp), so the paper's curves do not move. With
+// batch_size == 1 the engine still reproduces the historical serial loop
+// exactly (run_tuning / run_tuning_until are thin shims).
 //
 // Parallel evaluation requires a thread-safe objective — true for
 // TabularObjective, whose evaluate() is a read-only table lookup; live
@@ -21,6 +26,7 @@
 #include <span>
 
 #include "common/thread_pool.hpp"
+#include "core/session.hpp"
 #include "core/stopping.hpp"
 #include "core/tuner.hpp"
 #include "obs/recorder.hpp"
@@ -29,15 +35,6 @@
 namespace hpb::core {
 
 class JournalWriter;
-
-/// How the engine treats failed evaluations (EvalStatus != kOk).
-struct FailurePolicy {
-  /// Immediate re-evaluations of a configuration whose attempt came back
-  /// kCrashed (the one transient status) before it is recorded as failed.
-  /// Retries are extra objective calls but occupy the same budget slot.
-  /// kInvalid / kTimeout are deterministic verdicts and are never retried.
-  std::size_t max_retries = 1;
-};
 
 struct EngineConfig {
   /// Configurations evaluated per suggest/observe round. 1 reproduces the
@@ -48,7 +45,7 @@ struct EngineConfig {
   ThreadPool* pool = nullptr;
   /// Retry policy for transient failures. Failed evaluations (after
   /// retries) count toward the budget, are delivered to the tuner via
-  /// observe_failure, and never update best_value/best_config.
+  /// observe_failure, and never become best_value/best_config.
   FailurePolicy failure;
   /// Wall-clock watchdog: per-evaluation deadline. Each evaluation receives
   /// a CancellationToken carrying now() + eval_deadline; cooperative
@@ -69,11 +66,11 @@ struct EngineConfig {
   /// partial result; the journal is left resumable. Not owned.
   const std::atomic<bool>* stop_flag = nullptr;
   /// Observability hooks (trace sink / metrics registry / clock), all
-  /// optional and not owned. When active, the engine emits one span per
+  /// optional and not owned. When active, the session emits one span per
   /// round, suggest, evaluation, and observe (plus an instant event per
   /// journal append) and meters evaluations/failures/retries/latencies,
-  /// and installs the recorder on the tuner so it can export its model
-  /// internals. The all-null default performs no clock reads, no
+  /// and the engine installs the recorder on the tuner so it can export
+  /// its model internals. The all-null default performs no clock reads, no
   /// allocations, and no extra branches inside evaluations: default runs
   /// are bitwise identical to a recorder-free build of the loop.
   obs::Recorder recorder;
@@ -119,17 +116,15 @@ class TuningEngine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
 
  private:
-  /// One suggest → evaluate → observe round of at most `k` evaluations.
-  /// `round_index` is the engine-local round number (trace attribute).
-  [[nodiscard]] std::vector<Observation> run_round(
-      Tuner& tuner, tabular::Objective& objective, std::size_t k,
-      std::size_t round_index) const;
+  /// Session configuration mirroring this engine's config plus the
+  /// stopping conditions of the current run.
+  [[nodiscard]] SessionConfig session_config(StopConfig stop) const;
 
-  /// Append one observation to the result: successes update the best-*
-  /// fields, failures only bump num_failed; both extend history and
-  /// best_so_far (budget was spent either way). Updates the best-value
-  /// gauge when a metrics registry is attached.
-  void record(TuneResult& result, Observation o) const;
+  /// One suggest → evaluate → observe round of at most `k` evaluations
+  /// driven through the session: the engine evaluates the suggested batch
+  /// (pool / watchdog / retries) and hands the results straight back.
+  void drive_round(Session& session, tabular::Objective& objective,
+                   std::size_t k) const;
 
   EngineConfig config_;
 };

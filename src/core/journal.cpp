@@ -138,6 +138,13 @@ JournalWriter JournalWriter::create(const std::string& path,
   HPB_REQUIRE(header.num_params > 0, "journal: header.num_params must be > 0");
   HPB_REQUIRE(header.batch_size > 0, "journal: header.batch_size must be > 0");
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // A missing parent directory is the one misconfiguration every caller
+  // hits eventually (typo'd --journal / --session-dir); name it instead of
+  // aborting the run with a bare ENOENT at the first append.
+  HPB_REQUIRE(!(fd < 0 && errno == ENOENT),
+              "journal open '" + path +
+                  "': parent directory does not exist (create it first, or "
+                  "check the --journal / --session-dir path)");
   HPB_REQUIRE(fd >= 0, "journal open '" + path + "': " + errno_text());
   JournalWriter writer(path, fd, 0);
   // The whole header goes out in one durable write: it is either entirely

@@ -1,0 +1,337 @@
+#include "core/session.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hpb::core {
+
+namespace {
+
+void validate_config(const SessionConfig& config) {
+  HPB_REQUIRE(config.batch_size > 0, "Session: batch_size must be positive");
+  HPB_REQUIRE(config.eval_deadline.count() >= 0,
+              "Session: eval_deadline must be >= 0");
+  HPB_REQUIRE(config.stop.min_relative_improvement >= 0.0,
+              "Session: min_relative_improvement must be >= 0");
+}
+
+}  // namespace
+
+Session::Session(Tuner& tuner, SessionConfig config, JournalWriter* journal)
+    : config_(std::move(config)), tuner_(&tuner), journal_(journal) {
+  validate_config(config_);
+}
+
+Session::Session(std::unique_ptr<Tuner> tuner, SessionConfig config,
+                 std::unique_ptr<JournalWriter> journal)
+    : config_(std::move(config)),
+      tuner_(tuner.get()),
+      journal_(journal.get()),
+      owned_tuner_(std::move(tuner)),
+      owned_journal_(std::move(journal)) {
+  HPB_REQUIRE(tuner_ != nullptr, "Session: tuner must not be null");
+  validate_config(config_);
+  // An owned tuner lives exactly as long as the session, so the recorder
+  // pointer (into config_) can never dangle for it.
+  if (config_.recorder.active()) {
+    tuner_->set_recorder(&config_.recorder);
+  }
+}
+
+void Session::require_open(const char* verb) const {
+  HPB_REQUIRE(!finished_, std::string("Session::") + verb +
+                              ": session is closed");
+}
+
+void Session::reserve(std::size_t n) {
+  result_.history.reserve(n);
+  result_.best_so_far.reserve(n);
+}
+
+std::vector<space::Configuration> Session::suggest(std::size_t k) {
+  require_open("suggest");
+  HPB_REQUIRE(k > 0, "Session::suggest: k must be positive");
+  HPB_REQUIRE(!round_in_flight_,
+              "Session::suggest: a round of " +
+                  std::to_string(pending_.size()) +
+                  " suggestions is already in flight; observe it first");
+  const obs::Recorder& rec = config_.recorder;
+  const bool tracing = rec.tracing();
+  // The round span id is allocated before any child span so children can
+  // point at it; the span record itself is emitted from observe(), when
+  // its duration is known.
+  round_id_ = 0;
+  round_start_ = 0;
+  if (tracing) {
+    round_id_ = rec.trace->next_id();
+    round_start_ = rec.now_ns();
+  }
+  const std::uint64_t suggest_start = tracing ? rec.now_ns() : 0;
+  std::vector<space::Configuration> batch = tuner_->suggest_batch(k);
+  HPB_REQUIRE(!batch.empty(), "Session: tuner returned an empty batch");
+  HPB_REQUIRE(batch.size() <= k,
+              "Session: tuner returned more configurations than asked");
+  if (tracing) {
+    const obs::TraceAttr attrs[] = {
+        obs::TraceAttr::uint("requested", k),
+        obs::TraceAttr::uint("actual", batch.size())};
+    rec.trace->emit({.name = "suggest",
+                     .id = rec.trace->next_id(),
+                     .parent = round_id_,
+                     .start_ns = suggest_start,
+                     .end_ns = rec.now_ns(),
+                     .attrs = attrs});
+  }
+  // The round marker goes out before evaluation starts: a crash mid-round
+  // leaves an incomplete round the reader drops and re-evaluates.
+  if (journal_ != nullptr) {
+    journal_->begin_round(k, batch.size());
+  }
+  pending_ = batch;
+  round_requested_ = k;
+  round_in_flight_ = true;
+  return batch;
+}
+
+void Session::observe(std::vector<Observation> observations,
+                      std::span<const EvalMeter> meters) {
+  require_open("observe");
+  HPB_REQUIRE(round_in_flight_,
+              "Session::observe: no round is in flight; call suggest first");
+  HPB_REQUIRE(observations.size() == pending_.size(),
+              "Session::observe: the in-flight round has " +
+                  std::to_string(pending_.size()) + " suggestions but " +
+                  std::to_string(observations.size()) +
+                  " results were delivered");
+  HPB_REQUIRE(meters.empty() || meters.size() == observations.size(),
+              "Session::observe: meters must be absent or one per result");
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    HPB_REQUIRE(
+        observations[i].config.values() == pending_[i].values(),
+        "Session::observe: result " + std::to_string(i) +
+            " does not match the suggested configuration (results must be "
+            "delivered in suggestion order; was this configuration ever "
+            "suggested?)");
+    HPB_REQUIRE(!observations[i].ok() || std::isfinite(observations[i].y),
+                "Session::observe: a successful observation must carry a "
+                "finite value");
+  }
+
+  const obs::Recorder& rec = config_.recorder;
+  const bool tracing = rec.tracing();
+  // Evaluation spans and meters are reduced in suggestion order on the
+  // caller's thread: trace files stay deterministic under a fake clock
+  // even though the evaluations themselves may have run on pool workers.
+  std::size_t failed = 0;
+  std::uint64_t retries = 0;
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    if (!observations[i].ok()) {
+      ++failed;
+    }
+    if (!meters.empty()) {
+      retries += meters[i].attempts - 1;
+    }
+    // Evaluate spans describe *local* evaluations; a remote client that
+    // evaluated elsewhere delivers no meters and gets no evaluate spans.
+    if (tracing && !meters.empty()) {
+      std::vector<obs::TraceAttr> attrs;
+      attrs.reserve(4);
+      attrs.push_back(obs::TraceAttr::uint("index", i));
+      attrs.push_back(obs::TraceAttr::str(
+          "status", tabular::status_name(observations[i].status)));
+      if (observations[i].ok()) {
+        attrs.push_back(obs::TraceAttr::num("value", observations[i].y));
+      }
+      attrs.push_back(obs::TraceAttr::uint("attempts", meters[i].attempts));
+      rec.trace->emit({.name = "evaluate",
+                       .id = rec.trace->next_id(),
+                       .parent = round_id_,
+                       .start_ns = meters[i].start_ns,
+                       .end_ns = meters[i].end_ns,
+                       .attrs = attrs});
+    }
+  }
+  if (rec.metrics != nullptr) {
+    rec.metrics->counter("engine.rounds").add(1);
+    rec.metrics->counter("engine.evaluations").add(observations.size());
+    rec.metrics->counter("engine.failures").add(failed);
+    rec.metrics->counter("engine.eval_retries").add(retries);
+    obs::Histogram& eval_ms = rec.metrics->histogram(
+        "engine.eval_ms", obs::default_latency_buckets_ms());
+    for (const EvalMeter& m : meters) {
+      eval_ms.record(static_cast<double>(m.end_ns - m.start_ns) * 1e-6);
+    }
+  }
+  // Records hit the disk before the tuner sees them: on-disk state always
+  // leads in-memory state, so replay can reconstruct the tuner exactly.
+  if (journal_ != nullptr) {
+    for (std::size_t i = 0; i < observations.size(); ++i) {
+      journal_->append_observation(observations[i]);
+      if (tracing) {
+        const std::uint64_t ts = rec.now_ns();
+        const obs::TraceAttr attrs[] = {obs::TraceAttr::uint("index", i)};
+        rec.trace->emit({.name = "journal.append",
+                         .id = rec.trace->next_id(),
+                         .parent = round_id_,
+                         .start_ns = ts,
+                         .end_ns = ts,
+                         .attrs = attrs});
+      }
+    }
+  }
+  const std::uint64_t observe_start = tracing ? rec.now_ns() : 0;
+  tuner_->observe_batch(observations);
+  if (tracing) {
+    rec.trace->emit({.name = "observe",
+                     .id = rec.trace->next_id(),
+                     .parent = round_id_,
+                     .start_ns = observe_start,
+                     .end_ns = rec.now_ns(),
+                     .attrs = {}});
+    const std::uint64_t round_end = rec.now_ns();
+    const obs::TraceAttr attrs[] = {
+        obs::TraceAttr::uint("round", round_index_),
+        obs::TraceAttr::uint("requested", round_requested_),
+        obs::TraceAttr::uint("actual", observations.size()),
+        obs::TraceAttr::uint("failed", failed)};
+    rec.trace->emit({.name = "round",
+                     .id = round_id_,
+                     .parent = 0,
+                     .start_ns = round_start_,
+                     .end_ns = round_end,
+                     .attrs = attrs});
+  }
+  if (rec.metrics != nullptr && !meters.empty()) {
+    // Round wall time: the traced span when available, else the envelope
+    // of the evaluation meters (metrics-only runs make no round-level
+    // clock reads).
+    std::uint64_t start = meters.front().start_ns;
+    std::uint64_t end = meters.front().end_ns;
+    for (const EvalMeter& m : meters) {
+      start = std::min(start, m.start_ns);
+      end = std::max(end, m.end_ns);
+    }
+    if (tracing) {
+      start = round_start_;
+      end = rec.now_ns();
+    }
+    rec.metrics
+        ->histogram("engine.round_ms", obs::default_latency_buckets_ms())
+        .record(static_cast<double>(end - start) * 1e-6);
+  }
+  for (Observation& o : observations) {
+    apply(std::move(o));
+  }
+  round_in_flight_ = false;
+  pending_.clear();
+  ++round_index_;
+}
+
+void Session::replay(std::span<const Observation> replayed) {
+  require_open("replay");
+  HPB_REQUIRE(!round_in_flight_,
+              "Session::replay: a round is in flight; replay only precedes "
+              "fresh rounds");
+  for (const Observation& o : replayed) {
+    apply(o);
+  }
+}
+
+void Session::apply(Observation o) {
+  // A failed evaluation never improves and can never hit the target; a
+  // first success "improves" by definition.
+  const bool first_success =
+      o.ok() && result_.history.size() == result_.num_failed;
+  const bool improved =
+      o.ok() && (first_success ||
+                 o.y < result_.best_value -
+                           config_.stop.min_relative_improvement *
+                               std::abs(result_.best_value));
+  if (o.ok()) {
+    if (first_success || o.y < result_.best_value) {
+      result_.best_value = o.y;
+      result_.best_config = o.config;
+    }
+  } else {
+    ++result_.num_failed;
+  }
+  result_.history.push_back(std::move(o));
+  result_.best_so_far.push_back(result_.best_value);
+  if (config_.recorder.metrics != nullptr &&
+      result_.best_value != std::numeric_limits<double>::infinity()) {
+    config_.recorder.metrics->gauge("engine.best_value")
+        .set(result_.best_value);
+  }
+
+  // Stopping conditions are evaluated per observation (stagnation patience
+  // counts within a batch too); once a condition fires the rest of the
+  // round is still recorded above — those evaluations already happened.
+  if (stopped_) {
+    return;
+  }
+  if (result_.best_value <= config_.stop.target_value) {
+    reason_ = StopReason::kTargetReached;
+    stopped_ = true;
+    return;
+  }
+  since_improvement_ = improved ? 0 : since_improvement_ + 1;
+  if (config_.stop.stagnation_patience > 0 &&
+      since_improvement_ >= config_.stop.stagnation_patience) {
+    reason_ = StopReason::kStagnation;
+    stopped_ = true;
+  }
+}
+
+SessionStatus Session::status() const {
+  SessionStatus s;
+  s.evaluations = result_.history.size();
+  s.num_failed = result_.num_failed;
+  s.rounds = round_index_;
+  s.pending = round_in_flight_ ? pending_.size() : 0;
+  s.best_value = result_.best_value;
+  s.best_config = result_.best_config.values();
+  s.stopped = stopped_;
+  s.reason = reason_;
+  s.finished = finished_;
+  return s;
+}
+
+SessionCheckpoint Session::checkpoint() const {
+  SessionCheckpoint c;
+  c.journaled = journal_ != nullptr;
+  if (journal_ != nullptr) {
+    c.journal_path = journal_->path();
+  }
+  c.rounds = round_index_;
+  c.observations = result_.history.size();
+  c.round_in_flight = round_in_flight_;
+  return c;
+}
+
+void Session::finish(StopReason reason) {
+  require_open("finish");
+  // kInterrupted deliberately leaves the journal unfinalized: an
+  // interrupted session is exactly what --resume expects to find.
+  if (journal_ != nullptr && reason != StopReason::kInterrupted) {
+    journal_->finalize(stop_reason_name(reason));
+  }
+  stopped_ = true;
+  reason_ = reason;
+  finished_ = reason != StopReason::kInterrupted;
+}
+
+void Session::close() {
+  require_open("close");
+  HPB_REQUIRE(!round_in_flight_,
+              "Session::close: a round of " + std::to_string(pending_.size()) +
+                  " suggestions is in flight; observe it before closing");
+  if (journal_ != nullptr) {
+    journal_->finalize("closed");
+  }
+  finished_ = true;
+}
+
+}  // namespace hpb::core

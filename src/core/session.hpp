@@ -1,0 +1,227 @@
+// Session: the reentrant per-run core of the tuning loop.
+//
+// A Session owns everything one tuning run carries between rounds — the
+// tuner, the write-ahead journal, the observability recorder, the pending
+// (suggested-but-unobserved) round, the stopping bookkeeping, and the
+// best-so-far trajectory — behind explicit suggest / observe / status /
+// checkpoint entry points. TuningEngine::run drives a single Session to
+// completion (evaluating the objective itself); SessionManager hosts
+// thousands of named Sessions whose clients evaluate remotely and come and
+// go between verbs.
+//
+// The split is exact: Session::suggest performs everything run_round did up
+// to (and including) the journal round marker, Session::observe performs
+// everything after the evaluations returned, in the same order — trace span
+// ids, clock reads, journal bytes, and metrics all match the pre-split
+// driver bit for bit (pinned by tests/test_session.cpp).
+//
+// One round may be in flight at a time: suggest() with an unobserved round
+// throws, observe() validates that the delivered results match the pending
+// suggestions in order (an out-of-order observe is a client error, not a
+// crash). Failure handling, stopping bookkeeping, and journal finalization
+// semantics are unchanged from the engine they were extracted from.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/journal.hpp"
+#include "core/loop.hpp"
+#include "core/stopping.hpp"
+#include "core/tuner.hpp"
+#include "obs/recorder.hpp"
+
+namespace hpb::core {
+
+/// How a driver treats failed evaluations (EvalStatus != kOk).
+struct FailurePolicy {
+  /// Immediate re-evaluations of a configuration whose attempt came back
+  /// kCrashed (the one transient status) before it is recorded as failed.
+  /// Retries are extra objective calls but occupy the same budget slot.
+  /// kInvalid / kTimeout are deterministic verdicts and are never retried.
+  std::size_t max_retries = 1;
+};
+
+/// Per-evaluation wall time and attempt count, captured by the driver on
+/// the worker that ran the evaluation (only when a recorder is attached)
+/// and reduced into trace spans / latency histograms by Session::observe.
+struct EvalMeter {
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t attempts = 1;
+};
+
+/// Everything a Session carries besides the tuner and the journal. The
+/// evaluation-side knobs (failure, eval_deadline, stop_flag) are stored
+/// here so the session fully describes its run, but they are consumed by
+/// the driver that evaluates the objective — a remote client performs its
+/// own evaluations and simply ignores them.
+struct SessionConfig {
+  /// Configurations suggested per round. 1 reproduces the serial ask/tell
+  /// loop exactly.
+  std::size_t batch_size = 1;
+  /// Retry policy for transient failures (driver-side).
+  FailurePolicy failure;
+  /// Per-evaluation watchdog deadline (driver-side; zero disables).
+  std::chrono::milliseconds eval_deadline{0};
+  /// Graceful-shutdown flag, checked by the driver between rounds. Not
+  /// owned.
+  const std::atomic<bool>* stop_flag = nullptr;
+  /// Observability hooks (trace sink / metrics registry / clock), optional
+  /// and not owned. The all-null default adds no work to the loop.
+  obs::Recorder recorder;
+  /// Stopping conditions. Session::observe applies the per-observation
+  /// bookkeeping (target check, stagnation patience) and exposes the
+  /// verdict via status(); drivers decide whether to honor it (run()
+  /// ignores it, run_until() stops on it).
+  StopConfig stop;
+};
+
+/// Snapshot of a session's progress, cheap enough to take per verb.
+struct SessionStatus {
+  std::size_t evaluations = 0;
+  std::size_t num_failed = 0;
+  /// Completed suggest/observe rounds.
+  std::size_t rounds = 0;
+  /// Suggestions of the in-flight round still awaiting observe (0 when no
+  /// round is in flight).
+  std::size_t pending = 0;
+  double best_value = 0.0;
+  /// Raw values of the best successful configuration; empty until the
+  /// first success.
+  std::vector<double> best_config;
+  /// A stopping condition fired (target reached / stagnation). The session
+  /// still accepts observes for an in-flight round.
+  bool stopped = false;
+  StopReason reason = StopReason::kBudgetExhausted;
+  /// finish()/close() was called; every further verb throws.
+  bool finished = false;
+};
+
+/// Durability report for eviction decisions: what survives if the
+/// in-memory session is dropped right now.
+struct SessionCheckpoint {
+  /// True when a write-ahead journal backs the session. The journal is
+  /// fsync'd per record, so a journaled session is always durable up to
+  /// its last completed observation — checkpoint() reports, it never has
+  /// to flush.
+  bool journaled = false;
+  std::string journal_path;
+  std::size_t rounds = 0;
+  std::size_t observations = 0;
+  /// An unobserved round is in flight; dropping the session now would
+  /// orphan its suggestions (the journal holds only the round marker,
+  /// which resume discards and re-suggests).
+  bool round_in_flight = false;
+};
+
+class Session {
+ public:
+  /// Borrowing constructor, used by TuningEngine: the caller keeps
+  /// ownership of the tuner and the journal (both must outlive the
+  /// session) and is responsible for installing the recorder on the tuner
+  /// (the engine points it at its own config, exactly as before the
+  /// split).
+  Session(Tuner& tuner, SessionConfig config, JournalWriter* journal = nullptr);
+
+  /// Owning constructor, used by SessionManager: the session owns its
+  /// tuner and journal, and installs its recorder on the tuner when one is
+  /// attached.
+  Session(std::unique_ptr<Tuner> tuner, SessionConfig config,
+          std::unique_ptr<JournalWriter> journal);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Ask the tuner for up to `k` configurations and open a round: emits
+  /// the suggest span, writes the journal round marker, and records the
+  /// batch as pending. Throws if a round is already in flight or the
+  /// session is finished.
+  [[nodiscard]] std::vector<space::Configuration> suggest(std::size_t k);
+
+  /// Deliver the evaluated round, in suggestion order. Validates that the
+  /// observations match the pending suggestions (out-of-order or foreign
+  /// results throw without corrupting the session), journals them, feeds
+  /// the tuner, and applies best-so-far + stopping bookkeeping. `meters`
+  /// (driver-side timing) feeds the evaluate spans and latency histograms;
+  /// remote sessions pass none and get no evaluate spans.
+  void observe(std::vector<Observation> observations,
+               std::span<const EvalMeter> meters = {});
+
+  /// Apply already-journaled observations (from replay_journal, which
+  /// drove them through the tuner) to the result and stopping bookkeeping.
+  /// Only valid before the first suggest of a fresh session.
+  void replay(std::span<const Observation> replayed);
+
+  [[nodiscard]] SessionStatus status() const;
+
+  /// Report what is durable if the in-memory session is dropped now.
+  [[nodiscard]] SessionCheckpoint checkpoint() const;
+
+  /// Terminal bookkeeping for a driver-completed run: finalizes the
+  /// journal with the stop reason — except kInterrupted, which leaves the
+  /// journal resumable (that is what --resume expects to find).
+  void finish(StopReason reason);
+
+  /// Terminal bookkeeping for a service session: finalizes the journal
+  /// with "closed". Throws when a round is in flight (its suggestions
+  /// would be orphaned) or the session already finished.
+  void close();
+
+  [[nodiscard]] const SessionConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const TuneResult& result() const noexcept { return result_; }
+  [[nodiscard]] TuneResult take_result() noexcept { return std::move(result_); }
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return result_.history.size();
+  }
+  [[nodiscard]] bool round_in_flight() const noexcept {
+    return round_in_flight_;
+  }
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  [[nodiscard]] StopReason stop_reason() const noexcept { return reason_; }
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] bool journaled() const noexcept { return journal_ != nullptr; }
+  [[nodiscard]] Tuner& tuner() noexcept { return *tuner_; }
+
+  /// Pre-size the history/best-so-far vectors (drivers know their budget).
+  void reserve(std::size_t n);
+
+ private:
+  /// One observation's worth of result + stopping bookkeeping — identical
+  /// for a replayed and a freshly evaluated observation, which is what
+  /// makes a resumed session stop exactly where the uninterrupted one
+  /// would.
+  void apply(Observation o);
+
+  void require_open(const char* verb) const;
+
+  SessionConfig config_;
+  Tuner* tuner_ = nullptr;
+  JournalWriter* journal_ = nullptr;
+  std::unique_ptr<Tuner> owned_tuner_;
+  std::unique_ptr<JournalWriter> owned_journal_;
+
+  TuneResult result_;
+  std::size_t since_improvement_ = 0;
+  bool stopped_ = false;
+  StopReason reason_ = StopReason::kBudgetExhausted;
+  bool finished_ = false;
+
+  // In-flight round state.
+  bool round_in_flight_ = false;
+  std::vector<space::Configuration> pending_;
+  std::size_t round_requested_ = 0;
+  std::size_t round_index_ = 0;
+  std::uint64_t round_id_ = 0;
+  std::uint64_t round_start_ = 0;
+};
+
+}  // namespace hpb::core

@@ -1,0 +1,371 @@
+#include "core/session_manager.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fsio.hpp"
+
+namespace hpb::core {
+
+namespace {
+
+bool name_char_ok(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+SessionSpec spec_from_header(const std::string& name,
+                             const JournalHeader& header) {
+  SessionSpec spec;
+  spec.name = name;
+  spec.method = header.method;
+  spec.dataset = header.dataset;
+  spec.seed = header.seed;
+  spec.batch_size = header.batch_size;
+  spec.stop.max_evaluations = header.max_evaluations;
+  spec.stop.stagnation_patience = header.stagnation_patience;
+  spec.stop.target_value = header.target_value;
+  return spec;
+}
+
+JournalHeader header_from_spec(const SessionSpec& spec,
+                               std::size_t num_params) {
+  JournalHeader header;
+  header.method = spec.method;
+  header.dataset = spec.dataset;
+  header.seed = spec.seed;
+  header.batch_size = spec.batch_size;
+  header.num_params = num_params;
+  header.max_evaluations = spec.stop.max_evaluations;
+  header.stagnation_patience = spec.stop.stagnation_patience;
+  header.target_value = spec.stop.target_value;
+  return header;
+}
+
+}  // namespace
+
+void validate_session_name(const std::string& name) {
+  HPB_REQUIRE(!name.empty() && name.size() <= 128,
+              "session name must be 1..128 characters");
+  HPB_REQUIRE(name != "." && name != "..",
+              "session name must not be '.' or '..'");
+  for (char c : name) {
+    HPB_REQUIRE(name_char_ok(c),
+                "session name '" + name +
+                    "' contains invalid characters (allowed: letters, "
+                    "digits, '.', '_', '-')");
+  }
+}
+
+/// Pins an acquired entry for the duration of one verb and releases it —
+/// stamping the LRU tick and running capacity eviction — on every exit
+/// path, including a throwing verb.
+class SessionManager::Lease {
+ public:
+  Lease(SessionManager& manager, std::shared_ptr<Entry> entry)
+      : manager_(manager), entry_(std::move(entry)), lock_(entry_->op) {}
+  ~Lease() {
+    lock_.unlock();
+    manager_.release(manager_.stripe_for(entry_->spec.name), entry_);
+  }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+
+  [[nodiscard]] Entry& entry() noexcept { return *entry_; }
+  [[nodiscard]] Session& session() noexcept { return *entry_->session; }
+
+ private:
+  SessionManager& manager_;
+  std::shared_ptr<Entry> entry_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+SessionManager::SessionManager(SessionFactory factory,
+                               SessionManagerConfig config)
+    : factory_(std::move(factory)), config_(std::move(config)) {
+  HPB_REQUIRE(factory_ != nullptr,
+              "SessionManager: a session factory is required");
+  HPB_REQUIRE(config_.num_stripes > 0,
+              "SessionManager: num_stripes must be positive");
+  stripes_.reserve(config_.num_stripes);
+  for (std::size_t i = 0; i < config_.num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  if (config_.max_resident > 0) {
+    stripe_capacity_ =
+        std::max<std::size_t>(1, config_.max_resident / config_.num_stripes);
+  }
+  if (!config_.journal_dir.empty()) {
+    fs::ensure_dir(config_.journal_dir);
+  }
+}
+
+// Resident sessions are dropped without finalizing their journals —
+// exactly the crash contract: an unfinalized journal is what the next
+// process's resume expects to find.
+SessionManager::~SessionManager() = default;
+
+SessionManager::Stripe& SessionManager::stripe_for(const std::string& name) {
+  return *stripes_[std::hash<std::string>{}(name) % stripes_.size()];
+}
+
+const SessionManager::Stripe& SessionManager::stripe_for(
+    const std::string& name) const {
+  return *stripes_[std::hash<std::string>{}(name) % stripes_.size()];
+}
+
+std::string SessionManager::journal_path(const std::string& name) const {
+  if (config_.journal_dir.empty()) {
+    return {};
+  }
+  return config_.journal_dir + "/" + name + ".hpbj";
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::make_entry(
+    const SessionSpec& spec, SessionBackend backend,
+    std::unique_ptr<JournalWriter> journal) {
+  auto entry = std::make_shared<Entry>();
+  entry->spec = spec;
+  entry->metrics = std::make_unique<obs::MetricsRegistry>();
+  SessionConfig sc;
+  sc.batch_size = spec.batch_size;
+  sc.stop = spec.stop;
+  // Each session meters into its own registry (engine.* names never mix
+  // across sessions); spans and the clock are shared manager-wide.
+  sc.recorder = {.trace = config_.recorder.trace,
+                 .metrics = entry->metrics.get(),
+                 .clock = config_.recorder.clock};
+  entry->session = std::make_unique<Session>(
+      std::move(backend.tuner), std::move(sc), std::move(journal));
+  entry->session->reserve(spec.stop.max_evaluations);
+  entry->tick = ++tick_;
+  return entry;
+}
+
+void SessionManager::emit_span(std::string_view span_name,
+                               const std::string& session_name) {
+  const obs::Recorder& rec = config_.recorder;
+  if (!rec.tracing()) {
+    return;
+  }
+  const std::uint64_t ts = rec.now_ns();
+  const obs::TraceAttr attrs[] = {
+      obs::TraceAttr::str("session", session_name)};
+  rec.trace->emit({.name = span_name,
+                   .id = rec.trace->next_id(),
+                   .parent = 0,
+                   .start_ns = ts,
+                   .end_ns = ts,
+                   .attrs = attrs});
+}
+
+void SessionManager::count(const char* counter) {
+  if (config_.recorder.metrics != nullptr) {
+    config_.recorder.metrics->counter(counter).add(1);
+  }
+}
+
+void SessionManager::create(const SessionSpec& spec) {
+  validate_session_name(spec.name);
+  HPB_REQUIRE(spec.batch_size > 0,
+              "SessionManager::create: batch_size must be positive");
+  HPB_REQUIRE(spec.stop.max_evaluations > 0,
+              "SessionManager::create: max_evaluations must be positive");
+  Stripe& stripe = stripe_for(spec.name);
+  std::lock_guard<std::mutex> lock(stripe.m);
+  HPB_REQUIRE(stripe.map.find(spec.name) == stripe.map.end(),
+              "session '" + spec.name + "' already exists");
+  const std::string path = journal_path(spec.name);
+  HPB_REQUIRE(path.empty() || !file_exists(path),
+              "session '" + spec.name +
+                  "' already has a journal on disk; choose another name or "
+                  "remove " + path);
+  SessionBackend backend = factory_(spec);
+  HPB_REQUIRE(backend.tuner != nullptr && backend.space != nullptr,
+              "SessionManager: factory returned an incomplete backend");
+  std::unique_ptr<JournalWriter> journal;
+  if (!path.empty()) {
+    journal = std::make_unique<JournalWriter>(JournalWriter::create(
+        path, header_from_spec(spec, backend.space->num_params())));
+  }
+  stripe.map.emplace(spec.name,
+                     make_entry(spec, std::move(backend), std::move(journal)));
+  ++created_;
+  count("manager.created");
+  emit_span("session.create", spec.name);
+  evict_over_capacity(stripe);
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::resume_from_journal(
+    Stripe& stripe, const std::string& name) {
+  const std::string path = journal_path(name);
+  HPB_REQUIRE(!path.empty() && file_exists(path),
+              "unknown session '" + name + "'");
+  const JournalContents contents = read_journal(path);
+  HPB_REQUIRE(!contents.finalized,
+              "session '" + name + "' is closed (" + contents.finish_reason +
+                  ")");
+  const SessionSpec spec = spec_from_header(name, contents.header);
+  SessionBackend backend = factory_(spec);
+  HPB_REQUIRE(backend.tuner != nullptr && backend.space != nullptr,
+              "SessionManager: factory returned an incomplete backend");
+  // Deterministic tuners rebuild their exact state from their journaled
+  // suggest/observe sequence; the resumed session's next suggestion is
+  // bitwise-identical to the one the evicted instance would have made.
+  std::vector<Observation> replayed =
+      replay_journal(*backend.tuner, *backend.space, contents);
+  auto journal =
+      std::make_unique<JournalWriter>(JournalWriter::append(path, contents));
+  auto entry = make_entry(spec, std::move(backend), std::move(journal));
+  entry->session->replay(replayed);
+  stripe.map.emplace(name, entry);
+  ++resumed_;
+  count("manager.resumed");
+  emit_span("session.resume", name);
+  return entry;
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::acquire(
+    const std::string& name) {
+  validate_session_name(name);
+  Stripe& stripe = stripe_for(name);
+  std::lock_guard<std::mutex> lock(stripe.m);
+  std::shared_ptr<Entry> entry;
+  const auto it = stripe.map.find(name);
+  if (it != stripe.map.end()) {
+    entry = it->second;
+  } else {
+    entry = resume_from_journal(stripe, name);
+  }
+  ++entry->in_use;
+  entry->tick = ++tick_;
+  return entry;
+}
+
+void SessionManager::release(Stripe& stripe,
+                             const std::shared_ptr<Entry>& entry) {
+  std::lock_guard<std::mutex> lock(stripe.m);
+  --entry->in_use;
+  entry->tick = ++tick_;
+  evict_over_capacity(stripe);
+}
+
+void SessionManager::evict_over_capacity(Stripe& stripe) {
+  if (stripe_capacity_ == 0) {
+    return;
+  }
+  while (stripe.map.size() > stripe_capacity_) {
+    // Idle entries are safe to inspect under the stripe mutex: every verb
+    // bumps in_use under this mutex before touching the session, so
+    // in_use == 0 here happens-after any prior verb completed.
+    auto victim = stripe.map.end();
+    for (auto it = stripe.map.begin(); it != stripe.map.end(); ++it) {
+      Entry& e = *it->second;
+      if (e.in_use > 0 || !e.session->journaled() ||
+          e.session->round_in_flight()) {
+        continue;
+      }
+      if (victim == stripe.map.end() || e.tick < victim->second->tick) {
+        victim = it;
+      }
+    }
+    if (victim == stripe.map.end()) {
+      return;  // everything is busy, journal-less, or mid-round: stay hot
+    }
+    const std::string name = victim->first;
+    stripe.map.erase(victim);
+    ++evicted_;
+    count("manager.evicted");
+    emit_span("session.evict", name);
+  }
+}
+
+std::vector<space::Configuration> SessionManager::suggest(
+    const std::string& name, std::size_t k) {
+  Lease lease(*this, acquire(name));
+  if (k == 0) {
+    k = lease.entry().spec.batch_size;
+  }
+  return lease.session().suggest(k);
+}
+
+SessionStatus SessionManager::observe(const std::string& name,
+                                      std::vector<Observation> observations) {
+  Lease lease(*this, acquire(name));
+  lease.session().observe(std::move(observations));
+  return lease.session().status();
+}
+
+SessionStatus SessionManager::status(const std::string& name) {
+  Lease lease(*this, acquire(name));
+  return lease.session().status();
+}
+
+void SessionManager::close(const std::string& name) {
+  {
+    Lease lease(*this, acquire(name));
+    lease.session().close();  // throws with a round in flight
+  }
+  Stripe& stripe = stripe_for(name);
+  std::lock_guard<std::mutex> lock(stripe.m);
+  stripe.map.erase(name);
+  ++closed_;
+  count("manager.closed");
+  emit_span("session.close", name);
+}
+
+bool SessionManager::evict(const std::string& name) {
+  validate_session_name(name);
+  Stripe& stripe = stripe_for(name);
+  std::lock_guard<std::mutex> lock(stripe.m);
+  const auto it = stripe.map.find(name);
+  if (it == stripe.map.end()) {
+    return false;
+  }
+  Entry& e = *it->second;
+  if (e.in_use > 0 || !e.session->journaled() ||
+      e.session->round_in_flight()) {
+    return false;
+  }
+  stripe.map.erase(it);
+  ++evicted_;
+  count("manager.evicted");
+  emit_span("session.evict", name);
+  return true;
+}
+
+std::string SessionManager::session_metrics_json(const std::string& name) {
+  Lease lease(*this, acquire(name));
+  return lease.entry().metrics->to_json();
+}
+
+std::size_t SessionManager::resident_count() const {
+  std::size_t n = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->m);
+    n += stripe->map.size();
+  }
+  return n;
+}
+
+std::uint64_t SessionManager::created_count() const noexcept {
+  return created_.load(std::memory_order_relaxed);
+}
+std::uint64_t SessionManager::evicted_count() const noexcept {
+  return evicted_.load(std::memory_order_relaxed);
+}
+std::uint64_t SessionManager::resumed_count() const noexcept {
+  return resumed_.load(std::memory_order_relaxed);
+}
+std::uint64_t SessionManager::closed_count() const noexcept {
+  return closed_.load(std::memory_order_relaxed);
+}
+
+}  // namespace hpb::core

@@ -1,0 +1,206 @@
+// SessionManager: thousands of named, concurrent ask/tell tuning sessions
+// behind one object — the core of the tuning service.
+//
+// Clients create a session by name, then suggest / observe / status / close
+// it; between verbs the client may disappear entirely. The registry is
+// striped (hash(name) → stripe, each stripe its own mutex + map), so verbs
+// on different sessions proceed in parallel while verbs on one session are
+// serialized by a per-session mutex.
+//
+// Cold eviction: when a stripe exceeds its share of `max_resident`, its
+// least-recently-used idle session is dropped from memory. Nothing is lost
+// — every hosted session is backed by the write-ahead journal (one fsync'd
+// record per observation, PR 3), so the on-disk state already *is* the
+// session. The next verb that touches an evicted name transparently
+// resumes it: the factory rebuilds the tuner, replay_journal re-drives it
+// through the journaled rounds (bitwise-identical suggest sequence, proven
+// by tests/test_session.cpp), and the journal re-opens in append mode. A
+// session with an unobserved round in flight is pinned hot — evicting it
+// would orphan its suggestions.
+//
+// Observability: the manager emits `session.*` spans (create / resume /
+// evict / close) and `manager.*` counters into its own recorder, and gives
+// every resident session a private MetricsRegistry scope so one session's
+// engine.* metrics never mix with another's.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "space/parameter_space.hpp"
+
+namespace hpb::core {
+
+/// Identity of one hosted session — everything needed to build (or
+/// rebuild) its tuner. Persisted in the journal header, so an evicted or
+/// crashed session resumes from its name alone.
+struct SessionSpec {
+  /// Registry key and journal file stem. Restricted to
+  /// [A-Za-z0-9._-]{1,128} (it names a file under the journal directory).
+  std::string name;
+  std::string method = "hiperbot";
+  std::string dataset;
+  std::uint64_t seed = 42;
+  std::size_t batch_size = 1;
+  /// Stopping conditions applied per observation (budget / patience /
+  /// target recorded in the journal header; the session reports `stopped`
+  /// through status, clients decide when to stop asking).
+  StopConfig stop;
+};
+
+/// What the factory must provide for a spec: the tuner and the parameter
+/// space it suggests over (needed for journal replay and validation).
+struct SessionBackend {
+  std::unique_ptr<Tuner> tuner;
+  space::SpacePtr space;
+};
+
+/// Builds the backend for a spec. Called with a registry stripe locked, so
+/// it should be reasonably quick and must be thread-safe across concurrent
+/// calls for different sessions. Throws hpb::Error on unknown methods /
+/// datasets; the error propagates to the creating verb.
+using SessionFactory = std::function<SessionBackend(const SessionSpec&)>;
+
+struct SessionManagerConfig {
+  /// Directory for per-session write-ahead journals
+  /// (`<journal_dir>/<name>.hpbj`). Created (mkdir -p) by the constructor.
+  /// Empty disables journaling — sessions then live only in memory and are
+  /// never evicted (there would be nothing to resume from).
+  std::string journal_dir;
+  /// Soft cap on resident (in-memory) sessions across all stripes; each
+  /// stripe evicts beyond its share. 0 = unlimited (no eviction).
+  std::size_t max_resident = 0;
+  /// Lock stripes for the registry. More stripes, more verb parallelism.
+  std::size_t num_stripes = 16;
+  /// Manager-level observability: `session.*` spans and `manager.*`
+  /// counters. Per-session engine metrics go to each session's private
+  /// registry, not here.
+  obs::Recorder recorder;
+};
+
+class SessionManager {
+ public:
+  SessionManager(SessionFactory factory, SessionManagerConfig config = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Create a fresh session. Throws if the name is invalid, already
+  /// resident, or already has a journal on disk (finished or not).
+  void create(const SessionSpec& spec);
+
+  /// Ask the named session for up to k configurations. Resumes the
+  /// session from its journal when it was evicted.
+  [[nodiscard]] std::vector<space::Configuration> suggest(
+      const std::string& name, std::size_t k);
+
+  /// Deliver the evaluated round (suggestion order). Returns the
+  /// post-observe status snapshot.
+  SessionStatus observe(const std::string& name,
+                        std::vector<Observation> observations);
+
+  [[nodiscard]] SessionStatus status(const std::string& name);
+
+  /// Finalize the session's journal ("closed") and drop it. Throws when
+  /// the name is unknown, the session already closed, or a round is in
+  /// flight. A closed name cannot be re-created while its finalized
+  /// journal remains on disk.
+  void close(const std::string& name);
+
+  /// Force-evict one session (test hook; production eviction is LRU).
+  /// Returns false when the session is missing, busy, journal-less, or has
+  /// a round in flight.
+  bool evict(const std::string& name);
+
+  /// Deterministic JSON snapshot of the named session's private metrics.
+  [[nodiscard]] std::string session_metrics_json(const std::string& name);
+
+  /// Resident (in-memory) sessions right now.
+  [[nodiscard]] std::size_t resident_count() const;
+
+  /// Lifetime counters (also exported as manager.* metrics when a
+  /// registry is attached).
+  [[nodiscard]] std::uint64_t created_count() const noexcept;
+  [[nodiscard]] std::uint64_t evicted_count() const noexcept;
+  [[nodiscard]] std::uint64_t resumed_count() const noexcept;
+  [[nodiscard]] std::uint64_t closed_count() const noexcept;
+
+  [[nodiscard]] const SessionManagerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Journal path for a (valid) session name; empty when journaling is
+  /// disabled.
+  [[nodiscard]] std::string journal_path(const std::string& name) const;
+
+ private:
+  struct Entry {
+    SessionSpec spec;
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    std::unique_ptr<Session> session;
+    std::mutex op;          // serializes verbs on this session
+    std::size_t in_use = 0;  // guarded by the stripe mutex
+    std::uint64_t tick = 0;  // LRU stamp, guarded by the stripe mutex
+  };
+  struct Stripe {
+    mutable std::mutex m;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> map;
+  };
+  /// RAII in-use pin: releases the entry (and runs LRU eviction) on scope
+  /// exit even when the verb throws.
+  class Lease;
+
+  [[nodiscard]] Stripe& stripe_for(const std::string& name);
+  [[nodiscard]] const Stripe& stripe_for(const std::string& name) const;
+
+  /// Find (or resume from journal) the entry; bumps in_use under the
+  /// stripe lock. Throws for unknown / closed sessions.
+  [[nodiscard]] std::shared_ptr<Entry> acquire(const std::string& name);
+
+  /// Drop the in-use pin, stamp the LRU tick, and evict beyond capacity.
+  void release(Stripe& stripe, const std::shared_ptr<Entry>& entry);
+
+  /// Evict LRU idle sessions while the stripe exceeds its share of
+  /// max_resident. Caller holds the stripe mutex.
+  void evict_over_capacity(Stripe& stripe);
+
+  /// Rebuild an evicted session from its journal. Caller holds the stripe
+  /// mutex and pins (in_use) the returned entry itself.
+  [[nodiscard]] std::shared_ptr<Entry> resume_from_journal(
+      Stripe& stripe, const std::string& name);
+
+  [[nodiscard]] std::shared_ptr<Entry> make_entry(const SessionSpec& spec,
+                                                  SessionBackend backend,
+                                                  std::unique_ptr<JournalWriter>
+                                                      journal);
+
+  void emit_span(std::string_view name, const std::string& session_name);
+  void count(const char* counter);
+
+  SessionFactory factory_;
+  SessionManagerConfig config_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::size_t stripe_capacity_ = 0;  // 0 = unlimited
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> created_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+  std::atomic<std::uint64_t> resumed_{0};
+  std::atomic<std::uint64_t> closed_{0};
+};
+
+/// Validate a session name ([A-Za-z0-9._-]{1,128}, not "." or "..") —
+/// throws hpb::Error otherwise. Exposed for the wire layer's validation.
+void validate_session_name(const std::string& name);
+
+}  // namespace hpb::core

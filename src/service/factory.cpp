@@ -1,0 +1,42 @@
+#include "service/factory.hpp"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "apps/registry.hpp"
+#include "eval/methods.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::service {
+
+core::SessionFactory dataset_session_factory() {
+  // One cache per factory (not a global): two managers in one process —
+  // say, a test and a server — keep independent lifetimes.
+  struct Cache {
+    std::mutex mutex;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const tabular::TabularObjective>>
+        datasets;
+  };
+  auto cache = std::make_shared<Cache>();
+  return [cache](const core::SessionSpec& spec) {
+    std::shared_ptr<const tabular::TabularObjective> dataset;
+    {
+      std::lock_guard<std::mutex> lock(cache->mutex);
+      auto& slot = cache->datasets[spec.dataset];
+      if (slot == nullptr) {
+        slot = std::make_shared<const tabular::TabularObjective>(
+            apps::dataset_by_name(spec.dataset).make());
+      }
+      dataset = slot;
+    }
+    core::SessionBackend backend;
+    backend.tuner = eval::make_named_tuner(spec.method, *dataset, spec.seed);
+    backend.space = dataset->space_ptr();
+    return backend;
+  };
+}
+
+}  // namespace hpb::service

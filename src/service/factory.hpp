@@ -1,0 +1,19 @@
+// The standard SessionFactory used by `hiperbot serve`, the storm bench,
+// and the service tests: sessions tune over the registry's simulated §V
+// datasets with any method make_named_tuner knows.
+//
+// Datasets are built once per name and cached (building enumerates the
+// whole table; sharing it across thousands of sessions is what makes 10k
+// concurrent sessions affordable — TabularObjective evaluation is
+// read-only and thread-safe).
+#pragma once
+
+#include "core/session_manager.hpp"
+
+namespace hpb::service {
+
+/// Factory over apps::dataset_registry() × eval::make_named_tuner().
+/// Thread-safe; throws hpb::Error for unknown datasets or methods.
+[[nodiscard]] core::SessionFactory dataset_session_factory();
+
+}  // namespace hpb::service

@@ -1,0 +1,406 @@
+#include "service/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hpb::service {
+
+JsonParseError::JsonParseError(std::string message, std::size_t offset)
+    : message_("JSON parse error at byte " + std::to_string(offset) + ": " +
+               std::move(message)),
+      offset_(offset) {}
+
+const char* JsonValue::kind_name() const noexcept {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kNumber:
+      return "number";
+    case Kind::kString:
+      return "string";
+    case Kind::kArray:
+      return "array";
+    case Kind::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+bool JsonValue::as_bool() const {
+  HPB_REQUIRE(is_bool(),
+              std::string("expected a bool, got ") + kind_name());
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  HPB_REQUIRE(is_number(),
+              std::string("expected a number, got ") + kind_name());
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  HPB_REQUIRE(is_string(),
+              std::string("expected a string, got ") + kind_name());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  HPB_REQUIRE(is_array(),
+              std::string("expected an array, got ") + kind_name());
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  HPB_REQUIRE(is_object(),
+              std::string("expected an object, got ") + kind_name());
+  return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  const auto& members = as_object();
+  const auto it = members.find(key);
+  return it == members.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::make_null() { return {}; }
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the JSON value");
+    }
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError(message, pos_);
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting deeper than " + std::to_string(kMaxDepth) + " levels");
+    }
+    if (eof()) {
+      fail("unexpected end of input");
+    }
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return JsonValue::make_string(parse_string());
+      case 't':
+        if (consume_literal("true")) {
+          return JsonValue::make_bool(true);
+        }
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) {
+          return JsonValue::make_bool(false);
+        }
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) {
+          return JsonValue::make_null();
+        }
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    std::map<std::string, JsonValue> members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return JsonValue::make_object(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') {
+        fail("expected a string object key");
+      }
+      std::string key = parse_string();
+      if (members.contains(key)) {
+        fail("duplicate object key '" + key + "'");
+      }
+      skip_ws();
+      expect(':');
+      skip_ws();
+      members.emplace(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (eof()) {
+        fail("unterminated object");
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return JsonValue::make_array(std::move(items));
+    }
+    while (true) {
+      skip_ws();
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) {
+        fail("unterminated array");
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // consume the backslash
+      if (eof()) {
+        fail("unterminated escape sequence");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          out += parse_unicode_escape();
+          break;
+        }
+        default:
+          --pos_;
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    // Surrogate pairs are rejected rather than decoded: session names and
+    // verbs are ASCII, and a daemon has no business normalizing UTF-16.
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      fail("surrogate \\u escapes are not supported");
+    }
+    // UTF-8 encode the code point.
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') {
+      ++pos_;
+    }
+    if (eof() || peek() < '0' || peek() > '9') {
+      pos_ = start;
+      fail("invalid value");
+    }
+    if (peek() == '0') {
+      ++pos_;  // no leading zeros in JSON
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+      }
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("digits required after decimal point");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) {
+        ++pos_;
+      }
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("digits required in exponent");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    // Overflow is rejected rather than rounded to +-inf: every number a
+    // client can legitimately send (values, seeds, counts) is finite.
+    if (!std::isfinite(v)) {
+      pos_ = start;
+      fail("number out of range");
+    }
+    return JsonValue::make_number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace hpb::service

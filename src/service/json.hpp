@@ -1,0 +1,94 @@
+// Strict single-value JSON parser for the tuning service's line protocol.
+//
+// Every wire request is one JSON object on one line; a daemon must treat
+// that line as hostile input. This parser therefore rejects everything
+// RFC 8259 rejects — trailing garbage, duplicate object keys, unescaped
+// control characters, bare NaN/Infinity literals, overlong inputs — and
+// reports the byte offset of the first violation, so clients get a
+// pointed parse_error instead of a silently misread request. Parsing
+// never mutates service state: a request is validated completely before
+// any verb runs.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpb::service {
+
+/// Thrown for malformed JSON text; `offset` is the byte position of the
+/// first violation. Distinct from hpb::Error so the wire layer can map it
+/// to the parse_error code (validation failures of well-formed JSON are
+/// bad_request instead).
+class JsonParseError : public std::exception {
+ public:
+  JsonParseError(std::string message, std::size_t offset);
+  [[nodiscard]] const char* what() const noexcept override {
+    return message_.c_str();
+  }
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::string message_;
+  std::size_t offset_ = 0;
+};
+
+/// One parsed JSON value. Object member order is not preserved (keys are
+/// sorted); duplicate keys were rejected at parse time.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const char* kind_name() const noexcept;
+
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  /// Typed accessors; throw hpb::Error when the kind does not match.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (throws on non-objects).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parse exactly one JSON value spanning the whole input (leading/trailing
+/// whitespace allowed, anything else after the value is an error). Throws
+/// JsonParseError. Nesting is capped (64 levels) so a hostile request
+/// cannot overflow the stack.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace hpb::service

@@ -1,0 +1,281 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace hpb::service {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+int listen_unix(const std::string& path) {
+  HPB_REQUIRE(path.size() < sizeof(sockaddr_un{}.sun_path),
+              "unix socket path too long: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  HPB_REQUIRE(fd >= 0, "socket(AF_UNIX): " + errno_text());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  // A stale socket file from a crashed daemon blocks bind with EADDRINUSE;
+  // replacing it is the standard daemon restart behavior.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = errno_text();
+    ::close(fd);
+    HPB_REQUIRE(false, "bind unix socket '" + path + "': " + why);
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const std::string why = errno_text();
+    ::close(fd);
+    HPB_REQUIRE(false, "listen on '" + path + "': " + why);
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int* actual_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  HPB_REQUIRE(fd >= 0, "socket(AF_INET): " + errno_text());
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = errno_text();
+    ::close(fd);
+    HPB_REQUIRE(false,
+                "bind 127.0.0.1:" + std::to_string(port) + ": " + why);
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    const std::string why = errno_text();
+    ::close(fd);
+    HPB_REQUIRE(false, "listen on port " + std::to_string(port) + ": " + why);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    *actual_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+void write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // client went away; nothing useful to do
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+LineServer::LineServer(Handler handler, ServerConfig config)
+    : handler_(std::move(handler)), config_(std::move(config)) {
+  HPB_REQUIRE(handler_ != nullptr, "LineServer: a handler is required");
+  HPB_REQUIRE(!config_.unix_path.empty() || config_.tcp_port >= 0,
+              "LineServer: configure a unix_path, a tcp_port, or both");
+  try {
+    if (!config_.unix_path.empty()) {
+      listen_fds_.push_back(listen_unix(config_.unix_path));
+    }
+    if (config_.tcp_port >= 0) {
+      listen_fds_.push_back(listen_tcp(config_.tcp_port, &tcp_port_));
+    }
+  } catch (...) {
+    close_listeners();
+    throw;
+  }
+}
+
+LineServer::~LineServer() { stop(); }
+
+bool LineServer::stopping() const noexcept {
+  return stop_.load(std::memory_order_relaxed) ||
+         (config_.stop_flag != nullptr &&
+          config_.stop_flag->load(std::memory_order_relaxed));
+}
+
+void LineServer::serve() { accept_loop(); }
+
+void LineServer::start() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void LineServer::accept_loop() {
+  std::vector<pollfd> fds;
+  fds.reserve(listen_fds_.size());
+  for (const int fd : listen_fds_) {
+    fds.push_back({.fd = fd, .events = POLLIN, .revents = 0});
+  }
+  while (!stopping()) {
+    for (pollfd& p : fds) {
+      p.revents = 0;
+    }
+    // The timeout bounds how long an external stop flag (no wakeup
+    // channel) can go unnoticed.
+    const int rc = ::poll(fds.data(), fds.size(), 100);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    reap_finished_connections();
+    if (rc == 0) {
+      continue;
+    }
+    for (const pollfd& p : fds) {
+      if ((p.revents & POLLIN) == 0) {
+        continue;
+      }
+      const int client = ::accept(p.fd, nullptr, nullptr);
+      if (client < 0) {
+        continue;  // raced with stop() closing the listener
+      }
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (stopped_) {
+        ::close(client);
+        return;
+      }
+      auto conn = std::make_unique<Connection>();
+      conn->fd.store(client, std::memory_order_relaxed);
+      Connection* raw = conn.get();
+      conn->thread = std::thread([this, raw] { serve_connection(*raw); });
+      connections_.push_back(std::move(conn));
+    }
+  }
+}
+
+void LineServer::reap_finished_connections() {
+  // A long-lived daemon churns through many short connections; joining
+  // finished threads here keeps the connection table from growing without
+  // bound between stop()s.
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
+    if (!conn->done.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+    return true;
+  });
+}
+
+void LineServer::close_connection(Connection& conn) noexcept {
+  const int fd = conn.fd.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+void LineServer::serve_connection(Connection& conn) {
+  const int fd = conn.fd.load(std::memory_order_relaxed);
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping()) {
+    pollfd p{.fd = fd, .events = POLLIN, .revents = 0};
+    const int rc = ::poll(&p, 1, 100);
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+    if (rc <= 0) {
+      continue;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      // EOF: a final unterminated line still gets an answer (clients may
+      // close right after their last request without a trailing newline).
+      if (!buffer.empty()) {
+        write_all(fd, handler_(buffer) + "\n");
+      }
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') {
+        line.remove_suffix(1);
+      }
+      write_all(fd, handler_(line) + "\n");
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > config_.max_line_bytes) {
+      write_all(fd,
+                "{\"ok\":false,\"error\":{\"code\":\"bad_request\","
+                "\"message\":\"request line exceeds " +
+                    std::to_string(config_.max_line_bytes) + " bytes\"}}\n");
+      open = false;
+    }
+  }
+  // The connection thread is the sole closer of its fd (stop() only joins;
+  // the 100ms poll bound guarantees this thread notices the stop flag), so
+  // a reused descriptor can never be shut down by mistake.
+  close_connection(conn);
+  conn.done.store(true, std::memory_order_release);
+}
+
+void LineServer::close_listeners() noexcept {
+  for (const int fd : listen_fds_) {
+    ::close(fd);
+  }
+  listen_fds_.clear();
+  if (!config_.unix_path.empty()) {
+    ::unlink(config_.unix_path.c_str());
+  }
+}
+
+void LineServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    // Connection threads poll with a 100ms timeout and exit on the stop
+    // flag, closing their own fd; joining is all that is needed here.
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+  }
+  close_listeners();
+}
+
+}  // namespace hpb::service

@@ -1,0 +1,298 @@
+#include "service/wire.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/json_util.hpp"
+#include "service/json.hpp"
+#include "tabular/objective.hpp"
+
+namespace hpb::service {
+
+namespace {
+
+/// Schema violation in a well-formed request; maps to bad_request.
+class BadRequest : public std::exception {
+ public:
+  explicit BadRequest(std::string message) : message_(std::move(message)) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return message_.c_str();
+  }
+
+ private:
+  std::string message_;
+};
+
+[[noreturn]] void bad(std::string message) {
+  throw BadRequest(std::move(message));
+}
+
+std::string error_response(std::string_view code, std::string_view message) {
+  return std::string("{\"ok\":false,\"error\":{\"code\":\"") +
+         obs::json_escape(code) + "\",\"message\":\"" +
+         obs::json_escape(message) + "\"}}";
+}
+
+/// Render a double as a JSON token; non-finite values (unreached best) as
+/// null.
+std::string json_number_or_null(double v) {
+  return std::isfinite(v) ? obs::json_double(v) : "null";
+}
+
+std::string values_json(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += obs::json_double(values[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string status_json(const core::SessionStatus& s) {
+  std::string out = "{\"evaluations\":" + std::to_string(s.evaluations);
+  out += ",\"failed\":" + std::to_string(s.num_failed);
+  out += ",\"rounds\":" + std::to_string(s.rounds);
+  out += ",\"pending\":" + std::to_string(s.pending);
+  out += ",\"best_value\":" + json_number_or_null(s.best_value);
+  out += ",\"best_config\":" + values_json(s.best_config);
+  out += std::string(",\"stopped\":") + (s.stopped ? "true" : "false");
+  if (s.stopped) {
+    out += std::string(",\"reason\":\"") + core::stop_reason_name(s.reason) +
+           "\"";
+  }
+  out += '}';
+  return out;
+}
+
+/// Reject keys outside `allowed` — the strictness that catches typo'd and
+/// stale clients instead of silently ignoring half their request.
+void require_only_keys(const JsonValue& request,
+                       std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : request.as_object()) {
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      known = known || key == a;
+    }
+    if (!known) {
+      bad("unknown key '" + key + "'");
+    }
+  }
+}
+
+const JsonValue& require_key(const JsonValue& request, const std::string& key) {
+  const JsonValue* v = request.find(key);
+  if (v == nullptr) {
+    bad("missing required key '" + key + "'");
+  }
+  return *v;
+}
+
+std::string require_string(const JsonValue& request, const std::string& key) {
+  const JsonValue& v = require_key(request, key);
+  if (!v.is_string()) {
+    bad("'" + key + "' must be a string, got " + v.kind_name());
+  }
+  return v.as_string();
+}
+
+double number_field(const JsonValue& request, const std::string& key,
+                    double fallback) {
+  const JsonValue* v = request.find(key);
+  if (v == nullptr) {
+    return fallback;
+  }
+  if (!v->is_number()) {
+    bad("'" + key + "' must be a number, got " + v->kind_name());
+  }
+  return v->as_number();
+}
+
+std::size_t size_field(const JsonValue& request, const std::string& key,
+                       std::size_t fallback) {
+  const double v =
+      number_field(request, key, static_cast<double>(fallback));
+  if (v < 0.0 || v != std::floor(v) || v > 1e15) {
+    bad("'" + key + "' must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::string handle_create(core::SessionManager& manager,
+                          const JsonValue& request) {
+  require_only_keys(request,
+                    {"verb", "session", "dataset", "method", "seed",
+                     "batch_size", "max_evaluations", "stagnation_patience",
+                     "target_value"});
+  core::SessionSpec spec;
+  spec.name = require_string(request, "session");
+  spec.dataset = require_string(request, "dataset");
+  if (request.find("method") != nullptr) {
+    spec.method = require_string(request, "method");
+  }
+  spec.seed = static_cast<std::uint64_t>(size_field(request, "seed", 42));
+  spec.batch_size = size_field(request, "batch_size", 1);
+  spec.stop.max_evaluations = size_field(request, "max_evaluations", 100);
+  spec.stop.stagnation_patience = size_field(request, "stagnation_patience", 0);
+  spec.stop.target_value = number_field(
+      request, "target_value", -std::numeric_limits<double>::infinity());
+  manager.create(spec);
+  return "{\"ok\":true}";
+}
+
+std::string handle_suggest(core::SessionManager& manager,
+                           const JsonValue& request) {
+  require_only_keys(request, {"verb", "session", "count"});
+  const std::string name = require_string(request, "session");
+  const std::size_t count = size_field(request, "count", 0);
+  const std::vector<space::Configuration> batch =
+      manager.suggest(name, count);
+  std::string out = "{\"ok\":true,\"configs\":[";
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += values_json(batch[i].values());
+  }
+  out += "]}";
+  return out;
+}
+
+core::Observation parse_result(const JsonValue& item, std::size_t index) {
+  if (!item.is_object()) {
+    bad("'results[" + std::to_string(index) + "]' must be an object, got " +
+        item.kind_name());
+  }
+  require_only_keys(item, {"config", "y", "status"});
+  core::Observation o;
+  const JsonValue& config = require_key(item, "config");
+  if (!config.is_array()) {
+    bad("'results[" + std::to_string(index) + "].config' must be an array");
+  }
+  std::vector<double> values;
+  values.reserve(config.as_array().size());
+  for (const JsonValue& v : config.as_array()) {
+    if (!v.is_number()) {
+      bad("'results[" + std::to_string(index) +
+          "].config' must contain only numbers");
+    }
+    values.push_back(v.as_number());
+  }
+  o.config = space::Configuration(std::move(values));
+  if (item.find("status") != nullptr) {
+    const std::string label = require_string(item, "status");
+    try {
+      o.status = tabular::status_from_name(label);
+    } catch (const Error&) {
+      bad("'results[" + std::to_string(index) + "].status' has unknown value '" +
+          label + "' (expected ok, invalid, crashed, or timeout)");
+    }
+  }
+  if (o.ok()) {
+    const JsonValue& y = require_key(item, "y");
+    if (!y.is_number()) {
+      bad("'results[" + std::to_string(index) + "].y' must be a number");
+    }
+    o.y = y.as_number();
+  } else {
+    // Failed evaluations carry no value (NaN in the history, exactly as
+    // the in-process engine records them); a y on a failed result is a
+    // client bug worth flagging.
+    if (item.find("y") != nullptr) {
+      bad("'results[" + std::to_string(index) +
+          "].y' must be omitted when status is not ok");
+    }
+    o.y = std::numeric_limits<double>::quiet_NaN();
+  }
+  return o;
+}
+
+std::string handle_observe(core::SessionManager& manager,
+                           const JsonValue& request) {
+  require_only_keys(request, {"verb", "session", "results"});
+  const std::string name = require_string(request, "session");
+  const JsonValue& results = require_key(request, "results");
+  if (!results.is_array()) {
+    bad("'results' must be an array, got " + std::string(results.kind_name()));
+  }
+  std::vector<core::Observation> observations;
+  observations.reserve(results.as_array().size());
+  for (std::size_t i = 0; i < results.as_array().size(); ++i) {
+    observations.push_back(parse_result(results.as_array()[i], i));
+  }
+  const core::SessionStatus status =
+      manager.observe(name, std::move(observations));
+  return "{\"ok\":true,\"status\":" + status_json(status) + "}";
+}
+
+std::string handle_status(core::SessionManager& manager,
+                          const JsonValue& request) {
+  require_only_keys(request, {"verb", "session"});
+  const std::string name = require_string(request, "session");
+  return "{\"ok\":true,\"status\":" + status_json(manager.status(name)) + "}";
+}
+
+std::string handle_close(core::SessionManager& manager,
+                         const JsonValue& request) {
+  require_only_keys(request, {"verb", "session"});
+  const std::string name = require_string(request, "session");
+  manager.close(name);
+  return "{\"ok\":true}";
+}
+
+}  // namespace
+
+std::string WireService::handle_line(std::string_view line) {
+  try {
+    JsonValue request;
+    try {
+      request = parse_json(line);
+    } catch (const JsonParseError& e) {
+      return error_response(error_code::kParseError, e.what());
+    }
+    if (!request.is_object()) {
+      bad(std::string("request must be a JSON object, got ") +
+          request.kind_name());
+    }
+    const JsonValue* verb = request.find("verb");
+    if (verb == nullptr || !verb->is_string()) {
+      bad("missing required string key 'verb'");
+    }
+    const std::string& name = verb->as_string();
+    if (name == "create") {
+      return handle_create(manager_, request);
+    }
+    if (name == "suggest") {
+      return handle_suggest(manager_, request);
+    }
+    if (name == "observe") {
+      return handle_observe(manager_, request);
+    }
+    if (name == "status") {
+      return handle_status(manager_, request);
+    }
+    if (name == "close") {
+      return handle_close(manager_, request);
+    }
+    return error_response(error_code::kUnknownVerb,
+                          "unknown verb '" + name +
+                              "' (expected create, suggest, observe, status, "
+                              "or close)");
+  } catch (const BadRequest& e) {
+    return error_response(error_code::kBadRequest, e.what());
+  } catch (const Error& e) {
+    // The manager or session rejected the verb (unknown session,
+    // out-of-order observe, double close, ...): a client error, reported
+    // structurally; the daemon and the session both stay consistent.
+    return error_response(error_code::kSessionError, e.what());
+  } catch (const std::exception& e) {
+    return error_response(error_code::kInternal, e.what());
+  }
+}
+
+}  // namespace hpb::service

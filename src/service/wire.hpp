@@ -1,0 +1,61 @@
+// Wire protocol of the tuning service: one JSON object per line in, one
+// JSON object per line out.
+//
+// Requests name a verb and a session; the service routes them to the
+// SessionManager. The schema is strict — unknown keys, wrong types, and
+// missing required fields are rejected with a structured error before any
+// state changes, so a buggy client cannot half-apply a request.
+//
+//   {"verb":"create","session":"s1","dataset":"kripke","method":"hiperbot",
+//    "seed":7,"batch_size":4,"max_evaluations":100}
+//   {"verb":"suggest","session":"s1","count":4}
+//   {"verb":"observe","session":"s1",
+//    "results":[{"config":[1,0,2],"y":12.5,"status":"ok"}]}
+//   {"verb":"status","session":"s1"}
+//   {"verb":"close","session":"s1"}
+//
+// Responses are {"ok":true,...} or
+// {"ok":false,"error":{"code":"...","message":"..."}} with codes
+// parse_error (malformed JSON), bad_request (schema violation),
+// unknown_verb, session_error (the manager/session rejected the verb:
+// unknown session, out-of-order observe, double close, ...), internal.
+// Doubles render in shortest round-trip form (obs::json_double), so
+// configuration values and objective values cross the wire bit-exactly.
+//
+// handle_line never throws and never crashes the daemon: every failure,
+// including a hostile request, becomes an error response.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/session_manager.hpp"
+
+namespace hpb::service {
+
+/// Stable error codes of the wire protocol.
+namespace error_code {
+inline constexpr std::string_view kParseError = "parse_error";
+inline constexpr std::string_view kBadRequest = "bad_request";
+inline constexpr std::string_view kUnknownVerb = "unknown_verb";
+inline constexpr std::string_view kSessionError = "session_error";
+inline constexpr std::string_view kInternal = "internal";
+}  // namespace error_code
+
+class WireService {
+ public:
+  explicit WireService(core::SessionManager& manager) : manager_(manager) {}
+
+  /// Handle one request line (without the trailing newline) and return the
+  /// response line (without a trailing newline). Thread-safe: verbs on
+  /// different sessions run concurrently, the manager serializes verbs on
+  /// the same session.
+  [[nodiscard]] std::string handle_line(std::string_view line);
+
+  [[nodiscard]] core::SessionManager& manager() noexcept { return manager_; }
+
+ private:
+  core::SessionManager& manager_;
+};
+
+}  // namespace hpb::service

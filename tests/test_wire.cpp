@@ -1,0 +1,543 @@
+// Wire-layer coverage: the strict JSON parser, the WireService verb
+// handlers, and the LineServer socket front end.
+//   - parse_json enforces RFC 8259 strictly (trailing garbage, duplicate
+//     keys, control characters, depth bombs, bare NaN) and reports byte
+//     offsets;
+//   - every malformed / hostile request becomes a structured error
+//     response with the right code (parse_error, bad_request,
+//     unknown_verb, session_error) — handle_line never throws, and a
+//     failed request never half-applies;
+//   - out-of-order observes and double closes are session_errors after
+//     which the session remains usable / stays closed;
+//   - the LineServer round-trips requests over real Unix-domain and TCP
+//     sockets, keeps a connection alive across malformed requests, caps
+//     line length, serves concurrent clients (TSan exercises the striped
+//     manager underneath), and shuts down cleanly with clients connected.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session_manager.hpp"
+#include "eval/methods.hpp"
+#include "obs/json_util.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+#include "test_util.hpp"
+
+namespace hpb {
+namespace {
+
+using core::SessionManager;
+using core::SessionSpec;
+using service::JsonParseError;
+using service::JsonValue;
+using service::LineServer;
+using service::parse_json;
+using service::WireService;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "wire_" + name;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = temp_path(name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+core::SessionFactory test_factory() {
+  auto dataset = std::make_shared<tabular::TabularObjective>(
+      testutil::separable_dataset());
+  return [dataset](const SessionSpec& spec) {
+    core::SessionBackend backend;
+    backend.tuner = eval::make_named_tuner(spec.method, *dataset, spec.seed);
+    backend.space = dataset->space_ptr();
+    return backend;
+  };
+}
+
+/// Issue one request and parse the response with the service's own parser
+/// (every response must itself be strict JSON).
+JsonValue reply(WireService& service, const std::string& line) {
+  const std::string response = service.handle_line(line);
+  EXPECT_EQ(response.find('\n'), std::string::npos)
+      << "responses must be single lines: " << response;
+  return parse_json(response);
+}
+
+bool ok(const JsonValue& response) {
+  const JsonValue* v = response.find("ok");
+  return v != nullptr && v->is_bool() && v->as_bool();
+}
+
+std::string error_code_of(const JsonValue& response) {
+  EXPECT_FALSE(ok(response));
+  const JsonValue* error = response.find("error");
+  if (error == nullptr) {
+    ADD_FAILURE() << "error response without 'error' object";
+    return {};
+  }
+  return error->find("code")->as_string();
+}
+
+std::string error_message_of(const JsonValue& response) {
+  return response.find("error")->find("message")->as_string();
+}
+
+// ------------------------------------------------------------ JSON parser
+
+TEST(JsonParser, AcceptsStrictDocuments) {
+  EXPECT_TRUE(parse_json("{}").is_object());
+  EXPECT_TRUE(parse_json("  [1, 2.5, -3e2]  ").is_array());
+  EXPECT_DOUBLE_EQ(parse_json("-0.5").as_number(), -0.5);
+  EXPECT_EQ(parse_json("\"a\\u0041\\n\"").as_string(), "aA\n");
+  const JsonValue obj = parse_json("{\"a\":{\"b\":[true,false,null]}}");
+  EXPECT_TRUE(obj.find("a")->find("b")->as_array()[2].is_null());
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonParser, RejectsHostileDocuments) {
+  for (const std::string bad :
+       {"", "{} x", "{\"a\":1,\"a\":2}", "{\"a\":1", "\"unterminated",
+        "nan", "NaN", "Infinity", "01", "1.", "+1", "[1,]", "{\"a\" 1}",
+        "\"ctrl\tchar\"", "\"\\ud800\"", "tru"}) {
+    EXPECT_THROW((void)parse_json(bad), JsonParseError) << bad;
+  }
+  // A depth bomb is rejected, not stack-overflowed.
+  EXPECT_THROW((void)parse_json(std::string(100, '[')), JsonParseError);
+}
+
+TEST(JsonParser, ReportsByteOffsets) {
+  try {
+    (void)parse_json("{\"a\": nope}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 6u);
+    EXPECT_NE(std::string(e.what()).find("byte 6"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------- wire protocol
+
+class WireTest : public ::testing::Test {
+ protected:
+  WireTest()
+      : manager_(test_factory(),
+                 {.journal_dir = fresh_dir(
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name())}),
+        service_(manager_) {}
+
+  std::string create_line(const std::string& name,
+                          std::size_t batch = 2) const {
+    return "{\"verb\":\"create\",\"session\":\"" + name +
+           "\",\"dataset\":\"separable\",\"method\":\"random\",\"seed\":7,"
+           "\"batch_size\":" +
+           std::to_string(batch) + ",\"max_evaluations\":16}";
+  }
+
+  SessionManager manager_;
+  WireService service_;
+};
+
+TEST_F(WireTest, MalformedJsonIsParseError) {
+  EXPECT_EQ(error_code_of(reply(service_, "{nope")), "parse_error");
+  EXPECT_EQ(error_code_of(reply(service_, "")), "parse_error");
+  EXPECT_EQ(error_code_of(reply(service_, "\x01")), "parse_error");
+}
+
+TEST_F(WireTest, SchemaViolationsAreBadRequests) {
+  // Not an object / missing or mistyped verb.
+  EXPECT_EQ(error_code_of(reply(service_, "[1,2]")), "bad_request");
+  EXPECT_EQ(error_code_of(reply(service_, "{\"session\":\"s\"}")),
+            "bad_request");
+  EXPECT_EQ(error_code_of(reply(service_, "{\"verb\":7}")), "bad_request");
+  // Unknown keys are rejected by name.
+  const JsonValue unknown_key = reply(
+      service_,
+      "{\"verb\":\"status\",\"session\":\"s\",\"bogus\":1}");
+  EXPECT_EQ(error_code_of(unknown_key), "bad_request");
+  EXPECT_NE(error_message_of(unknown_key).find("bogus"), std::string::npos);
+  // Mistyped fields.
+  EXPECT_EQ(error_code_of(reply(service_,
+                                "{\"verb\":\"create\",\"session\":\"s\","
+                                "\"dataset\":\"separable\",\"seed\":\"7\"}")),
+            "bad_request");
+  EXPECT_EQ(error_code_of(reply(service_,
+                                "{\"verb\":\"suggest\",\"session\":\"s\","
+                                "\"count\":-1}")),
+            "bad_request");
+  EXPECT_EQ(error_code_of(reply(service_,
+                                "{\"verb\":\"observe\",\"session\":\"s\","
+                                "\"results\":{}}")),
+            "bad_request");
+  // None of the rejected requests created state.
+  EXPECT_EQ(manager_.created_count(), 0u);
+}
+
+TEST_F(WireTest, UnknownVerbHasItsOwnCode) {
+  const JsonValue r =
+      reply(service_, "{\"verb\":\"frobnicate\",\"session\":\"s\"}");
+  EXPECT_EQ(error_code_of(r), "unknown_verb");
+  EXPECT_NE(error_message_of(r).find("frobnicate"), std::string::npos);
+}
+
+TEST_F(WireTest, VerbsOnUnknownSessionsAreSessionErrors) {
+  EXPECT_EQ(error_code_of(
+                reply(service_, "{\"verb\":\"status\",\"session\":\"ghost\"}")),
+            "session_error");
+  EXPECT_EQ(error_code_of(
+                reply(service_, "{\"verb\":\"close\",\"session\":\"ghost\"}")),
+            "session_error");
+}
+
+/// Serialize one suggested config (array of numbers) back into a result
+/// entry, preserving the exact wire text of every value.
+std::string result_entry(const JsonValue& config, const std::string& y_or_none,
+                         const std::string& status) {
+  std::string out = "{\"config\":[";
+  const auto& values = config.as_array();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += obs::json_double(values[i].as_number());
+  }
+  out += "]";
+  if (!y_or_none.empty()) {
+    out += ",\"y\":" + y_or_none;
+  }
+  out += ",\"status\":\"" + status + "\"}";
+  return out;
+}
+
+TEST_F(WireTest, FullSessionLifecycleOverTheWire) {
+  ASSERT_TRUE(ok(reply(service_, create_line("s1"))));
+  // Fresh session: no evaluations, best_value is null.
+  const JsonValue fresh =
+      reply(service_, "{\"verb\":\"status\",\"session\":\"s1\"}");
+  ASSERT_TRUE(ok(fresh));
+  EXPECT_TRUE(fresh.find("status")->find("best_value")->is_null());
+  EXPECT_FALSE(fresh.find("status")->find("stopped")->as_bool());
+
+  const JsonValue suggested =
+      reply(service_, "{\"verb\":\"suggest\",\"session\":\"s1\",\"count\":2}");
+  ASSERT_TRUE(ok(suggested));
+  const auto& configs = suggested.find("configs")->as_array();
+  ASSERT_EQ(configs.size(), 2u);
+
+  const JsonValue observed = reply(
+      service_, "{\"verb\":\"observe\",\"session\":\"s1\",\"results\":[" +
+                    result_entry(configs[0], "10.5", "ok") + "," +
+                    result_entry(configs[1], "5.25", "ok") + "]}");
+  ASSERT_TRUE(ok(observed));
+  const JsonValue* status = observed.find("status");
+  EXPECT_DOUBLE_EQ(status->find("best_value")->as_number(), 5.25);
+  EXPECT_EQ(status->find("evaluations")->as_number(), 2.0);
+  EXPECT_EQ(status->find("rounds")->as_number(), 1.0);
+  EXPECT_EQ(status->find("pending")->as_number(), 0.0);
+  // best_config round-trips the winning suggestion bit-exactly.
+  const auto& best = status->find("best_config")->as_array();
+  const auto& winner = configs[1].as_array();
+  ASSERT_EQ(best.size(), winner.size());
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    EXPECT_EQ(obs::json_double(best[i].as_number()),
+              obs::json_double(winner[i].as_number()));
+  }
+
+  ASSERT_TRUE(ok(reply(service_, "{\"verb\":\"close\",\"session\":\"s1\"}")));
+  EXPECT_EQ(manager_.closed_count(), 1u);
+}
+
+TEST_F(WireTest, FailedResultsCarryNoValue) {
+  ASSERT_TRUE(ok(reply(service_, create_line("s2"))));
+  const JsonValue suggested =
+      reply(service_, "{\"verb\":\"suggest\",\"session\":\"s2\",\"count\":2}");
+  const auto& configs = suggested.find("configs")->as_array();
+  // A y on a failed result is a client bug: rejected before any state
+  // changes, so the round is still fully pending afterwards.
+  const JsonValue rejected = reply(
+      service_, "{\"verb\":\"observe\",\"session\":\"s2\",\"results\":[" +
+                    result_entry(configs[0], "1.0", "invalid") + "," +
+                    result_entry(configs[1], "2.0", "ok") + "]}");
+  EXPECT_EQ(error_code_of(rejected), "bad_request");
+  EXPECT_EQ(reply(service_, "{\"verb\":\"status\",\"session\":\"s2\"}")
+                .find("status")
+                ->find("pending")
+                ->as_number(),
+            2.0);
+  // Without the y it is a legal failed observation (NaN in the history).
+  const JsonValue observed = reply(
+      service_, "{\"verb\":\"observe\",\"session\":\"s2\",\"results\":[" +
+                    result_entry(configs[0], "", "invalid") + "," +
+                    result_entry(configs[1], "2.0", "ok") + "]}");
+  ASSERT_TRUE(ok(observed));
+  EXPECT_EQ(observed.find("status")->find("failed")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(observed.find("status")->find("best_value")->as_number(),
+                   2.0);
+}
+
+TEST_F(WireTest, OutOfOrderObserveIsASessionErrorAndRecoverable) {
+  ASSERT_TRUE(ok(reply(service_, create_line("s3"))));
+  const JsonValue suggested =
+      reply(service_, "{\"verb\":\"suggest\",\"session\":\"s3\",\"count\":2}");
+  const auto& configs = suggested.find("configs")->as_array();
+  const JsonValue swapped = reply(
+      service_, "{\"verb\":\"observe\",\"session\":\"s3\",\"results\":[" +
+                    result_entry(configs[1], "1.0", "ok") + "," +
+                    result_entry(configs[0], "2.0", "ok") + "]}");
+  EXPECT_EQ(error_code_of(swapped), "session_error");
+  // Observe before suggest on a second session: also a session error.
+  ASSERT_TRUE(ok(reply(service_, create_line("s4"))));
+  EXPECT_EQ(error_code_of(
+                reply(service_, "{\"verb\":\"observe\",\"session\":\"s4\","
+                                "\"results\":[]}")),
+            "session_error");
+  // The swapped round is still deliverable in the right order.
+  const JsonValue observed = reply(
+      service_, "{\"verb\":\"observe\",\"session\":\"s3\",\"results\":[" +
+                    result_entry(configs[0], "2.0", "ok") + "," +
+                    result_entry(configs[1], "1.0", "ok") + "]}");
+  ASSERT_TRUE(ok(observed));
+}
+
+TEST_F(WireTest, DoubleCloseIsASessionError) {
+  ASSERT_TRUE(ok(reply(service_, create_line("s5"))));
+  ASSERT_TRUE(ok(reply(service_, "{\"verb\":\"close\",\"session\":\"s5\"}")));
+  const JsonValue again =
+      reply(service_, "{\"verb\":\"close\",\"session\":\"s5\"}");
+  EXPECT_EQ(error_code_of(again), "session_error");
+  EXPECT_NE(error_message_of(again).find("closed"), std::string::npos);
+  EXPECT_EQ(error_code_of(
+                reply(service_, "{\"verb\":\"suggest\",\"session\":\"s5\","
+                                "\"count\":1}")),
+            "session_error");
+}
+
+// ------------------------------------------------------------ line server
+
+/// Minimal blocking line-oriented client used by the socket tests.
+class LineClient {
+ public:
+  static LineClient connect_unix(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0)
+        << path << ": " << std::strerror(errno);
+    return LineClient(fd);
+  }
+
+  static LineClient connect_tcp(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0)
+        << "port " << port << ": " << std::strerror(errno);
+    return LineClient(fd);
+  }
+
+  LineClient(LineClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  ~LineClient() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  void send_raw(const std::string& bytes) const {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// One request line in, one response line out (empty string on EOF).
+  std::string request(const std::string& line) {
+    send_raw(line + "\n");
+    return read_line();
+  }
+
+  std::string read_line() {
+    while (true) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) {
+        return {};  // EOF / reset
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  explicit LineClient(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One self-contained service stack (manager + wire + server) for socket
+/// tests.
+struct ServiceStack {
+  explicit ServiceStack(const std::string& tag, service::ServerConfig server_config)
+      : manager(test_factory(), {.journal_dir = fresh_dir(tag + "_journals")}),
+        service(manager),
+        server([this](std::string_view line) {
+          return service.handle_line(line);
+        }, std::move(server_config)) {}
+
+  SessionManager manager;
+  WireService service;
+  LineServer server;
+};
+
+/// Drive one full create→suggest→observe→close session through a client.
+void drive_session_via(LineClient& client, const std::string& name) {
+  const std::string create =
+      "{\"verb\":\"create\",\"session\":\"" + name +
+      "\",\"dataset\":\"separable\",\"method\":\"random\",\"seed\":11,"
+      "\"batch_size\":2,\"max_evaluations\":8}";
+  ASSERT_TRUE(ok(parse_json(client.request(create)))) << name;
+  const JsonValue suggested = parse_json(client.request(
+      "{\"verb\":\"suggest\",\"session\":\"" + name + "\",\"count\":2}"));
+  ASSERT_TRUE(ok(suggested)) << name;
+  const auto& configs = suggested.find("configs")->as_array();
+  ASSERT_EQ(configs.size(), 2u);
+  const JsonValue observed = parse_json(client.request(
+      "{\"verb\":\"observe\",\"session\":\"" + name + "\",\"results\":[" +
+      result_entry(configs[0], "3.0", "ok") + "," +
+      result_entry(configs[1], "4.0", "ok") + "]}"));
+  ASSERT_TRUE(ok(observed)) << name;
+  ASSERT_TRUE(ok(parse_json(client.request(
+      "{\"verb\":\"close\",\"session\":\"" + name + "\"}"))))
+      << name;
+}
+
+TEST(LineServerTest, UnixSocketRoundTrip) {
+  const std::string socket_path = temp_path("roundtrip.sock");
+  ServiceStack stack("unix_rt", {.unix_path = socket_path});
+  stack.server.start();
+  {
+    LineClient client = LineClient::connect_unix(socket_path);
+    drive_session_via(client, "u1");
+    // Malformed input gets an error response but keeps the connection.
+    EXPECT_EQ(error_code_of(parse_json(client.request("][nonsense"))),
+              "parse_error");
+    drive_session_via(client, "u2");
+  }
+  stack.server.stop();
+  EXPECT_EQ(stack.manager.closed_count(), 2u);
+  EXPECT_EQ(stack.server.connections_accepted(), 1u);
+}
+
+TEST(LineServerTest, TcpSocketRoundTrip) {
+  ServiceStack stack("tcp_rt", {.tcp_port = 0});
+  ASSERT_GT(stack.server.port(), 0);
+  stack.server.start();
+  {
+    LineClient client = LineClient::connect_tcp(stack.server.port());
+    drive_session_via(client, "t1");
+  }
+  stack.server.stop();
+  EXPECT_EQ(stack.manager.closed_count(), 1u);
+}
+
+TEST(LineServerTest, OverlongLinesAreRejectedAndDropped) {
+  const std::string socket_path = temp_path("overlong.sock");
+  ServiceStack stack("overlong",
+                     {.unix_path = socket_path, .max_line_bytes = 128});
+  stack.server.start();
+  LineClient client = LineClient::connect_unix(socket_path);
+  client.send_raw(std::string(512, 'x'));
+  const JsonValue response = parse_json(client.read_line());
+  EXPECT_EQ(error_code_of(response), "bad_request");
+  EXPECT_NE(error_message_of(response).find("exceeds"), std::string::npos);
+  EXPECT_EQ(client.read_line(), "");  // server dropped the connection
+  stack.server.stop();
+}
+
+TEST(LineServerTest, ConcurrentClientsShareOneManager) {
+  ServiceStack stack("concurrent", {.tcp_port = 0});
+  stack.server.start();
+  constexpr int kClients = 4;
+  constexpr int kSessionsEach = 3;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&stack, c] {
+      LineClient client = LineClient::connect_tcp(stack.server.port());
+      for (int s = 0; s < kSessionsEach; ++s) {
+        drive_session_via(client,
+                          "c" + std::to_string(c) + "s" + std::to_string(s));
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  stack.server.stop();
+  EXPECT_EQ(stack.manager.created_count(),
+            static_cast<std::uint64_t>(kClients * kSessionsEach));
+  EXPECT_EQ(stack.manager.closed_count(),
+            static_cast<std::uint64_t>(kClients * kSessionsEach));
+  EXPECT_EQ(stack.server.connections_accepted(),
+            static_cast<std::uint64_t>(kClients));
+}
+
+TEST(LineServerTest, StopWithClientsConnectedDoesNotHang) {
+  const std::string socket_path = temp_path("stop.sock");
+  ServiceStack stack("stop", {.unix_path = socket_path});
+  stack.server.start();
+  LineClient client = LineClient::connect_unix(socket_path);
+  ASSERT_TRUE(ok(parse_json(client.request(
+      "{\"verb\":\"create\",\"session\":\"s\",\"dataset\":\"separable\","
+      "\"method\":\"random\"}"))));
+  stack.server.stop();  // must join the idle connection, not wait on it
+  EXPECT_EQ(client.read_line(), "");  // connection closed by shutdown
+}
+
+TEST(LineServerTest, ExternalStopFlagEndsServe) {
+  std::atomic<bool> stop{false};
+  ServiceStack stack("flag", {.tcp_port = 0, .stop_flag = &stop});
+  std::thread server_thread([&stack] { stack.server.serve(); });
+  {
+    LineClient client = LineClient::connect_tcp(stack.server.port());
+    drive_session_via(client, "f1");
+  }
+  stop.store(true);
+  server_thread.join();  // serve() returns once the flag is seen
+  EXPECT_EQ(stack.manager.closed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hpb

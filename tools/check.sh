@@ -3,14 +3,18 @@
 # AddressSanitizer + UBSan build running the engine determinism /
 # batching / pending-tracking tests (tests/test_engine.cpp), the
 # failure-path + thread-pool tests (tests/test_failures.cpp), the
-# session-durability + journal-fuzz tests (tests/test_journal.cpp), and
-# the observability tests (tests/test_obs.cpp); then a ThreadSanitizer
-# build running the concurrency-sensitive subset (engine, thread pool,
-# watchdog, shutdown, metrics hot path); then a fault-injected shootout
-# smoke run (HPB_FAIL_RATE=0.2), a CLI crash-resume smoke (journal a
-# run, truncate the journal mid-record, resume, and require the
-# identical history CSV), and the gcov line-coverage gate for src/core
-# + src/obs (tools/coverage.sh).
+# session-durability + journal-fuzz tests (tests/test_journal.cpp), the
+# observability tests (tests/test_obs.cpp), and the session / manager /
+# wire-protocol tests (tests/test_session.cpp, tests/test_wire.cpp);
+# then a ThreadSanitizer build running the concurrency-sensitive subset
+# (engine, thread pool, watchdog, shutdown, metrics hot path, session
+# manager, line server); then a fault-injected shootout smoke run
+# (HPB_FAIL_RATE=0.2), a CLI crash-resume smoke (journal a run,
+# truncate the journal mid-record, resume, and require the identical
+# history CSV), a tuning-service storm smoke (bench/service_storm
+# --smoke: interleaved sessions with forced eviction/resume over a real
+# socket), and the gcov line-coverage gate for src/core + src/obs
+# (tools/coverage.sh).
 #
 # Usage: tools/check.sh    (from anywhere; builds into build/,
 #                           build-asan/, and build-tsan/ at the repo root)
@@ -25,25 +29,30 @@ cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo
-echo "== ASan + UBSan: engine + failure-path + journal + observability tests =="
+echo "== ASan + UBSan: engine + failure-path + journal + observability + service tests =="
 cmake -B build-asan -S . -DHPB_SANITIZE=address \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality|Acquisition|SuggestPending'
+  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality|Acquisition|SuggestPending|Session|Eviction|JsonParser|Wire|LineServer'
 
 echo
-echo "== TSan: engine / thread-pool / watchdog / shutdown / metrics tests =="
+echo "== TSan: engine / thread-pool / watchdog / shutdown / metrics / service tests =="
 cmake -B build-tsan -S . -DHPB_SANITIZE=thread \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality|Acquisition'
+  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality|Acquisition|SessionManager|LineServer'
 
 echo
 echo "== acquisition sweep micro-bench smoke =="
 ./build/bench/micro_acquisition --smoke \
   --out build/BENCH_acquisition_smoke.json
+
+echo
+echo "== tuning-service storm smoke: interleaved sessions + eviction/resume =="
+./build/bench/service_storm --smoke \
+  --out build/BENCH_service_smoke.json
 
 echo
 echo "== fault-injected shootout smoke (HPB_FAIL_RATE=0.2) =="

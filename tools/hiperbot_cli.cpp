@@ -13,6 +13,9 @@
 //                       --budget 100 --reps 10 [--ell 5]
 //   hiperbot transfer   --source-csv small_scale.csv --csv target.csv
 //                       --budget 150 [--weight 2.0]
+//   hiperbot serve      --socket /tmp/hpb.sock | --port 7421
+//                       [--session-dir sessions] [--max-resident 1000]
+//                       [--trace serve.trace.jsonl] [--metrics-out m.json]
 //
 // The CSV format is one header row (parameter columns, objective last) and
 // one row per measured configuration — the same layout `info --export`
@@ -34,12 +37,17 @@
 #include "core/journal.hpp"
 #include "core/surrogate.hpp"
 #include "core/stopping.hpp"
+#include "common/fsio.hpp"
+#include "core/session_manager.hpp"
 #include "eval/experiment.hpp"
 #include "eval/methods.hpp"
 #include "eval/metrics.hpp"
 #include "eval/report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "service/factory.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
 #include "stats/inference.hpp"
 #include "tabular/csv.hpp"
 #include "tabular/fault_injection.hpp"
@@ -358,6 +366,71 @@ int cmd_transfer(const hpb::cli::ArgParser& args) {
   return 0;
 }
 
+int cmd_serve(const hpb::cli::ArgParser& args) {
+  const std::string& socket_path = args.get_string("socket");
+  const bool tcp = args.was_set("port");
+  HPB_REQUIRE(!socket_path.empty() || tcp,
+              "serve: pass --socket <path>, --port <n> (0 = ephemeral), or "
+              "both");
+  // Create the session-journal root before binding anything: a typo'd
+  // --session-dir fails here with a clear message instead of aborting the
+  // first create verb mid-service.
+  const std::string& session_dir = args.get_string("session-dir");
+  hpb::fs::ensure_dir(session_dir);
+
+  std::optional<hpb::obs::JsonlTraceSink> trace_sink;
+  const std::string& trace_path = args.get_string("trace");
+  if (!trace_path.empty()) {
+    trace_sink.emplace(hpb::obs::JsonlTraceSink::create(trace_path));
+  }
+  const std::string& metrics_out = args.get_string("metrics-out");
+  hpb::obs::MetricsRegistry metrics;
+
+  hpb::core::SessionManagerConfig mconfig;
+  mconfig.journal_dir = session_dir;
+  mconfig.max_resident = args.get_size("max-resident");
+  mconfig.recorder = {.trace = trace_sink ? &*trace_sink : nullptr,
+                      .metrics = metrics_out.empty() ? nullptr : &metrics};
+  hpb::core::SessionManager manager(hpb::service::dataset_session_factory(),
+                                    std::move(mconfig));
+  hpb::service::WireService wire(manager);
+
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+
+  hpb::service::LineServer server(
+      [&wire](std::string_view line) { return wire.handle_line(line); },
+      {.unix_path = socket_path,
+       .tcp_port = tcp ? static_cast<int>(args.get_size("port")) : -1,
+       .stop_flag = &g_stop});
+  if (!socket_path.empty()) {
+    std::cout << "listening on unix socket " << socket_path << '\n';
+  }
+  if (tcp) {
+    // The actual port matters with --port 0; clients scrape this line.
+    std::cout << "listening on 127.0.0.1:" << server.port() << '\n';
+  }
+  std::cout << "session dir " << session_dir << "; press Ctrl-C to stop"
+            << std::endl;
+  server.serve();
+  server.stop();
+  std::cout << "served " << server.connections_accepted()
+            << " connections; sessions: " << manager.created_count()
+            << " created, " << manager.resumed_count() << " resumed, "
+            << manager.evicted_count() << " evicted, "
+            << manager.closed_count() << " closed ("
+            << manager.resident_count() << " resident at shutdown)\n";
+  if (trace_sink) {
+    trace_sink->flush();
+    std::cout << "trace written to " << trace_sink->path() << '\n';
+  }
+  if (!metrics_out.empty()) {
+    metrics.write_json(metrics_out);
+    std::cout << "metrics written to " << metrics_out << '\n';
+  }
+  return 0;
+}
+
 int cmd_compare(const hpb::cli::ArgParser& args) {
   TabularObjective ds = load_dataset(args);
   const auto methods = split_list(args.get_string("methods"));
@@ -415,7 +488,7 @@ int main(int argc, char** argv) {
       "hiperbot",
       "Bayesian-optimization autotuning over CSV datasets or the built-in "
       "simulated applications.\ncommands: info, tune, importance, compare, "
-      "transfer");
+      "transfer, serve");
   args.add_string("csv", "", "CSV dataset (params..., objective)")
       .add_string("dataset", "",
                   "built-in dataset: kripke, kripke_energy, hypre, lulesh, "
@@ -468,7 +541,17 @@ int main(int argc, char** argv) {
       .add_double("crash-rate", 0.0,
                   "`tune`: per-attempt transient crash probability")
       .add_double("alpha", 0.2, "good/bad split quantile")
-      .add_double("ell", 5.0, "recall percentile");
+      .add_double("ell", 5.0, "recall percentile")
+      .add_string("socket", "", "`serve`: unix-domain socket path")
+      .add_size("port", 0,
+                "`serve`: TCP port on 127.0.0.1 (0 = ephemeral, printed at "
+                "startup)")
+      .add_string("session-dir", "hpb_sessions",
+                  "`serve`: root directory for per-session write-ahead "
+                  "journals (created if missing)")
+      .add_size("max-resident", 0,
+                "`serve`: max in-memory sessions before LRU eviction to the "
+                "journal (0 = unlimited)");
 
   try {
     args.parse(argc, argv);
@@ -492,6 +575,9 @@ int main(int argc, char** argv) {
     }
     if (command == "transfer") {
       return cmd_transfer(args);
+    }
+    if (command == "serve") {
+      return cmd_serve(args);
     }
     std::cerr << "unknown command '" << command << "'\n" << args.usage();
     return 2;
