@@ -190,6 +190,84 @@ Measurement measure(const std::string& scenario, const space::SpacePtr& space,
   return m;
 }
 
+/// Incremental re-fit: rebuild the score table after folding one pending
+/// configuration into the surrogate's bad side (exactly what a
+/// pending-aware async re-fit does between completions). The good-side
+/// marginals are untouched, so the incremental constructor reuses their
+/// columns; the result must stay bitwise identical to a full rebuild.
+struct RefitMeasurement {
+  std::size_t pool_size = 0;
+  std::size_t history = 0;
+  std::size_t params = 0;
+  std::uint64_t full_ns = 0;         // cold table build after the re-fit
+  std::uint64_t incremental_ns = 0;  // build reusing the previous table
+  std::size_t reused_columns = 0;
+  std::size_t total_columns = 0;
+};
+
+RefitMeasurement measure_refit(const space::SpacePtr& space,
+                               const std::vector<space::Configuration>& pool,
+                               std::size_t history_size, std::size_t reps,
+                               Rng& rng) {
+  const core::History h = make_history(space, history_size, rng);
+  const core::TpeSurrogate base(space, h, 0.2);
+  const core::PoolColumns columns(*space, pool);
+  const core::AcquisitionTable prev(base, columns);
+
+  const std::vector<space::Configuration> pending{space->sample_uniform(rng)};
+  const core::TpeSurrogate refit(space, h, 0.2, {}, nullptr, 0.0, pending);
+
+  RefitMeasurement m;
+  m.pool_size = pool.size();
+  m.history = history_size;
+  m.params = space->num_params();
+  m.total_columns = 2 * space->num_params();
+
+  m.full_ns = ~std::uint64_t{0};
+  m.incremental_ns = ~std::uint64_t{0};
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    const core::AcquisitionTable full(refit, columns);
+    const auto t1 = Clock::now();
+    const core::AcquisitionTable incremental(refit, columns, &prev);
+    const auto t2 = Clock::now();
+    m.full_ns = std::min(m.full_ns, elapsed_ns(t0, t1));
+    m.incremental_ns = std::min(m.incremental_ns, elapsed_ns(t1, t2));
+    m.reused_columns = incremental.reused_columns();
+    for (std::size_t j = 0; j < columns.size(); ++j) {
+      if (std::bit_cast<std::uint64_t>(full.score(columns, j)) !=
+          std::bit_cast<std::uint64_t>(incremental.score(columns, j))) {
+        std::fprintf(stderr,
+                     "FATAL: incremental table diverges at candidate %zu\n",
+                     j);
+        std::exit(1);
+      }
+    }
+  }
+  if (m.reused_columns == 0) {
+    std::fprintf(stderr,
+                 "FATAL: incremental refit reused no columns (good side "
+                 "should be unchanged)\n");
+    std::exit(1);
+  }
+  return m;
+}
+
+void append_refit_json(std::string& out, const RefitMeasurement& m) {
+  out += "    {\"pool\":" + std::to_string(m.pool_size);
+  out += ",\"history\":" + std::to_string(m.history);
+  out += ",\"params\":" + std::to_string(m.params);
+  out += ",\"full_build_ns\":" + std::to_string(m.full_ns);
+  out += ",\"incremental_build_ns\":" + std::to_string(m.incremental_ns);
+  out += ",\"reused_columns\":" + std::to_string(m.reused_columns);
+  out += ",\"total_columns\":" + std::to_string(m.total_columns);
+  out += ",\"speedup\":" +
+         obs::json_double(static_cast<double>(m.full_ns) /
+                          static_cast<double>(std::max<std::uint64_t>(
+                              m.incremental_ns, 1)));
+  out += "}";
+}
+
 void append_json(std::string& out, const Measurement& m) {
   const double direct = static_cast<double>(m.direct_ns);
   const double table =
@@ -266,6 +344,32 @@ int run(bool smoke, const std::string& out_path) {
     }
   }
 
+  std::vector<RefitMeasurement> refits;
+  {
+    const std::vector<std::size_t> refit_pools =
+        smoke ? std::vector<std::size_t>{12}
+              : std::vector<std::size_t>{12, 16, 20};
+    std::printf("%-10s %10s %8s %14s %14s %7s %9s\n", "refit", "pool",
+                "history", "full_ns", "increm_ns", "reused", "speedup");
+    for (const std::size_t log2_pool : refit_pools) {
+      const space::SpacePtr space = discrete_space(log2_pool);
+      const std::vector<space::Configuration> pool = space->enumerate();
+      for (const std::size_t history : histories) {
+        RefitMeasurement m =
+            measure_refit(space, pool, history, smoke ? 1 : 16, rng);
+        std::printf("%-10s %10zu %8zu %14llu %14llu %3zu/%-3zu %8.1fx\n",
+                    "refit", m.pool_size, m.history,
+                    static_cast<unsigned long long>(m.full_ns),
+                    static_cast<unsigned long long>(m.incremental_ns),
+                    m.reused_columns, m.total_columns,
+                    static_cast<double>(m.full_ns) /
+                        static_cast<double>(
+                            std::max<std::uint64_t>(m.incremental_ns, 1)));
+        refits.push_back(m);
+      }
+    }
+  }
+
   std::string json = "{\n  \"bench\": \"acquisition_sweep\",\n";
   json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
   json += "  \"threads\": " + std::to_string(workers.size()) + ",\n";
@@ -273,6 +377,11 @@ int run(bool smoke, const std::string& out_path) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     append_json(json, results[i]);
     json += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"refit_results\": [\n";
+  for (std::size_t i = 0; i < refits.size(); ++i) {
+    append_refit_json(json, refits[i]);
+    json += i + 1 < refits.size() ? ",\n" : "\n";
   }
   json += "  ]\n}\n";
   std::FILE* f = std::fopen(out_path.c_str(), "w");

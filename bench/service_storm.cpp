@@ -164,11 +164,182 @@ struct Options {
   std::size_t evals = 6;
   std::size_t batch = 2;
   std::size_t max_resident = 128;
+  /// Evaluations per mode in the async-vs-sync throughput comparison
+  /// (straggler-skewed simulated evaluation times).
+  std::size_t compare_evals = 400;
   std::string method = "random";
   std::string dataset = "kripke";
   std::string out = "BENCH_service.json";
   bool smoke = false;
 };
+
+// ---------------------------------------------------------------------------
+// Async-vs-sync throughput comparison.
+//
+// Simulated straggler-skewed evaluation times (deterministic per eval
+// index): most evaluations are fast, a few are stragglers an order of
+// magnitude slower — the skew every shared HPC queue produces. A sync
+// client must hold the whole round open until its slowest member returns;
+// an async client observes each completion as it lands and immediately
+// refills the slot with suggest count=1, so a straggler occupies one slot
+// instead of stalling the round.
+
+constexpr double kShortEvalMs = 0.2;
+constexpr double kStragglerEvalMs = 8.0;
+constexpr std::uint64_t kStragglerOneIn = 10;  // 10% stragglers
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double eval_delay_ms(std::uint64_t seed, std::uint64_t index) {
+  return splitmix64(seed * 0x100000001B3ULL + index) % kStragglerOneIn == 0
+             ? kStragglerEvalMs
+             : kShortEvalMs;
+}
+
+/// Parse one suggest/observe response's configs into value vectors.
+std::vector<std::vector<double>> parse_configs(
+    const service::JsonValue& response) {
+  std::vector<std::vector<double>> out;
+  const auto& configs = response.find("configs")->as_array();
+  out.reserve(configs.size());
+  for (const service::JsonValue& c : configs) {
+    std::vector<double> values;
+    values.reserve(c.as_array().size());
+    for (const service::JsonValue& v : c.as_array()) {
+      values.push_back(v.as_number());
+    }
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
+std::string config_json(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out += (i > 0 ? "," : "") + obs::json_double(values[i]);
+  }
+  out += ']';
+  return out;
+}
+
+double evaluate_values(tabular::TabularObjective& dataset,
+                       const std::vector<double>& values) {
+  space::Configuration config;
+  config.values() = values;
+  return dataset.evaluate_result(config).value;
+}
+
+/// Sync mode: whole rounds, each held open for its slowest member.
+double run_compare_sync(const std::string& socket_path,
+                        tabular::TabularObjective& dataset,
+                        const Options& opt, std::size_t evals,
+                        std::size_t batch) {
+  LineClient client(socket_path);
+  expect_ok(client.rpc(
+      "{\"verb\":\"create\",\"session\":\"cmp_sync\",\"dataset\":\"" +
+      opt.dataset + "\",\"method\":\"hiperbot\",\"batch_size\":" +
+      std::to_string(batch) + ",\"max_evaluations\":" +
+      std::to_string(evals) + ",\"seed\":1}"));
+  const auto t0 = Clock::now();
+  std::size_t done = 0;
+  std::uint64_t index = 0;
+  while (done < evals) {
+    const service::JsonValue suggest = expect_ok(
+        client.rpc("{\"verb\":\"suggest\",\"session\":\"cmp_sync\"}"));
+    const std::vector<std::vector<double>> configs = parse_configs(suggest);
+    double round_ms = 0.0;
+    std::string results = "[";
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      round_ms = std::max(round_ms, eval_delay_ms(1, index++));
+      if (i > 0) {
+        results += ',';
+      }
+      results += "{\"config\":" + config_json(configs[i]) + ",\"y\":" +
+                 obs::json_double(evaluate_values(dataset, configs[i])) + "}";
+    }
+    results += ']';
+    // The round completes when its slowest evaluation does.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(round_ms));
+    expect_ok(client.rpc("{\"verb\":\"observe\",\"session\":\"cmp_sync\","
+                         "\"results\":" + results + "}"));
+    done += configs.size();
+  }
+  const double wall_s =
+      static_cast<double>(elapsed_ns(t0, Clock::now())) * 1e-9;
+  expect_ok(client.rpc("{\"verb\":\"close\",\"session\":\"cmp_sync\"}"));
+  return wall_s;
+}
+
+/// Async mode: a window of outstanding tokens; each completion is observed
+/// the moment it lands and its slot refilled with suggest count=1.
+double run_compare_async(const std::string& socket_path,
+                         tabular::TabularObjective& dataset,
+                         const Options& opt, std::size_t evals,
+                         std::size_t batch) {
+  LineClient client(socket_path);
+  expect_ok(client.rpc(
+      "{\"verb\":\"create\",\"session\":\"cmp_async\",\"dataset\":\"" +
+      opt.dataset + "\",\"method\":\"hiperbot\",\"mode\":\"async\","
+      "\"batch_size\":" + std::to_string(batch) + ",\"max_evaluations\":" +
+      std::to_string(evals) + ",\"seed\":1}"));
+  struct InFlight {
+    Clock::time_point ready;
+    std::uint64_t token = 0;
+    double y = 0.0;
+  };
+  const auto later = [](const InFlight& a, const InFlight& b) {
+    return a.ready > b.ready;
+  };
+  std::vector<InFlight> heap;  // min-heap on completion time
+  const auto t0 = Clock::now();
+  std::uint64_t index = 0;
+  std::size_t issued = 0;
+  const auto issue = [&](std::size_t count) {
+    const service::JsonValue suggest = expect_ok(client.rpc(
+        "{\"verb\":\"suggest\",\"session\":\"cmp_async\",\"count\":" +
+        std::to_string(count) + "}"));
+    const std::vector<std::vector<double>> configs = parse_configs(suggest);
+    const auto& tokens = suggest.find("tokens")->as_array();
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      InFlight f;
+      f.ready = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        eval_delay_ms(1, index++)));
+      f.token = static_cast<std::uint64_t>(tokens[i].as_number());
+      f.y = evaluate_values(dataset, configs[i]);
+      heap.push_back(f);
+      std::push_heap(heap.begin(), heap.end(), later);
+      ++issued;
+    }
+  };
+  issue(batch);
+  std::size_t done = 0;
+  while (done < evals) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const InFlight f = heap.back();
+    heap.pop_back();
+    std::this_thread::sleep_until(f.ready);
+    expect_ok(client.rpc(
+        "{\"verb\":\"observe\",\"session\":\"cmp_async\",\"results\":"
+        "[{\"token\":" + std::to_string(f.token) + ",\"y\":" +
+        obs::json_double(f.y) + "}]}"));
+    ++done;
+    if (issued < evals) {
+      issue(1);
+    }
+  }
+  const double wall_s =
+      static_cast<double>(elapsed_ns(t0, Clock::now())) * 1e-9;
+  expect_ok(client.rpc("{\"verb\":\"close\",\"session\":\"cmp_async\"}"));
+  return wall_s;
+}
 
 struct WorkerStats {
   std::vector<std::uint64_t> suggest_ns;
@@ -280,6 +451,7 @@ int run(Options opt) {
     opt.window = 8;
     opt.evals = 4;
     opt.max_resident = 8;
+    opt.compare_evals = 40;
   }
   const std::string run_tag = "storm." + std::to_string(::getpid());
   const std::string session_dir = run_tag + ".sessions";
@@ -321,7 +493,6 @@ int run(Options opt) {
     t.join();
   }
   const double wall_s = static_cast<double>(elapsed_ns(t0, Clock::now())) * 1e-9;
-  server.stop();
 
   std::vector<std::uint64_t> suggest_ns;
   std::vector<std::uint64_t> observe_ns;
@@ -370,6 +541,35 @@ int run(Options opt) {
         std::to_string(manager.resumed_count()) + ")");
   }
 
+  // Straggler-skewed throughput: the same service, one client per mode.
+  // Sync pays max(delay) per round; async pays each delay once, overlapped
+  // across the token window, and should clearly win.
+  const std::size_t cmp_evals = opt.compare_evals;
+  const std::size_t cmp_batch = std::max<std::size_t>(4, opt.batch);
+  const double sync_wall_s =
+      run_compare_sync(socket_path, dataset, opt, cmp_evals, cmp_batch);
+  const double async_wall_s =
+      run_compare_async(socket_path, dataset, opt, cmp_evals, cmp_batch);
+  const double sync_eps =
+      static_cast<double>(cmp_evals) / std::max(sync_wall_s, 1e-9);
+  const double async_eps =
+      static_cast<double>(cmp_evals) / std::max(async_wall_s, 1e-9);
+  const double speedup = async_eps / std::max(sync_eps, 1e-9);
+  std::printf(
+      "  async-vs-sync  %zu evals, window %zu, %.0f%% stragglers "
+      "(%.1fms vs %.1fms)\n",
+      cmp_evals, cmp_batch, 100.0 / static_cast<double>(kStragglerOneIn),
+      kStragglerEvalMs, kShortEvalMs);
+  std::printf("    sync         %.2fs (%.0f evals/s)\n", sync_wall_s,
+              sync_eps);
+  std::printf("    async        %.2fs (%.0f evals/s, %.2fx)\n", async_wall_s,
+              async_eps, speedup);
+  if (!opt.smoke && speedup <= 1.0) {
+    die("async mode did not beat sync batch throughput (speedup " +
+        std::to_string(speedup) + "x)");
+  }
+  server.stop();
+
   std::string json = "{\n  \"bench\": \"service_storm\",\n";
   json += "  \"sessions\": " + std::to_string(opt.sessions) + ",\n";
   json += "  \"workers\": " + std::to_string(opt.workers) + ",\n";
@@ -391,6 +591,19 @@ int run(Options opt) {
   };
   json += verb_json("suggest", suggest) + ",\n";
   json += verb_json("observe", observe) + ",\n";
+  json += "  \"async_compare\": {\"evals\": " + std::to_string(cmp_evals) +
+          ", \"window\": " + std::to_string(cmp_batch) +
+          ", \"straggler_rate\": " +
+          obs::json_double(1.0 / static_cast<double>(kStragglerOneIn)) +
+          ", \"short_ms\": " + obs::json_double(kShortEvalMs) +
+          ", \"straggler_ms\": " + obs::json_double(kStragglerEvalMs) +
+          ",\n    \"sync\": {\"wall_seconds\": " +
+          obs::json_double(sync_wall_s) + ", \"evals_per_sec\": " +
+          obs::json_double(sync_eps) +
+          "},\n    \"async\": {\"wall_seconds\": " +
+          obs::json_double(async_wall_s) + ", \"evals_per_sec\": " +
+          obs::json_double(async_eps) + "},\n    \"speedup\": " +
+          obs::json_double(speedup) + "},\n";
   json += "  \"evicted\": " + std::to_string(manager.evicted_count()) + ",\n";
   json += "  \"resumed\": " + std::to_string(manager.resumed_count()) + ",\n";
   json += "  \"connections\": " +

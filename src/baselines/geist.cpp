@@ -206,4 +206,11 @@ void Geist::observe_failure(const space::Configuration& config,
   failed_.insert(node);  // hard-bad label; never suggested again
 }
 
+void Geist::abandon(const space::Configuration& config) {
+  const auto it = node_of_ordinal_.find(space_->ordinal_of(config));
+  HPB_REQUIRE(it != node_of_ordinal_.end(),
+              "Geist::abandon: configuration not in pool");
+  pending_.erase(it->second);
+}
+
 }  // namespace hpb::baselines

@@ -57,6 +57,9 @@ class Geist final : public core::Tuner {
   /// threshold).
   void observe_failure(const space::Configuration& config,
                        core::EvalStatus status) override;
+  /// Release an outstanding suggestion that will never be observed: the
+  /// node leaves the pending set and may be proposed again later.
+  void abandon(const space::Configuration& config) override;
   [[nodiscard]] std::string name() const override { return "GEIST"; }
 
   /// Latest propagated good-beliefs (empty before the first propagation).

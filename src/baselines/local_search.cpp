@@ -147,6 +147,15 @@ void SimulatedAnnealing::observe_failure(const space::Configuration& config,
   }
 }
 
+void SimulatedAnnealing::abandon(const space::Configuration& config) {
+  // The abandoned move was never taken: the walk stays at the current
+  // incumbent, nothing is marked evaluated, and the schedule does not cool
+  // (no budget was actually spent on a measurement).
+  if (has_pending_ && pending_.values() == config.values()) {
+    has_pending_ = false;
+  }
+}
+
 // -------------------------------------------------------------- HillClimbing
 HillClimbing::HillClimbing(space::SpacePtr space, HillClimbConfig config,
                            std::uint64_t seed)

@@ -44,6 +44,9 @@ class SimulatedAnnealing final : public core::Tuner {
   /// spent, not successes.
   void observe_failure(const space::Configuration& config,
                        core::EvalStatus status) override;
+  /// Release the awaited suggestion without observing it; the walk stays at
+  /// the current incumbent and the next suggest proposes a fresh move.
+  void abandon(const space::Configuration& config) override;
   [[nodiscard]] std::string name() const override { return "SimAnneal"; }
 
   [[nodiscard]] double temperature() const noexcept { return temperature_; }

@@ -1,6 +1,7 @@
 #include "core/acquisition.hpp"
 
 #include <cmath>
+#include <cstring>
 
 namespace hpb::core {
 
@@ -57,8 +58,36 @@ PoolColumns::PoolColumns(const space::ParameterSpace& space,
   }
 }
 
+namespace {
+
+/// Bitwise equality of double vectors (memcmp: distinguishes -0.0 from 0.0
+/// and never equates NaNs, so a "match" can only mean an identical
+/// recomputation — mismatches merely cost a recompute).
+bool bits_equal(std::span<const double> a, std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool scalar_bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+bool AcquisitionTable::MarginalKey::matches(
+    const MarginalKey& other) const noexcept {
+  return continuous == other.continuous &&
+         scalar_bits_equal(smoothing, other.smoothing) &&
+         scalar_bits_equal(bandwidth, other.bandwidth) &&
+         scalar_bits_equal(lo, other.lo) && scalar_bits_equal(hi, other.hi) &&
+         bits_equal(values, other.values) &&
+         bits_equal(weights, other.weights);
+}
+
 AcquisitionTable::AcquisitionTable(const TpeSurrogate& surrogate,
-                                   const PoolColumns& columns) {
+                                   const PoolColumns& columns,
+                                   const AcquisitionTable* prev) {
   const std::size_t n_params = columns.num_params();
   HPB_REQUIRE(surrogate.good().num_params() == n_params,
               "AcquisitionTable: parameter count mismatch");
@@ -68,21 +97,65 @@ AcquisitionTable::AcquisitionTable(const TpeSurrogate& surrogate,
     offsets_[i] = total;
     total += columns.table_size(i);
   }
+  // An incremental rebuild requires the previous table to cover the same
+  // pool layout; anything else falls back to a full build.
+  if (prev != nullptr &&
+      (prev->offsets_ != offsets_ || prev->log_good_.size() != total)) {
+    prev = nullptr;
+  }
   log_good_.reserve(total);
   log_bad_.reserve(total);
+  good_keys_.resize(n_params);
+  bad_keys_.resize(n_params);
+  auto key_of = [&](const FactorizedDensity& density, std::size_t i) {
+    MarginalKey key;
+    if (columns.is_continuous(i)) {
+      const stats::KernelDensity& k = density.kernel(i);
+      key.continuous = true;
+      key.bandwidth = k.bandwidth();
+      key.lo = k.lo();
+      key.hi = k.hi();
+      key.values.assign(k.centers().begin(), k.centers().end());
+      key.weights.assign(k.kernel_weights().begin(), k.kernel_weights().end());
+    } else {
+      const stats::HistogramDensity& h = density.histogram(i);
+      key.smoothing = h.smoothing();
+      key.values.assign(h.counts().begin(), h.counts().end());
+    }
+    return key;
+  };
   for (std::size_t i = 0; i < n_params; ++i) {
+    good_keys_[i] = key_of(surrogate.good(), i);
+    bad_keys_[i] = key_of(surrogate.bad(), i);
+    const bool reuse_good =
+        prev != nullptr && good_keys_[i].matches(prev->good_keys_[i]);
+    const bool reuse_bad =
+        prev != nullptr && bad_keys_[i].matches(prev->bad_keys_[i]);
     // Entries are computed by the exact marginal calls the direct path
     // makes (log_pmf / log_pdf), so a table lookup reproduces the direct
-    // score bit for bit.
+    // score bit for bit. A column reused from `prev` was computed from a
+    // bitwise-identical marginal, so it is the same doubles either way.
+    auto column = [&](const FactorizedDensity& density) {
+      if (columns.is_continuous(i)) {
+        return density.kernel(i).log_pdf_many(columns.distinct_values(i));
+      }
+      return density.histogram(i).log_pmf_table();
+    };
     std::vector<double> good;
     std::vector<double> bad;
-    if (columns.is_continuous(i)) {
-      const std::span<const double> values = columns.distinct_values(i);
-      good = surrogate.good().kernel(i).log_pdf_many(values);
-      bad = surrogate.bad().kernel(i).log_pdf_many(values);
+    if (reuse_good) {
+      const double* at = prev->log_good_.data() + offsets_[i];
+      good.assign(at, at + columns.table_size(i));
+      ++reused_columns_;
     } else {
-      good = surrogate.good().histogram(i).log_pmf_table();
-      bad = surrogate.bad().histogram(i).log_pmf_table();
+      good = column(surrogate.good());
+    }
+    if (reuse_bad) {
+      const double* at = prev->log_bad_.data() + offsets_[i];
+      bad.assign(at, at + columns.table_size(i));
+      ++reused_columns_;
+    } else {
+      bad = column(surrogate.bad());
     }
     HPB_REQUIRE(good.size() == columns.table_size(i) &&
                     bad.size() == columns.table_size(i),

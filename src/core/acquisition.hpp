@@ -90,9 +90,20 @@ class PoolColumns {
 };
 
 /// Per-fit `index -> (log pg, log pb)` tables over a PoolColumns layout.
+///
+/// Consecutive fits usually change only a few marginals — the good group in
+/// particular is identical between fits whenever the new observations all
+/// land below the α-quantile. Passing the previous fit's table as `prev`
+/// rebuilds only the columns whose marginal actually changed: each column is
+/// keyed by the bitwise state of the marginal density that produced it
+/// (histogram counts + smoothing, or KDE centers + weights + bandwidth +
+/// support), and an unchanged key means the recomputation would be
+/// bitwise-identical, so the old column is copied instead. Scores are
+/// therefore bitwise-identical with or without `prev`.
 class AcquisitionTable {
  public:
-  AcquisitionTable(const TpeSurrogate& surrogate, const PoolColumns& columns);
+  AcquisitionTable(const TpeSurrogate& surrogate, const PoolColumns& columns,
+                   const AcquisitionTable* prev = nullptr);
 
   /// Acquisition score of pool candidate j: bitwise-identical to
   /// surrogate.acquisition(pool[j]) — both log-density accumulators add
@@ -109,10 +120,32 @@ class AcquisitionTable {
     return log_good - log_bad;
   }
 
+  /// Per-side columns copied from `prev` instead of recomputed (0..2 per
+  /// parameter). Exposed for the sweep span and the incremental bench.
+  [[nodiscard]] std::size_t reused_columns() const noexcept {
+    return reused_columns_;
+  }
+
  private:
+  /// Bitwise fingerprint of the marginal density behind one table column.
+  struct MarginalKey {
+    bool continuous = false;
+    double smoothing = 0.0;  // histogram
+    double bandwidth = 0.0;  // KDE
+    double lo = 0.0;
+    double hi = 0.0;
+    std::vector<double> values;   // histogram counts / KDE centers
+    std::vector<double> weights;  // KDE per-center weights
+
+    [[nodiscard]] bool matches(const MarginalKey& other) const noexcept;
+  };
+
   std::vector<std::size_t> offsets_;  // per-param start into the flat tables
   std::vector<double> log_good_;
   std::vector<double> log_bad_;
+  std::vector<MarginalKey> good_keys_;  // per-param, for the next fit's diff
+  std::vector<MarginalKey> bad_keys_;
+  std::size_t reused_columns_ = 0;
 };
 
 /// One sweep result: a candidate index and its acquisition score.

@@ -124,7 +124,13 @@ std::vector<SweepHit> HiPerBOt::ranked_topk(const TpeSurrogate& s,
         [&](std::size_t j) { return is_excluded(pool[j]); });
   } else {
     ensure_columns();
-    const AcquisitionTable table(s, *columns_);
+    // Rebuild only the table columns whose marginals changed since the
+    // previous fit (bitwise-identical scores either way); the fresh table
+    // replaces the cache for the next fit's diff.
+    table_cache_.emplace(
+        AcquisitionTable(s, *columns_,
+                         table_cache_ ? &*table_cache_ : nullptr));
+    const AcquisitionTable& table = *table_cache_;
     if (tracing) {
       table_built = recorder_->now_ns();
     }
@@ -159,6 +165,9 @@ std::vector<SweepHit> HiPerBOt::ranked_topk(const TpeSurrogate& s,
                              sweep_pool_ != nullptr ? sweep_pool_->size() : 1),
         obs::TraceAttr::uint("table_build_ns", table_built - sweep_start),
         obs::TraceAttr::uint("sweep_ns", sweep_end - table_built),
+        obs::TraceAttr::uint("reused_columns",
+                             table_cache_ ? table_cache_->reused_columns()
+                                          : 0),
     };
     recorder_->trace->emit({.name = "hiperbot.sweep",
                             .id = recorder_->trace->next_id(),
@@ -234,6 +243,7 @@ space::Configuration HiPerBOt::suggest() {
   if (space_->is_finite()) {
     pending_.insert(space_->ordinal_of(chosen));
   }
+  pending_configs_.push_back(chosen);
   return chosen;
 }
 
@@ -248,6 +258,7 @@ std::vector<space::Configuration> HiPerBOt::suggest_batch(std::size_t k) {
     if (space_->is_finite()) {
       pending_.insert(space_->ordinal_of(c));
     }
+    pending_configs_.push_back(c);
     batch.push_back(std::move(c));
   };
   auto pool_exhausted = [&] {
@@ -313,6 +324,7 @@ void HiPerBOt::observe(const space::Configuration& config, double y) {
     pending_.erase(ordinal);
     evaluated_.insert(ordinal);
   }
+  erase_pending_config(config);
   history_.add(config, y);
 }
 
@@ -327,7 +339,27 @@ void HiPerBOt::observe_failure(const space::Configuration& config,
     pending_.erase(ordinal);
     evaluated_.insert(ordinal);  // never re-propose a failed configuration
   }
+  erase_pending_config(config);
   failed_.push_back(config);  // joins the bad density group on the next fit
+}
+
+void HiPerBOt::abandon(const space::Configuration& config) {
+  HPB_REQUIRE(config.size() == space_->num_params(),
+              "HiPerBOt::abandon: configuration size mismatch");
+  if (space_->is_finite()) {
+    pending_.erase(space_->ordinal_of(config));
+  }
+  erase_pending_config(config);
+}
+
+void HiPerBOt::erase_pending_config(const space::Configuration& config) {
+  for (auto it = pending_configs_.begin(); it != pending_configs_.end();
+       ++it) {
+    if (it->values() == config.values()) {
+      pending_configs_.erase(it);
+      return;
+    }
+  }
 }
 
 void HiPerBOt::export_fit(const TpeSurrogate& s, double chosen_score) const {
@@ -369,6 +401,21 @@ void HiPerBOt::export_fit(const TpeSurrogate& s, double chosen_score) const {
 }
 
 TpeSurrogate HiPerBOt::fit_surrogate() const {
+  // Constant-liar mass: outstanding suggestions join the failed
+  // configurations in the bad density group, steering the next acquisition
+  // away from configurations already being evaluated elsewhere. Synchronous
+  // drivers fit with nothing outstanding, so this branch never fires for
+  // them and their fits are bitwise-unchanged.
+  if (config_.pending_liar && !pending_configs_.empty()) {
+    std::vector<space::Configuration> bad_mass;
+    bad_mass.reserve(failed_.size() + pending_configs_.size());
+    bad_mass.insert(bad_mass.end(), failed_.begin(), failed_.end());
+    bad_mass.insert(bad_mass.end(), pending_configs_.begin(),
+                    pending_configs_.end());
+    return TpeSurrogate(space_, history_, config_.quantile, config_.density,
+                        prior_ ? &*prior_ : nullptr,
+                        prior_ ? config_.transfer_weight : 0.0, bad_mass);
+  }
   return TpeSurrogate(space_, history_, config_.quantile, config_.density,
                       prior_ ? &*prior_ : nullptr,
                       prior_ ? config_.transfer_weight : 0.0, failed_);

@@ -66,6 +66,13 @@ struct HiPerBOtConfig {
   /// Transfer-prior mixture weight w of eq. 9–10 (used only when a prior is
   /// installed via set_transfer_prior).
   double transfer_weight = 1.0;
+  /// Fold outstanding (suggested-but-unobserved) configurations into the
+  /// surrogate's bad density as constant-liar mass, so an asynchronous
+  /// caller's next suggest is steered away from configurations already
+  /// being evaluated elsewhere. Synchronous drivers observe every batch
+  /// before the next fit, so their fits never see outstanding
+  /// configurations and are bitwise-unchanged by this flag.
+  bool pending_liar = true;
 };
 
 class HiPerBOt final : public Tuner {
@@ -109,6 +116,10 @@ class HiPerBOt final : public Tuner {
   /// for `initial_samples` *successful* observations.
   void observe_failure(const space::Configuration& config,
                        EvalStatus status) override;
+  /// Release an outstanding suggestion that will never be observed: the
+  /// configuration leaves the pending set (and the liar mass) and becomes
+  /// suggestable again — the acquisition argmax may well re-propose it.
+  void abandon(const space::Configuration& config) override;
   [[nodiscard]] std::string name() const override { return "HiPerBOt"; }
 
   [[nodiscard]] const History& history() const noexcept { return history_; }
@@ -142,6 +153,8 @@ class HiPerBOt final : public Tuner {
                                                   std::size_t k);
   /// Build the structure-of-arrays pool mirror on first use.
   void ensure_columns();
+  /// Drop the first pending configuration with these values, if present.
+  void erase_pending_config(const space::Configuration& config);
   /// Export the internals of one surrogate fit (good/bad split sizes, KDE
   /// bandwidth, threshold, exclusion-set size, acquisition score of the
   /// chosen candidate) to the installed recorder. Pure reads: a traced run
@@ -157,7 +170,15 @@ class HiPerBOt final : public Tuner {
   ThreadPool* sweep_pool_ = nullptr;    // Ranking sweep workers, not owned
   std::unordered_set<std::uint64_t> evaluated_;  // ordinals, finite spaces
   std::unordered_set<std::uint64_t> pending_;    // batched, not yet observed
+  /// The pending configurations themselves, in suggestion order: the
+  /// constant-liar mass folded into fit_surrogate()'s bad group while any
+  /// suggestion is outstanding (async callers), and the lookup for
+  /// abandon(). Kept for every space (ordinals exist only for finite ones).
+  std::vector<space::Configuration> pending_configs_;
   std::vector<space::Configuration> failed_;     // evaluations that failed
+  /// Previous fit's acquisition table: consecutive fits reuse the columns
+  /// of unchanged marginals (bitwise-identical scores either way).
+  std::optional<AcquisitionTable> table_cache_;
   std::optional<TransferPrior> prior_;
   std::vector<space::Configuration> initial_queue_;  // LHS design, if any
 };

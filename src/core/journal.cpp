@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
@@ -153,6 +155,9 @@ JournalWriter JournalWriter::create(const std::string& path,
   head << kMagic << '\n'
        << "meta method " << header.method << '\n'
        << "meta dataset " << header.dataset << '\n';
+  if (header.async) {
+    head << "meta mode async\n";
+  }
   if (!header.warm_start.empty()) {
     head << "meta warm_start " << header.warm_start << '\n';
   }
@@ -206,6 +211,42 @@ void JournalWriter::append_observation(const Observation& o) {
   for (std::size_t p = 0; p < o.config.size(); ++p) {
     line << ' ' << hex16(o.config[p]);
   }
+  write_line(line.str());
+}
+
+void JournalWriter::abandon_round() {
+  HPB_REQUIRE(next_round_ > 0,
+              "journal abandon_round: no round has been opened");
+  write_line("abandon");
+}
+
+void JournalWriter::begin_ask(std::size_t requested,
+                              std::uint64_t first_token,
+                              std::span<const space::Configuration> batch) {
+  HPB_REQUIRE(!batch.empty() && batch.size() <= requested,
+              "journal begin_ask: actual batch out of range");
+  HPB_REQUIRE(first_token > 0, "journal begin_ask: tokens start at 1");
+  std::ostringstream line;
+  line << "ask " << requested << ' ' << first_token << ' ' << batch.size();
+  for (const space::Configuration& c : batch) {
+    for (std::size_t p = 0; p < c.size(); ++p) {
+      line << ' ' << hex16(c[p]);
+    }
+  }
+  write_line(line.str());
+}
+
+void JournalWriter::append_async_observation(std::uint64_t token,
+                                             const Observation& o) {
+  std::ostringstream line;
+  line << "aobs " << token << ' ' << tabular::status_name(o.status) << ' '
+       << hex16(o.y);
+  write_line(line.str());
+}
+
+void JournalWriter::append_cancel(std::uint64_t token) {
+  std::ostringstream line;
+  line << "acancel " << token;
   write_line(line.str());
 }
 
@@ -288,6 +329,9 @@ JournalContents read_journal(const std::string& path) {
         ok = parse_bits(value, h.crash_rate);
       } else if (key == "hang_rate") {
         ok = parse_bits(value, h.hang_rate);
+      } else if (key == "mode") {
+        ok = value == "async" || value == "sync";
+        h.async = value == "async";
       }  // unknown meta keys are skipped for forward compatibility
       HPB_REQUIRE(ok, "read_journal: malformed header line '" +
                           std::string(line) + "'");
@@ -300,6 +344,102 @@ JournalContents read_journal(const std::string& path) {
   }
   HPB_REQUIRE(!h.method.empty() && h.num_params > 0 && h.batch_size > 0,
               "read_journal: incomplete header in '" + path + "'");
+
+  if (h.async) {
+    // Asynchronous body: one self-contained event line per verb. Every
+    // valid line extends the durable prefix on its own — there is no
+    // multi-line round to tear, only the final line.
+    std::unordered_map<std::uint64_t, space::Configuration> outstanding;
+    std::uint64_t next_token = 1;
+    for (;;) {
+      if (!next_line(line)) {
+        break;
+      }
+      const auto tokens = split_all(line);
+      if (tokens.size() == 2 && tokens[0] == "end") {
+        contents.finalized = true;
+        contents.finish_reason = tokens[1];
+        break;  // valid_bytes deliberately excludes the end marker
+      }
+      AsyncEvent event;
+      if (tokens.size() >= 4 && tokens[0] == "ask") {
+        std::uint64_t requested = 0, first_token = 0, actual = 0;
+        if (!parse_u64(tokens[1], requested) ||
+            !parse_u64(tokens[2], first_token) ||
+            !parse_u64(tokens[3], actual) || actual == 0 ||
+            actual > requested || first_token != next_token ||
+            tokens.size() != 4 + actual * h.num_params) {
+          break;  // torn or foreign tail; the prefix so far stands
+        }
+        event.kind = AsyncEvent::Kind::kAsk;
+        event.requested = static_cast<std::size_t>(requested);
+        event.first_token = first_token;
+        bool ok = true;
+        for (std::uint64_t i = 0; i < actual && ok; ++i) {
+          std::vector<double> values(h.num_params, 0.0);
+          for (std::size_t p = 0; p < h.num_params && ok; ++p) {
+            ok = parse_bits(tokens[4 + i * h.num_params + p], values[p]);
+          }
+          if (ok) {
+            event.configs.emplace_back(std::move(values));
+          }
+        }
+        if (!ok) {
+          break;
+        }
+        for (std::uint64_t i = 0; i < actual; ++i) {
+          outstanding.emplace(first_token + i, event.configs[i]);
+        }
+        next_token = first_token + actual;
+      } else if (tokens.size() == 4 && tokens[0] == "aobs") {
+        std::uint64_t token = 0;
+        if (!parse_u64(tokens[1], token)) {
+          break;
+        }
+        const auto it = outstanding.find(token);
+        if (it == outstanding.end()) {
+          break;  // unknown/already-resolved token: corruption, stop here
+        }
+        event.kind = AsyncEvent::Kind::kObserve;
+        event.token = token;
+        try {
+          event.observation.status =
+              tabular::status_from_name(std::string(tokens[2]));
+        } catch (const Error&) {
+          break;
+        }
+        if (!parse_bits(tokens[3], event.observation.y)) {
+          break;
+        }
+        // NaN under an ok status is corruption, exactly as for sync obs
+        // records; infinities stay legal.
+        if (event.observation.status == tabular::EvalStatus::kOk &&
+            std::isnan(event.observation.y)) {
+          break;
+        }
+        event.observation.config = it->second;
+        outstanding.erase(it);
+      } else if (tokens.size() == 2 && tokens[0] == "acancel") {
+        std::uint64_t token = 0;
+        if (!parse_u64(tokens[1], token)) {
+          break;
+        }
+        const auto it = outstanding.find(token);
+        if (it == outstanding.end()) {
+          break;
+        }
+        event.kind = AsyncEvent::Kind::kCancel;
+        event.token = token;
+        event.observation.config = it->second;
+        outstanding.erase(it);
+      } else {
+        break;
+      }
+      contents.events.push_back(std::move(event));
+      contents.valid_bytes = offset;
+    }
+    return contents;
+  }
 
   // Rounds, until the end marker, EOF, or the first torn/malformed line.
   for (;;) {
@@ -321,10 +461,18 @@ JournalContents read_journal(const std::string& path) {
     }
     JournalRound round;
     round.requested = static_cast<std::size_t>(requested);
+    round.actual = static_cast<std::size_t>(actual);
     bool complete = true;
     for (std::uint64_t i = 0; i < actual; ++i) {
       if (!next_line(line)) {
         complete = false;
+        break;
+      }
+      // A round marker directly followed by an abandon marker is a
+      // cancelled round: no observations ever existed, and replay
+      // re-suggests then abandons it instead of re-evaluating.
+      if (i == 0 && line == "abandon") {
+        round.abandoned = true;
         break;
       }
       tokens = split_all(line);
@@ -388,6 +536,22 @@ std::vector<Observation> replay_journal(Tuner& tuner,
     const JournalRound& round = contents.rounds[r];
     const std::vector<space::Configuration> batch =
         tuner.suggest_batch(round.requested);
+    if (round.abandoned) {
+      // The round was cancelled whole before any observation: re-suggesting
+      // advanced the tuner (RNG, pending tracking) exactly as the original
+      // suggest did; abandoning each member restores the cancelled state.
+      HPB_REQUIRE(batch.size() == round.actual,
+                  "replay_journal: abandoned round " + std::to_string(r) +
+                      " diverged — tuner proposed " +
+                      std::to_string(batch.size()) +
+                      " configurations, journal recorded " +
+                      std::to_string(round.actual) +
+                      " (wrong method, seed, or dataset?)");
+      for (const space::Configuration& c : batch) {
+        tuner.abandon(c);
+      }
+      continue;
+    }
     HPB_REQUIRE(batch.size() == round.observations.size(),
                 "replay_journal: round " + std::to_string(r) +
                     " diverged — tuner proposed " +
@@ -407,6 +571,72 @@ std::vector<Observation> replay_journal(Tuner& tuner,
                     round.observations.end());
   }
   return replayed;
+}
+
+AsyncReplayResult replay_journal_async(Tuner& tuner,
+                                       const space::ParameterSpace& space,
+                                       const JournalContents& contents) {
+  HPB_REQUIRE(contents.header.async,
+              "replay_journal_async: journal is not an async journal");
+  HPB_REQUIRE(contents.header.num_params == space.num_params(),
+              "replay_journal_async: journal has " +
+                  std::to_string(contents.header.num_params) +
+                  " parameters but the space has " +
+                  std::to_string(space.num_params()));
+  AsyncReplayResult result;
+  // Ordered map: tokens are issued in increasing order, so iteration order
+  // equals issue order — the resumed session re-exposes outstanding tokens
+  // exactly as the original issued them.
+  std::map<std::uint64_t, space::Configuration> outstanding;
+  for (std::size_t e = 0; e < contents.events.size(); ++e) {
+    const AsyncEvent& event = contents.events[e];
+    switch (event.kind) {
+      case AsyncEvent::Kind::kAsk: {
+        const std::vector<space::Configuration> batch =
+            tuner.suggest_batch(event.requested);
+        HPB_REQUIRE(batch.size() == event.configs.size(),
+                    "replay_journal_async: ask event " + std::to_string(e) +
+                        " diverged — tuner proposed " +
+                        std::to_string(batch.size()) +
+                        " configurations, journal recorded " +
+                        std::to_string(event.configs.size()) +
+                        " (wrong method, seed, or dataset?)");
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          HPB_REQUIRE(batch[i].values() == event.configs[i].values(),
+                      "replay_journal_async: ask event " + std::to_string(e) +
+                          " configuration " + std::to_string(i) +
+                          " diverged — the tuner did not re-propose the "
+                          "journaled configuration (wrong method, seed, or "
+                          "dataset?)");
+          outstanding.emplace(event.first_token + i, batch[i]);
+        }
+        result.next_token = event.first_token + batch.size();
+        break;
+      }
+      case AsyncEvent::Kind::kObserve: {
+        outstanding.erase(event.token);
+        if (event.observation.status == tabular::EvalStatus::kOk) {
+          tuner.observe(event.observation.config, event.observation.y);
+        } else {
+          tuner.observe_failure(event.observation.config,
+                                event.observation.status);
+        }
+        result.observations.push_back(event.observation);
+        break;
+      }
+      case AsyncEvent::Kind::kCancel: {
+        const auto it = outstanding.find(event.token);
+        HPB_REQUIRE(it != outstanding.end(),
+                    "replay_journal_async: cancel event " + std::to_string(e) +
+                        " references an unknown token");
+        tuner.abandon(it->second);
+        outstanding.erase(it);
+        break;
+      }
+    }
+  }
+  result.outstanding.assign(outstanding.begin(), outstanding.end());
+  return result;
 }
 
 }  // namespace hpb::core

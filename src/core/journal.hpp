@@ -27,13 +27,35 @@
 // and before evaluation; its records follow once the round is evaluated. A
 // round with fewer than <actual> records is incomplete and is dropped on
 // resume — its evaluations are re-run, which is safe because the tuner
-// state that produced them is reconstructed exactly.
+// state that produced them is reconstructed exactly. A round marker may
+// instead be followed by a single `abandon` line: the round was cancelled
+// whole (client died mid-round), replay re-suggests it and abandons every
+// member, and the session keeps going instead of wedging.
+//
+// Asynchronous sessions (`meta mode async` in the header) journal a
+// different, event-oriented body — one self-contained fsync'd line per
+// verb, in verb order:
+//
+//   ask <requested> <first_token> <actual> <cfg-bits ...>
+//   aobs <token> <status> <y-bits>
+//   acancel <token>
+//
+// `ask` lines carry the suggested configurations (actual * num_params
+// 16-hex-digit values, configuration-major) and assign the consecutive
+// tokens first_token .. first_token+actual-1; `aobs`/`acancel` resolve one
+// token in completion order. The ask line is durable *before* its tokens
+// are returned to any client, so a replayed journal's outstanding-token set
+// always covers every token a client could have seen; completions arrive in
+// any order and replay re-applies them in the exact journaled order, which
+// is what makes an async resume bitwise-deterministic.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/tuner.hpp"
@@ -62,13 +84,39 @@ struct JournalHeader {
   double fail_rate = 0.0;
   double crash_rate = 0.0;
   double hang_rate = 0.0;
+  /// Asynchronous session: the journal body is ask/aobs/acancel event
+  /// lines instead of round/obs blocks. Absent in older journals (= sync).
+  bool async = false;
 };
 
 /// One engine round as journaled: the batch size the engine requested and
 /// the observations (in suggestion order) the tuner's batch produced.
 struct JournalRound {
   std::size_t requested = 0;
+  /// Batch size the tuner actually returned (== observations.size() for
+  /// observed rounds; abandoned rounds have no observations).
+  std::size_t actual = 0;
+  /// The round was cancelled whole (journaled `abandon` marker): replay
+  /// re-suggests it to advance the tuner deterministically, then abandons
+  /// every member instead of observing.
+  bool abandoned = false;
   std::vector<Observation> observations;
+};
+
+/// One journaled verb of an asynchronous session, in journal (= verb)
+/// order.
+struct AsyncEvent {
+  enum class Kind { kAsk, kObserve, kCancel };
+  Kind kind = Kind::kAsk;
+  /// kAsk: the requested batch size and the tokens/configurations issued.
+  std::size_t requested = 0;
+  std::uint64_t first_token = 0;
+  std::vector<space::Configuration> configs;
+  /// kObserve / kCancel: the token resolved by this event. For kObserve,
+  /// `observation` carries the token's configuration (resolved by the
+  /// reader from the issuing ask) and the journaled value/status.
+  std::uint64_t token = 0;
+  Observation observation;
 };
 
 /// A validated journal: header, every complete round, and whether the
@@ -77,6 +125,9 @@ struct JournalRound {
 struct JournalContents {
   JournalHeader header;
   std::vector<JournalRound> rounds;
+  /// Asynchronous journals only: the validated verb sequence. Sync
+  /// journals leave this empty (and vice versa).
+  std::vector<AsyncEvent> events;
   bool finalized = false;
   std::string finish_reason;
   std::uint64_t valid_bytes = 0;
@@ -85,6 +136,9 @@ struct JournalContents {
     std::size_t n = 0;
     for (const JournalRound& r : rounds) {
       n += r.observations.size();
+    }
+    for (const AsyncEvent& e : events) {
+      n += e.kind == AsyncEvent::Kind::kObserve ? 1 : 0;
     }
     return n;
   }
@@ -120,6 +174,24 @@ class JournalWriter {
   /// Append one evaluated observation of the current round.
   void append_observation(const Observation& o);
 
+  /// Abandon the round opened by the last begin_round before any of its
+  /// observations were appended: the client evaluating it died or cancelled.
+  /// Replay re-suggests the round and abandons every member.
+  void abandon_round();
+
+  /// Async sessions: durably record a suggest batch *before* its tokens are
+  /// returned to the client — `batch.size()` consecutive tokens starting at
+  /// `first_token`, with the configurations inline (replay verifies the
+  /// re-suggested batch against them bitwise).
+  void begin_ask(std::size_t requested, std::uint64_t first_token,
+                 std::span<const space::Configuration> batch);
+
+  /// Async sessions: durably record one completed evaluation (any order).
+  void append_async_observation(std::uint64_t token, const Observation& o);
+
+  /// Async sessions: durably record the cancellation of one token.
+  void append_cancel(std::uint64_t token);
+
   /// Durably mark the session complete (e.g. "budget_exhausted"). Not
   /// called on interruption — an unfinalized journal is what resume
   /// expects.
@@ -150,6 +222,27 @@ class JournalWriter {
 /// dataset). Returns all replayed observations in engine order, ready to
 /// hand to TuningEngine::run/run_until as the replayed prefix.
 [[nodiscard]] std::vector<Observation> replay_journal(
+    Tuner& tuner, const space::ParameterSpace& space,
+    const JournalContents& contents);
+
+/// What an asynchronous replay reconstructs: the journaled observations in
+/// completion order (for the session's best-so-far / stopping bookkeeping)
+/// plus the still-outstanding tokens — asks whose completion or
+/// cancellation never hit the journal. A resumed session re-exposes those
+/// tokens, so a client (or an operator issuing `cancel`) can always resolve
+/// them; a torn round never wedges the session.
+struct AsyncReplayResult {
+  std::vector<Observation> observations;
+  std::vector<std::pair<std::uint64_t, space::Configuration>> outstanding;
+  /// The next unissued token (one past the largest journaled token).
+  std::uint64_t next_token = 1;
+};
+
+/// Deterministic async resume: drive a fresh tuner through the journal's
+/// event sequence — suggest_batch per ask (verified bitwise against the
+/// journaled configurations), observe/observe_failure per aobs, abandon per
+/// acancel — in the exact journaled order.
+[[nodiscard]] AsyncReplayResult replay_journal_async(
     Tuner& tuner, const space::ParameterSpace& space,
     const JournalContents& contents);
 

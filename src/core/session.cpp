@@ -46,6 +46,16 @@ void Session::require_open(const char* verb) const {
                               ": session is closed");
 }
 
+void Session::require_mode(SessionMode mode, const char* verb) const {
+  HPB_REQUIRE(config_.mode == mode,
+              std::string("Session::") + verb +
+                  (mode == SessionMode::kAsync
+                       ? ": this is a synchronous session (use the round "
+                         "verbs suggest/observe)"
+                       : ": this is an asynchronous session (use the token "
+                         "verbs suggest_async/observe_async/cancel_async)"));
+}
+
 void Session::reserve(std::size_t n) {
   result_.history.reserve(n);
   result_.best_so_far.reserve(n);
@@ -53,6 +63,7 @@ void Session::reserve(std::size_t n) {
 
 std::vector<space::Configuration> Session::suggest(std::size_t k) {
   require_open("suggest");
+  require_mode(SessionMode::kSync, "suggest");
   HPB_REQUIRE(k > 0, "Session::suggest: k must be positive");
   HPB_REQUIRE(!round_in_flight_,
               "Session::suggest: a round of " +
@@ -99,6 +110,7 @@ std::vector<space::Configuration> Session::suggest(std::size_t k) {
 void Session::observe(std::vector<Observation> observations,
                       std::span<const EvalMeter> meters) {
   require_open("observe");
+  require_mode(SessionMode::kSync, "observe");
   HPB_REQUIRE(round_in_flight_,
               "Session::observe: no round is in flight; call suggest first");
   HPB_REQUIRE(observations.size() == pending_.size(),
@@ -230,6 +242,197 @@ void Session::observe(std::vector<Observation> observations,
   ++round_index_;
 }
 
+std::size_t Session::cancel_round() {
+  require_open("cancel");
+  require_mode(SessionMode::kSync, "cancel");
+  HPB_REQUIRE(round_in_flight_,
+              "Session::cancel: no round is in flight; nothing to cancel");
+  // Marker first: once the abandon line is durable, a crash between here
+  // and the tuner updates replays to the same released state.
+  if (journal_ != nullptr) {
+    journal_->abandon_round();
+  }
+  const std::size_t released = pending_.size();
+  for (const space::Configuration& c : pending_) {
+    tuner_->abandon(c);
+  }
+  const obs::Recorder& rec = config_.recorder;
+  if (rec.tracing()) {
+    const obs::TraceAttr attrs[] = {
+        obs::TraceAttr::uint("round", round_index_),
+        obs::TraceAttr::uint("released", released)};
+    rec.trace->emit({.name = "cancel_round",
+                     .id = rec.trace->next_id(),
+                     .parent = round_id_,
+                     .start_ns = round_start_,
+                     .end_ns = rec.now_ns(),
+                     .attrs = attrs});
+  }
+  if (rec.metrics != nullptr) {
+    rec.metrics->counter("engine.cancelled_rounds").add(1);
+  }
+  round_in_flight_ = false;
+  pending_.clear();
+  ++round_index_;
+  return released;
+}
+
+std::vector<AsyncSuggestion> Session::suggest_async(std::size_t k) {
+  require_open("suggest");
+  require_mode(SessionMode::kAsync, "suggest_async");
+  HPB_REQUIRE(k > 0, "Session::suggest_async: k must be positive");
+  const obs::Recorder& rec = config_.recorder;
+  const bool tracing = rec.tracing();
+  const std::uint64_t start = tracing ? rec.now_ns() : 0;
+  std::vector<space::Configuration> batch = tuner_->suggest_batch(k);
+  HPB_REQUIRE(!batch.empty(), "Session: tuner returned an empty batch");
+  HPB_REQUIRE(batch.size() <= k,
+              "Session: tuner returned more configurations than asked");
+  // Write-ahead: the ask line (tokens + configurations) is durable before
+  // any token escapes to a client, so the journal's outstanding set always
+  // covers every token a client could hold.
+  if (journal_ != nullptr) {
+    journal_->begin_ask(k, next_token_, batch);
+  }
+  std::vector<AsyncSuggestion> suggestions;
+  suggestions.reserve(batch.size());
+  for (space::Configuration& c : batch) {
+    outstanding_.emplace(next_token_, c);
+    suggestions.push_back({next_token_, std::move(c)});
+    ++next_token_;
+  }
+  if (tracing) {
+    const obs::TraceAttr attrs[] = {
+        obs::TraceAttr::uint("requested", k),
+        obs::TraceAttr::uint("actual", suggestions.size()),
+        obs::TraceAttr::uint("first_token", suggestions.front().token),
+        obs::TraceAttr::uint("outstanding", outstanding_.size())};
+    rec.trace->emit({.name = "ask",
+                     .id = rec.trace->next_id(),
+                     .parent = 0,
+                     .start_ns = start,
+                     .end_ns = rec.now_ns(),
+                     .attrs = attrs});
+  }
+  if (rec.metrics != nullptr) {
+    rec.metrics->counter("engine.asks").add(1);
+    rec.metrics->gauge("engine.outstanding")
+        .set(static_cast<double>(outstanding_.size()));
+  }
+  ++round_index_;
+  return suggestions;
+}
+
+void Session::observe_async(std::span<const AsyncResult> results) {
+  require_open("observe");
+  require_mode(SessionMode::kAsync, "observe_async");
+  HPB_REQUIRE(!results.empty(),
+              "Session::observe_async: no results delivered");
+  // Validate everything before touching any state: a bad call (foreign or
+  // duplicate token, non-finite value) leaves the session unchanged.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const AsyncResult& r = results[i];
+    HPB_REQUIRE(outstanding_.contains(r.token),
+                "Session::observe_async: token " + std::to_string(r.token) +
+                    " is not outstanding (already resolved, cancelled, or "
+                    "never issued)");
+    for (std::size_t j = 0; j < i; ++j) {
+      HPB_REQUIRE(results[j].token != r.token,
+                  "Session::observe_async: token " +
+                      std::to_string(r.token) +
+                      " appears twice in one delivery");
+    }
+    HPB_REQUIRE(r.status != tabular::EvalStatus::kOk || std::isfinite(r.y),
+                "Session::observe_async: a successful observation must "
+                "carry a finite value");
+  }
+  const obs::Recorder& rec = config_.recorder;
+  const bool tracing = rec.tracing();
+  std::size_t failed = 0;
+  for (const AsyncResult& r : results) {
+    const auto it = outstanding_.find(r.token);
+    Observation o;
+    o.config = it->second;
+    o.status = r.status;
+    o.y = r.ok() ? r.y : std::numeric_limits<double>::quiet_NaN();
+    // Disk before tuner, per token: replay re-applies completions in the
+    // exact journaled order.
+    if (journal_ != nullptr) {
+      journal_->append_async_observation(r.token, o);
+    }
+    const std::uint64_t start = tracing ? rec.now_ns() : 0;
+    if (o.ok()) {
+      tuner_->observe(o.config, o.y);
+    } else {
+      ++failed;
+      tuner_->observe_failure(o.config, o.status);
+    }
+    if (tracing) {
+      const obs::TraceAttr attrs[] = {
+          obs::TraceAttr::uint("token", r.token),
+          obs::TraceAttr::str("status", tabular::status_name(o.status))};
+      rec.trace->emit({.name = "observe_async",
+                       .id = rec.trace->next_id(),
+                       .parent = 0,
+                       .start_ns = start,
+                       .end_ns = rec.now_ns(),
+                       .attrs = attrs});
+    }
+    outstanding_.erase(it);
+    apply(std::move(o));
+  }
+  if (rec.metrics != nullptr) {
+    rec.metrics->counter("engine.evaluations").add(results.size());
+    rec.metrics->counter("engine.failures").add(failed);
+    rec.metrics->gauge("engine.outstanding")
+        .set(static_cast<double>(outstanding_.size()));
+  }
+}
+
+std::size_t Session::cancel_async(std::span<const std::uint64_t> tokens) {
+  require_open("cancel");
+  require_mode(SessionMode::kAsync, "cancel_async");
+  std::vector<std::uint64_t> to_cancel;
+  if (tokens.empty()) {
+    // Cancel-all: the un-wedge verb for a client that lost track of its
+    // tokens (or an operator releasing a dead client's work).
+    to_cancel.reserve(outstanding_.size());
+    for (const auto& [token, config] : outstanding_) {
+      to_cancel.push_back(token);
+    }
+  } else {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      HPB_REQUIRE(outstanding_.contains(tokens[i]),
+                  "Session::cancel_async: token " +
+                      std::to_string(tokens[i]) +
+                      " is not outstanding (already resolved, cancelled, or "
+                      "never issued)");
+      for (std::size_t j = 0; j < i; ++j) {
+        HPB_REQUIRE(tokens[j] != tokens[i],
+                    "Session::cancel_async: token " +
+                        std::to_string(tokens[i]) +
+                        " appears twice in one cancellation");
+      }
+    }
+    to_cancel.assign(tokens.begin(), tokens.end());
+  }
+  for (const std::uint64_t token : to_cancel) {
+    const auto it = outstanding_.find(token);
+    if (journal_ != nullptr) {
+      journal_->append_cancel(token);
+    }
+    tuner_->abandon(it->second);
+    outstanding_.erase(it);
+  }
+  const obs::Recorder& rec = config_.recorder;
+  if (rec.metrics != nullptr && !to_cancel.empty()) {
+    rec.metrics->counter("engine.cancelled_tokens").add(to_cancel.size());
+    rec.metrics->gauge("engine.outstanding")
+        .set(static_cast<double>(outstanding_.size()));
+  }
+  return to_cancel.size();
+}
+
 void Session::replay(std::span<const Observation> replayed) {
   require_open("replay");
   HPB_REQUIRE(!round_in_flight_,
@@ -238,6 +441,20 @@ void Session::replay(std::span<const Observation> replayed) {
   for (const Observation& o : replayed) {
     apply(o);
   }
+}
+
+void Session::replay_async(const AsyncReplayResult& replayed) {
+  require_open("replay");
+  require_mode(SessionMode::kAsync, "replay_async");
+  HPB_REQUIRE(outstanding_.empty() && next_token_ == 1,
+              "Session::replay_async: replay only precedes fresh asks");
+  for (const Observation& o : replayed.observations) {
+    apply(o);
+  }
+  for (const auto& [token, config] : replayed.outstanding) {
+    outstanding_.emplace(token, config);
+  }
+  next_token_ = replayed.next_token;
 }
 
 void Session::apply(Observation o) {
@@ -290,7 +507,16 @@ SessionStatus Session::status() const {
   s.evaluations = result_.history.size();
   s.num_failed = result_.num_failed;
   s.rounds = round_index_;
-  s.pending = round_in_flight_ ? pending_.size() : 0;
+  if (config_.mode == SessionMode::kAsync) {
+    s.async = true;
+    s.pending = outstanding_.size();
+    s.pending_tokens.reserve(outstanding_.size());
+    for (const auto& [token, config] : outstanding_) {
+      s.pending_tokens.push_back(token);
+    }
+  } else {
+    s.pending = round_in_flight_ ? pending_.size() : 0;
+  }
   s.best_value = result_.best_value;
   s.best_config = result_.best_config.values();
   s.stopped = stopped_;
@@ -327,7 +553,12 @@ void Session::close() {
   require_open("close");
   HPB_REQUIRE(!round_in_flight_,
               "Session::close: a round of " + std::to_string(pending_.size()) +
-                  " suggestions is in flight; observe it before closing");
+                  " suggestions is in flight; observe it (or cancel it) "
+                  "before closing");
+  HPB_REQUIRE(outstanding_.empty(),
+              "Session::close: " + std::to_string(outstanding_.size()) +
+                  " tokens are outstanding; observe or cancel them before "
+                  "closing");
   if (journal_ != nullptr) {
     journal_->finalize("closed");
   }

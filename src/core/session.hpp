@@ -19,13 +19,24 @@
 // throws, observe() validates that the delivered results match the pending
 // suggestions in order (an out-of-order observe is a client error, not a
 // crash). Failure handling, stopping bookkeeping, and journal finalization
-// semantics are unchanged from the engine they were extracted from.
+// semantics are unchanged from the engine they were extracted from. A stuck
+// round (client died mid-evaluation) is released with cancel_round(), which
+// journals an abandon marker so resume replays it as a cancelled round.
+//
+// Asynchronous sessions (SessionMode::kAsync) drop the round structure:
+// suggest_async() issues per-suggestion tokens and never waits, results
+// come back one token at a time in any order via observe_async(), and
+// cancel_async() abandons tokens that will never resolve. Every verb is
+// journaled write-ahead (the ask line is durable before its tokens are
+// returned), so an async session is always evictable and a resumed one
+// re-exposes exactly the outstanding tokens a client could hold.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -57,6 +68,34 @@ struct EvalMeter {
   std::uint64_t attempts = 1;
 };
 
+/// How a session hands out and takes back evaluations.
+enum class SessionMode {
+  /// Round-structured: one suggest_batch at a time, observed whole, in
+  /// suggestion order.
+  kSync,
+  /// Token-structured: suggestions carry tokens, results resolve tokens in
+  /// any order, suggest never waits on outstanding evaluations.
+  kAsync,
+};
+
+/// One tokenized suggestion of an asynchronous session.
+struct AsyncSuggestion {
+  std::uint64_t token = 0;
+  space::Configuration config;
+};
+
+/// One completed evaluation of an asynchronous session, identified by
+/// token (the session resolves the configuration itself).
+struct AsyncResult {
+  std::uint64_t token = 0;
+  tabular::EvalStatus status = tabular::EvalStatus::kOk;
+  double y = 0.0;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == tabular::EvalStatus::kOk;
+  }
+};
+
 /// Everything a Session carries besides the tuner and the journal. The
 /// evaluation-side knobs (failure, eval_deadline, stop_flag) are stored
 /// here so the session fully describes its run, but they are consumed by
@@ -81,6 +120,8 @@ struct SessionConfig {
   /// verdict via status(); drivers decide whether to honor it (run()
   /// ignores it, run_until() stops on it).
   StopConfig stop;
+  /// Round-structured (default) or token-structured asynchronous session.
+  SessionMode mode = SessionMode::kSync;
 };
 
 /// Snapshot of a session's progress, cheap enough to take per verb.
@@ -90,8 +131,14 @@ struct SessionStatus {
   /// Completed suggest/observe rounds.
   std::size_t rounds = 0;
   /// Suggestions of the in-flight round still awaiting observe (0 when no
-  /// round is in flight).
+  /// round is in flight). Async sessions: the outstanding token count.
   std::size_t pending = 0;
+  /// Async sessions only: the outstanding tokens in issue order. A client
+  /// resuming after a crash reads these to pick up (or cancel) evaluations
+  /// it no longer remembers.
+  std::vector<std::uint64_t> pending_tokens;
+  /// The session runs in asynchronous (token) mode.
+  bool async = false;
   double best_value = 0.0;
   /// Raw values of the best successful configuration; empty until the
   /// first success.
@@ -154,10 +201,40 @@ class Session {
   void observe(std::vector<Observation> observations,
                std::span<const EvalMeter> meters = {});
 
+  /// Release the in-flight round without observing it (the client
+  /// evaluating it died or gave up): journals the abandon marker, hands
+  /// every pending suggestion back to the tuner via abandon(), and reopens
+  /// the session for the next suggest. Returns the number of suggestions
+  /// released. Sync sessions only.
+  std::size_t cancel_round();
+
+  /// Async: ask the tuner for up to `k` configurations and issue one token
+  /// per suggestion. Never waits on outstanding evaluations — the ask is
+  /// journaled write-ahead and the tokens join the outstanding set. Throws
+  /// on sync sessions.
+  [[nodiscard]] std::vector<AsyncSuggestion> suggest_async(std::size_t k);
+
+  /// Async: deliver completed evaluations in any order and any subset.
+  /// Every token must be outstanding and appear at most once per call;
+  /// validation happens before any state changes, so a bad call leaves the
+  /// session untouched.
+  void observe_async(std::span<const AsyncResult> results);
+
+  /// Async: abandon outstanding tokens that will never resolve. An empty
+  /// span cancels every outstanding token (the un-wedge verb for a client
+  /// that lost track). Returns the number of tokens cancelled.
+  std::size_t cancel_async(std::span<const std::uint64_t> tokens);
+
   /// Apply already-journaled observations (from replay_journal, which
   /// drove them through the tuner) to the result and stopping bookkeeping.
   /// Only valid before the first suggest of a fresh session.
   void replay(std::span<const Observation> replayed);
+
+  /// Async counterpart of replay(): apply the journaled observations and
+  /// restore the outstanding-token set and the token counter from an
+  /// AsyncReplayResult. Only valid before the first ask of a fresh async
+  /// session.
+  void replay_async(const AsyncReplayResult& replayed);
 
   [[nodiscard]] SessionStatus status() const;
 
@@ -202,6 +279,7 @@ class Session {
   void apply(Observation o);
 
   void require_open(const char* verb) const;
+  void require_mode(SessionMode mode, const char* verb) const;
 
   SessionConfig config_;
   Tuner* tuner_ = nullptr;
@@ -215,13 +293,18 @@ class Session {
   StopReason reason_ = StopReason::kBudgetExhausted;
   bool finished_ = false;
 
-  // In-flight round state.
+  // In-flight round state (sync mode).
   bool round_in_flight_ = false;
   std::vector<space::Configuration> pending_;
   std::size_t round_requested_ = 0;
   std::size_t round_index_ = 0;
   std::uint64_t round_id_ = 0;
   std::uint64_t round_start_ = 0;
+
+  // Outstanding tokens (async mode), ordered by issue. The ordered map
+  // keeps status().pending_tokens deterministic.
+  std::map<std::uint64_t, space::Configuration> outstanding_;
+  std::uint64_t next_token_ = 1;
 };
 
 }  // namespace hpb::core

@@ -32,6 +32,7 @@ SessionSpec spec_from_header(const std::string& name,
   spec.stop.max_evaluations = header.max_evaluations;
   spec.stop.stagnation_patience = header.stagnation_patience;
   spec.stop.target_value = header.target_value;
+  spec.mode = header.async ? SessionMode::kAsync : SessionMode::kSync;
   return spec;
 }
 
@@ -46,6 +47,7 @@ JournalHeader header_from_spec(const SessionSpec& spec,
   header.max_evaluations = spec.stop.max_evaluations;
   header.stagnation_patience = spec.stop.stagnation_patience;
   header.target_value = spec.stop.target_value;
+  header.async = spec.mode == SessionMode::kAsync;
   return header;
 }
 
@@ -137,6 +139,7 @@ std::shared_ptr<SessionManager::Entry> SessionManager::make_entry(
   SessionConfig sc;
   sc.batch_size = spec.batch_size;
   sc.stop = spec.stop;
+  sc.mode = spec.mode;
   // Each session meters into its own registry (engine.* names never mix
   // across sessions); spans and the clock are shared manager-wide.
   sc.recorder = {.trace = config_.recorder.trace,
@@ -219,12 +222,22 @@ std::shared_ptr<SessionManager::Entry> SessionManager::resume_from_journal(
   // Deterministic tuners rebuild their exact state from their journaled
   // suggest/observe sequence; the resumed session's next suggestion is
   // bitwise-identical to the one the evicted instance would have made.
-  std::vector<Observation> replayed =
-      replay_journal(*backend.tuner, *backend.space, contents);
-  auto journal =
-      std::make_unique<JournalWriter>(JournalWriter::append(path, contents));
-  auto entry = make_entry(spec, std::move(backend), std::move(journal));
-  entry->session->replay(replayed);
+  std::shared_ptr<Entry> entry;
+  if (contents.header.async) {
+    AsyncReplayResult replayed =
+        replay_journal_async(*backend.tuner, *backend.space, contents);
+    auto journal =
+        std::make_unique<JournalWriter>(JournalWriter::append(path, contents));
+    entry = make_entry(spec, std::move(backend), std::move(journal));
+    entry->session->replay_async(replayed);
+  } else {
+    std::vector<Observation> replayed =
+        replay_journal(*backend.tuner, *backend.space, contents);
+    auto journal =
+        std::make_unique<JournalWriter>(JournalWriter::append(path, contents));
+    entry = make_entry(spec, std::move(backend), std::move(journal));
+    entry->session->replay(replayed);
+  }
   stripe.map.emplace(name, entry);
   ++resumed_;
   count("manager.resumed");
@@ -301,6 +314,50 @@ SessionStatus SessionManager::observe(const std::string& name,
   Lease lease(*this, acquire(name));
   lease.session().observe(std::move(observations));
   return lease.session().status();
+}
+
+std::vector<AsyncSuggestion> SessionManager::suggest_async(
+    const std::string& name, std::size_t k) {
+  Lease lease(*this, acquire(name));
+  if (k == 0) {
+    k = lease.entry().spec.batch_size;
+  }
+  return lease.session().suggest_async(k);
+}
+
+SessionManager::SuggestOutcome SessionManager::suggest_any(
+    const std::string& name, std::size_t k) {
+  Lease lease(*this, acquire(name));
+  if (k == 0) {
+    k = lease.entry().spec.batch_size;
+  }
+  SuggestOutcome out;
+  if (lease.session().config().mode == SessionMode::kAsync) {
+    out.async = true;
+    out.suggestions = lease.session().suggest_async(k);
+  } else {
+    out.configs = lease.session().suggest(k);
+  }
+  return out;
+}
+
+SessionStatus SessionManager::observe_async(
+    const std::string& name, std::span<const AsyncResult> results) {
+  Lease lease(*this, acquire(name));
+  lease.session().observe_async(results);
+  return lease.session().status();
+}
+
+std::size_t SessionManager::cancel(const std::string& name,
+                                   std::span<const std::uint64_t> tokens) {
+  Lease lease(*this, acquire(name));
+  if (lease.session().config().mode == SessionMode::kAsync) {
+    return lease.session().cancel_async(tokens);
+  }
+  HPB_REQUIRE(tokens.empty(),
+              "SessionManager::cancel: synchronous sessions have no tokens; "
+              "cancel releases the whole in-flight round");
+  return lease.session().cancel_round();
 }
 
 SessionStatus SessionManager::status(const std::string& name) {

@@ -56,6 +56,10 @@ struct SessionSpec {
   /// target recorded in the journal header; the session reports `stopped`
   /// through status, clients decide when to stop asking).
   StopConfig stop;
+  /// Round-structured (default) or token-structured asynchronous session.
+  /// Recorded in the journal header (`meta mode async`), so a resumed
+  /// session keeps its mode.
+  SessionMode mode = SessionMode::kSync;
 };
 
 /// What the factory must provide for a spec: the tuner and the parameter
@@ -109,6 +113,34 @@ class SessionManager {
   /// post-observe status snapshot.
   SessionStatus observe(const std::string& name,
                         std::vector<Observation> observations);
+
+  /// Async sessions: ask for up to k tokenized configurations without
+  /// waiting on outstanding evaluations.
+  [[nodiscard]] std::vector<AsyncSuggestion> suggest_async(
+      const std::string& name, std::size_t k);
+
+  /// One suggest over either mode, dispatched on the session's own mode
+  /// under a single lease (the wire layer does not know a name's mode).
+  /// Sync sessions fill `configs`; async sessions fill `suggestions`.
+  struct SuggestOutcome {
+    bool async = false;
+    std::vector<space::Configuration> configs;
+    std::vector<AsyncSuggestion> suggestions;
+  };
+  [[nodiscard]] SuggestOutcome suggest_any(const std::string& name,
+                                           std::size_t k);
+
+  /// Async sessions: deliver completed evaluations by token, in any order
+  /// and any subset. Returns the post-observe status snapshot.
+  SessionStatus observe_async(const std::string& name,
+                              std::span<const AsyncResult> results);
+
+  /// Release work that will never be observed. Async sessions: abandon the
+  /// given tokens (empty = every outstanding token). Sync sessions: cancel
+  /// the in-flight round whole (tokens must be empty). Returns the number
+  /// of suggestions released.
+  std::size_t cancel(const std::string& name,
+                     std::span<const std::uint64_t> tokens = {});
 
   [[nodiscard]] SessionStatus status(const std::string& name);
 

@@ -61,6 +61,16 @@ class Tuner {
     (void)status;
   }
 
+  /// Release a previously suggested configuration that will never be
+  /// observed (the client evaluating it died, or the caller cancelled the
+  /// round). Tuners with pending-batch tracking must drop the configuration
+  /// from it — it becomes suggestable again, unlike an observed failure,
+  /// which stays excluded. The default ignores the event (safe for tuners
+  /// without pending state). Abandons are part of the deterministic verb
+  /// sequence: replaying the same suggest/observe/abandon calls rebuilds the
+  /// same tuner state.
+  virtual void abandon(const space::Configuration& config) { (void)config; }
+
   /// Propose up to k configurations for parallel evaluation. May return
   /// fewer than k when the space is nearly exhausted, but never zero (the
   /// single-point path throws first). The default loops suggest(), which is

@@ -208,30 +208,50 @@ void LineServer::serve_connection(Connection& conn) {
     }
     if (n <= 0) {
       // EOF: a final unterminated line still gets an answer (clients may
-      // close right after their last request without a trailing newline).
+      // close right after their last request without a trailing newline) —
+      // including the CRLF strip, so a telnet-style client's last line
+      // parses the same as its terminated ones.
       if (!buffer.empty()) {
-        write_all(fd, handler_(buffer) + "\n");
+        std::string_view line(buffer);
+        if (line.back() == '\r') {
+          line.remove_suffix(1);
+        }
+        write_all(fd, handler_(line) + "\n");
       }
       break;
     }
     buffer.append(chunk, static_cast<std::size_t>(n));
+    const auto cap_error = [&] {
+      write_all(fd,
+                "{\"ok\":false,\"error\":{\"code\":\"bad_request\","
+                "\"message\":\"request line exceeds " +
+                    std::to_string(config_.max_line_bytes) + " bytes\"}}\n");
+      open = false;  // the structured error is the last thing written
+    };
     std::size_t start = 0;
-    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
-         nl = buffer.find('\n', start)) {
+    for (std::size_t nl = buffer.find('\n', start);
+         open && nl != std::string::npos; nl = buffer.find('\n', start)) {
       std::string_view line(buffer.data() + start, nl - start);
+      // A complete oversized line must never reach the handler: it gets
+      // the same structured cap error as an unterminated one, instead of
+      // being silently accepted just because its newline arrived in the
+      // same chunk.
+      if (line.size() > config_.max_line_bytes) {
+        cap_error();
+        break;
+      }
       if (!line.empty() && line.back() == '\r') {
         line.remove_suffix(1);
       }
       write_all(fd, handler_(line) + "\n");
       start = nl + 1;
     }
+    if (!open) {
+      break;
+    }
     buffer.erase(0, start);
     if (buffer.size() > config_.max_line_bytes) {
-      write_all(fd,
-                "{\"ok\":false,\"error\":{\"code\":\"bad_request\","
-                "\"message\":\"request line exceeds " +
-                    std::to_string(config_.max_line_bytes) + " bytes\"}}\n");
-      open = false;
+      cap_error();
     }
   }
   // The connection thread is the sole closer of its fd (stop() only joins;

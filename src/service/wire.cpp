@@ -37,7 +37,10 @@ std::string error_response(std::string_view code, std::string_view message) {
 }
 
 /// Render a double as a JSON token; non-finite values (unreached best) as
-/// null.
+/// null. obs::json_double would print bare `inf`/`nan`, which RFC 8259
+/// forbids and our own parser rejects — null is the only wire-safe
+/// spelling, with an explicit `*_finite:false` flag where the distinction
+/// matters.
 std::string json_number_or_null(double v) {
   return std::isfinite(v) ? obs::json_double(v) : "null";
 }
@@ -48,7 +51,7 @@ std::string values_json(const std::vector<double>& values) {
     if (i > 0) {
       out += ',';
     }
-    out += obs::json_double(values[i]);
+    out += json_number_or_null(values[i]);
   }
   out += ']';
   return out;
@@ -60,11 +63,26 @@ std::string status_json(const core::SessionStatus& s) {
   out += ",\"rounds\":" + std::to_string(s.rounds);
   out += ",\"pending\":" + std::to_string(s.pending);
   out += ",\"best_value\":" + json_number_or_null(s.best_value);
+  if (!std::isfinite(s.best_value)) {
+    // Distinguish "no finite best yet" from a JSON null a sloppy client
+    // reads as 0; the key is present exactly when best_value is null.
+    out += ",\"best_value_finite\":false";
+  }
   out += ",\"best_config\":" + values_json(s.best_config);
   out += std::string(",\"stopped\":") + (s.stopped ? "true" : "false");
   if (s.stopped) {
     out += std::string(",\"reason\":\"") + core::stop_reason_name(s.reason) +
            "\"";
+  }
+  if (s.async) {
+    out += ",\"mode\":\"async\",\"pending_tokens\":[";
+    for (std::size_t i = 0; i < s.pending_tokens.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += std::to_string(s.pending_tokens[i]);
+    }
+    out += ']';
   }
   out += '}';
   return out;
@@ -123,12 +141,24 @@ std::size_t size_field(const JsonValue& request, const std::string& key,
   return static_cast<std::size_t>(v);
 }
 
+std::uint64_t token_field(const JsonValue& item, const std::string& key) {
+  const JsonValue& v = require_key(item, key);
+  if (!v.is_number()) {
+    bad("'" + key + "' must be a number, got " + v.kind_name());
+  }
+  const double d = v.as_number();
+  if (d < 1.0 || d != std::floor(d) || d > 9e15) {
+    bad("'" + key + "' must be a positive integer token");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
 std::string handle_create(core::SessionManager& manager,
                           const JsonValue& request) {
   require_only_keys(request,
                     {"verb", "session", "dataset", "method", "seed",
                      "batch_size", "max_evaluations", "stagnation_patience",
-                     "target_value"});
+                     "target_value", "mode"});
   core::SessionSpec spec;
   spec.name = require_string(request, "session");
   spec.dataset = require_string(request, "dataset");
@@ -141,6 +171,14 @@ std::string handle_create(core::SessionManager& manager,
   spec.stop.stagnation_patience = size_field(request, "stagnation_patience", 0);
   spec.stop.target_value = number_field(
       request, "target_value", -std::numeric_limits<double>::infinity());
+  if (request.find("mode") != nullptr) {
+    const std::string mode = require_string(request, "mode");
+    if (mode == "async") {
+      spec.mode = core::SessionMode::kAsync;
+    } else if (mode != "sync") {
+      bad("'mode' must be \"sync\" or \"async\", got \"" + mode + "\"");
+    }
+  }
   manager.create(spec);
   return "{\"ok\":true}";
 }
@@ -150,14 +188,30 @@ std::string handle_suggest(core::SessionManager& manager,
   require_only_keys(request, {"verb", "session", "count"});
   const std::string name = require_string(request, "session");
   const std::size_t count = size_field(request, "count", 0);
-  const std::vector<space::Configuration> batch =
-      manager.suggest(name, count);
+  const core::SessionManager::SuggestOutcome outcome =
+      manager.suggest_any(name, count);
   std::string out = "{\"ok\":true,\"configs\":[";
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (i > 0) {
-      out += ',';
+  if (outcome.async) {
+    for (std::size_t i = 0; i < outcome.suggestions.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += values_json(outcome.suggestions[i].config.values());
     }
-    out += values_json(batch[i].values());
+    out += "],\"tokens\":[";
+    for (std::size_t i = 0; i < outcome.suggestions.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += std::to_string(outcome.suggestions[i].token);
+    }
+  } else {
+    for (std::size_t i = 0; i < outcome.configs.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      out += values_json(outcome.configs[i].values());
+    }
   }
   out += "]}";
   return out;
@@ -212,6 +266,33 @@ core::Observation parse_result(const JsonValue& item, std::size_t index) {
   return o;
 }
 
+core::AsyncResult parse_async_result(const JsonValue& item,
+                                     std::size_t index) {
+  require_only_keys(item, {"token", "y", "status"});
+  core::AsyncResult r;
+  r.token = token_field(item, "token");
+  if (item.find("status") != nullptr) {
+    const std::string label = require_string(item, "status");
+    try {
+      r.status = tabular::status_from_name(label);
+    } catch (const Error&) {
+      bad("'results[" + std::to_string(index) + "].status' has unknown value '" +
+          label + "' (expected ok, invalid, crashed, or timeout)");
+    }
+  }
+  if (r.ok()) {
+    const JsonValue& y = require_key(item, "y");
+    if (!y.is_number()) {
+      bad("'results[" + std::to_string(index) + "].y' must be a number");
+    }
+    r.y = y.as_number();
+  } else if (item.find("y") != nullptr) {
+    bad("'results[" + std::to_string(index) +
+        "].y' must be omitted when status is not ok");
+  }
+  return r;
+}
+
 std::string handle_observe(core::SessionManager& manager,
                            const JsonValue& request) {
   require_only_keys(request, {"verb", "session", "results"});
@@ -220,14 +301,63 @@ std::string handle_observe(core::SessionManager& manager,
   if (!results.is_array()) {
     bad("'results' must be an array, got " + std::string(results.kind_name()));
   }
-  std::vector<core::Observation> observations;
-  observations.reserve(results.as_array().size());
-  for (std::size_t i = 0; i < results.as_array().size(); ++i) {
-    observations.push_back(parse_result(results.as_array()[i], i));
+  const std::vector<JsonValue>& items = results.as_array();
+  for (const JsonValue& item : items) {
+    if (!item.is_object()) {
+      bad("'results' must contain objects");
+    }
   }
-  const core::SessionStatus status =
-      manager.observe(name, std::move(observations));
+  // Token-carrying results select the async path; config-carrying results
+  // the sync path. The two shapes must not mix in one delivery.
+  const bool async = !items.empty() && items[0].find("token") != nullptr;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if ((items[i].find("token") != nullptr) != async) {
+      bad("'results' mixes token (async) and config (sync) entries; "
+          "deliver one kind per observe");
+    }
+  }
+  core::SessionStatus status;
+  if (async) {
+    std::vector<core::AsyncResult> parsed;
+    parsed.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      parsed.push_back(parse_async_result(items[i], i));
+    }
+    status = manager.observe_async(name, parsed);
+  } else {
+    std::vector<core::Observation> observations;
+    observations.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      observations.push_back(parse_result(items[i], i));
+    }
+    status = manager.observe(name, std::move(observations));
+  }
   return "{\"ok\":true,\"status\":" + status_json(status) + "}";
+}
+
+std::string handle_cancel(core::SessionManager& manager,
+                          const JsonValue& request) {
+  require_only_keys(request, {"verb", "session", "tokens"});
+  const std::string name = require_string(request, "session");
+  std::vector<std::uint64_t> tokens;
+  if (const JsonValue* v = request.find("tokens"); v != nullptr) {
+    if (!v->is_array()) {
+      bad("'tokens' must be an array, got " + std::string(v->kind_name()));
+    }
+    tokens.reserve(v->as_array().size());
+    for (const JsonValue& t : v->as_array()) {
+      if (!t.is_number()) {
+        bad("'tokens' must contain only numbers");
+      }
+      const double d = t.as_number();
+      if (d < 1.0 || d != std::floor(d) || d > 9e15) {
+        bad("'tokens' must contain positive integer tokens");
+      }
+      tokens.push_back(static_cast<std::uint64_t>(d));
+    }
+  }
+  const std::size_t cancelled = manager.cancel(name, tokens);
+  return "{\"ok\":true,\"cancelled\":" + std::to_string(cancelled) + "}";
 }
 
 std::string handle_status(core::SessionManager& manager,
@@ -276,13 +406,16 @@ std::string WireService::handle_line(std::string_view line) {
     if (name == "status") {
       return handle_status(manager_, request);
     }
+    if (name == "cancel") {
+      return handle_cancel(manager_, request);
+    }
     if (name == "close") {
       return handle_close(manager_, request);
     }
     return error_response(error_code::kUnknownVerb,
                           "unknown verb '" + name +
-                              "' (expected create, suggest, observe, status, "
-                              "or close)");
+                              "' (expected create, suggest, observe, cancel, "
+                              "status, or close)");
   } catch (const BadRequest& e) {
     return error_response(error_code::kBadRequest, e.what());
   } catch (const Error& e) {

@@ -47,6 +47,13 @@ class HistogramDensity {
   [[nodiscard]] double total_weight() const noexcept { return total_; }
   [[nodiscard]] double smoothing() const noexcept { return smoothing_; }
 
+  /// Raw (unsmoothed) per-level weights. Together with smoothing(), these
+  /// fully determine pmf/log_pmf — incremental acquisition tables compare
+  /// them bitwise to detect an unchanged marginal between fits.
+  [[nodiscard]] std::span<const double> counts() const noexcept {
+    return counts_;
+  }
+
  private:
   std::vector<double> counts_;
   double total_ = 0.0;  // sum of raw (unsmoothed) weights

@@ -47,6 +47,17 @@ class KernelDensity {
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
 
+  /// Kernel centers and per-center weights. Together with bandwidth(),
+  /// lo(), and hi(), these fully determine pdf/log_pdf — incremental
+  /// acquisition tables compare them bitwise to detect an unchanged
+  /// marginal between fits.
+  [[nodiscard]] std::span<const double> centers() const noexcept {
+    return centers_;
+  }
+  [[nodiscard]] std::span<const double> kernel_weights() const noexcept {
+    return weights_;
+  }
+
   /// Silverman's rule-of-thumb bandwidth for the given samples, floored at a
   /// small fraction of the range so degenerate samples stay usable.
   [[nodiscard]] static double silverman_bandwidth(

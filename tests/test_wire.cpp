@@ -22,15 +22,19 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <bit>
 #include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/session_manager.hpp"
 #include "eval/methods.hpp"
 #include "obs/json_util.hpp"
@@ -329,6 +333,206 @@ TEST_F(WireTest, DoubleCloseIsASessionError) {
             "session_error");
 }
 
+// ----------------------------------------------------- async wire protocol
+
+std::string async_create_line(const std::string& name) {
+  return "{\"verb\":\"create\",\"session\":\"" + name +
+         "\",\"dataset\":\"separable\",\"method\":\"random\",\"seed\":7,"
+         "\"batch_size\":2,\"max_evaluations\":32,\"mode\":\"async\"}";
+}
+
+TEST_F(WireTest, AsyncLifecycleOverTheWire) {
+  ASSERT_TRUE(ok(reply(service_, async_create_line("a1"))));
+  const JsonValue suggested =
+      reply(service_, "{\"verb\":\"suggest\",\"session\":\"a1\",\"count\":3}");
+  ASSERT_TRUE(ok(suggested));
+  ASSERT_EQ(suggested.find("configs")->as_array().size(), 3u);
+  const auto& tokens = suggested.find("tokens")->as_array();
+  ASSERT_EQ(tokens.size(), 3u);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].as_number(), static_cast<double>(i + 1));
+  }
+
+  const JsonValue st =
+      reply(service_, "{\"verb\":\"status\",\"session\":\"a1\"}");
+  ASSERT_TRUE(ok(st));
+  EXPECT_EQ(st.find("status")->find("mode")->as_string(), "async");
+  EXPECT_EQ(st.find("status")->find("pending")->as_number(), 3.0);
+  EXPECT_EQ(st.find("status")->find("pending_tokens")->as_array().size(), 3u);
+
+  // Completions resolve tokens in any order; failures carry no y.
+  const JsonValue newest_first = reply(
+      service_, "{\"verb\":\"observe\",\"session\":\"a1\",\"results\":["
+                "{\"token\":3,\"y\":4.5}]}");
+  ASSERT_TRUE(ok(newest_first));
+  EXPECT_EQ(newest_first.find("status")->find("pending")->as_number(), 2.0);
+  const JsonValue failed = reply(
+      service_, "{\"verb\":\"observe\",\"session\":\"a1\",\"results\":["
+                "{\"token\":1,\"status\":\"crashed\"}]}");
+  ASSERT_TRUE(ok(failed));
+  EXPECT_EQ(failed.find("status")->find("failed")->as_number(), 1.0);
+  // A y on a failed token result is a client bug.
+  EXPECT_EQ(error_code_of(reply(
+                service_, "{\"verb\":\"observe\",\"session\":\"a1\","
+                          "\"results\":[{\"token\":2,\"y\":1.0,"
+                          "\"status\":\"timeout\"}]}")),
+            "bad_request");
+
+  // The straggler is cancelled, which un-wedges close.
+  EXPECT_EQ(error_code_of(
+                reply(service_, "{\"verb\":\"close\",\"session\":\"a1\"}")),
+            "session_error");
+  const JsonValue cancelled = reply(
+      service_, "{\"verb\":\"cancel\",\"session\":\"a1\",\"tokens\":[2]}");
+  ASSERT_TRUE(ok(cancelled));
+  EXPECT_EQ(cancelled.find("cancelled")->as_number(), 1.0);
+  ASSERT_TRUE(ok(reply(service_, "{\"verb\":\"close\",\"session\":\"a1\"}")));
+}
+
+TEST_F(WireTest, AsyncObserveRejectsMixedForeignAndDuplicate) {
+  ASSERT_TRUE(ok(reply(service_, async_create_line("a2"))));
+  const JsonValue suggested =
+      reply(service_, "{\"verb\":\"suggest\",\"session\":\"a2\",\"count\":2}");
+  const auto& configs = suggested.find("configs")->as_array();
+  // Token and config entries in one observe are two different protocols.
+  const JsonValue mixed = reply(
+      service_, "{\"verb\":\"observe\",\"session\":\"a2\",\"results\":["
+                "{\"token\":1,\"y\":1.0}," +
+                    result_entry(configs[1], "2.0", "ok") + "]}");
+  EXPECT_EQ(error_code_of(mixed), "bad_request");
+  // Foreign and duplicate tokens are session errors; nothing is consumed.
+  EXPECT_EQ(error_code_of(reply(
+                service_, "{\"verb\":\"observe\",\"session\":\"a2\","
+                          "\"results\":[{\"token\":99,\"y\":1.0}]}")),
+            "session_error");
+  EXPECT_EQ(error_code_of(reply(
+                service_, "{\"verb\":\"observe\",\"session\":\"a2\","
+                          "\"results\":[{\"token\":1,\"y\":1.0},"
+                          "{\"token\":1,\"y\":2.0}]}")),
+            "session_error");
+  EXPECT_EQ(reply(service_, "{\"verb\":\"status\",\"session\":\"a2\"}")
+                .find("status")
+                ->find("pending")
+                ->as_number(),
+            2.0);
+  // Bad token shapes are schema errors.
+  EXPECT_EQ(error_code_of(reply(
+                service_, "{\"verb\":\"observe\",\"session\":\"a2\","
+                          "\"results\":[{\"token\":0,\"y\":1.0}]}")),
+            "bad_request");
+  EXPECT_EQ(error_code_of(reply(
+                service_, "{\"verb\":\"observe\",\"session\":\"a2\","
+                          "\"results\":[{\"token\":1.5,\"y\":1.0}]}")),
+            "bad_request");
+}
+
+TEST_F(WireTest, TokenVerbsOnSyncSessionsAreSessionErrors) {
+  ASSERT_TRUE(ok(reply(service_, create_line("sync1"))));
+  const JsonValue suggested = reply(
+      service_, "{\"verb\":\"suggest\",\"session\":\"sync1\",\"count\":2}");
+  ASSERT_TRUE(ok(suggested));
+  EXPECT_EQ(suggested.find("tokens"), nullptr)
+      << "sync suggest responses must not grow a tokens key";
+  EXPECT_EQ(error_code_of(reply(
+                service_, "{\"verb\":\"observe\",\"session\":\"sync1\","
+                          "\"results\":[{\"token\":1,\"y\":1.0}]}")),
+            "session_error");
+  EXPECT_EQ(error_code_of(reply(
+                service_, "{\"verb\":\"cancel\",\"session\":\"sync1\","
+                          "\"tokens\":[1]}")),
+            "session_error");
+}
+
+TEST_F(WireTest, CancelUnwedgesAStuckSyncRound) {
+  ASSERT_TRUE(ok(reply(service_, create_line("stuck"))));
+  ASSERT_TRUE(ok(reply(
+      service_, "{\"verb\":\"suggest\",\"session\":\"stuck\",\"count\":2}")));
+  // The client that was evaluating this round died; close is refused.
+  EXPECT_EQ(error_code_of(
+                reply(service_, "{\"verb\":\"close\",\"session\":\"stuck\"}")),
+            "session_error");
+  const JsonValue cancelled =
+      reply(service_, "{\"verb\":\"cancel\",\"session\":\"stuck\"}");
+  ASSERT_TRUE(ok(cancelled));
+  EXPECT_EQ(cancelled.find("cancelled")->as_number(), 2.0);
+  // The session keeps working after the abandoned round.
+  ASSERT_TRUE(ok(reply(
+      service_, "{\"verb\":\"suggest\",\"session\":\"stuck\",\"count\":2}")));
+  ASSERT_TRUE(
+      ok(reply(service_, "{\"verb\":\"cancel\",\"session\":\"stuck\"}")));
+  ASSERT_TRUE(ok(reply(service_, "{\"verb\":\"close\",\"session\":\"stuck\"}")));
+}
+
+TEST_F(WireTest, AllFailedRoundReportsNonFiniteBestExplicitly) {
+  ASSERT_TRUE(ok(reply(service_, create_line("nf"))));
+  const JsonValue suggested =
+      reply(service_, "{\"verb\":\"suggest\",\"session\":\"nf\",\"count\":2}");
+  const auto& configs = suggested.find("configs")->as_array();
+  const JsonValue observed = reply(
+      service_, "{\"verb\":\"observe\",\"session\":\"nf\",\"results\":[" +
+                    result_entry(configs[0], "", "crashed") + "," +
+                    result_entry(configs[1], "", "timeout") + "]}");
+  ASSERT_TRUE(ok(observed));
+  // No finite best exists: best_value is null AND the flag says why, so a
+  // sloppy client cannot read the null as 0.
+  const JsonValue* status = observed.find("status");
+  EXPECT_TRUE(status->find("best_value")->is_null());
+  const JsonValue* finite = status->find("best_value_finite");
+  ASSERT_NE(finite, nullptr);
+  EXPECT_FALSE(finite->as_bool());
+}
+
+// ------------------------------------------------------- json round-trips
+
+TEST(JsonNumbers, FiniteDoublesRoundTripBitwise) {
+  const std::vector<double> edge_cases = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      1.0 / 3.0,
+      0.1,
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),       // smallest normal
+      std::numeric_limits<double>::denorm_min(),  // smallest subnormal
+      -std::numeric_limits<double>::denorm_min(),
+      9007199254740993.0,  // above 2^53: needs full shortest-round-trip
+      1e308,
+      -1e-308,
+  };
+  for (const double v : edge_cases) {
+    const std::string text = obs::json_double(v);
+    const double parsed = parse_json(text).as_number();
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parsed),
+              std::bit_cast<std::uint64_t>(v))
+        << text;
+  }
+  // The full double range: random bit patterns, skipping non-finite ones.
+  Rng rng(0xb17);
+  std::size_t tested = 0;
+  while (tested < 2000) {
+    const double v = std::bit_cast<double>(rng.next_u64());
+    if (!std::isfinite(v)) {
+      continue;
+    }
+    const std::string text = obs::json_double(v);
+    const double parsed = parse_json(text).as_number();
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(parsed),
+              std::bit_cast<std::uint64_t>(v))
+        << text;
+    ++tested;
+  }
+}
+
+TEST(JsonNumbers, NonFiniteSpellingsAreParseErrors) {
+  for (const std::string text :
+       {"NaN", "nan", "Infinity", "-Infinity", "inf", "-inf",
+        "{\"y\":NaN}", "[Infinity]"}) {
+    EXPECT_THROW((void)parse_json(text), JsonParseError) << text;
+  }
+}
+
 // ------------------------------------------------------------ line server
 
 /// Minimal blocking line-oriented client used by the socket tests.
@@ -382,6 +586,10 @@ class LineClient {
     send_raw(line + "\n");
     return read_line();
   }
+
+  /// Half-close: no more requests, but responses can still be read. The
+  /// server sees EOF with whatever tail bytes were sent unterminated.
+  void shutdown_write() const { ::shutdown(fd_, SHUT_WR); }
 
   std::string read_line() {
     while (true) {
@@ -484,6 +692,50 @@ TEST(LineServerTest, OverlongLinesAreRejectedAndDropped) {
   EXPECT_NE(error_message_of(response).find("exceeds"), std::string::npos);
   EXPECT_EQ(client.read_line(), "");  // server dropped the connection
   stack.server.stop();
+}
+
+TEST(LineServerTest, CrlfLinesParseTerminatedAndOnEofTail) {
+  const std::string socket_path = temp_path("crlf.sock");
+  ServiceStack stack("crlf", {.unix_path = socket_path});
+  stack.server.start();
+  {
+    // CRLF-terminated lines (telnet-style client) parse like plain LF.
+    LineClient client = LineClient::connect_unix(socket_path);
+    client.send_raw(
+        "{\"verb\":\"create\",\"session\":\"crlf1\","
+        "\"dataset\":\"separable\",\"method\":\"random\"}\r\n");
+    ASSERT_TRUE(ok(parse_json(client.read_line())));
+    // The final line arrives CR-terminated with no LF, then EOF: the CR
+    // must be stripped before the handler sees the tail.
+    client.send_raw("{\"verb\":\"status\",\"session\":\"crlf1\"}\r");
+    client.shutdown_write();
+    const JsonValue status = parse_json(client.read_line());
+    ASSERT_TRUE(ok(status)) << "EOF-tail CR reached the JSON parser";
+    EXPECT_EQ(status.find("status")->find("evaluations")->as_number(), 0.0);
+  }
+  stack.server.stop();
+}
+
+TEST(LineServerTest, OversizedLineWithNewlineInSameChunkIsRejected) {
+  const std::string socket_path = temp_path("cap_chunk.sock");
+  ServiceStack stack("cap_chunk",
+                     {.unix_path = socket_path, .max_line_bytes = 128});
+  stack.server.start();
+  LineClient client = LineClient::connect_unix(socket_path);
+  // The oversized line and its newline (plus a valid follow-up request)
+  // arrive in ONE chunk: the cap must still fire, report its limit, and
+  // close — the follow-up must never execute on a poisoned stream.
+  client.send_raw(std::string(512, 'x') + "\n" +
+                  "{\"verb\":\"create\",\"session\":\"sneak\","
+                  "\"dataset\":\"separable\",\"method\":\"random\"}\n");
+  const JsonValue response = parse_json(client.read_line());
+  EXPECT_EQ(error_code_of(response), "bad_request");
+  EXPECT_NE(error_message_of(response).find("128"), std::string::npos)
+      << "the cap error must state the configured limit";
+  EXPECT_EQ(client.read_line(), "");  // connection closed after the error
+  stack.server.stop();
+  EXPECT_EQ(stack.manager.created_count(), 0u)
+      << "no request after the cap violation may reach the handler";
 }
 
 TEST(LineServerTest, ConcurrentClientsShareOneManager) {

@@ -5,7 +5,8 @@
 # failure-path + thread-pool tests (tests/test_failures.cpp), the
 # session-durability + journal-fuzz tests (tests/test_journal.cpp), the
 # observability tests (tests/test_obs.cpp), and the session / manager /
-# wire-protocol tests (tests/test_session.cpp, tests/test_wire.cpp);
+# async-token / wire-protocol tests (tests/test_session.cpp,
+# tests/test_async.cpp, tests/test_wire.cpp);
 # then a ThreadSanitizer build running the concurrency-sensitive subset
 # (engine, thread pool, watchdog, shutdown, metrics hot path, session
 # manager, line server); then a fault-injected shootout smoke run
@@ -34,7 +35,7 @@ cmake -B build-asan -S . -DHPB_SANITIZE=address \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality|Acquisition|SuggestPending|Session|Eviction|JsonParser|Wire|LineServer'
+  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality|Acquisition|SuggestPending|Session|Eviction|JsonParser|JsonNumbers|Wire|LineServer|Async|SyncCancel|CrossMode'
 
 echo
 echo "== TSan: engine / thread-pool / watchdog / shutdown / metrics / service tests =="
@@ -42,7 +43,7 @@ cmake -B build-tsan -S . -DHPB_SANITIZE=thread \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality|Acquisition|SessionManager|LineServer'
+  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality|Acquisition|SessionManager|LineServer|AsyncFuzz|AsyncEvictionResume'
 
 echo
 echo "== acquisition sweep micro-bench smoke =="
