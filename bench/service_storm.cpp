@@ -12,18 +12,35 @@
 // session runs create → (suggest → evaluate client-side → observe)* →
 // close for a fixed number of evaluations.
 //
-// Reported (and written as JSON): client-observed p50/p99/mean latency per
-// verb, sessions/sec, suggests/sec, and the manager's eviction/resume
-// counters, so a perf regression in the striped registry, the wire codec,
-// or the journal replay path shows up as a number, not a feeling.
+// All run artifacts (socket, session journals) live in a private mkdtemp
+// directory that is removed on every exit path — normal return, die(),
+// SIGINT/SIGTERM — so an interrupted bench never litters the repository
+// with stray sockets.
 //
-// Usage: service_storm [--smoke] [--sessions N] [--workers N] [--window N]
-//                      [--evals N] [--batch N] [--max-resident N]
-//                      [--method NAME] [--dataset NAME] [--out PATH]
+// --chaos adds a survivability proof: the daemon runs as a *separate
+// process* (this binary re-exec'd with --serve-child), a reference pass
+// records every session's suggest sequence against an unharmed daemon,
+// then a second pass SIGKILLs the daemon mid-storm, restarts it on the
+// same session dir, resyncs every client from `status`, and requires the
+// completed suggest sequences to be bitwise-identical to the reference —
+// plus it measures kill→healthy recovery latency via the `health` verb.
+//
+// Reported (and written as JSON): client-observed p50/p99/mean latency per
+// verb, sessions/sec, suggests/sec, the manager's eviction/resume
+// counters, and (with --chaos) recovery latency and the bitwise verdict,
+// so a perf or durability regression shows up as a number, not a feeling.
+//
+// Usage: service_storm [--smoke] [--chaos] [--sessions N] [--workers N]
+//                      [--window N] [--evals N] [--batch N]
+//                      [--max-resident N] [--method NAME] [--dataset NAME]
+//                      [--out PATH]
 //   --smoke   tiny run (CI wiring check, label `bench`)
+//   --chaos   kill/restart survivability phase (spawns child daemons)
 //   --out     JSON output path (default BENCH_service.json)
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -34,6 +51,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,32 +75,109 @@ std::uint64_t elapsed_ns(Clock::time_point a, Clock::time_point b) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
 }
 
+// ---------------------------------------------------------------------------
+// Run-artifact cleanup, robust against every exit path.
+//
+// The signal handler may only touch async-signal-safe calls: it kills the
+// chaos child (so no orphan daemon outlives the bench), unlinks the bound
+// sockets, and _exits. The full temp-dir removal runs on the normal and
+// die() paths, where std::filesystem is allowed.
+
+char g_temp_dir[512] = "";
+char g_socket_paths[2][512] = {"", ""};
+std::atomic<int> g_child_pid{0};
+
+void storm_signal_handler(int) {
+  const int child = g_child_pid.load(std::memory_order_relaxed);
+  if (child > 0) {
+    ::kill(child, SIGKILL);
+  }
+  for (const char* path : g_socket_paths) {
+    if (path[0] != '\0') {
+      ::unlink(path);
+    }
+  }
+  ::_exit(130);
+}
+
+void remove_run_artifacts() {
+  const int child = g_child_pid.exchange(0, std::memory_order_relaxed);
+  if (child > 0) {
+    ::kill(child, SIGKILL);
+    ::waitpid(child, nullptr, 0);
+  }
+  if (g_temp_dir[0] != '\0') {
+    std::error_code ec;
+    std::filesystem::remove_all(g_temp_dir, ec);
+    g_temp_dir[0] = '\0';
+  }
+}
+
 [[noreturn]] void die(const std::string& message) {
   std::fprintf(stderr, "service_storm: %s\n", message.c_str());
+  remove_run_artifacts();
   std::exit(1);
 }
 
-/// Blocking line-oriented client over a Unix socket.
+void register_socket_path(std::size_t slot, const std::string& path) {
+  if (slot < 2 && path.size() < sizeof(g_socket_paths[0])) {
+    std::memcpy(g_socket_paths[slot], path.c_str(), path.size() + 1);
+  }
+}
+
+std::string make_temp_dir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr && base[0] != '\0' ? base
+                                                                    : "/tmp") +
+                     "/hpb_storm.XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    die("mkdtemp '" + tmpl + "': " + std::strerror(errno));
+  }
+  const std::string dir(buf.data());
+  if (dir.size() < sizeof(g_temp_dir)) {
+    std::memcpy(g_temp_dir, dir.c_str(), dir.size() + 1);
+  }
+  return dir;
+}
+
+/// Blocking line-oriented client over a Unix socket. `fatal` clients die()
+/// on any socket error; non-fatal ones report it through connected() /
+/// empty rpc() results (the chaos pass expects the daemon to vanish).
 class LineClient {
  public:
-  explicit LineClient(const std::string& path) {
+  explicit LineClient(const std::string& path, bool fatal = true)
+      : fatal_(fatal) {
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) {
-      die("socket: " + std::string(std::strerror(errno)));
+      fail("socket: " + std::string(std::strerror(errno)));
+      return;
     }
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
     if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
-      die("connect '" + path + "': " + std::strerror(errno));
+      fail("connect '" + path + "': " + std::strerror(errno));
     }
   }
-  ~LineClient() { ::close(fd_); }
+  ~LineClient() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
   LineClient(const LineClient&) = delete;
   LineClient& operator=(const LineClient&) = delete;
 
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// One request, one response line. Returns "" (never valid JSON) when a
+  /// non-fatal client loses the server mid-call.
   std::string rpc(const std::string& request) {
+    if (fd_ < 0) {
+      return {};
+    }
     std::string out = request + "\n";
     std::string_view data = out;
     while (!data.empty()) {
@@ -91,7 +186,8 @@ class LineClient {
         if (errno == EINTR) {
           continue;
         }
-        die("send: " + std::string(std::strerror(errno)));
+        fail("send: " + std::string(std::strerror(errno)));
+        return {};
       }
       data.remove_prefix(static_cast<std::size_t>(n));
     }
@@ -108,14 +204,26 @@ class LineClient {
         continue;
       }
       if (n <= 0) {
-        die("server closed the connection mid-response");
+        fail("server closed the connection mid-response");
+        return {};
       }
       buffer_.append(chunk, static_cast<std::size_t>(n));
     }
   }
 
  private:
+  void fail(const std::string& message) {
+    if (fatal_) {
+      die(message);
+    }
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
   int fd_ = -1;
+  bool fatal_ = true;
   std::string buffer_;
 };
 
@@ -171,6 +279,10 @@ struct Options {
   std::string dataset = "kripke";
   std::string out = "BENCH_service.json";
   bool smoke = false;
+  bool chaos = false;
+  /// This binary's own path (argv[0]); --chaos re-execs it with
+  /// --serve-child to host the daemon out of process.
+  std::string self;
 };
 
 // ---------------------------------------------------------------------------
@@ -444,6 +556,325 @@ void run_worker(const Options& opt, const std::string& socket_path,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Chaos phase: out-of-process daemon, SIGKILL mid-storm, restart, verify.
+
+/// The daemon half of --chaos: exactly what `hiperbot serve` does, hosted
+/// by this binary so the bench needs no second executable. Runs until
+/// SIGTERM (clean shutdown) — or SIGKILL, which is the point.
+std::atomic<bool> g_serve_child_stop{false};
+static_assert(std::atomic<bool>::is_always_lock_free);
+
+void serve_child_signal(int) {
+  g_serve_child_stop.store(true, std::memory_order_relaxed);
+}
+
+int run_serve_child(const std::string& socket_path,
+                    const std::string& session_dir) {
+  std::signal(SIGTERM, serve_child_signal);
+  std::signal(SIGINT, serve_child_signal);
+  core::SessionManagerConfig mconfig;
+  mconfig.journal_dir = session_dir;
+  core::SessionManager manager(service::dataset_session_factory(),
+                               std::move(mconfig));
+  service::WireService wire(manager);
+  service::LineServer server(
+      [&wire](std::string_view line) { return wire.handle_line(line); },
+      {.unix_path = socket_path, .stop_flag = &g_serve_child_stop});
+  server.serve();
+  server.stop();
+  return 0;
+}
+
+int spawn_daemon(const Options& opt, const std::string& socket_path,
+                 const std::string& session_dir) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    die("fork: " + std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    ::execl(opt.self.c_str(), opt.self.c_str(), "--serve-child", "--socket",
+            socket_path.c_str(), "--session-dir", session_dir.c_str(),
+            static_cast<char*>(nullptr));
+    // exec failed; nothing below the fork is safe except leaving.
+    ::_exit(127);
+  }
+  g_child_pid.store(pid, std::memory_order_relaxed);
+  return pid;
+}
+
+void kill_daemon(int pid, int signum) {
+  ::kill(pid, signum);
+  ::waitpid(pid, nullptr, 0);
+  g_child_pid.store(0, std::memory_order_relaxed);
+}
+
+/// Poll the `health` verb until the daemon answers; returns ms from call
+/// to first healthy response — the kill→serving recovery latency when
+/// called right after a restart exec.
+double wait_healthy(const std::string& socket_path, std::uint64_t* adopted,
+                    int timeout_ms = 30000) {
+  const auto t0 = Clock::now();
+  while (true) {
+    LineClient probe(socket_path, /*fatal=*/false);
+    if (probe.connected()) {
+      const std::string response = probe.rpc("{\"verb\":\"health\"}");
+      if (!response.empty()) {
+        const service::JsonValue v = expect_ok(response);
+        if (adopted != nullptr) {
+          *adopted = static_cast<std::uint64_t>(
+              v.find("health")->find("adopted")->as_number());
+        }
+        return static_cast<double>(elapsed_ns(t0, Clock::now())) * 1e-6;
+      }
+    }
+    if (static_cast<double>(elapsed_ns(t0, Clock::now())) * 1e-6 >
+        static_cast<double>(timeout_ms)) {
+      die("daemon did not become healthy within " +
+          std::to_string(timeout_ms) + "ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+struct ChaosStats {
+  double recovery_ms = 0.0;
+  std::uint64_t adopted_after_restart = 0;
+  std::size_t resuggested_rounds = 0;
+  std::size_t rounds = 0;
+};
+
+/// Per-session suggest sequences: seq[name][round] is the canonical JSON
+/// of that round's configs. Bitwise equality of these across the reference
+/// and chaos passes is the survivability verdict.
+using SuggestSequences = std::map<std::string, std::vector<std::string>>;
+
+/// Drive `sessions` interleaved sync sessions against an out-of-process
+/// daemon. kill_after_suggests > 0 SIGKILLs the daemon once that many
+/// suggests have been answered — with a window of unobserved rounds in
+/// flight — restarts it on the same session dir, resyncs every session
+/// from `status`, and finishes the workload.
+SuggestSequences run_chaos_pass(const Options& opt,
+                                const std::string& socket_path,
+                                const std::string& session_dir,
+                                tabular::TabularObjective& dataset,
+                                std::size_t sessions, std::size_t evals,
+                                std::size_t batch,
+                                std::size_t kill_after_suggests,
+                                ChaosStats* stats) {
+  spawn_daemon(opt, socket_path, session_dir);
+  wait_healthy(socket_path, nullptr);
+  auto client = std::make_unique<LineClient>(socket_path);
+
+  struct ChaosSlot {
+    std::string name;
+    std::size_t seed = 0;
+    std::size_t evals_done = 0;
+    bool created = false;
+    bool pending = false;  // a suggested round awaits its observe
+    std::vector<std::vector<double>> round_configs;
+    bool finished = false;
+  };
+  std::vector<ChaosSlot> slots(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    slots[i].name = "c" + std::to_string(i);
+    slots[i].seed = 1000 + i;
+  }
+  SuggestSequences seq;
+  std::size_t suggests_done = 0;
+  bool killed = kill_after_suggests == 0;
+  std::size_t unfinished = sessions;
+
+  const std::string create_suffix =
+      std::string("\",\"dataset\":\"") + opt.dataset + "\",\"method\":\"" +
+      opt.method + "\",\"batch_size\":" + std::to_string(batch) +
+      ",\"max_evaluations\":" + std::to_string(evals) + ",\"seed\":";
+
+  const auto record_round = [&](ChaosSlot& s,
+                                const std::vector<std::vector<double>>& cfgs) {
+    std::string rendered;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      rendered += (i > 0 ? ";" : "") + config_json(cfgs[i]);
+    }
+    const std::size_t round = s.evals_done / batch;
+    std::vector<std::string>& rounds = seq[s.name];
+    if (round < rounds.size()) {
+      // This round was already suggested before the kill; the resumed
+      // daemon replayed the journal and must re-mint it bit for bit.
+      if (rounds[round] != rendered) {
+        die("resumed suggest for " + s.name + " round " +
+            std::to_string(round) + " diverged:\n  before: " + rounds[round] +
+            "\n  after:  " + rendered);
+      }
+      if (stats != nullptr) {
+        ++stats->resuggested_rounds;
+      }
+    } else {
+      rounds.push_back(rendered);
+    }
+  };
+
+  const auto chaos_restart = [&]() {
+    // SIGKILL: no destructors, no finalize records, fsync'd journals only
+    // — the crash the journal exists for.
+    kill_daemon(g_child_pid.load(std::memory_order_relaxed), SIGKILL);
+    const auto t0 = Clock::now();
+    spawn_daemon(opt, socket_path, session_dir);
+    std::uint64_t adopted = 0;
+    const double recovery_ms = wait_healthy(socket_path, &adopted);
+    if (stats != nullptr) {
+      stats->recovery_ms =
+          static_cast<double>(elapsed_ns(t0, Clock::now())) * 1e-6;
+      stats->adopted_after_restart = adopted;
+      (void)recovery_ms;  // included in the spawn-to-healthy span above
+    }
+    client = std::make_unique<LineClient>(socket_path);
+    // Resync every session from the restarted daemon's durable state: the
+    // journal knows how many observations survived; unobserved rounds
+    // were dropped and will be re-suggested.
+    for (ChaosSlot& s : slots) {
+      if (s.finished) {
+        continue;
+      }
+      s.pending = false;
+      s.round_configs.clear();
+      const std::string response =
+          client->rpc("{\"verb\":\"status\",\"session\":\"" + s.name + "\"}");
+      const service::JsonValue v = service::parse_json(response);
+      const service::JsonValue* ok = v.find("ok");
+      if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
+        s.created = true;
+        s.evals_done = static_cast<std::size_t>(
+            v.find("status")->find("evaluations")->as_number());
+      } else {
+        // Never created (the kill beat its create verb): start over.
+        s.created = false;
+        s.evals_done = 0;
+      }
+      std::vector<std::string>& rounds = seq[s.name];
+      // Client-side record beyond the durable prefix belongs to rounds
+      // the crash erased; keep them — the resumed daemon must re-mint
+      // them identically (checked in record_round).
+      (void)rounds;
+    }
+  };
+
+  std::size_t cursor = 0;
+  while (unfinished > 0) {
+    ChaosSlot& s = slots[cursor % sessions];
+    ++cursor;
+    if (s.finished) {
+      continue;
+    }
+    if (!s.created) {
+      const std::string response =
+          client->rpc("{\"verb\":\"create\",\"session\":\"" + s.name +
+                      create_suffix + std::to_string(s.seed) + "}");
+      const service::JsonValue v = service::parse_json(response);
+      const service::JsonValue* ok = v.find("ok");
+      if (ok == nullptr || !ok->is_bool() ||
+          (!ok->as_bool() &&
+           response.find("already exists") == std::string::npos)) {
+        die("create failed: " + response);
+      }
+      // "already exists on disk (cold)" after a restart is adoption, not
+      // failure: the journal survived the kill and the next verb resumes
+      // it.
+      s.created = true;
+      continue;
+    }
+    if (!s.pending) {
+      const service::JsonValue suggest = expect_ok(client->rpc(
+          "{\"verb\":\"suggest\",\"session\":\"" + s.name + "\"}"));
+      s.round_configs = parse_configs(suggest);
+      record_round(s, s.round_configs);
+      s.pending = true;
+      ++suggests_done;
+      if (!killed && suggests_done >= kill_after_suggests) {
+        killed = true;
+        chaos_restart();
+      }
+      continue;
+    }
+    std::string results = "[";
+    for (std::size_t i = 0; i < s.round_configs.size(); ++i) {
+      if (i > 0) {
+        results += ',';
+      }
+      results += "{\"config\":" + config_json(s.round_configs[i]) +
+                 ",\"y\":" +
+                 obs::json_double(
+                     evaluate_values(dataset, s.round_configs[i])) +
+                 "}";
+    }
+    results += ']';
+    const service::JsonValue observed = expect_ok(
+        client->rpc("{\"verb\":\"observe\",\"session\":\"" + s.name +
+                    "\",\"results\":" + results + "}"));
+    s.evals_done = static_cast<std::size_t>(
+        observed.find("status")->find("evaluations")->as_number());
+    s.pending = false;
+    if (s.evals_done >= evals) {
+      expect_ok(client->rpc("{\"verb\":\"close\",\"session\":\"" + s.name +
+                            "\"}"));
+      s.finished = true;
+      --unfinished;
+    }
+  }
+  if (stats != nullptr) {
+    for (const auto& [name, rounds] : seq) {
+      stats->rounds += rounds.size();
+    }
+  }
+  client.reset();
+  kill_daemon(g_child_pid.load(std::memory_order_relaxed), SIGTERM);
+  return seq;
+}
+
+ChaosStats run_chaos(const Options& opt, const std::string& temp_dir,
+                     tabular::TabularObjective& dataset) {
+  const std::size_t sessions = opt.smoke ? 8 : 32;
+  const std::size_t evals = opt.smoke ? 4 : 6;
+  const std::size_t batch = 2;
+  const std::size_t total_suggests = sessions * (evals / batch);
+  // Kill mid-stream: past the create wave, well short of done, with a
+  // full window of unobserved rounds in flight.
+  const std::size_t kill_after = std::max<std::size_t>(1, total_suggests / 2);
+
+  const std::string socket_path = temp_dir + "/chaos.sock";
+  register_socket_path(1, socket_path);
+  std::printf(
+      "  chaos          %zu sessions x %zu evals, SIGKILL after %zu/%zu "
+      "suggests\n",
+      sessions, evals, kill_after, total_suggests);
+
+  const std::string ref_dir = temp_dir + "/chaos_ref.sessions";
+  const SuggestSequences reference = run_chaos_pass(
+      opt, socket_path, ref_dir, dataset, sessions, evals, batch,
+      /*kill_after_suggests=*/0, nullptr);
+
+  ChaosStats stats;
+  const std::string chaos_dir = temp_dir + "/chaos_kill.sessions";
+  const SuggestSequences survived = run_chaos_pass(
+      opt, socket_path, chaos_dir, dataset, sessions, evals, batch,
+      kill_after, &stats);
+
+  if (survived != reference) {
+    die("chaos pass diverged from the reference suggest sequences");
+  }
+  if (stats.resuggested_rounds == 0) {
+    die("chaos kill landed with no unobserved rounds in flight; the "
+        "resume path was not exercised");
+  }
+  std::printf(
+      "    survived     recovery %.1fms, %llu sessions adopted, %zu/%zu "
+      "rounds re-suggested bitwise-equal\n",
+      stats.recovery_ms,
+      static_cast<unsigned long long>(stats.adopted_after_restart),
+      stats.resuggested_rounds, stats.rounds);
+  return stats;
+}
+
 int run(Options opt) {
   if (opt.smoke) {
     opt.sessions = 60;
@@ -453,9 +884,14 @@ int run(Options opt) {
     opt.max_resident = 8;
     opt.compare_evals = 40;
   }
-  const std::string run_tag = "storm." + std::to_string(::getpid());
-  const std::string session_dir = run_tag + ".sessions";
-  const std::string socket_path = run_tag + ".sock";
+  std::signal(SIGINT, storm_signal_handler);
+  std::signal(SIGTERM, storm_signal_handler);
+  // Every run artifact lives under one private temp dir: no stray sockets
+  // or journal trees in the working directory, one remove_all to clean up.
+  const std::string temp_dir = make_temp_dir();
+  const std::string session_dir = temp_dir + "/storm.sessions";
+  const std::string socket_path = temp_dir + "/storm.sock";
+  register_socket_path(0, socket_path);
 
   core::SessionManagerConfig mconfig;
   mconfig.journal_dir = session_dir;
@@ -570,6 +1006,14 @@ int run(Options opt) {
   }
   server.stop();
 
+  // Survivability proof, against an out-of-process daemon (the in-process
+  // one above is stopped; its worker threads are joined, so the fork+exec
+  // below starts from a quiet process).
+  ChaosStats chaos;
+  if (opt.chaos) {
+    chaos = run_chaos(opt, temp_dir, dataset);
+  }
+
   std::string json = "{\n  \"bench\": \"service_storm\",\n";
   json += "  \"sessions\": " + std::to_string(opt.sessions) + ",\n";
   json += "  \"workers\": " + std::to_string(opt.workers) + ",\n";
@@ -604,6 +1048,15 @@ int run(Options opt) {
           obs::json_double(async_wall_s) + ", \"evals_per_sec\": " +
           obs::json_double(async_eps) + "},\n    \"speedup\": " +
           obs::json_double(speedup) + "},\n";
+  if (opt.chaos) {
+    json += "  \"chaos\": {\"recovery_ms\": " +
+            obs::json_double(chaos.recovery_ms) +
+            ", \"adopted_after_restart\": " +
+            std::to_string(chaos.adopted_after_restart) +
+            ", \"resuggested_rounds\": " +
+            std::to_string(chaos.resuggested_rounds) + ", \"rounds\": " +
+            std::to_string(chaos.rounds) + ", \"bitwise_equal\": true},\n";
+  }
   json += "  \"evicted\": " + std::to_string(manager.evicted_count()) + ",\n";
   json += "  \"resumed\": " + std::to_string(manager.resumed_count()) + ",\n";
   json += "  \"connections\": " +
@@ -618,8 +1071,7 @@ int run(Options opt) {
 
   // The journals are run artifacts, not results: a clean exit leaves only
   // the JSON report behind.
-  std::error_code ec;
-  std::filesystem::remove_all(session_dir, ec);
+  remove_run_artifacts();
   return 0;
 }
 
@@ -628,6 +1080,10 @@ int run(Options opt) {
 
 int main(int argc, char** argv) {
   hpb::Options opt;
+  opt.self = argc > 0 ? argv[0] : "service_storm";
+  bool serve_child = false;
+  std::string child_socket;
+  std::string child_session_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -639,6 +1095,14 @@ int main(int argc, char** argv) {
     };
     if (arg == "--smoke") {
       opt.smoke = true;
+    } else if (arg == "--chaos") {
+      opt.chaos = true;
+    } else if (arg == "--serve-child") {
+      serve_child = true;
+    } else if (arg == "--socket") {
+      child_socket = next();
+    } else if (arg == "--session-dir") {
+      child_session_dir = next();
     } else if (arg == "--sessions") {
       opt.sessions = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--workers") {
@@ -659,12 +1123,21 @@ int main(int argc, char** argv) {
       opt.out = next();
     } else {
       std::fprintf(stderr,
-                   "usage: service_storm [--smoke] [--sessions N] "
+                   "usage: service_storm [--smoke] [--chaos] [--sessions N] "
                    "[--workers N] [--window N] [--evals N] [--batch N] "
                    "[--max-resident N] [--method NAME] [--dataset NAME] "
                    "[--out PATH]\n");
       return 2;
     }
+  }
+  if (serve_child) {
+    if (child_socket.empty() || child_session_dir.empty()) {
+      std::fprintf(stderr,
+                   "service_storm: --serve-child needs --socket and "
+                   "--session-dir\n");
+      return 2;
+    }
+    return hpb::run_serve_child(child_socket, child_session_dir);
   }
   if (opt.sessions == 0 || opt.workers == 0 || opt.window == 0 ||
       opt.evals == 0 || opt.batch == 0) {

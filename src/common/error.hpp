@@ -16,6 +16,32 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A filesystem operation failed (ENOSPC, EIO, EPERM, ...). Carries the
+/// errno so callers can distinguish a full disk from a missing directory
+/// and react per class instead of taking the process down: the tuning
+/// service marks only the affected session degraded and keeps serving
+/// everyone else.
+class IoError : public Error {
+ public:
+  IoError(const std::string& what, int error_number)
+      : Error(what), error_number_(error_number) {}
+
+  /// The errno of the failed operation (e.g. ENOSPC, EIO).
+  [[nodiscard]] int error_number() const noexcept { return error_number_; }
+
+ private:
+  int error_number_ = 0;
+};
+
+/// The service refused work it could not absorb (connection cap, pending
+/// cap). Deliberately distinct from Error-as-client-bug: the request was
+/// well formed, the server is shedding load, and the client should back
+/// off and retry later.
+class OverloadError : public Error {
+ public:
+  explicit OverloadError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_error(const char* cond, const char* file, int line,
                               const std::string& msg);

@@ -120,17 +120,10 @@ void JournalWriter::write_line(std::string_view line) {
   HPB_REQUIRE(fd_ >= 0, "JournalWriter: writer was moved from or closed");
   std::string buf(line);
   buf.push_back('\n');
-  std::string_view rest(buf);
-  while (!rest.empty()) {
-    const ssize_t n = ::write(fd_, rest.data(), rest.size());
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      HPB_REQUIRE(false, "journal write '" + path_ + "': " + errno_text());
-    }
-    rest.remove_prefix(static_cast<std::size_t>(n));
-  }
+  // fs::write_all + sync_fd throw hpb::IoError on a real (or injected)
+  // disk fault; the session above marks itself degraded instead of the
+  // process dying — the durable prefix on disk is still a valid journal.
+  fs::write_all(fd_, buf, path_);
   fs::sync_fd(fd_, path_);
 }
 
@@ -147,7 +140,9 @@ JournalWriter JournalWriter::create(const std::string& path,
               "journal open '" + path +
                   "': parent directory does not exist (create it first, or "
                   "check the --journal / --session-dir path)");
-  HPB_REQUIRE(fd >= 0, "journal open '" + path + "': " + errno_text());
+  if (fd < 0) {
+    throw IoError("journal open '" + path + "': " + errno_text(), errno);
+  }
   JournalWriter writer(path, fd, 0);
   // The whole header goes out in one durable write: it is either entirely
   // present or the journal is unusable — no torn-header states to handle.
@@ -183,13 +178,16 @@ JournalWriter JournalWriter::append(const std::string& path,
   HPB_REQUIRE(contents.valid_bytes > 0,
               "journal append: contents carry no validated prefix");
   const int fd = ::open(path.c_str(), O_WRONLY);
-  HPB_REQUIRE(fd >= 0, "journal open '" + path + "': " + errno_text());
+  if (fd < 0) {
+    throw IoError("journal open '" + path + "': " + errno_text(), errno);
+  }
   // Drop the torn tail / incomplete round / end marker, then continue.
   if (::ftruncate(fd, static_cast<off_t>(contents.valid_bytes)) != 0 ||
       ::lseek(fd, 0, SEEK_END) < 0) {
-    const std::string why = errno_text();
+    const int err = errno;
     ::close(fd);
-    HPB_REQUIRE(false, "journal truncate '" + path + "': " + why);
+    throw IoError("journal truncate '" + path + "': " + std::strerror(err),
+                  err);
   }
   JournalWriter writer(path, fd, contents.rounds.size());
   fs::sync_fd(fd, path);

@@ -44,6 +44,29 @@ Session::Session(std::unique_ptr<Tuner> tuner, SessionConfig config,
 void Session::require_open(const char* verb) const {
   HPB_REQUIRE(!finished_, std::string("Session::") + verb +
                               ": session is closed");
+  // Degraded = the journal can no longer be appended (disk fault), so any
+  // further mutation would silently diverge from the durable state. The
+  // session stays readable (status/checkpoint) and resumable after a
+  // restart; only mutations are refused.
+  HPB_REQUIRE(!degraded_,
+              std::string("Session::") + verb +
+                  ": session is degraded (journal append failed: " +
+                  degraded_reason_ +
+                  "); status and checkpoint remain available, restart the "
+                  "daemon with a healthy disk to resume from the journal");
+}
+
+template <typename F>
+void Session::journal_op(const char* what, F&& op) {
+  try {
+    op();
+  } catch (const IoError& e) {
+    degraded_ = true;
+    degraded_reason_ = e.what();
+    throw Error(std::string("session journal ") + what + " failed: " +
+                e.what() + "; the session is now degraded (read-only) — "
+                "its durable journal prefix is still valid for resume");
+  }
 }
 
 void Session::require_mode(SessionMode mode, const char* verb) const {
@@ -99,7 +122,8 @@ std::vector<space::Configuration> Session::suggest(std::size_t k) {
   // The round marker goes out before evaluation starts: a crash mid-round
   // leaves an incomplete round the reader drops and re-evaluates.
   if (journal_ != nullptr) {
-    journal_->begin_round(k, batch.size());
+    journal_op("begin_round",
+               [&] { journal_->begin_round(k, batch.size()); });
   }
   pending_ = batch;
   round_requested_ = k;
@@ -181,7 +205,8 @@ void Session::observe(std::vector<Observation> observations,
   // leads in-memory state, so replay can reconstruct the tuner exactly.
   if (journal_ != nullptr) {
     for (std::size_t i = 0; i < observations.size(); ++i) {
-      journal_->append_observation(observations[i]);
+      journal_op("append_observation",
+                 [&] { journal_->append_observation(observations[i]); });
       if (tracing) {
         const std::uint64_t ts = rec.now_ns();
         const obs::TraceAttr attrs[] = {obs::TraceAttr::uint("index", i)};
@@ -250,7 +275,7 @@ std::size_t Session::cancel_round() {
   // Marker first: once the abandon line is durable, a crash between here
   // and the tuner updates replays to the same released state.
   if (journal_ != nullptr) {
-    journal_->abandon_round();
+    journal_op("abandon_round", [&] { journal_->abandon_round(); });
   }
   const std::size_t released = pending_.size();
   for (const space::Configuration& c : pending_) {
@@ -281,6 +306,18 @@ std::vector<AsyncSuggestion> Session::suggest_async(std::size_t k) {
   require_open("suggest");
   require_mode(SessionMode::kAsync, "suggest_async");
   HPB_REQUIRE(k > 0, "Session::suggest_async: k must be positive");
+  // Shed before any state changes: an unbounded outstanding set is how a
+  // confused client (suggest in a loop, observe never) runs the daemon
+  // out of memory and the TPE fit out of usefulness.
+  if (config_.max_pending > 0 &&
+      outstanding_.size() + k > config_.max_pending) {
+    throw OverloadError(
+        "Session::suggest_async: " + std::to_string(outstanding_.size()) +
+        " tokens are already outstanding and " + std::to_string(k) +
+        " more would exceed the per-session pending cap of " +
+        std::to_string(config_.max_pending) +
+        "; observe or cancel outstanding tokens first");
+  }
   const obs::Recorder& rec = config_.recorder;
   const bool tracing = rec.tracing();
   const std::uint64_t start = tracing ? rec.now_ns() : 0;
@@ -292,7 +329,8 @@ std::vector<AsyncSuggestion> Session::suggest_async(std::size_t k) {
   // any token escapes to a client, so the journal's outstanding set always
   // covers every token a client could hold.
   if (journal_ != nullptr) {
-    journal_->begin_ask(k, next_token_, batch);
+    journal_op("begin_ask",
+               [&] { journal_->begin_ask(k, next_token_, batch); });
   }
   std::vector<AsyncSuggestion> suggestions;
   suggestions.reserve(batch.size());
@@ -358,7 +396,8 @@ void Session::observe_async(std::span<const AsyncResult> results) {
     // Disk before tuner, per token: replay re-applies completions in the
     // exact journaled order.
     if (journal_ != nullptr) {
-      journal_->append_async_observation(r.token, o);
+      journal_op("append_async_observation",
+                 [&] { journal_->append_async_observation(r.token, o); });
     }
     const std::uint64_t start = tracing ? rec.now_ns() : 0;
     if (o.ok()) {
@@ -419,7 +458,7 @@ std::size_t Session::cancel_async(std::span<const std::uint64_t> tokens) {
   for (const std::uint64_t token : to_cancel) {
     const auto it = outstanding_.find(token);
     if (journal_ != nullptr) {
-      journal_->append_cancel(token);
+      journal_op("append_cancel", [&] { journal_->append_cancel(token); });
     }
     tuner_->abandon(it->second);
     outstanding_.erase(it);
@@ -522,6 +561,8 @@ SessionStatus Session::status() const {
   s.stopped = stopped_;
   s.reason = reason_;
   s.finished = finished_;
+  s.degraded = degraded_;
+  s.degraded_reason = degraded_reason_;
   return s;
 }
 
@@ -542,7 +583,8 @@ void Session::finish(StopReason reason) {
   // kInterrupted deliberately leaves the journal unfinalized: an
   // interrupted session is exactly what --resume expects to find.
   if (journal_ != nullptr && reason != StopReason::kInterrupted) {
-    journal_->finalize(stop_reason_name(reason));
+    journal_op("finalize",
+               [&] { journal_->finalize(stop_reason_name(reason)); });
   }
   stopped_ = true;
   reason_ = reason;
@@ -560,7 +602,7 @@ void Session::close() {
                   " tokens are outstanding; observe or cancel them before "
                   "closing");
   if (journal_ != nullptr) {
-    journal_->finalize("closed");
+    journal_op("finalize", [&] { journal_->finalize("closed"); });
   }
   finished_ = true;
 }

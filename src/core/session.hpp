@@ -122,6 +122,11 @@ struct SessionConfig {
   StopConfig stop;
   /// Round-structured (default) or token-structured asynchronous session.
   SessionMode mode = SessionMode::kSync;
+  /// Async sessions: cap on outstanding (suggested-but-unresolved) tokens.
+  /// A suggest_async that would exceed it throws hpb::OverloadError before
+  /// any state changes. 0 = unlimited. Sync rounds are naturally bounded
+  /// by one batch and ignore this.
+  std::size_t max_pending = 0;
 };
 
 /// Snapshot of a session's progress, cheap enough to take per verb.
@@ -149,6 +154,12 @@ struct SessionStatus {
   StopReason reason = StopReason::kBudgetExhausted;
   /// finish()/close() was called; every further verb throws.
   bool finished = false;
+  /// A journal append failed (disk fault): the session is read-only —
+  /// status/checkpoint still serve, every mutating verb throws. The
+  /// durable journal prefix is still valid; a daemon restart (with the
+  /// disk healthy again) resumes the session from it.
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 /// Durability report for eviction decisions: what survives if the
@@ -265,6 +276,9 @@ class Session {
   [[nodiscard]] bool stopped() const noexcept { return stopped_; }
   [[nodiscard]] StopReason stop_reason() const noexcept { return reason_; }
   [[nodiscard]] bool finished() const noexcept { return finished_; }
+  /// A journal append failed: the session is read-only (see
+  /// SessionStatus::degraded).
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
   [[nodiscard]] bool journaled() const noexcept { return journal_ != nullptr; }
   [[nodiscard]] Tuner& tuner() noexcept { return *tuner_; }
 
@@ -281,6 +295,11 @@ class Session {
   void require_open(const char* verb) const;
   void require_mode(SessionMode mode, const char* verb) const;
 
+  /// Run one journal mutation; an IoError marks the session degraded and
+  /// rethrows as a structured hpb::Error naming the read-only contract.
+  template <typename F>
+  void journal_op(const char* what, F&& op);
+
   SessionConfig config_;
   Tuner* tuner_ = nullptr;
   JournalWriter* journal_ = nullptr;
@@ -292,6 +311,10 @@ class Session {
   bool stopped_ = false;
   StopReason reason_ = StopReason::kBudgetExhausted;
   bool finished_ = false;
+  // Atomic so the manager's health/eviction scans can read it without the
+  // per-session op mutex; the reason string is only read under that mutex.
+  std::atomic<bool> degraded_{false};
+  std::string degraded_reason_;
 
   // In-flight round state (sync mode).
   bool round_in_flight_ = false;

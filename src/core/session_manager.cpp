@@ -1,8 +1,12 @@
 #include "core/session_manager.hpp"
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "common/error.hpp"
@@ -106,7 +110,79 @@ SessionManager::SessionManager(SessionFactory factory,
   }
   if (!config_.journal_dir.empty()) {
     fs::ensure_dir(config_.journal_dir);
+    if (config_.recover_on_start) {
+      recover();
+    }
   }
+}
+
+// Cold-start recovery: a restarted daemon's registry is empty, but the
+// journals on disk *are* the sessions. Scanning up front (instead of
+// waiting for a client to touch each name) quarantines corrupt journals
+// before they can fail a verb, and lets `health` report how much state
+// survived the restart.
+void SessionManager::recover() {
+  DIR* dir = ::opendir(config_.journal_dir.c_str());
+  HPB_REQUIRE(dir != nullptr, "SessionManager: cannot scan journal dir '" +
+                                  config_.journal_dir +
+                                  "': " + std::strerror(errno));
+  std::vector<std::string> names;
+  for (const dirent* entry = ::readdir(dir); entry != nullptr;
+       entry = ::readdir(dir)) {
+    const std::string file = entry->d_name;
+    constexpr std::string_view kSuffix = ".hpbj";
+    if (file.size() <= kSuffix.size() ||
+        file.compare(file.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;  // quarantined (.corrupt), tmp, or foreign files
+    }
+    names.push_back(file.substr(0, file.size() - kSuffix.size()));
+  }
+  ::closedir(dir);
+  // Deterministic report order regardless of directory iteration order.
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const std::string path = journal_path(name);
+    try {
+      validate_session_name(name);
+      const JournalContents contents = read_journal(path);
+      if (contents.finalized) {
+        recovery_.finished.push_back(name);
+      } else {
+        // Adoption is lazy: the journal stays the durable session and the
+        // first verb naming it resumes it (resume_from_journal), exactly
+        // like an LRU-evicted session. Nothing to build here.
+        recovery_.adopted.push_back(name);
+        emit_span("session.adopt", name);
+      }
+    } catch (const Error&) {
+      quarantine_journal(name, path);
+      recovery_.quarantined.push_back(name);
+    }
+  }
+  if (config_.recorder.metrics != nullptr) {
+    config_.recorder.metrics->counter("manager.recovered_adopted")
+        .add(recovery_.adopted.size());
+    config_.recorder.metrics->counter("manager.recovered_quarantined")
+        .add(recovery_.quarantined.size());
+  }
+}
+
+std::string SessionManager::quarantine_journal(const std::string& name,
+                                               const std::string& path) {
+  const std::string quarantine = path + ".corrupt";
+  // rename(2) replaces an older quarantine of the same name — the newest
+  // corpse is the one worth inspecting, and the session name must become
+  // usable again either way.
+  if (::rename(path.c_str(), quarantine.c_str()) != 0) {
+    throw IoError("quarantine rename '" + path + "' -> '" + quarantine +
+                      "': " + std::strerror(errno),
+                  errno);
+  }
+  ++quarantined_;
+  count("manager.quarantined");
+  emit_span("session.quarantine", name);
+  return quarantine;
 }
 
 // Resident sessions are dropped without finalizing their journals —
@@ -140,6 +216,7 @@ std::shared_ptr<SessionManager::Entry> SessionManager::make_entry(
   sc.batch_size = spec.batch_size;
   sc.stop = spec.stop;
   sc.mode = spec.mode;
+  sc.max_pending = config_.max_pending_per_session;
   // Each session meters into its own registry (engine.* names never mix
   // across sessions); spans and the clock are shared manager-wide.
   sc.recorder = {.trace = config_.recorder.trace,
@@ -185,11 +262,16 @@ void SessionManager::create(const SessionSpec& spec) {
   std::lock_guard<std::mutex> lock(stripe.m);
   HPB_REQUIRE(stripe.map.find(spec.name) == stripe.map.end(),
               "session '" + spec.name + "' already exists");
+  // Create-vs-adopt: a name whose journal survives on disk is an existing
+  // (cold) session, not a free name — adopt it by touching it with
+  // suggest/observe/status, or pick a new name. create() never silently
+  // truncates a journal a crashed daemon left behind.
   const std::string path = journal_path(spec.name);
   HPB_REQUIRE(path.empty() || !file_exists(path),
               "session '" + spec.name +
-                  "' already has a journal on disk; choose another name or "
-                  "remove " + path);
+                  "' already exists on disk (cold); touch it with "
+                  "suggest/observe/status to adopt and resume it, or choose "
+                  "another name (journal: " + path + ")");
   SessionBackend backend = factory_(spec);
   HPB_REQUIRE(backend.tuner != nullptr && backend.space != nullptr,
               "SessionManager: factory returned an incomplete backend");
@@ -211,7 +293,18 @@ std::shared_ptr<SessionManager::Entry> SessionManager::resume_from_journal(
   const std::string path = journal_path(name);
   HPB_REQUIRE(!path.empty() && file_exists(path),
               "unknown session '" + name + "'");
-  const JournalContents contents = read_journal(path);
+  JournalContents contents;
+  try {
+    contents = read_journal(path);
+  } catch (const Error& e) {
+    // The journal is unreadable (corrupt header / I/O error): move it
+    // aside so the name recovers, keep the evidence, fail this one verb
+    // with a structured story instead of crashing the daemon.
+    const std::string quarantine = quarantine_journal(name, path);
+    throw Error("session '" + name + "' had a corrupt journal (" + e.what() +
+                "); it was quarantined to " + quarantine +
+                " and the session no longer exists");
+  }
   HPB_REQUIRE(!contents.finalized,
               "session '" + name + "' is closed (" + contents.finish_reason +
                   ")");
@@ -281,8 +374,12 @@ void SessionManager::evict_over_capacity(Stripe& stripe) {
     auto victim = stripe.map.end();
     for (auto it = stripe.map.begin(); it != stripe.map.end(); ++it) {
       Entry& e = *it->second;
+      // A degraded session is pinned hot: evicting it would let the next
+      // verb "resume" from its journal and mask the disk fault behind a
+      // half-replayed session. It stays resident, read-only, and visible
+      // in health until an operator restarts with a healthy disk.
       if (e.in_use > 0 || !e.session->journaled() ||
-          e.session->round_in_flight()) {
+          e.session->round_in_flight() || e.session->degraded()) {
         continue;
       }
       if (victim == stripe.map.end() || e.tick < victim->second->tick) {
@@ -388,7 +485,7 @@ bool SessionManager::evict(const std::string& name) {
   }
   Entry& e = *it->second;
   if (e.in_use > 0 || !e.session->journaled() ||
-      e.session->round_in_flight()) {
+      e.session->round_in_flight() || e.session->degraded()) {
     return false;
   }
   stripe.map.erase(it);
@@ -401,6 +498,69 @@ bool SessionManager::evict(const std::string& name) {
 std::string SessionManager::session_metrics_json(const std::string& name) {
   Lease lease(*this, acquire(name));
   return lease.entry().metrics->to_json();
+}
+
+ManagerHealth SessionManager::health() const {
+  ManagerHealth h;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->m);
+    h.resident += stripe->map.size();
+    for (const auto& [name, entry] : stripe->map) {
+      if (entry->session->degraded()) {
+        ++h.degraded;
+      }
+    }
+  }
+  h.created = created_.load(std::memory_order_relaxed);
+  h.evicted = evicted_.load(std::memory_order_relaxed);
+  h.resumed = resumed_.load(std::memory_order_relaxed);
+  h.closed = closed_.load(std::memory_order_relaxed);
+  h.adopted = recovery_.adopted.size();
+  h.quarantined = quarantined_.load(std::memory_order_relaxed);
+  return h;
+}
+
+std::size_t SessionManager::degraded_count() const {
+  std::size_t n = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->m);
+    for (const auto& [name, entry] : stripe->map) {
+      if (entry->session->degraded()) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+std::size_t SessionManager::checkpoint_all() {
+  std::size_t n = 0;
+  for (auto& stripe_ptr : stripes_) {
+    Stripe& stripe = *stripe_ptr;
+    // Pin every resident entry under the stripe mutex, then checkpoint
+    // outside it (op-mutex after stripe-mutex would invert the Lease
+    // ordering, which releases the op mutex before re-taking the stripe).
+    std::vector<std::shared_ptr<Entry>> entries;
+    {
+      std::lock_guard<std::mutex> lock(stripe.m);
+      entries.reserve(stripe.map.size());
+      for (auto& [name, entry] : stripe.map) {
+        ++entry->in_use;
+        entries.push_back(entry);
+      }
+    }
+    for (auto& entry : entries) {
+      {
+        std::lock_guard<std::mutex> op(entry->op);
+        (void)entry->session->checkpoint();
+      }
+      emit_span("manager.checkpoint", entry->spec.name);
+      ++n;
+      release(stripe, entry);
+    }
+  }
+  count("manager.checkpoint_all");
+  return n;
 }
 
 std::size_t SessionManager::resident_count() const {

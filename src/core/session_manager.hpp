@@ -86,10 +86,48 @@ struct SessionManagerConfig {
   std::size_t max_resident = 0;
   /// Lock stripes for the registry. More stripes, more verb parallelism.
   std::size_t num_stripes = 16;
+  /// Per-session cap on outstanding async tokens (forwarded to
+  /// SessionConfig::max_pending). A suggest that would exceed it is shed
+  /// with hpb::OverloadError. 0 = unlimited.
+  std::size_t max_pending_per_session = 0;
+  /// Cold-start recovery: scan journal_dir in the constructor, adopt every
+  /// resumable journal as a cold session and quarantine unreadable ones to
+  /// `<name>.hpbj.corrupt` (see recovery()). Disable for tests that stage
+  /// corrupt journals after construction.
+  bool recover_on_start = true;
   /// Manager-level observability: `session.*` spans and `manager.*`
   /// counters. Per-session engine metrics go to each session's private
   /// registry, not here.
   obs::Recorder recorder;
+};
+
+/// What the cold-start scan of the journal directory found. A restarted
+/// daemon forgets nothing: every unfinalized journal is a session a client
+/// can touch (suggest/status/observe) and get the exact continuation the
+/// crashed process would have produced.
+struct RecoveryReport {
+  /// Resumable sessions adopted cold: the next verb naming one replays its
+  /// journal and continues bitwise-identically.
+  std::vector<std::string> adopted;
+  /// Finalized journals (finished or closed runs) left on disk; their
+  /// names stay reserved.
+  std::vector<std::string> finished;
+  /// Unreadable journals moved aside to `<name>.hpbj.corrupt` so the name
+  /// is usable again and the evidence survives for inspection.
+  std::vector<std::string> quarantined;
+};
+
+/// Snapshot of the manager's survivability counters, served by the wire
+/// `health` verb.
+struct ManagerHealth {
+  std::size_t resident = 0;
+  std::size_t degraded = 0;
+  std::uint64_t created = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t resumed = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t adopted = 0;      // cold sessions found at startup
+  std::uint64_t quarantined = 0;  // lifetime, startup scan + resume-time
 };
 
 class SessionManager {
@@ -154,6 +192,24 @@ class SessionManager {
   /// Returns false when the session is missing, busy, journal-less, or has
   /// a round in flight.
   bool evict(const std::string& name);
+
+  /// The cold-start scan's findings (empty when recover_on_start was off
+  /// or journaling is disabled).
+  [[nodiscard]] const RecoveryReport& recovery() const noexcept {
+    return recovery_;
+  }
+
+  /// Survivability counters for the `health` verb.
+  [[nodiscard]] ManagerHealth health() const;
+
+  /// Resident sessions currently degraded (journal append failed).
+  [[nodiscard]] std::size_t degraded_count() const;
+
+  /// Drain support: take a durability checkpoint of every resident idle
+  /// session (journals are fsync'd per record, so this verifies rather
+  /// than flushes) and emit a `manager.checkpoint` span per session.
+  /// Returns the number of sessions checkpointed.
+  std::size_t checkpoint_all();
 
   /// Deterministic JSON snapshot of the named session's private metrics.
   [[nodiscard]] std::string session_metrics_json(const std::string& name);
@@ -220,6 +276,15 @@ class SessionManager {
   void emit_span(std::string_view name, const std::string& session_name);
   void count(const char* counter);
 
+  /// Startup scan of journal_dir: adopt / record / quarantine every
+  /// `*.hpbj` entry (see RecoveryReport).
+  void recover();
+
+  /// Move an unreadable journal to `<path>.corrupt` and record it. Returns
+  /// the quarantine path.
+  std::string quarantine_journal(const std::string& name,
+                                 const std::string& path);
+
   SessionFactory factory_;
   SessionManagerConfig config_;
   std::vector<std::unique_ptr<Stripe>> stripes_;
@@ -229,6 +294,8 @@ class SessionManager {
   std::atomic<std::uint64_t> evicted_{0};
   std::atomic<std::uint64_t> resumed_{0};
   std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  RecoveryReport recovery_;  // written once, in the constructor
 };
 
 /// Validate a session name ([A-Za-z0-9._-]{1,128}, not "." or "..") —

@@ -8,10 +8,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include "common/error.hpp"
+#include "service/wire.hpp"
 
 namespace hpb::service {
 
@@ -112,10 +114,43 @@ bool LineServer::stopping() const noexcept {
           config_.stop_flag->load(std::memory_order_relaxed));
 }
 
-void LineServer::serve() { accept_loop(); }
+bool LineServer::draining() const noexcept {
+  return draining_.load(std::memory_order_relaxed) ||
+         (config_.drain_flag != nullptr &&
+          config_.drain_flag->load(std::memory_order_relaxed));
+}
+
+void LineServer::serve() { run(); }
 
 void LineServer::start() {
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  accept_thread_ = std::thread([this] { run(); });
+}
+
+void LineServer::run() {
+  accept_loop();
+  // Graceful drain: accepting has stopped, live connections finish the
+  // requests they already sent and hang up on their own (see the draining
+  // checks in serve_connection). A hard stop() still cuts the wait short.
+  while (draining() && !stopping()) {
+    reap_finished_connections();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.empty()) {
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+std::size_t LineServer::live_connections_locked() const {
+  std::size_t live = 0;
+  for (const auto& conn : connections_) {
+    if (!conn->done.load(std::memory_order_acquire)) {
+      ++live;
+    }
+  }
+  return live;
 }
 
 void LineServer::accept_loop() {
@@ -124,7 +159,7 @@ void LineServer::accept_loop() {
   for (const int fd : listen_fds_) {
     fds.push_back({.fd = fd, .events = POLLIN, .revents = 0});
   }
-  while (!stopping()) {
+  while (!stopping() && !draining()) {
     for (pollfd& p : fds) {
       p.revents = 0;
     }
@@ -154,6 +189,21 @@ void LineServer::accept_loop() {
       if (stopped_) {
         ::close(client);
         return;
+      }
+      if (config_.max_connections > 0 &&
+          live_connections_locked() >= config_.max_connections) {
+        // Shed at the door: one structured error the client can see (a
+        // silent close looks like a network fault and triggers blind
+        // reconnect storms), then hang up.
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        write_all(client,
+                  error_response(error_code::kOverloaded,
+                                 "server is at its connection cap of " +
+                                     std::to_string(config_.max_connections) +
+                                     "; retry after backoff") +
+                      "\n");
+        ::close(client);
+        continue;
       }
       auto conn = std::make_unique<Connection>();
       conn->fd.store(client, std::memory_order_relaxed);
@@ -200,6 +250,12 @@ void LineServer::serve_connection(Connection& conn) {
       break;
     }
     if (rc <= 0) {
+      // Draining and idle (no bytes pending, no partial line buffered):
+      // everything this client sent has been answered — hang up so the
+      // drain in run() can complete.
+      if (rc == 0 && buffer.empty() && draining()) {
+        break;
+      }
       continue;
     }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);

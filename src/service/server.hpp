@@ -42,6 +42,16 @@ struct ServerConfig {
   /// connection is dropped (a line that never ends would otherwise grow
   /// the buffer without bound).
   std::size_t max_line_bytes = 1 << 20;
+  /// Cap on simultaneously live connections. An accept beyond the cap is
+  /// answered with one structured `overloaded` error line and closed
+  /// immediately — load is shed at the door instead of queueing client
+  /// threads without bound. 0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Optional external drain flag (typically a SIGTERM handler's): once
+  /// raised, the server stops accepting, live connections finish the
+  /// requests they have already sent, and serve() returns when they hang
+  /// up or go idle. Not owned.
+  const std::atomic<bool>* drain_flag = nullptr;
 };
 
 class LineServer {
@@ -59,6 +69,7 @@ class LineServer {
   LineServer& operator=(const LineServer&) = delete;
 
   /// Run the accept loop on this thread until stop() / the stop flag.
+  /// Under drain, returns only after live connections have finished.
   void serve();
 
   /// Run the accept loop on a background thread and return immediately.
@@ -67,6 +78,11 @@ class LineServer {
   /// Wake the accept loop, close all connections, join all threads.
   /// Idempotent.
   void stop();
+
+  /// Graceful drain: stop accepting, let live connections finish their
+  /// in-flight and already-buffered requests, then let them close once
+  /// idle. Programmatic equivalent of ServerConfig::drain_flag.
+  void drain() noexcept { draining_.store(true, std::memory_order_relaxed); }
 
   /// Actual TCP port (useful with tcp_port == 0); -1 without a TCP
   /// listener.
@@ -77,6 +93,10 @@ class LineServer {
   /// Connections accepted over the server's lifetime.
   [[nodiscard]] std::uint64_t connections_accepted() const noexcept {
     return accepted_.load(std::memory_order_relaxed);
+  }
+  /// Connections shed by the max_connections cap.
+  [[nodiscard]] std::uint64_t connections_shed() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -90,9 +110,12 @@ class LineServer {
   };
 
   [[nodiscard]] bool stopping() const noexcept;
+  [[nodiscard]] bool draining() const noexcept;
+  void run();
   void accept_loop();
   void serve_connection(Connection& conn);
   void reap_finished_connections();
+  [[nodiscard]] std::size_t live_connections_locked() const;
   void close_listeners() noexcept;
   static void close_connection(Connection& conn) noexcept;
 
@@ -102,7 +125,9 @@ class LineServer {
   int tcp_port_ = -1;
 
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::thread accept_thread_;
   std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;

@@ -1,7 +1,10 @@
 #include "service/wire.hpp"
 
 #include <cmath>
+#include <deque>
 #include <limits>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -30,11 +33,15 @@ class BadRequest : public std::exception {
   throw BadRequest(std::move(message));
 }
 
+}  // namespace
+
 std::string error_response(std::string_view code, std::string_view message) {
   return std::string("{\"ok\":false,\"error\":{\"code\":\"") +
          obs::json_escape(code) + "\",\"message\":\"" +
          obs::json_escape(message) + "\"}}";
 }
+
+namespace {
 
 /// Render a double as a JSON token; non-finite values (unreached best) as
 /// null. obs::json_double would print bare `inf`/`nan`, which RFC 8259
@@ -73,6 +80,12 @@ std::string status_json(const core::SessionStatus& s) {
   if (s.stopped) {
     out += std::string(",\"reason\":\"") + core::stop_reason_name(s.reason) +
            "\"";
+  }
+  if (s.degraded) {
+    // Read-only after a journal append failure; the key is present exactly
+    // when the session rejects mutating verbs (see SessionStatus).
+    out += ",\"degraded\":true,\"degraded_reason\":\"" +
+           obs::json_escape(s.degraded_reason) + "\"";
   }
   if (s.async) {
     out += ",\"mode\":\"async\",\"pending_tokens\":[";
@@ -183,9 +196,26 @@ std::string handle_create(core::SessionManager& manager,
   return "{\"ok\":true}";
 }
 
+/// Optional idempotency key: a client-chosen string naming this request.
+/// Empty when absent.
+std::string rid_field(const JsonValue& request) {
+  const JsonValue* v = request.find("rid");
+  if (v == nullptr) {
+    return {};
+  }
+  if (!v->is_string()) {
+    bad("'rid' must be a string, got " + std::string(v->kind_name()));
+  }
+  const std::string& rid = v->as_string();
+  if (rid.empty() || rid.size() > 64) {
+    bad("'rid' must be 1..64 characters");
+  }
+  return rid;
+}
+
 std::string handle_suggest(core::SessionManager& manager,
                            const JsonValue& request) {
-  require_only_keys(request, {"verb", "session", "count"});
+  require_only_keys(request, {"verb", "session", "count", "rid"});
   const std::string name = require_string(request, "session");
   const std::size_t count = size_field(request, "count", 0);
   const core::SessionManager::SuggestOutcome outcome =
@@ -295,7 +325,7 @@ core::AsyncResult parse_async_result(const JsonValue& item,
 
 std::string handle_observe(core::SessionManager& manager,
                            const JsonValue& request) {
-  require_only_keys(request, {"verb", "session", "results"});
+  require_only_keys(request, {"verb", "session", "results", "rid"});
   const std::string name = require_string(request, "session");
   const JsonValue& results = require_key(request, "results");
   if (!results.is_array()) {
@@ -337,7 +367,7 @@ std::string handle_observe(core::SessionManager& manager,
 
 std::string handle_cancel(core::SessionManager& manager,
                           const JsonValue& request) {
-  require_only_keys(request, {"verb", "session", "tokens"});
+  require_only_keys(request, {"verb", "session", "tokens", "rid"});
   const std::string name = require_string(request, "session");
   std::vector<std::uint64_t> tokens;
   if (const JsonValue* v = request.find("tokens"); v != nullptr) {
@@ -375,7 +405,96 @@ std::string handle_close(core::SessionManager& manager,
   return "{\"ok\":true}";
 }
 
+std::string handle_health(core::SessionManager& manager,
+                          const JsonValue& request) {
+  require_only_keys(request, {"verb"});
+  const core::ManagerHealth h = manager.health();
+  std::string out = "{\"ok\":true,\"health\":{";
+  out += "\"resident\":" + std::to_string(h.resident);
+  out += ",\"degraded\":" + std::to_string(h.degraded);
+  out += ",\"created\":" + std::to_string(h.created);
+  out += ",\"evicted\":" + std::to_string(h.evicted);
+  out += ",\"resumed\":" + std::to_string(h.resumed);
+  out += ",\"closed\":" + std::to_string(h.closed);
+  out += ",\"adopted\":" + std::to_string(h.adopted);
+  out += ",\"quarantined\":" + std::to_string(h.quarantined);
+  out += "}}";
+  return out;
+}
+
 }  // namespace
+
+/// One session's replay window plus the mutex that makes its retried verbs
+/// exactly-once: the winner of a concurrent same-rid race executes with
+/// the lock held, the loser then finds the recorded response.
+struct SessionRids {
+  std::mutex m;
+  std::deque<std::pair<std::string, std::string>> entries;  // (rid, response)
+};
+
+/// Striped session → SessionRids map. Stripe mutexes guard only the map;
+/// execution holds the per-session mutex, so verbs on different sessions
+/// never serialize here.
+struct WireService::RidState {
+  static constexpr std::size_t kStripes = 16;
+  struct Stripe {
+    std::mutex m;
+    std::unordered_map<std::string, std::shared_ptr<SessionRids>> map;
+  };
+  Stripe stripes[kStripes];
+
+  Stripe& stripe_for(const std::string& session) {
+    return stripes[std::hash<std::string>{}(session) % kStripes];
+  }
+
+  std::shared_ptr<SessionRids> get(const std::string& session) {
+    Stripe& s = stripe_for(session);
+    std::lock_guard<std::mutex> lock(s.m);
+    std::shared_ptr<SessionRids>& slot = s.map[session];
+    if (slot == nullptr) {
+      slot = std::make_shared<SessionRids>();
+    }
+    return slot;
+  }
+
+  void forget(const std::string& session) {
+    Stripe& s = stripe_for(session);
+    std::lock_guard<std::mutex> lock(s.m);
+    s.map.erase(session);
+  }
+};
+
+WireService::WireService(core::SessionManager& manager)
+    : manager_(manager), rids_(std::make_unique<RidState>()) {}
+
+WireService::~WireService() = default;
+
+std::string WireService::replay_or_execute(
+    const std::string& session, const std::string& rid,
+    const std::function<std::string()>& run) {
+  const std::shared_ptr<SessionRids> rids = rids_->get(session);
+  std::lock_guard<std::mutex> lock(rids->m);
+  for (const auto& [seen_rid, response] : rids->entries) {
+    if (seen_rid == rid) {
+      return response;  // byte-identical replay, no re-execution
+    }
+  }
+  // Only successful responses are recorded: an error response means the
+  // verb did not take effect (or left the session in a state that will
+  // report the same error again), so a retry may re-execute — e.g. an
+  // `overloaded` shed retried after capacity frees up must not replay the
+  // shed.
+  const std::string response = run();
+  rids->entries.emplace_back(rid, response);
+  if (rids->entries.size() > kRidsPerSession) {
+    rids->entries.pop_front();
+  }
+  return response;
+}
+
+void WireService::forget_rids(const std::string& session) {
+  rids_->forget(session);
+}
 
 std::string WireService::handle_line(std::string_view line) {
   try {
@@ -397,27 +516,41 @@ std::string WireService::handle_line(std::string_view line) {
     if (name == "create") {
       return handle_create(manager_, request);
     }
-    if (name == "suggest") {
-      return handle_suggest(manager_, request);
-    }
-    if (name == "observe") {
-      return handle_observe(manager_, request);
+    if (name == "suggest" || name == "observe" || name == "cancel") {
+      const std::string session = require_string(request, "session");
+      const std::string rid = rid_field(request);
+      const auto run = [&]() {
+        if (name == "suggest") {
+          return handle_suggest(manager_, request);
+        }
+        if (name == "observe") {
+          return handle_observe(manager_, request);
+        }
+        return handle_cancel(manager_, request);
+      };
+      return rid.empty() ? run() : replay_or_execute(session, rid, run);
     }
     if (name == "status") {
       return handle_status(manager_, request);
     }
-    if (name == "cancel") {
-      return handle_cancel(manager_, request);
-    }
     if (name == "close") {
-      return handle_close(manager_, request);
+      const std::string response = handle_close(manager_, request);
+      forget_rids(require_string(request, "session"));
+      return response;
+    }
+    if (name == "health") {
+      return handle_health(manager_, request);
     }
     return error_response(error_code::kUnknownVerb,
                           "unknown verb '" + name +
                               "' (expected create, suggest, observe, cancel, "
-                              "status, or close)");
+                              "status, close, or health)");
   } catch (const BadRequest& e) {
     return error_response(error_code::kBadRequest, e.what());
+  } catch (const OverloadError& e) {
+    // Admission control shed the request before any state change; the
+    // client should back off and retry (same rid is safe).
+    return error_response(error_code::kOverloaded, e.what());
   } catch (const Error& e) {
     // The manager or session rejected the verb (unknown session,
     // out-of-order observe, double close, ...): a client error, reported

@@ -18,14 +18,27 @@
 // {"ok":false,"error":{"code":"...","message":"..."}} with codes
 // parse_error (malformed JSON), bad_request (schema violation),
 // unknown_verb, session_error (the manager/session rejected the verb:
-// unknown session, out-of-order observe, double close, ...), internal.
+// unknown session, out-of-order observe, double close, ...), overloaded
+// (an admission cap shed the request; retry after backoff), internal.
 // Doubles render in shortest round-trip form (obs::json_double), so
 // configuration values and objective values cross the wire bit-exactly.
+//
+// Idempotent retries: suggest / observe / cancel accept an optional
+// client-chosen `"rid"` string (1..64 chars). The service remembers the
+// last kRidsPerSession successful responses per session; a retried rid
+// returns the recorded response byte-identically — no new tokens minted,
+// no observation double-applied. Error responses are not recorded, so a
+// shed or rejected request may be retried with the same rid. The cache is
+// in-memory only: after a daemon restart a retried rid re-executes, which
+// is why clients resync via `status` after a reconnect (see README,
+// "Operating the daemon").
 //
 // handle_line never throws and never crashes the daemon: every failure,
 // including a hostile request, becomes an error response.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -39,12 +52,28 @@ inline constexpr std::string_view kParseError = "parse_error";
 inline constexpr std::string_view kBadRequest = "bad_request";
 inline constexpr std::string_view kUnknownVerb = "unknown_verb";
 inline constexpr std::string_view kSessionError = "session_error";
+inline constexpr std::string_view kOverloaded = "overloaded";
 inline constexpr std::string_view kInternal = "internal";
 }  // namespace error_code
 
+/// Build one {"ok":false,...} response line (no trailing newline). Exposed
+/// for the server's connection-shedding path, which must speak the same
+/// error shape without owning a WireService.
+[[nodiscard]] std::string error_response(std::string_view code,
+                                         std::string_view message);
+
 class WireService {
  public:
-  explicit WireService(core::SessionManager& manager) : manager_(manager) {}
+  /// Most-recent successful responses remembered per session for rid
+  /// replay. A client retrying over a fresh connection only ever retries
+  /// its last in-flight request, so a small window per session suffices.
+  static constexpr std::size_t kRidsPerSession = 32;
+
+  explicit WireService(core::SessionManager& manager);
+  ~WireService();
+
+  WireService(const WireService&) = delete;
+  WireService& operator=(const WireService&) = delete;
 
   /// Handle one request line (without the trailing newline) and return the
   /// response line (without a trailing newline). Thread-safe: verbs on
@@ -55,7 +84,21 @@ class WireService {
   [[nodiscard]] core::SessionManager& manager() noexcept { return manager_; }
 
  private:
+  struct RidState;  // striped per-session replay cache (wire.cpp)
+
+  /// Replay the recorded response for (session, rid), or run `run` with the
+  /// session's rid lock held — a concurrent retry of the same rid blocks
+  /// and then replays, so the verb executes exactly once.
+  [[nodiscard]] std::string replay_or_execute(
+      const std::string& session, const std::string& rid,
+      const std::function<std::string()>& run);
+
+  /// Drop a closed session's replay window (its name may be re-created
+  /// after the finalized journal is removed out of band).
+  void forget_rids(const std::string& session);
+
   core::SessionManager& manager_;
+  std::unique_ptr<RidState> rids_;
 };
 
 }  // namespace hpb::service

@@ -778,6 +778,30 @@ TEST(LineServerTest, StopWithClientsConnectedDoesNotHang) {
   EXPECT_EQ(client.read_line(), "");  // connection closed by shutdown
 }
 
+TEST(LineServerTest, ClientDisconnectMidResponseDoesNotKillTheServer) {
+  const std::string socket_path = temp_path("epipe.sock");
+  ServiceStack stack("epipe", {.unix_path = socket_path});
+  stack.server.start();
+  {
+    // Pipeline a burst of requests and slam the connection shut without
+    // reading a byte: the server is mid-write when the peer vanishes, so
+    // its sends hit EPIPE/ECONNRESET. That must neither raise SIGPIPE nor
+    // take the process down — and requests already read may keep executing
+    // against the shared manager without tripping TSan.
+    LineClient client = LineClient::connect_unix(socket_path);
+    std::string burst;
+    for (int i = 0; i < 200; ++i) {
+      burst += "{\"verb\":\"status\",\"session\":\"ghost\"}\n";
+    }
+    client.send_raw(burst);
+  }  // destructor closes the socket with every response unread
+  // The server keeps serving new connections as if nothing happened.
+  LineClient after = LineClient::connect_unix(socket_path);
+  drive_session_via(after, "after_epipe");
+  stack.server.stop();  // joins the torn connection's thread cleanly
+  EXPECT_EQ(stack.manager.closed_count(), 1u);
+}
+
 TEST(LineServerTest, ExternalStopFlagEndsServe) {
   std::atomic<bool> stop{false};
   ServiceStack stack("flag", {.tcp_port = 0, .stop_flag = &stop});

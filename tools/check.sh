@@ -6,16 +6,20 @@
 # session-durability + journal-fuzz tests (tests/test_journal.cpp), the
 # observability tests (tests/test_obs.cpp), and the session / manager /
 # async-token / wire-protocol tests (tests/test_session.cpp,
-# tests/test_async.cpp, tests/test_wire.cpp);
+# tests/test_async.cpp, tests/test_wire.cpp), and the daemon
+# survivability tests (tests/test_recovery.cpp: cold-start recovery,
+# fault-injected disk errors, rid replay, overload shedding, drain);
 # then a ThreadSanitizer build running the concurrency-sensitive subset
 # (engine, thread pool, watchdog, shutdown, metrics hot path, session
-# manager, line server); then a fault-injected shootout smoke run
-# (HPB_FAIL_RATE=0.2), a CLI crash-resume smoke (journal a run,
-# truncate the journal mid-record, resume, and require the identical
-# history CSV), a tuning-service storm smoke (bench/service_storm
-# --smoke: interleaved sessions with forced eviction/resume over a real
-# socket), and the gcov line-coverage gate for src/core + src/obs
-# (tools/coverage.sh).
+# manager, line server, recovery/overload/drain); then a fault-injected
+# shootout smoke run (HPB_FAIL_RATE=0.2), a CLI crash-resume smoke
+# (journal a run, truncate the journal mid-record, resume, and require
+# the identical history CSV), a tuning-service storm smoke
+# (bench/service_storm --smoke: interleaved sessions with forced
+# eviction/resume over a real socket), a chaos smoke (--chaos: SIGKILL
+# the daemon mid-storm, restart, require bitwise-identical resumed
+# suggest sequences), and the gcov line-coverage gate for src/core +
+# src/obs (tools/coverage.sh).
 #
 # Usage: tools/check.sh    (from anywhere; builds into build/,
 #                           build-asan/, and build-tsan/ at the repo root)
@@ -35,7 +39,7 @@ cmake -B build-asan -S . -DHPB_SANITIZE=address \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality|Acquisition|SuggestPending|Session|Eviction|JsonParser|JsonNumbers|Wire|LineServer|Async|SyncCancel|CrossMode'
+  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality|Acquisition|SuggestPending|Session|Eviction|JsonParser|JsonNumbers|Wire|LineServer|Async|SyncCancel|CrossMode|Recovery|FaultInjection|RidReplay|Overload|Drain|Health'
 
 echo
 echo "== TSan: engine / thread-pool / watchdog / shutdown / metrics / service tests =="
@@ -43,7 +47,7 @@ cmake -B build-tsan -S . -DHPB_SANITIZE=thread \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality|Acquisition|SessionManager|LineServer|AsyncFuzz|AsyncEvictionResume'
+  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality|Acquisition|SessionManager|LineServer|AsyncFuzz|AsyncEvictionResume|Recovery|FaultInjection|Overload|Drain'
 
 echo
 echo "== acquisition sweep micro-bench smoke =="
@@ -54,6 +58,16 @@ echo
 echo "== tuning-service storm smoke: interleaved sessions + eviction/resume =="
 ./build/bench/service_storm --smoke \
   --out build/BENCH_service_smoke.json
+
+echo
+echo "== chaos smoke (ASan): SIGKILL the daemon mid-storm, restart, bitwise resume =="
+# The sanitized storm is the one worth running: the kill/restart cycle and
+# the torn-connection teardown are exactly where lifetime bugs hide.
+cmake -B build-asan -S . -DHPB_SANITIZE=address \
+  -DHPB_BUILD_BENCH=ON -DHPB_BUILD_EXAMPLES=OFF > /dev/null
+cmake --build build-asan -j "$jobs" --target service_storm
+./build-asan/bench/service_storm --chaos --smoke \
+  --out build-asan/BENCH_service_chaos_smoke.json
 
 echo
 echo "== fault-injected shootout smoke (HPB_FAIL_RATE=0.2) =="

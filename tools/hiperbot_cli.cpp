@@ -15,6 +15,7 @@
 //                       --budget 150 [--weight 2.0]
 //   hiperbot serve      --socket /tmp/hpb.sock | --port 7421
 //                       [--session-dir sessions] [--max-resident 1000]
+//                       [--max-connections 256] [--max-pending 64]
 //                       [--trace serve.trace.jsonl] [--metrics-out m.json]
 //
 // The CSV format is one header row (parameter columns, objective last) and
@@ -117,6 +118,16 @@ static_assert(std::atomic<bool>::is_always_lock_free);
 
 void handle_shutdown_signal(int) {
   g_stop.store(true, std::memory_order_relaxed);
+}
+
+// `serve` distinguishes the two shutdown signals: SIGTERM requests a
+// graceful drain (stop accepting, answer everything already sent,
+// checkpoint, exit), SIGINT a prompt stop. Both are only flag stores.
+std::atomic<bool> g_drain{false};
+static_assert(std::atomic<bool>::is_always_lock_free);
+
+void handle_drain_signal(int) {
+  g_drain.store(true, std::memory_order_relaxed);
 }
 
 int cmd_tune(const hpb::cli::ArgParser& args) {
@@ -389,20 +400,38 @@ int cmd_serve(const hpb::cli::ArgParser& args) {
   hpb::core::SessionManagerConfig mconfig;
   mconfig.journal_dir = session_dir;
   mconfig.max_resident = args.get_size("max-resident");
+  mconfig.max_pending_per_session = args.get_size("max-pending");
   mconfig.recorder = {.trace = trace_sink ? &*trace_sink : nullptr,
                       .metrics = metrics_out.empty() ? nullptr : &metrics};
   hpb::core::SessionManager manager(hpb::service::dataset_session_factory(),
                                     std::move(mconfig));
+  // Cold-start recovery ran in the constructor: every resumable journal
+  // in the session dir is already adopted, every unreadable one moved to
+  // *.hpbj.corrupt. Say so — after a crash this line is the operator's
+  // first confirmation that nothing was lost.
+  const hpb::core::RecoveryReport& recovery = manager.recovery();
+  if (!recovery.adopted.empty() || !recovery.finished.empty() ||
+      !recovery.quarantined.empty()) {
+    std::cout << "recovered session dir: " << recovery.adopted.size()
+              << " adopted, " << recovery.finished.size() << " finished, "
+              << recovery.quarantined.size() << " quarantined\n";
+    for (const std::string& name : recovery.quarantined) {
+      std::cout << "  quarantined " << name << " -> "
+                << manager.journal_path(name) << ".corrupt\n";
+    }
+  }
   hpb::service::WireService wire(manager);
 
   std::signal(SIGINT, handle_shutdown_signal);
-  std::signal(SIGTERM, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_drain_signal);
 
   hpb::service::LineServer server(
       [&wire](std::string_view line) { return wire.handle_line(line); },
       {.unix_path = socket_path,
        .tcp_port = tcp ? static_cast<int>(args.get_size("port")) : -1,
-       .stop_flag = &g_stop});
+       .stop_flag = &g_stop,
+       .max_connections = args.get_size("max-connections"),
+       .drain_flag = &g_drain});
   if (!socket_path.empty()) {
     std::cout << "listening on unix socket " << socket_path << '\n';
   }
@@ -410,16 +439,26 @@ int cmd_serve(const hpb::cli::ArgParser& args) {
     // The actual port matters with --port 0; clients scrape this line.
     std::cout << "listening on 127.0.0.1:" << server.port() << '\n';
   }
-  std::cout << "session dir " << session_dir << "; press Ctrl-C to stop"
-            << std::endl;
+  std::cout << "session dir " << session_dir
+            << "; Ctrl-C stops, SIGTERM drains" << std::endl;
   server.serve();
+  if (g_drain.load(std::memory_order_relaxed) &&
+      !g_stop.load(std::memory_order_relaxed)) {
+    // Journals are fsync'd per record; the checkpoint sweep verifies every
+    // resident session's durability before the process exits.
+    const std::size_t checkpointed = manager.checkpoint_all();
+    std::cout << "drained; checkpointed " << checkpointed
+              << " resident sessions\n";
+  }
   server.stop();
   std::cout << "served " << server.connections_accepted()
-            << " connections; sessions: " << manager.created_count()
+            << " connections (" << server.connections_shed()
+            << " shed); sessions: " << manager.created_count()
             << " created, " << manager.resumed_count() << " resumed, "
             << manager.evicted_count() << " evicted, "
             << manager.closed_count() << " closed ("
-            << manager.resident_count() << " resident at shutdown)\n";
+            << manager.resident_count() << " resident, "
+            << manager.degraded_count() << " degraded at shutdown)\n";
   if (trace_sink) {
     trace_sink->flush();
     std::cout << "trace written to " << trace_sink->path() << '\n';
@@ -551,7 +590,15 @@ int main(int argc, char** argv) {
                   "journals (created if missing)")
       .add_size("max-resident", 0,
                 "`serve`: max in-memory sessions before LRU eviction to the "
-                "journal (0 = unlimited)");
+                "journal (0 = unlimited)")
+      .add_size("max-connections", 0,
+                "`serve`: max simultaneous client connections; beyond it an "
+                "accept is answered with an `overloaded` error and closed "
+                "(0 = unlimited)")
+      .add_size("max-pending", 0,
+                "`serve`: per-session cap on outstanding async suggestions; "
+                "a suggest beyond it is shed with an `overloaded` error "
+                "(0 = unlimited)");
 
   try {
     args.parse(argc, argv);
