@@ -4,6 +4,7 @@
 #include "apps/kripke.hpp"
 #include "apps/lulesh.hpp"
 #include "apps/openatom.hpp"
+#include "apps/systolic.hpp"
 #include "common/error.hpp"
 
 namespace hpb::apps {
@@ -16,6 +17,8 @@ const std::vector<DatasetInfo>& dataset_registry() {
       {"hypre", [] { return make_hypre(); }, std::nullopt, ""},
       {"lulesh", [] { return make_lulesh(); }, 6.02, "-O3"},
       {"openAtom", [] { return make_openatom(); }, 1.6, "expert"},
+      {"systolic_small", [] { return make_systolic_small(); }, std::nullopt,
+       ""},
   };
   return registry;
 }

@@ -13,7 +13,8 @@
 namespace hpb::apps {
 
 struct DatasetInfo {
-  std::string name;  // "kripke", "kripke_energy", "hypre", "lulesh", "openAtom"
+  std::string name;  // "kripke", "kripke_energy", "hypre", "lulesh",
+                     // "openAtom", "systolic_small"
   std::function<tabular::TabularObjective()> make;
   /// The paper's quoted reference value for a hand-tuned/default choice
   /// (expert choice or -O3), if §V quotes one.
@@ -21,7 +22,8 @@ struct DatasetInfo {
   std::string reference_label;  // "expert", "-O3", ...
 };
 
-/// All five configuration-selection datasets of §V in paper order.
+/// The five configuration-selection datasets of §V in paper order, plus the
+/// conditional systolic-array design space ("systolic_small").
 [[nodiscard]] const std::vector<DatasetInfo>& dataset_registry();
 
 /// Look up a dataset factory by name; throws on unknown names.

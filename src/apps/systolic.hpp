@@ -1,0 +1,99 @@
+// Systolic-array GEMM accelerator design space, modeled on the AutoSA pass
+// knobs: a space_time mapping choice gates two levels of array-partition
+// tile triples (with divisibility constraints between them), latency-hiding
+// tile factors, and a SIMD vectorization factor; host<->device data packing
+// widths ride along unconditionally. The first genuinely *tree-structured*
+// app in the suite — the "T" in TPE finally has something to chew on:
+//
+//   space_time ∈ {row, col, grid, grid_l2}
+//     part_i/j/k            L1 array-partition tile triple (always active)
+//     part2_i/j/k           L2 tiles, active only under grid_l2; each must
+//                           divide its L1 counterpart
+//     lat_i/lat_j           latency-hiding factors, active under grid and
+//                           grid_l2; each must divide its L1 tile
+//     simd                  vector lanes, active under row/grid/grid_l2;
+//                           must divide part_k
+//   pack_in/pack_out        DRAM packing widths (unconditional)
+//
+// The objective is a deterministic analytic latency model (compute/memory
+// roofline with PE and BRAM budget penalties) with frozen hash noise — the
+// full-size space has a raw cross product ~2^34, far beyond enumeration,
+// while SystolicWorkload::small() shrinks every knob so the valid set
+// enumerates into a registry dataset ("systolic_small").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "space/parameter_space.hpp"
+#include "tabular/objective.hpp"
+#include "tabular/tabular_objective.hpp"
+
+namespace hpb::apps {
+
+/// Problem size and knob granularity of one systolic design space. Tile and
+/// factor levels are powers of two: `tile_levels = 10` means
+/// part_* ∈ {1, 2, ..., 512}.
+struct SystolicWorkload {
+  std::size_t m = 1024;  // GEMM dimensions C[m×n] = A[m×k] · B[k×n]
+  std::size_t n = 1024;
+  std::size_t k = 1024;
+  std::size_t tile_levels = 10;    // part_i/j/k levels (powers of two)
+  std::size_t l2_levels = 10;      // part2_i/j/k levels
+  std::size_t latency_levels = 7;  // lat_i/lat_j levels
+  std::size_t simd_levels = 5;     // simd levels
+  std::size_t pack_levels = 4;     // pack_in/pack_out levels
+  double pe_budget = 4096.0;       // MAC lanes that fit the fabric
+  double bram_budget = 262144.0;   // on-chip buffer words
+  double bandwidth = 64.0;         // DRAM words per cycle (unpacked)
+  double clock_hz = 2.0e8;
+  double noise_sigma = 0.03;       // frozen measurement jitter (lognormal)
+  std::uint64_t noise_seed = 0x53595354a77a5a11ULL;
+
+  /// The full-size space: raw cross product 4·10^6·49·5·16 ≈ 2^33.9.
+  [[nodiscard]] static SystolicWorkload full() { return {}; }
+
+  /// Shrunk knobs (tiles ≤ 4, 32^3 GEMM) whose valid set enumerates into
+  /// the "systolic_small" registry dataset.
+  [[nodiscard]] static SystolicWorkload small();
+};
+
+/// The conditional, constrained parameter space described above.
+[[nodiscard]] space::SpacePtr make_systolic_space(const SystolicWorkload& w);
+
+/// Deterministic analytic latency (seconds per GEMM) over the systolic
+/// space. Cheap enough to stream-evaluate millions of candidates.
+class SystolicObjective final : public tabular::Objective {
+ public:
+  explicit SystolicObjective(
+      SystolicWorkload workload = SystolicWorkload::full());
+
+  [[nodiscard]] const space::ParameterSpace& space() const override {
+    return *space_;
+  }
+  [[nodiscard]] double evaluate(const space::Configuration& c) override {
+    return cost(c);
+  }
+  [[nodiscard]] std::string name() const override { return "systolic"; }
+
+  [[nodiscard]] space::SpacePtr space_ptr() const noexcept { return space_; }
+  [[nodiscard]] const SystolicWorkload& workload() const noexcept {
+    return workload_;
+  }
+
+  /// The latency model itself (const: evaluate() adds nothing on top).
+  [[nodiscard]] double cost(const space::Configuration& c) const;
+
+ private:
+  SystolicWorkload workload_;
+  space::SpacePtr space_;
+  // Cached parameter indices (resolved once; the model is a hot loop).
+  std::size_t space_time_, part_[3], part2_[3], lat_[2], simd_, pack_in_,
+      pack_out_;
+};
+
+/// Enumerated small-instance dataset for apps::registry (CLI tune/resume,
+/// wire-protocol sessions, and the shootout benches all route through it).
+[[nodiscard]] tabular::TabularObjective make_systolic_small();
+
+}  // namespace hpb::apps

@@ -5,6 +5,7 @@
 // recover from misuse.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -40,6 +41,31 @@ class IoError : public Error {
 class OverloadError : public Error {
  public:
   explicit OverloadError(const std::string& what) : Error(what) {}
+};
+
+/// A finite space's unconstrained cross product exceeds what the requested
+/// operation can materialize (enumerate(), an eager candidate pool, or even
+/// representing the product in 64 bits). Carries the size estimate (saturated
+/// to 2^64-1 on overflow) and the limit that was exceeded, so callers can
+/// route to the streaming sweep path or print a precise diagnostic instead
+/// of OOM-ing.
+class SpaceTooLargeError : public Error {
+ public:
+  SpaceTooLargeError(const std::string& what, std::uint64_t estimated_size,
+                     std::uint64_t limit)
+      : Error(what), estimated_size_(estimated_size), limit_(limit) {}
+
+  /// Unconstrained cross-product size, saturated to 2^64-1 on overflow.
+  [[nodiscard]] std::uint64_t estimated_size() const noexcept {
+    return estimated_size_;
+  }
+
+  /// The limit the operation enforces (e.g. ParameterSpace::kMaxEnumerate).
+  [[nodiscard]] std::uint64_t limit() const noexcept { return limit_; }
+
+ private:
+  std::uint64_t estimated_size_ = 0;
+  std::uint64_t limit_ = 0;
 };
 
 namespace detail {

@@ -165,4 +165,68 @@ AcquisitionTable::AcquisitionTable(const TpeSurrogate& surrogate,
   }
 }
 
+AcquisitionTable::AcquisitionTable(const TpeSurrogate& surrogate,
+                                   const space::ParameterSpace& space,
+                                   const AcquisitionTable* prev) {
+  HPB_REQUIRE(space.is_finite(),
+              "AcquisitionTable: space-keyed tables require an all-discrete "
+              "space (streamed sweeps only serve finite spaces)");
+  const std::size_t n_params = space.num_params();
+  HPB_REQUIRE(surrogate.good().num_params() == n_params,
+              "AcquisitionTable: parameter count mismatch");
+  offsets_.resize(n_params);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n_params; ++i) {
+    offsets_[i] = total;
+    total += space.param(i).num_levels();
+  }
+  if (prev != nullptr &&
+      (prev->offsets_ != offsets_ || prev->log_good_.size() != total)) {
+    prev = nullptr;
+  }
+  log_good_.reserve(total);
+  log_bad_.reserve(total);
+  good_keys_.resize(n_params);
+  bad_keys_.resize(n_params);
+  // All-discrete layout: every column is the histogram's log_pmf_table(),
+  // computed (or reused) exactly as in the pooled constructor's discrete
+  // branch, so streamed scores match pooled scores bit for bit.
+  auto key_of = [&](const FactorizedDensity& density, std::size_t i) {
+    MarginalKey key;
+    const stats::HistogramDensity& h = density.histogram(i);
+    key.smoothing = h.smoothing();
+    key.values.assign(h.counts().begin(), h.counts().end());
+    return key;
+  };
+  for (std::size_t i = 0; i < n_params; ++i) {
+    good_keys_[i] = key_of(surrogate.good(), i);
+    bad_keys_[i] = key_of(surrogate.bad(), i);
+    const bool reuse_good =
+        prev != nullptr && good_keys_[i].matches(prev->good_keys_[i]);
+    const bool reuse_bad =
+        prev != nullptr && bad_keys_[i].matches(prev->bad_keys_[i]);
+    const std::size_t levels = space.param(i).num_levels();
+    std::vector<double> good;
+    std::vector<double> bad;
+    if (reuse_good) {
+      const double* at = prev->log_good_.data() + offsets_[i];
+      good.assign(at, at + levels);
+      ++reused_columns_;
+    } else {
+      good = surrogate.good().histogram(i).log_pmf_table();
+    }
+    if (reuse_bad) {
+      const double* at = prev->log_bad_.data() + offsets_[i];
+      bad.assign(at, at + levels);
+      ++reused_columns_;
+    } else {
+      bad = surrogate.bad().histogram(i).log_pmf_table();
+    }
+    HPB_REQUIRE(good.size() == levels && bad.size() == levels,
+                "AcquisitionTable: table size mismatch");
+    log_good_.insert(log_good_.end(), good.begin(), good.end());
+    log_bad_.insert(log_bad_.end(), bad.begin(), bad.end());
+  }
+}
+
 }  // namespace hpb::core

@@ -35,6 +35,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/surrogate.hpp"
+#include "space/candidate_stream.hpp"
 #include "space/parameter_space.hpp"
 
 namespace hpb::core {
@@ -105,6 +106,15 @@ class AcquisitionTable {
   AcquisitionTable(const TpeSurrogate& surrogate, const PoolColumns& columns,
                    const AcquisitionTable* prev = nullptr);
 
+  /// Pool-independent table over a finite (all-discrete) space, for
+  /// streamed sweeps whose candidates are generated on the fly and never
+  /// live in a pool. Each column is the histogram's log_pmf_table() — the
+  /// exact doubles the pooled constructor stores for a discrete parameter —
+  /// so a streamed score equals the pooled (and direct) score bit for bit.
+  AcquisitionTable(const TpeSurrogate& surrogate,
+                   const space::ParameterSpace& space,
+                   const AcquisitionTable* prev = nullptr);
+
   /// Acquisition score of pool candidate j: bitwise-identical to
   /// surrogate.acquisition(pool[j]) — both log-density accumulators add
   /// the per-parameter terms in parameter order before subtracting.
@@ -114,6 +124,21 @@ class AcquisitionTable {
     double log_bad = 0.0;
     for (std::size_t i = 0; i < offsets_.size(); ++i) {
       const std::size_t at = offsets_[i] + columns.column(i)[j];
+      log_good += log_good_[at];
+      log_bad += log_bad_[at];
+    }
+    return log_good - log_bad;
+  }
+
+  /// Acquisition score of an arbitrary configuration, by level lookup (so
+  /// every parameter must be discrete — true for any table built by the
+  /// space constructor, and for pooled tables over all-discrete spaces).
+  /// Accumulates per-parameter terms in the same order as score().
+  [[nodiscard]] double score_config(const space::Configuration& c) const {
+    double log_good = 0.0;
+    double log_bad = 0.0;
+    for (std::size_t i = 0; i < offsets_.size(); ++i) {
+      const std::size_t at = offsets_[i] + c.level(i);
       log_good += log_good_[at];
       log_bad += log_bad_[at];
     }
@@ -215,6 +240,87 @@ template <class ScoreFn, class ExcludedFn>
     merged.insert(merged.end(), best.begin(), best.end());
   }
   std::sort(merged.begin(), merged.end(), sweep_better);
+  if (merged.size() > k) {
+    merged.resize(k);
+  }
+  return merged;
+}
+
+/// One streamed-sweep result. Streamed candidates have no pool to index
+/// back into, so the hit carries the configuration itself, plus its raw
+/// in-pass position (the deterministic tie-break key) and its cross-product
+/// ordinal (the dedup identity).
+struct StreamHit {
+  space::Configuration config;
+  double score = 0.0;
+  std::uint64_t pass_index = 0;
+  std::uint64_t ordinal = 0;
+};
+
+/// Strict ordering of a streamed sweep: descending score, ties broken by
+/// lowest in-pass index (unique within a pass, so this is a total order).
+/// On a flat unconstrained space swept exhaustively, pass indices equal
+/// pool indices, so this matches sweep_better's tie-break exactly.
+[[nodiscard]] inline bool stream_better(const StreamHit& a,
+                                        const StreamHit& b) noexcept {
+  return a.score > b.score ||
+         (a.score == b.score && a.pass_index < b.pass_index);
+}
+
+/// Deterministic chunked top-k sweep over one pass of a CandidateStream —
+/// the streamed counterpart of acquisition_topk. `score(config)` must be a
+/// pure function of the configuration; `excluded(candidate)` hides a
+/// candidate (typically by ordinal). Chunks are generated and reduced
+/// locally on `pool` (serial when null), then merged serially in chunk
+/// order under stream_better, so the result is identical for any thread
+/// count. With stream.config().chunk == kSweepChunk and an exhaustive
+/// identity pass over a flat unconstrained space, the winning candidates
+/// are bitwise-identical to acquisition_topk over the materialized pool.
+template <class ScoreFn, class ExcludedFn>
+[[nodiscard]] std::vector<StreamHit> acquisition_topk_stream(
+    const space::CandidateStream& stream, std::uint64_t pass, std::size_t k,
+    ThreadPool* pool, const ScoreFn& score, const ExcludedFn& excluded) {
+  const std::size_t num_chunks = stream.num_chunks();
+  if (num_chunks == 0 || k == 0) {
+    return {};
+  }
+  std::vector<std::vector<StreamHit>> chunk_best(num_chunks);
+  parallel_for_indexed(pool, num_chunks, [&](std::size_t chunk) {
+    std::vector<space::CandidateStream::Candidate> candidates;
+    stream.chunk_candidates(pass, chunk, candidates);
+    std::vector<StreamHit>& best = chunk_best[chunk];
+    best.reserve(std::min(k, candidates.size()));
+    for (auto& candidate : candidates) {
+      if (excluded(candidate)) {
+        continue;
+      }
+      StreamHit hit{space::Configuration{}, score(candidate.config),
+                    candidate.pass_index, candidate.ordinal};
+      if (best.size() == k && !stream_better(hit, best.back())) {
+        continue;
+      }
+      hit.config = std::move(candidate.config);
+      std::size_t pos = best.size();
+      while (pos > 0 && stream_better(hit, best[pos - 1])) {
+        --pos;
+      }
+      best.insert(best.begin() + static_cast<std::ptrdiff_t>(pos),
+                  std::move(hit));
+      if (best.size() > k) {
+        best.pop_back();
+      }
+    }
+  });
+  std::vector<StreamHit> merged;
+  for (auto& best : chunk_best) {
+    for (auto& hit : best) {
+      merged.push_back(std::move(hit));
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const StreamHit& a,
+                                             const StreamHit& b) {
+    return stream_better(a, b);
+  });
   if (merged.size() > k) {
     merged.resize(k);
   }

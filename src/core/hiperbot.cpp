@@ -10,9 +10,9 @@ namespace {
 constexpr std::uint64_t kMaxEagerEnumeration = 1ULL << 24;
 
 std::shared_ptr<const std::vector<space::Configuration>> enumerate_pool(
-    const space::SpacePtr& space) {
-  if (!space->is_finite() ||
-      space->cross_product_size() > kMaxEagerEnumeration) {
+    const space::SpacePtr& space, const HiPerBOtConfig& config) {
+  if (config.sweep_source == SweepSource::kStreamed || !space->is_finite() ||
+      space->cross_product_exceeds(kMaxEagerEnumeration)) {
     return nullptr;
   }
   return std::make_shared<const std::vector<space::Configuration>>(
@@ -23,7 +23,7 @@ std::shared_ptr<const std::vector<space::Configuration>> enumerate_pool(
 
 HiPerBOt::HiPerBOt(space::SpacePtr space, HiPerBOtConfig config,
                    std::uint64_t seed)
-    : HiPerBOt(space, config, seed, enumerate_pool(space)) {}
+    : HiPerBOt(space, config, seed, enumerate_pool(space, config)) {}
 
 HiPerBOt::HiPerBOt(
     space::SpacePtr space, HiPerBOtConfig config, std::uint64_t seed,
@@ -38,9 +38,21 @@ HiPerBOt::HiPerBOt(
   HPB_REQUIRE(config_.quantile > 0.0 && config_.quantile < 1.0,
               "HiPerBOt: quantile must be in (0,1)");
   if (config_.strategy == SelectionStrategy::kRanking) {
-    HPB_REQUIRE(pool_ != nullptr,
-                "HiPerBOt: Ranking strategy needs a finite candidate pool");
-    HPB_REQUIRE(!pool_->empty(), "HiPerBOt: empty candidate pool");
+    const bool want_stream =
+        config_.sweep_source == SweepSource::kStreamed ||
+        (config_.sweep_source == SweepSource::kAuto && pool_ == nullptr &&
+         space_->is_finite());
+    if (want_stream) {
+      HPB_REQUIRE(space_->is_finite(),
+                  "HiPerBOt: streamed sweeps require a finite space");
+      pool_ = nullptr;  // streamed mode never touches a pool
+      stream_.emplace(space_, seed, config_.stream);
+    } else {
+      HPB_REQUIRE(pool_ != nullptr,
+                  "HiPerBOt: Ranking strategy needs a finite candidate pool "
+                  "or a streamed sweep source");
+      HPB_REQUIRE(!pool_->empty(), "HiPerBOt: empty candidate pool");
+    }
   }
 }
 
@@ -93,6 +105,25 @@ space::Configuration HiPerBOt::random_unevaluated() {
         return c;
       }
     }
+  }
+  if (stream_) {
+    // Streamed mode: draw ordinals uniformly over the cross product and
+    // reject invalid or excluded decodes. On a flat unconstrained space the
+    // pool above would be the cross product in ordinal order, so this
+    // consumes the RNG identically to the pooled rejection loop and the
+    // initial phase stays bitwise-identical to the pooled path.
+    const std::uint64_t raw = space_->cross_product_size();
+    for (int attempt = 0; attempt < 100000; ++attempt) {
+      const auto ordinal =
+          static_cast<std::uint64_t>(rng_.index(static_cast<std::size_t>(raw)));
+      space::Configuration c = space_->configuration_at(ordinal);
+      if (space_->satisfies(c) && !is_excluded(c)) {
+        return c;
+      }
+    }
+    HPB_REQUIRE(false,
+                "HiPerBOt: could not sample an unevaluated valid "
+                "configuration (constraints too tight or space exhausted)");
   }
   for (int attempt = 0; attempt < 10000; ++attempt) {
     space::Configuration c = space_->sample_uniform(rng_);
@@ -179,7 +210,67 @@ std::vector<SweepHit> HiPerBOt::ranked_topk(const TpeSurrogate& s,
   return hits;
 }
 
+std::vector<StreamHit> HiPerBOt::streamed_topk(const TpeSurrogate& s,
+                                               std::size_t k) {
+  const bool tracing = recorder_ != nullptr && recorder_->tracing();
+  const std::uint64_t sweep_start = tracing ? recorder_->now_ns() : 0;
+  std::uint64_t table_built = sweep_start;
+  // Space-keyed score table (streamed spaces are all-discrete): identical
+  // doubles to the pooled table, diffed against the previous fit's columns.
+  table_cache_.emplace(
+      AcquisitionTable(s, *space_, table_cache_ ? &*table_cache_ : nullptr));
+  const AcquisitionTable& table = *table_cache_;
+  if (tracing) {
+    table_built = recorder_->now_ns();
+  }
+  const std::uint64_t pass = stream_pass_++;
+  std::vector<StreamHit> hits = acquisition_topk_stream(
+      *stream_, pass, k, sweep_pool_,
+      [&](const space::Configuration& c) { return table.score_config(c); },
+      [&](const space::CandidateStream::Candidate& candidate) {
+        return evaluated_.contains(candidate.ordinal) ||
+               pending_.contains(candidate.ordinal);
+      });
+  if (recorder_ != nullptr && recorder_->metrics != nullptr) {
+    recorder_->metrics->counter("hiperbot.sweeps").add(1);
+  }
+  if (tracing) {
+    const std::uint64_t sweep_end = recorder_->now_ns();
+    const obs::TraceAttr attrs[] = {
+        obs::TraceAttr::str("mode", "stream"),
+        obs::TraceAttr::uint("pass", pass),
+        obs::TraceAttr::uint("pass_length", stream_->pass_length()),
+        obs::TraceAttr::uint("k", k),
+        obs::TraceAttr::uint("excluded", evaluated_.size() + pending_.size()),
+        obs::TraceAttr::uint("threads",
+                             sweep_pool_ != nullptr ? sweep_pool_->size() : 1),
+        obs::TraceAttr::uint("table_build_ns", table_built - sweep_start),
+        obs::TraceAttr::uint("sweep_ns", sweep_end - table_built),
+        obs::TraceAttr::uint("reused_columns",
+                             table_cache_ ? table_cache_->reused_columns()
+                                          : 0),
+    };
+    recorder_->trace->emit({.name = "hiperbot.sweep",
+                            .id = recorder_->trace->next_id(),
+                            .parent = 0,
+                            .start_ns = sweep_start,
+                            .end_ns = sweep_end,
+                            .attrs = attrs});
+  }
+  return hits;
+}
+
 space::Configuration HiPerBOt::suggest_ranking(const TpeSurrogate& s) {
+  if (stream_) {
+    std::vector<StreamHit> hits = streamed_topk(s, 1);
+    if (hits.empty()) {
+      // A sampled pass can come back empty (tight constraints, or every
+      // candidate it produced is already excluded) without the space being
+      // exhausted — fall back to exploration instead of failing.
+      return random_unevaluated();
+    }
+    return std::move(hits.front().config);
+  }
   const std::vector<SweepHit> hits = ranked_topk(s, 1);
   HPB_REQUIRE(!hits.empty(), "HiPerBOt: candidate pool exhausted");
   return (*pool_)[hits.front().index];
@@ -275,10 +366,22 @@ std::vector<space::Configuration> HiPerBOt::suggest_batch(std::size_t k) {
 
   const TpeSurrogate surrogate = fit_surrogate();
   if (config_.strategy == SelectionStrategy::kRanking) {
-    // Top-k available candidates by acquisition (ties toward the lowest
-    // pool index, matching the serial argmax).
-    for (const SweepHit& hit : ranked_topk(surrogate, k)) {
-      take((*pool_)[hit.index]);
+    if (stream_) {
+      // Top-k of the next stream pass (ties toward the lowest in-pass
+      // index, matching the serial argmax). An empty pass falls back to
+      // one exploration draw so the caller always makes progress.
+      for (StreamHit& hit : streamed_topk(surrogate, k)) {
+        take(std::move(hit.config));
+      }
+      if (batch.empty()) {
+        take(random_unevaluated());
+      }
+    } else {
+      // Top-k available candidates by acquisition (ties toward the lowest
+      // pool index, matching the serial argmax).
+      for (const SweepHit& hit : ranked_topk(surrogate, k)) {
+        take((*pool_)[hit.index]);
+      }
     }
     if (recorder_ != nullptr && recorder_->active() && !batch.empty()) {
       export_fit(surrogate, surrogate.acquisition(batch.front()));

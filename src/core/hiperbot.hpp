@@ -22,6 +22,7 @@
 #include "core/acquisition.hpp"
 #include "core/surrogate.hpp"
 #include "core/tuner.hpp"
+#include "space/candidate_stream.hpp"
 
 namespace hpb::core {
 
@@ -46,6 +47,18 @@ enum class InitialDesign {
   kLatinHypercube,  // space-filling alternative (ablation)
 };
 
+enum class SweepSource {
+  /// Pooled when a pool is available; streamed when the space is finite but
+  /// too large to enumerate. The default.
+  kAuto,
+  /// Force the materialized-pool sweep (throws when no pool can be built).
+  kPooled,
+  /// Force the streamed sweep even when a pool would fit, dropping any
+  /// pool. The equivalence-test hook: on a flat unconstrained space the
+  /// streamed path must produce bitwise-identical suggestions to kPooled.
+  kStreamed,
+};
+
 struct HiPerBOtConfig {
   /// Number of uniformly random configurations before the surrogate kicks
   /// in (the paper uses 20; sensitivity in Fig. 7a).
@@ -63,6 +76,13 @@ struct HiPerBOtConfig {
   /// kDirect = per-candidate reference evaluation). Suggestions are
   /// identical either way.
   AcquisitionMode acquisition = AcquisitionMode::kTable;
+  /// Where Ranking sweeps draw their candidates from: a materialized pool
+  /// or a streamed CandidateStream over the space (Proposal ignores this).
+  SweepSource sweep_source = SweepSource::kAuto;
+  /// Candidate-generation knobs for streamed sweeps (chunk size, sampled
+  /// pass budget). Defaults match the pooled sweep's chunking so flat
+  /// unconstrained spaces are bitwise-identical either way.
+  space::StreamConfig stream;
   /// Transfer-prior mixture weight w of eq. 9–10 (used only when a prior is
   /// installed via set_transfer_prior).
   double transfer_weight = 1.0;
@@ -77,9 +97,12 @@ struct HiPerBOtConfig {
 
 class HiPerBOt final : public Tuner {
  public:
-  /// For finite spaces the candidate pool is enumerated eagerly (Ranking
-  /// needs it; Random-phase draws come from it so suggestions are never
-  /// duplicated). Non-finite spaces require the Proposal strategy.
+  /// For small finite spaces the candidate pool is enumerated eagerly
+  /// (Ranking sweeps it; Random-phase draws come from it so suggestions are
+  /// never duplicated). Finite spaces too large to enumerate are swept via
+  /// a streamed CandidateStream instead — valid candidates are generated
+  /// chunk by chunk and never materialized. Non-finite spaces require the
+  /// Proposal strategy.
   HiPerBOt(space::SpacePtr space, HiPerBOtConfig config, std::uint64_t seed);
 
   /// Reuse an existing enumeration (avoids re-enumerating a large space for
@@ -146,6 +169,12 @@ class HiPerBOt final : public Tuner {
   [[nodiscard]] space::Configuration initial_suggestion();
   [[nodiscard]] space::Configuration suggest_ranking(const TpeSurrogate& s);
   [[nodiscard]] space::Configuration suggest_proposal(const TpeSurrogate& s);
+  /// The streamed Ranking sweep: top-k candidates of the next stream pass
+  /// by acquisition score, best first, ties toward the lowest in-pass
+  /// index. Scores come from a space-keyed AcquisitionTable, so they match
+  /// the pooled table (and direct) path bit for bit.
+  [[nodiscard]] std::vector<StreamHit> streamed_topk(const TpeSurrogate& s,
+                                                     std::size_t k);
   /// The Ranking sweep: top-k unexcluded pool candidates by acquisition
   /// score, best first, ties toward the lowest pool index. Dispatches on
   /// config_.acquisition and emits the hiperbot.sweep span when tracing.
@@ -167,6 +196,10 @@ class HiPerBOt final : public Tuner {
   History history_;
   std::shared_ptr<const std::vector<space::Configuration>> pool_;
   std::optional<PoolColumns> columns_;  // SoA pool mirror, built lazily
+  /// Streamed candidate source for Ranking on spaces with no pool (or with
+  /// sweep_source == kStreamed). Mutually exclusive with pool_.
+  std::optional<space::CandidateStream> stream_;
+  std::uint64_t stream_pass_ = 0;  // next stream pass to sweep
   ThreadPool* sweep_pool_ = nullptr;    // Ranking sweep workers, not owned
   std::unordered_set<std::uint64_t> evaluated_;  // ordinals, finite spaces
   std::unordered_set<std::uint64_t> pending_;    // batched, not yet observed

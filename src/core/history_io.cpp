@@ -38,6 +38,17 @@ std::vector<std::string> split_line(const std::string& line) {
   }
 }
 
+/// Shortest decimal form that parses back to exactly the same double, so
+/// warm-started histories reproduce their objectives bitwise (plain
+/// `out << y` truncates to 6 significant digits — a real loss on datasets
+/// whose objectives differ in the 7th digit, e.g. systolic latencies).
+std::string format_double(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  HPB_REQUIRE(ec == std::errc(), "format_double: conversion failed");
+  return std::string(buf, ptr);
+}
+
 }  // namespace
 
 void write_history_csv(std::ostream& out, const space::ParameterSpace& space,
@@ -63,11 +74,11 @@ void write_history_csv(std::ostream& out, const space::ParameterSpace& space,
       if (space.param(p).is_discrete()) {
         out << space.param(p).level_label(obs.config.level(p));
       } else {
-        out << obs.config[p];
+        out << format_double(obs.config[p]);
       }
       out << ',';
     }
-    out << obs.y;
+    out << format_double(obs.y);
     if (with_status) {
       out << ',' << tabular::status_name(obs.status);
     }

@@ -1,5 +1,7 @@
 #include "space/parameter_space.hpp"
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace hpb::space {
@@ -10,7 +12,99 @@ ParameterSpace& ParameterSpace::add(Parameter p) {
                 "add: duplicate parameter name '" + p.name() + "'");
   }
   params_.push_back(std::move(p));
+  rules_.emplace_back(std::nullopt);
   return *this;
+}
+
+ParameterSpace& ParameterSpace::add_conditional_levels(
+    Parameter p, const std::string& parent, std::vector<char> active_at,
+    std::size_t num_active) {
+  const std::size_t parent_index = index_of(parent);
+  HPB_REQUIRE(params_[parent_index].is_discrete(),
+              "add_conditional: parent '" + parent + "' must be discrete");
+  HPB_REQUIRE(num_active > 0,
+              "add_conditional: no activating level of '" + parent +
+                  "' for parameter '" + p.name() + "'");
+  HPB_REQUIRE(num_active < params_[parent_index].num_levels(),
+              "add_conditional: parameter '" + p.name() +
+                  "' would be active under every value of '" + parent + "'");
+  add(std::move(p));
+  rules_.back() = ConditionalRule{parent_index, std::move(active_at)};
+  has_conditionals_ = true;
+  return *this;
+}
+
+ParameterSpace& ParameterSpace::add_conditional(
+    Parameter p, const std::string& parent,
+    const std::vector<double>& active_values) {
+  const std::size_t parent_index = index_of(parent);
+  const Parameter& pp = params_[parent_index];
+  HPB_REQUIRE(pp.is_discrete(),
+              "add_conditional: parent '" + parent + "' must be discrete");
+  std::vector<char> active_at(pp.num_levels(), 0);
+  std::size_t num_active = 0;
+  for (const double v : active_values) {
+    bool found = false;
+    for (std::size_t l = 0; l < pp.num_levels(); ++l) {
+      if (pp.level_value(l) == v) {
+        if (active_at[l] == 0) {
+          active_at[l] = 1;
+          ++num_active;
+        }
+        found = true;
+      }
+    }
+    HPB_REQUIRE(found, "add_conditional: '" + parent +
+                           "' has no level with value " + std::to_string(v));
+  }
+  return add_conditional_levels(std::move(p), parent, std::move(active_at),
+                                num_active);
+}
+
+ParameterSpace& ParameterSpace::add_conditional(
+    Parameter p, const std::string& parent,
+    const std::vector<std::string>& active_labels) {
+  const std::size_t parent_index = index_of(parent);
+  const Parameter& pp = params_[parent_index];
+  HPB_REQUIRE(pp.is_discrete(),
+              "add_conditional: parent '" + parent + "' must be discrete");
+  std::vector<char> active_at(pp.num_levels(), 0);
+  std::size_t num_active = 0;
+  for (const std::string& label : active_labels) {
+    bool found = false;
+    for (std::size_t l = 0; l < pp.num_levels(); ++l) {
+      if (pp.level_label(l) == label) {
+        if (active_at[l] == 0) {
+          active_at[l] = 1;
+          ++num_active;
+        }
+        found = true;
+      }
+    }
+    HPB_REQUIRE(found, "add_conditional: '" + parent +
+                           "' has no level labeled '" + label + "'");
+  }
+  return add_conditional_levels(std::move(p), parent, std::move(active_at),
+                                num_active);
+}
+
+ParameterSpace& ParameterSpace::add_divisibility(const std::string& divisor,
+                                                 const std::string& dividend) {
+  const std::size_t a = index_of(divisor);
+  const std::size_t b = index_of(dividend);
+  HPB_REQUIRE(a != b, "add_divisibility: parameter divides itself");
+  HPB_REQUIRE(params_[a].is_discrete() && params_[b].is_discrete(),
+              "add_divisibility: both parameters must be discrete");
+  return add_constraint(
+      [a, b](const ParameterSpace& s, const Configuration& c) {
+        if (!s.is_active(c, a) || !s.is_active(c, b)) {
+          return true;  // vacuous when either side is switched off
+        }
+        const double da = s.param(a).level_value(c.level(a));
+        const double db = s.param(b).level_value(c.level(b));
+        return da != 0.0 && std::fmod(db, da) == 0.0;
+      },
+      divisor + " divides " + dividend);
 }
 
 ParameterSpace& ParameterSpace::add_constraint(Constraint c,
@@ -42,11 +136,32 @@ bool ParameterSpace::is_finite() const noexcept {
 
 std::uint64_t ParameterSpace::cross_product_size() const {
   HPB_REQUIRE(is_finite(), "cross_product_size: space must be finite");
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t total = 1;
   for (const auto& p : params_) {
-    total *= static_cast<std::uint64_t>(p.num_levels());
+    const auto levels = static_cast<std::uint64_t>(p.num_levels());
+    if (total > kMax / levels) {
+      throw SpaceTooLargeError(
+          "cross_product_size: unconstrained cross product exceeds 2^64; "
+          "ordinals cannot index this space",
+          kMax, kMax);
+    }
+    total *= levels;
   }
   return total;
+}
+
+bool ParameterSpace::cross_product_exceeds(std::uint64_t limit) const {
+  HPB_REQUIRE(is_finite(), "cross_product_exceeds: space must be finite");
+  std::uint64_t total = 1;
+  for (const auto& p : params_) {
+    const auto levels = static_cast<std::uint64_t>(p.num_levels());
+    if (total > limit / levels) {
+      return true;
+    }
+    total *= levels;
+  }
+  return total > limit;
 }
 
 std::uint64_t ParameterSpace::ordinal_of(const Configuration& c) const {
@@ -74,7 +189,71 @@ Configuration ParameterSpace::configuration_at(std::uint64_t ordinal) const {
   return Configuration(std::move(values));
 }
 
+bool ParameterSpace::is_conditional(std::size_t i) const {
+  HPB_REQUIRE(i < params_.size(), "is_conditional: index out of range");
+  return rules_[i].has_value();
+}
+
+std::size_t ParameterSpace::parent_of(std::size_t i) const {
+  HPB_REQUIRE(i < params_.size(), "parent_of: index out of range");
+  HPB_REQUIRE(rules_[i].has_value(),
+              "parent_of: '" + params_[i].name() + "' is unconditional");
+  return rules_[i]->parent;
+}
+
+bool ParameterSpace::is_active(const Configuration& c, std::size_t i) const {
+  HPB_REQUIRE(i < params_.size(), "is_active: index out of range");
+  // Walk the ancestor chain (parents always precede children, so this
+  // terminates in at most num_params steps).
+  while (rules_[i].has_value()) {
+    const ConditionalRule& r = *rules_[i];
+    const std::size_t level = c.level(r.parent);
+    if (level >= r.active_at.size() || r.active_at[level] == 0) {
+      return false;
+    }
+    i = r.parent;
+  }
+  return true;
+}
+
+double ParameterSpace::sentinel_value(std::size_t i) const {
+  HPB_REQUIRE(i < params_.size(), "sentinel_value: index out of range");
+  return params_[i].is_discrete() ? 0.0 : params_[i].lo();
+}
+
+bool ParameterSpace::is_canonical(const Configuration& c) const {
+  if (!has_conditionals_) {
+    return true;
+  }
+  HPB_REQUIRE(c.size() == params_.size(), "is_canonical: size mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (rules_[i].has_value() && !is_active(c, i) &&
+        c[i] != sentinel_value(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Configuration ParameterSpace::canonicalize(Configuration c) const {
+  HPB_REQUIRE(c.size() == params_.size(), "canonicalize: size mismatch");
+  if (!has_conditionals_) {
+    return c;
+  }
+  // Index order: a parent forced to its sentinel deactivates its children
+  // before they are visited, so the whole subtree collapses in one pass.
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (rules_[i].has_value() && !is_active(c, i)) {
+      c[i] = sentinel_value(i);
+    }
+  }
+  return c;
+}
+
 bool ParameterSpace::satisfies(const Configuration& c) const {
+  if (has_conditionals_ && !is_canonical(c)) {
+    return false;
+  }
   for (const auto& constraint : constraints_) {
     if (!constraint(*this, c)) {
       return false;
@@ -85,9 +264,23 @@ bool ParameterSpace::satisfies(const Configuration& c) const {
 
 std::vector<Configuration> ParameterSpace::enumerate() const {
   HPB_REQUIRE(is_finite(), "enumerate: space must be finite");
+  if (cross_product_exceeds(kMaxEnumerate)) {
+    constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+    const bool overflows = cross_product_exceeds(kU64Max);
+    const std::uint64_t size = overflows ? kU64Max : cross_product_size();
+    std::ostringstream os;
+    os << "enumerate: unconstrained cross product (";
+    if (overflows) {
+      os << "over 2^64";
+    } else {
+      os << size;
+    }
+    os << " configurations) exceeds the " << kMaxEnumerate
+       << "-point enumeration limit; use space::CandidateStream to sweep "
+          "this space without materializing it";
+    throw SpaceTooLargeError(os.str(), size, kMaxEnumerate);
+  }
   const std::uint64_t total = cross_product_size();
-  HPB_REQUIRE(total <= (1ULL << 26),
-              "enumerate: cross product too large to enumerate");
   std::vector<Configuration> configs;
   configs.reserve(static_cast<std::size_t>(total));
   for (std::uint64_t ord = 0; ord < total; ++ord) {
@@ -104,15 +297,21 @@ Configuration ParameterSpace::sample_uniform(Rng& rng) const {
   constexpr int kMaxRejections = 100000;
   for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
     std::vector<double> values(params_.size(), 0.0);
+    Configuration c(std::move(values));
+    // Draw in index order so a parameter's activity is decided by the time
+    // it is visited; inactive parameters take their sentinel directly, so
+    // every draw is canonical by construction. Flat spaces consume the RNG
+    // exactly as before (every parameter is unconditionally active).
     for (std::size_t i = 0; i < params_.size(); ++i) {
       const auto& p = params_[i];
-      if (p.is_discrete()) {
-        values[i] = static_cast<double>(rng.index(p.num_levels()));
+      if (has_conditionals_ && !is_active(c, i)) {
+        c[i] = sentinel_value(i);
+      } else if (p.is_discrete()) {
+        c[i] = static_cast<double>(rng.index(p.num_levels()));
       } else {
-        values[i] = rng.uniform(p.lo(), p.hi());
+        c[i] = rng.uniform(p.lo(), p.hi());
       }
     }
-    Configuration c(std::move(values));
     if (satisfies(c)) {
       return c;
     }

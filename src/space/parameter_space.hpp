@@ -1,6 +1,15 @@
 // ParameterSpace: an ordered collection of Parameters plus optional
 // constraint predicates, with enumeration (finite spaces), uniform sampling,
 // ordinal <-> configuration mapping, and pretty-printing.
+//
+// Spaces may be *conditional* (tree-structured): add_conditional() registers
+// a parameter that is active only under given values of an earlier discrete
+// parent. Inactive parameters always hold a canonical sentinel (level 0 for
+// discrete, lo() for continuous), so two configurations that agree on every
+// active parameter are bitwise-equal — Configuration equality, ordinals,
+// journaling, and CSV round-trips need no special casing. satisfies()
+// rejects non-canonical configurations, which keeps enumerate(), sampling,
+// and streamed candidate generation consistent without touching callers.
 #pragma once
 
 #include <cstdint>
@@ -26,8 +35,30 @@ using Constraint = std::function<bool(const ParameterSpace&,
 
 class ParameterSpace {
  public:
+  /// Largest unconstrained cross product enumerate() will walk; larger
+  /// spaces throw SpaceTooLargeError and must use streamed generation.
+  static constexpr std::uint64_t kMaxEnumerate = 1ULL << 26;
+
   ParameterSpace& add(Parameter p);
   ParameterSpace& add_constraint(Constraint c, std::string description = "");
+
+  /// Add a parameter that is active only when the (earlier, discrete)
+  /// parent parameter takes one of `active_values` (matched against the
+  /// parent's level_value()s). When inactive the parameter holds its
+  /// canonical sentinel. Parents may themselves be conditional; a child is
+  /// active only if its whole ancestor chain is.
+  ParameterSpace& add_conditional(Parameter p, const std::string& parent,
+                                  const std::vector<double>& active_values);
+
+  /// Label-matched overload for categorical parents.
+  ParameterSpace& add_conditional(Parameter p, const std::string& parent,
+                                  const std::vector<std::string>& active_labels);
+
+  /// Register the constraint "value(divisor) divides value(dividend)"
+  /// between two discrete numeric parameters. Vacuously true whenever
+  /// either side is inactive, so it composes with add_conditional().
+  ParameterSpace& add_divisibility(const std::string& divisor,
+                                   const std::string& dividend);
 
   [[nodiscard]] std::size_t num_params() const noexcept {
     return params_.size();
@@ -43,8 +74,14 @@ class ParameterSpace {
   [[nodiscard]] bool is_finite() const noexcept;
 
   /// Product of level counts over all (discrete) parameters, ignoring
-  /// constraints. Finite spaces only.
+  /// constraints. Finite spaces only. Throws SpaceTooLargeError if the
+  /// product does not fit in 64 bits (instead of silently wrapping).
   [[nodiscard]] std::uint64_t cross_product_size() const;
+
+  /// Overflow-safe check whether the unconstrained cross product exceeds
+  /// `limit`. Never throws on huge spaces — use this to route between the
+  /// eager and streaming paths.
+  [[nodiscard]] bool cross_product_exceeds(std::uint64_t limit) const;
 
   /// Mixed-radix ordinal of a configuration (finite spaces only). Ordinals
   /// index the unconstrained cross product; they are stable identifiers.
@@ -53,10 +90,38 @@ class ParameterSpace {
   /// Inverse of ordinal_of.
   [[nodiscard]] Configuration configuration_at(std::uint64_t ordinal) const;
 
-  /// True when all constraints accept the configuration.
+  /// True when the space has at least one conditional parameter.
+  [[nodiscard]] bool has_conditionals() const noexcept {
+    return has_conditionals_;
+  }
+
+  /// True when parameter i was registered via add_conditional().
+  [[nodiscard]] bool is_conditional(std::size_t i) const;
+
+  /// Parent index of a conditional parameter (throws for unconditional).
+  [[nodiscard]] std::size_t parent_of(std::size_t i) const;
+
+  /// True when parameter i is active in c: unconditional, or its whole
+  /// ancestor chain is active and each parent holds an activating value.
+  [[nodiscard]] bool is_active(const Configuration& c, std::size_t i) const;
+
+  /// Canonical value an *inactive* parameter must hold: level 0 for
+  /// discrete parameters, lo() for continuous ones.
+  [[nodiscard]] double sentinel_value(std::size_t i) const;
+
+  /// True when every inactive parameter holds its sentinel. Always true
+  /// for spaces without conditionals.
+  [[nodiscard]] bool is_canonical(const Configuration& c) const;
+
+  /// Force every inactive parameter to its sentinel (in index order, so a
+  /// deactivated subtree collapses deterministically).
+  [[nodiscard]] Configuration canonicalize(Configuration c) const;
+
+  /// True when the configuration is canonical and all constraints accept it.
   [[nodiscard]] bool satisfies(const Configuration& c) const;
 
-  /// All valid configurations of a finite space, in ordinal order.
+  /// All valid configurations of a finite space, in ordinal order. Throws
+  /// SpaceTooLargeError when the cross product exceeds kMaxEnumerate.
   [[nodiscard]] std::vector<Configuration> enumerate() const;
 
   /// One uniformly random valid configuration (rejection sampling over the
@@ -81,7 +146,20 @@ class ParameterSpace {
   }
 
  private:
+  /// Activity rule of one conditional parameter: active iff the parent is
+  /// itself active and its level is flagged in active_at.
+  struct ConditionalRule {
+    std::size_t parent = 0;
+    std::vector<char> active_at;  // indexed by parent level; 1 = active
+  };
+
+  ParameterSpace& add_conditional_levels(Parameter p, const std::string& parent,
+                                         std::vector<char> active_at,
+                                         std::size_t num_active);
+
   std::vector<Parameter> params_;
+  std::vector<std::optional<ConditionalRule>> rules_;  // parallel to params_
+  bool has_conditionals_ = false;
   std::vector<Constraint> constraints_;
   std::vector<std::string> constraint_descriptions_;
 };

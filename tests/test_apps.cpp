@@ -12,14 +12,15 @@
 namespace hpb::apps {
 namespace {
 
-TEST(Registry, HasAllFivePaperDatasets) {
+TEST(Registry, HasAllPaperDatasetsPlusSystolic) {
   const auto& reg = dataset_registry();
-  ASSERT_EQ(reg.size(), 5u);
+  ASSERT_EQ(reg.size(), 6u);
   EXPECT_EQ(reg[0].name, "kripke");
   EXPECT_EQ(reg[1].name, "kripke_energy");
   EXPECT_EQ(reg[2].name, "hypre");
   EXPECT_EQ(reg[3].name, "lulesh");
   EXPECT_EQ(reg[4].name, "openAtom");
+  EXPECT_EQ(reg[5].name, "systolic_small");
   EXPECT_THROW((void)dataset_by_name("nope"), Error);
   EXPECT_EQ(dataset_by_name("lulesh").name, "lulesh");
 }

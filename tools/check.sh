@@ -8,10 +8,14 @@
 # async-token / wire-protocol tests (tests/test_session.cpp,
 # tests/test_async.cpp, tests/test_wire.cpp), and the daemon
 # survivability tests (tests/test_recovery.cpp: cold-start recovery,
-# fault-injected disk errors, rid replay, overload shedding, drain);
-# then a ThreadSanitizer build running the concurrency-sensitive subset
-# (engine, thread pool, watchdog, shutdown, metrics hot path, session
-# manager, line server, recovery/overload/drain); then a fault-injected
+# fault-injected disk errors, rid replay, overload shedding, drain), and
+# the space-layer property tests (tests/test_space_properties.cpp:
+# streamed candidate generation over conditional/constrained spaces,
+# pooled-vs-streamed bitwise parity, sentinel round trips, enumerate
+# guards); then a ThreadSanitizer build running the concurrency-sensitive
+# subset (engine, thread pool, watchdog, shutdown, metrics hot path,
+# session manager, line server, recovery/overload/drain, streamed-sweep
+# thread-count invariance); then a fault-injected
 # shootout smoke run (HPB_FAIL_RATE=0.2), a CLI crash-resume smoke
 # (journal a run, truncate the journal mid-record, resume, and require
 # the identical history CSV), a tuning-service storm smoke
@@ -19,7 +23,7 @@
 # eviction/resume over a real socket), a chaos smoke (--chaos: SIGKILL
 # the daemon mid-storm, restart, require bitwise-identical resumed
 # suggest sequences), and the gcov line-coverage gate for src/core +
-# src/obs (tools/coverage.sh).
+# src/obs + src/space (tools/coverage.sh).
 #
 # Usage: tools/check.sh    (from anywhere; builds into build/,
 #                           build-asan/, and build-tsan/ at the repo root)
@@ -39,7 +43,7 @@ cmake -B build-asan -S . -DHPB_SANITIZE=address \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality|Acquisition|SuggestPending|Session|Eviction|JsonParser|JsonNumbers|Wire|LineServer|Async|SyncCancel|CrossMode|Recovery|FaultInjection|RidReplay|Overload|Drain|Health'
+  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality|Acquisition|SuggestPending|Session|Eviction|JsonParser|JsonNumbers|Wire|LineServer|Async|SyncCancel|CrossMode|Recovery|FaultInjection|RidReplay|Overload|Drain|Health|SpaceProperties|StreamedSweep|SentinelRoundTrip|EnumerateGuard'
 
 echo
 echo "== TSan: engine / thread-pool / watchdog / shutdown / metrics / service tests =="
@@ -47,7 +51,7 @@ cmake -B build-tsan -S . -DHPB_SANITIZE=thread \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality|Acquisition|SessionManager|LineServer|AsyncFuzz|AsyncEvictionResume|Recovery|FaultInjection|Overload|Drain'
+  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality|Acquisition|SessionManager|LineServer|AsyncFuzz|AsyncEvictionResume|Recovery|FaultInjection|Overload|Drain|SpaceProperties|StreamedSweep'
 
 echo
 echo "== acquisition sweep micro-bench smoke =="
@@ -94,7 +98,7 @@ cmp -s "$smoke_dir/full.hpbj" "$smoke_dir/cut.hpbj" \
 echo "crash-resume smoke: identical history and journal"
 
 echo
-echo "== coverage gate: src/core + src/obs line coverage =="
+echo "== coverage gate: src/core + src/obs + src/space line coverage =="
 tools/coverage.sh
 
 echo

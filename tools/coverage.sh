@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Line-coverage gate for the tuning core (src/core) and the observability
-# layer (src/obs): builds an instrumented tree into build-cov/, runs the
-# tier-1 test suite (`ctest -L tier1`), aggregates gcov line coverage over
-# the .cpp files of both layers, and fails if the combined percentage drops
-# below the floor.
+# Line-coverage gate for the tuning core (src/core), the observability
+# layer (src/obs), and the space layer (src/space, including the streamed
+# candidate generator): builds an instrumented tree into build-cov/, runs
+# the tier-1 test suite (`ctest -L tier1`), aggregates gcov line coverage
+# over the .cpp files of all three layers, and fails if the combined
+# percentage drops below the floor.
 #
 # Only .cpp files count: headers are re-reported by gcov once per including
 # translation unit, which would double-count their lines.
@@ -23,21 +24,22 @@ cmake --build build-cov -j "$jobs"
 find build-cov -name '*.gcda' -delete  # stale counters skew reruns
 ctest --test-dir build-cov --output-on-failure -j "$jobs" -L tier1
 
-gcda_files=$(find build-cov/src/core build-cov/src/obs -name '*.gcda')
+gcda_files=$(find build-cov/src/core build-cov/src/obs build-cov/src/space \
+  -name '*.gcda')
 if [ -z "$gcda_files" ]; then
-  echo "coverage: no .gcda files under build-cov/src/{core,obs}" >&2
+  echo "coverage: no .gcda files under build-cov/src/{core,obs,space}" >&2
   exit 1
 fi
 
 # gcov -n prints, per object, a "File '<path>'" line followed by a
-# "Lines executed:<pct>% of <n>" line; keep only src/core + src/obs .cpp.
+# "Lines executed:<pct>% of <n>" line; keep only the gated layers' .cpp.
 echo
-echo "== coverage: per-file line coverage (src/core + src/obs) =="
+echo "== coverage: per-file line coverage (src/core + src/obs + src/space) =="
 # shellcheck disable=SC2086  # word-splitting the .gcda list is intended
 gcov -n $gcda_files 2>/dev/null | awk -v floor="$floor" '
   /^File / {
     file = substr($0, 7, length($0) - 7)  # strip the File '...' quoting
-    keep = (file ~ /src\/(core|obs)\/[^\/]+\.cpp$/)
+    keep = (file ~ /src\/(core|obs|space)\/[^\/]+\.cpp$/)
   }
   keep && /^Lines executed:/ {
     line = $0
@@ -50,7 +52,7 @@ gcov -n $gcda_files 2>/dev/null | awk -v floor="$floor" '
   }
   END {
     if (total == 0) {
-      print "coverage: no src/core or src/obs .cpp files in gcov output" \
+      print "coverage: no src/{core,obs,space} .cpp files in gcov output" \
         > "/dev/stderr"
       exit 1
     }

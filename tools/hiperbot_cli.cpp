@@ -531,7 +531,7 @@ int main(int argc, char** argv) {
   args.add_string("csv", "", "CSV dataset (params..., objective)")
       .add_string("dataset", "",
                   "built-in dataset: kripke, kripke_energy, hypre, lulesh, "
-                  "openAtom")
+                  "openAtom, systolic_small")
       .add_string("method", "hiperbot",
                   "tuner: hiperbot, geist, random, gp, anneal, hillclimb, brt, "
                   "ridge, exhaustive")
