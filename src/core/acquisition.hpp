@@ -20,11 +20,19 @@
 //     distinct values. Scoring a candidate becomes num_params table
 //     lookups per accumulator, added in the same order as
 //     FactorizedDensity::log_density — the resulting doubles are
-//     bitwise-identical to the direct path's.
-//   - acquisition_topk: a deterministic chunked argmax/top-k over the
-//     shared common::ThreadPool. Chunk boundaries are fixed (independent
-//     of worker count) and ties break toward the lowest candidate index,
-//     so the result is identical for any thread count, including serial.
+//     bitwise-identical to the direct path's. score_block() runs the same
+//     gathers through the runtime-dispatched SIMD kernel (core/simd.hpp):
+//     lane-per-candidate, so vectorized scores are also bitwise-identical.
+//   - acquisition_topk / acquisition_topk_table: deterministic chunked
+//     argmax/top-k over the shared common::ThreadPool. Chunk boundaries
+//     are fixed (independent of worker count) and ties break toward the
+//     lowest candidate index, so the result is identical for any thread
+//     count. The table variants are streaming: each chunk scores through
+//     score_block() into a chunk-local buffer of at most kSweepChunk
+//     doubles and reduces immediately to a sorted list of at most k hits —
+//     a full pool-sized score vector is never materialized, so the sweep's
+//     working set is O(threads * kSweepChunk + num_chunks * k) regardless
+//     of pool size.
 #pragma once
 
 #include <algorithm>
@@ -34,6 +42,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/simd.hpp"
 #include "core/surrogate.hpp"
 #include "space/candidate_stream.hpp"
 #include "space/parameter_space.hpp"
@@ -56,6 +65,12 @@ class PoolColumns {
   [[nodiscard]] std::span<const std::uint32_t> column(
       std::size_t param) const {
     return columns_[param];
+  }
+
+  /// Per-parameter column base pointers (the layout score_block consumes).
+  [[nodiscard]] std::span<const std::uint32_t* const> column_data()
+      const noexcept {
+    return column_ptrs_;
   }
 
   /// Sorted distinct values of a continuous parameter's column (empty for
@@ -84,6 +99,7 @@ class PoolColumns {
  private:
   std::size_t size_ = 0;
   std::vector<std::vector<std::uint32_t>> columns_;
+  std::vector<const std::uint32_t*> column_ptrs_;  // columns_[i].data()
   std::vector<std::vector<double>> distinct_;  // continuous params only
   std::vector<std::size_t> table_sizes_;
   std::vector<char> continuous_;  // per-param kind (char: vector<bool> races)
@@ -99,8 +115,12 @@ class PoolColumns {
 /// keyed by the bitwise state of the marginal density that produced it
 /// (histogram counts + smoothing, or KDE centers + weights + bandwidth +
 /// support), and an unchanged key means the recomputation would be
-/// bitwise-identical, so the old column is copied instead. Scores are
-/// therefore bitwise-identical with or without `prev`.
+/// bitwise-identical, so the old column is memcpy'd straight into the flat
+/// table instead (no temporaries — the reuse path must beat a recompute at
+/// every size, which a copy-through-vector did not; see
+/// BENCH_acquisition.json's refit_results). Scores are therefore
+/// bitwise-identical with or without `prev`. A `prev` whose pool layout
+/// differs is ignored entirely — the automatic fallback to a full build.
 class AcquisitionTable {
  public:
   AcquisitionTable(const TpeSurrogate& surrogate, const PoolColumns& columns,
@@ -114,6 +134,10 @@ class AcquisitionTable {
   AcquisitionTable(const TpeSurrogate& surrogate,
                    const space::ParameterSpace& space,
                    const AcquisitionTable* prev = nullptr);
+
+  [[nodiscard]] std::size_t num_params() const noexcept {
+    return offsets_.size();
+  }
 
   /// Acquisition score of pool candidate j: bitwise-identical to
   /// surrogate.acquisition(pool[j]) — both log-density accumulators add
@@ -145,6 +169,20 @@ class AcquisitionTable {
     return log_good - log_bad;
   }
 
+  /// Scores pool candidates [begin, end) into out[0 .. end-begin) through
+  /// the runtime-dispatched SIMD kernel. Every tier's output is
+  /// bitwise-identical to calling score() per candidate.
+  void score_block(const PoolColumns& columns, std::size_t begin,
+                   std::size_t end, double* out,
+                   SimdTier tier = active_simd_tier()) const;
+
+  /// Same kernel over caller-built index columns (cols[i][0 .. count) for
+  /// each of num_params() parameters) — the streamed sweep scores each
+  /// chunk's freshly generated candidates through this.
+  void score_block_cols(const std::uint32_t* const* cols, std::size_t count,
+                        double* out,
+                        SimdTier tier = active_simd_tier()) const;
+
   /// Per-side columns copied from `prev` instead of recomputed (0..2 per
   /// parameter). Exposed for the sweep span and the incremental bench.
   [[nodiscard]] std::size_t reused_columns() const noexcept {
@@ -164,6 +202,14 @@ class AcquisitionTable {
 
     [[nodiscard]] bool matches(const MarginalKey& other) const noexcept;
   };
+
+  /// Fill parameter i's rows of both flat tables in place: memcpy from
+  /// `prev` when the marginal key is unchanged, recompute via `rebuild`
+  /// otherwise. Shared by both constructors.
+  template <class RebuildGood, class RebuildBad>
+  void fill_column(std::size_t i, std::size_t rows,
+                   const AcquisitionTable* prev, const RebuildGood& good,
+                   const RebuildBad& bad);
 
   std::vector<std::size_t> offsets_;  // per-param start into the flat tables
   std::vector<double> log_good_;
@@ -191,12 +237,54 @@ struct SweepHit {
 /// final reduction — are identical for any thread count.
 inline constexpr std::size_t kSweepChunk = 8192;
 
+namespace detail {
+
+/// Insert `hit` into the sorted bounded list `best` (capacity k) under the
+/// strict total order `better`. The caller pre-checks the reject case
+/// (full list, hit not better than the tail) so StreamHit insertions can
+/// defer moving their Configuration until the hit is known to survive.
+template <class Hit, class Better>
+inline void bounded_sorted_insert(std::vector<Hit>& best, Hit&& hit,
+                                  std::size_t k, const Better& better) {
+  std::size_t pos = best.size();
+  while (pos > 0 && better(hit, best[pos - 1])) {
+    --pos;
+  }
+  best.insert(best.begin() + static_cast<std::ptrdiff_t>(pos),
+              std::move(hit));
+  if (best.size() > k) {
+    best.pop_back();
+  }
+}
+
+/// Merge one chunk's sorted hit list into the running bounded top-k.
+/// Chunk lists are sorted under the same total order, so the first hit
+/// that cannot enter a full merged list ends the chunk — the merge never
+/// concatenates, keeping the reduction's working set at k+1 hits. Called
+/// serially in chunk order, so the result is scheduling-independent and
+/// equals a global sort of all chunk hits truncated to k.
+template <class Hit, class Better>
+inline void merge_sorted_bounded(std::vector<Hit>& merged,
+                                 std::vector<Hit>& chunk, std::size_t k,
+                                 const Better& better) {
+  for (Hit& hit : chunk) {
+    if (merged.size() == k && !better(hit, merged.back())) {
+      break;
+    }
+    bounded_sorted_insert(merged, std::move(hit), k, better);
+  }
+}
+
+}  // namespace detail
+
 /// Deterministic chunked top-k sweep over candidates 0..n-1. `score(j)`
 /// must be a pure function of j; `excluded(j)` hides a candidate from the
 /// result. Chunks run on `pool` (serial when null or single-threaded); the
 /// per-chunk winners are reduced serially in chunk order under
 /// sweep_better, so the result is independent of scheduling. Returns at
 /// most k hits, best first; fewer when the unexcluded pool is smaller.
+/// This generic form scores through a per-candidate callback (the direct
+/// path's reference sweep); table sweeps use acquisition_topk_table.
 template <class ScoreFn, class ExcludedFn>
 [[nodiscard]] std::vector<SweepHit> acquisition_topk(std::size_t n,
                                                      std::size_t k,
@@ -221,27 +309,60 @@ template <class ScoreFn, class ExcludedFn>
       if (best.size() == k && !sweep_better(hit, best.back())) {
         continue;
       }
-      // Insert in sorted position; scanning from the back is cheap for the
-      // small k of a suggest batch.
-      std::size_t pos = best.size();
-      while (pos > 0 && sweep_better(hit, best[pos - 1])) {
-        --pos;
-      }
-      best.insert(best.begin() + static_cast<std::ptrdiff_t>(pos), hit);
-      if (best.size() > k) {
-        best.pop_back();
-      }
+      detail::bounded_sorted_insert(best, SweepHit{hit}, k, sweep_better);
     }
   });
-  // Serial merge in chunk order: chunk-local lists are sorted, and
-  // sweep_better is total, so the merged order is unique.
   std::vector<SweepHit> merged;
-  for (const auto& best : chunk_best) {
-    merged.insert(merged.end(), best.begin(), best.end());
+  merged.reserve(k + 1);
+  for (auto& best : chunk_best) {
+    detail::merge_sorted_bounded(merged, best, k, sweep_better);
   }
-  std::sort(merged.begin(), merged.end(), sweep_better);
-  if (merged.size() > k) {
-    merged.resize(k);
+  return merged;
+}
+
+/// Streaming table top-k over a column-mirrored pool: each chunk is scored
+/// in one score_block() call (vectorized under the active SIMD tier) into
+/// a chunk-local buffer, reduced to at most k hits immediately, and the
+/// buffer is reused for the next chunk — the full score vector never
+/// exists. Result is bitwise-identical to the generic acquisition_topk
+/// over table.score(), for any thread count and any SIMD tier.
+template <class ExcludedFn>
+[[nodiscard]] std::vector<SweepHit> acquisition_topk_table(
+    const AcquisitionTable& table, const PoolColumns& columns, std::size_t k,
+    ThreadPool* pool, const ExcludedFn& excluded,
+    SimdTier tier = active_simd_tier()) {
+  const std::size_t n = columns.size();
+  if (n == 0 || k == 0) {
+    return {};
+  }
+  const std::size_t num_chunks = (n + kSweepChunk - 1) / kSweepChunk;
+  std::vector<std::vector<SweepHit>> chunk_best(num_chunks);
+  parallel_for_indexed(pool, num_chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kSweepChunk;
+    const std::size_t end = std::min(begin + kSweepChunk, n);
+    std::vector<double> scores(end - begin);
+    table.score_block(columns, begin, end, scores.data(), tier);
+    std::vector<SweepHit>& best = chunk_best[chunk];
+    best.reserve(std::min(k, end - begin));
+    for (std::size_t j = begin; j < end; ++j) {
+      // Cheap cut first: a hit enters iff it is unexcluded AND beats the
+      // tail, so testing the (almost always false) tail compare before the
+      // exclusion probe keeps the hot loop branch-predictable without
+      // changing the result.
+      const SweepHit hit{j, scores[j - begin]};
+      if (best.size() == k && !sweep_better(hit, best.back())) {
+        continue;
+      }
+      if (excluded(j)) {
+        continue;
+      }
+      detail::bounded_sorted_insert(best, SweepHit{hit}, k, sweep_better);
+    }
+  });
+  std::vector<SweepHit> merged;
+  merged.reserve(k + 1);
+  for (auto& best : chunk_best) {
+    detail::merge_sorted_bounded(merged, best, k, sweep_better);
   }
   return merged;
 }
@@ -300,29 +421,77 @@ template <class ScoreFn, class ExcludedFn>
         continue;
       }
       hit.config = std::move(candidate.config);
-      std::size_t pos = best.size();
-      while (pos > 0 && stream_better(hit, best[pos - 1])) {
-        --pos;
-      }
-      best.insert(best.begin() + static_cast<std::ptrdiff_t>(pos),
-                  std::move(hit));
-      if (best.size() > k) {
-        best.pop_back();
-      }
+      detail::bounded_sorted_insert(best, std::move(hit), k, stream_better);
     }
   });
   std::vector<StreamHit> merged;
+  merged.reserve(k + 1);
   for (auto& best : chunk_best) {
-    for (auto& hit : best) {
-      merged.push_back(std::move(hit));
-    }
+    detail::merge_sorted_bounded(merged, best, k, stream_better);
   }
-  std::sort(merged.begin(), merged.end(), [](const StreamHit& a,
-                                             const StreamHit& b) {
-    return stream_better(a, b);
+  return merged;
+}
+
+/// Streamed top-k through the vectorized table kernel: each chunk's
+/// freshly generated candidates are transposed into per-parameter level
+/// columns (streamed spaces are all-discrete) and scored in one
+/// score_block_cols() call, then reduced exactly like
+/// acquisition_topk_stream. Bitwise-identical to the score_config()
+/// streamed sweep for any thread count and SIMD tier; the per-chunk
+/// working set stays O(kSweepChunk * num_params).
+template <class ExcludedFn>
+[[nodiscard]] std::vector<StreamHit> acquisition_topk_stream_table(
+    const space::CandidateStream& stream, std::uint64_t pass, std::size_t k,
+    ThreadPool* pool, const AcquisitionTable& table,
+    const ExcludedFn& excluded, SimdTier tier = active_simd_tier()) {
+  const std::size_t num_chunks = stream.num_chunks();
+  if (num_chunks == 0 || k == 0) {
+    return {};
+  }
+  const std::size_t n_params = table.num_params();
+  std::vector<std::vector<StreamHit>> chunk_best(num_chunks);
+  parallel_for_indexed(pool, num_chunks, [&](std::size_t chunk) {
+    std::vector<space::CandidateStream::Candidate> candidates;
+    stream.chunk_candidates(pass, chunk, candidates);
+    const std::size_t m = candidates.size();
+    std::vector<StreamHit>& best = chunk_best[chunk];
+    if (m == 0) {
+      return;
+    }
+    // Transpose the chunk's configurations into contiguous level columns —
+    // the same memory layout PoolColumns gives a materialized pool.
+    std::vector<std::uint32_t> flat(n_params * m);
+    std::vector<const std::uint32_t*> cols(n_params);
+    for (std::size_t i = 0; i < n_params; ++i) {
+      std::uint32_t* col = flat.data() + i * m;
+      cols[i] = col;
+      for (std::size_t t = 0; t < m; ++t) {
+        col[t] = static_cast<std::uint32_t>(candidates[t].config.level(i));
+      }
+    }
+    std::vector<double> scores(m);
+    table.score_block_cols(cols.data(), m, scores.data(), tier);
+    best.reserve(std::min(k, m));
+    for (std::size_t t = 0; t < m; ++t) {
+      auto& candidate = candidates[t];
+      // Same cheap-cut ordering as acquisition_topk_table: tail compare
+      // before the exclusion probe, identical result either way.
+      StreamHit hit{space::Configuration{}, scores[t], candidate.pass_index,
+                    candidate.ordinal};
+      if (best.size() == k && !stream_better(hit, best.back())) {
+        continue;
+      }
+      if (excluded(candidate)) {
+        continue;
+      }
+      hit.config = std::move(candidate.config);
+      detail::bounded_sorted_insert(best, std::move(hit), k, stream_better);
+    }
   });
-  if (merged.size() > k) {
-    merged.resize(k);
+  std::vector<StreamHit> merged;
+  merged.reserve(k + 1);
+  for (auto& best : chunk_best) {
+    detail::merge_sorted_bounded(merged, best, k, stream_better);
   }
   return merged;
 }

@@ -168,9 +168,11 @@ std::vector<SweepHit> HiPerBOt::ranked_topk(const TpeSurrogate& s,
     const PoolColumns& columns = *columns_;
     const std::span<const std::uint64_t> ordinals = columns.ordinals();
     const bool finite = !ordinals.empty();
-    hits = acquisition_topk(
-        columns.size(), k, sweep_pool_,
-        [&](std::size_t j) { return table.score(columns, j); },
+    // Streaming block sweep: per-chunk vectorized score_block under the
+    // runtime SIMD tier + bounded top-k reduction. Bitwise-identical to
+    // the per-candidate table.score() sweep for every tier/thread count.
+    hits = acquisition_topk_table(
+        table, columns, k, sweep_pool_,
         [&](std::size_t j) {
           if (!finite) {
             return false;  // continuous spaces: no ordinal bookkeeping
@@ -189,6 +191,10 @@ std::vector<SweepHit> HiPerBOt::ranked_topk(const TpeSurrogate& s,
                             config_.acquisition == AcquisitionMode::kDirect
                                 ? "direct"
                                 : "table"),
+        obs::TraceAttr::str("simd",
+                            config_.acquisition == AcquisitionMode::kDirect
+                                ? "scalar"
+                                : simd_tier_name(active_simd_tier())),
         obs::TraceAttr::uint("pool", pool_->size()),
         obs::TraceAttr::uint("k", k),
         obs::TraceAttr::uint("excluded", evaluated_.size() + pending_.size()),
@@ -224,9 +230,11 @@ std::vector<StreamHit> HiPerBOt::streamed_topk(const TpeSurrogate& s,
     table_built = recorder_->now_ns();
   }
   const std::uint64_t pass = stream_pass_++;
-  std::vector<StreamHit> hits = acquisition_topk_stream(
-      *stream_, pass, k, sweep_pool_,
-      [&](const space::Configuration& c) { return table.score_config(c); },
+  // Each chunk's freshly generated candidates are transposed into level
+  // columns and scored through the same vectorized kernel as the pooled
+  // sweep (bitwise-identical to score_config per candidate).
+  std::vector<StreamHit> hits = acquisition_topk_stream_table(
+      *stream_, pass, k, sweep_pool_, table,
       [&](const space::CandidateStream::Candidate& candidate) {
         return evaluated_.contains(candidate.ordinal) ||
                pending_.contains(candidate.ordinal);
@@ -238,6 +246,7 @@ std::vector<StreamHit> HiPerBOt::streamed_topk(const TpeSurrogate& s,
     const std::uint64_t sweep_end = recorder_->now_ns();
     const obs::TraceAttr attrs[] = {
         obs::TraceAttr::str("mode", "stream"),
+        obs::TraceAttr::str("simd", simd_tier_name(active_simd_tier())),
         obs::TraceAttr::uint("pass", pass),
         obs::TraceAttr::uint("pass_length", stream_->pass_length()),
         obs::TraceAttr::uint("k", k),

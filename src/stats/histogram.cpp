@@ -46,10 +46,16 @@ std::vector<double> HistogramDensity::probabilities() const {
 
 std::vector<double> HistogramDensity::log_pmf_table() const {
   std::vector<double> table(counts_.size());
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    table[i] = log_pmf(i);
-  }
+  log_pmf_table(std::span<double>(table));
   return table;
+}
+
+void HistogramDensity::log_pmf_table(std::span<double> out) const {
+  HPB_REQUIRE(out.size() == counts_.size(),
+              "HistogramDensity::log_pmf_table: output size mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = log_pmf(i);
+  }
 }
 
 void HistogramDensity::mix_in(const HistogramDensity& other, double weight) {

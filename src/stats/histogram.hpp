@@ -37,6 +37,11 @@ class HistogramDensity {
   /// candidate sweep replaces per-candidate log/divide with a table lookup.
   [[nodiscard]] std::vector<double> log_pmf_table() const;
 
+  /// Allocation-free variant writing into `out` (size must equal
+  /// num_levels()); the incremental acquisition-table rebuild fills its
+  /// flat tables in place through this.
+  void log_pmf_table(std::span<double> out) const;
+
   /// Mix another histogram over the same levels into this one with weight w
   /// (implements the transfer prior of eq. 9–10: counts += w * other.counts).
   void mix_in(const HistogramDensity& other, double weight);

@@ -92,10 +92,17 @@ double KernelDensity::log_pdf(double x) const {
 std::vector<double> KernelDensity::log_pdf_many(
     std::span<const double> xs) const {
   std::vector<double> out(xs.size());
+  log_pdf_many(xs, std::span<double>(out));
+  return out;
+}
+
+void KernelDensity::log_pdf_many(std::span<const double> xs,
+                                 std::span<double> out) const {
+  HPB_REQUIRE(out.size() == xs.size(),
+              "KernelDensity::log_pdf_many: output size mismatch");
   for (std::size_t i = 0; i < xs.size(); ++i) {
     out[i] = log_pdf(xs[i]);
   }
-  return out;
 }
 
 double KernelDensity::sample(Rng& rng) const {

@@ -34,6 +34,11 @@ class KernelDensity {
   [[nodiscard]] std::vector<double> log_pdf_many(
       std::span<const double> xs) const;
 
+  /// Allocation-free variant writing into `out` (same size as `xs`); the
+  /// incremental acquisition-table rebuild fills its flat tables in place
+  /// through this.
+  void log_pdf_many(std::span<const double> xs, std::span<double> out) const;
+
   /// Draw one sample: pick a kernel center uniformly, add Gaussian noise,
   /// reflect into [lo, hi]. Used by the Proposal selection strategy (§III-D).
   [[nodiscard]] double sample(Rng& rng) const;

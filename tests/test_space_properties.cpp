@@ -61,55 +61,11 @@ constexpr std::size_t kNumSpaces = 500;
 
 // ------------------------------------------------- seeded random spaces
 
-/// A seeded random all-discrete space: 3-6 power-of-two numeric parameters,
-/// roughly half of the later ones conditional on a *proper* subset of an
-/// earlier parent's values, plus up to two divisibility constraints. Level 0
-/// always carries the value 1, so the all-sentinel configuration satisfies
-/// every divisibility constraint and the valid set is never empty.
+/// The shared seeded random conditional/constrained space generator — moved
+/// to test_util.hpp so the SIMD dispatch-parity suite sweeps the same
+/// distribution of spaces.
 SpacePtr random_space(std::uint64_t seed) {
-  Rng rng(seed);
-  auto s = std::make_shared<ParameterSpace>();
-  const std::size_t n = 3 + rng.index(4);
-  std::vector<std::size_t> levels(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    levels[i] = 2 + rng.index(4);
-    std::vector<double> values;
-    for (std::size_t l = 0; l < levels[i]; ++l) {
-      values.push_back(static_cast<double>(1ULL << l));
-    }
-    Parameter p =
-        Parameter::categorical_numeric("p" + std::to_string(i), values);
-    const bool conditional = i > 0 && rng.index(2) == 0;
-    if (conditional) {
-      const std::size_t parent = rng.index(i);
-      // A proper subset of the parent's levels (add_conditional rejects
-      // always-active children by design).
-      std::vector<std::size_t> order(levels[parent]);
-      for (std::size_t l = 0; l < order.size(); ++l) {
-        order[l] = l;
-      }
-      for (std::size_t l = order.size(); l > 1; --l) {
-        std::swap(order[l - 1], order[rng.index(l)]);
-      }
-      const std::size_t count = 1 + rng.index(levels[parent] - 1);
-      std::vector<double> active;
-      for (std::size_t l = 0; l < count; ++l) {
-        active.push_back(static_cast<double>(1ULL << order[l]));
-      }
-      s->add_conditional(std::move(p), "p" + std::to_string(parent), active);
-    } else {
-      s->add(std::move(p));
-    }
-  }
-  const std::size_t num_constraints = rng.index(3);
-  for (std::size_t t = 0; t < num_constraints; ++t) {
-    const std::size_t a = rng.index(n);
-    const std::size_t b = rng.index(n);
-    if (a != b) {
-      s->add_divisibility("p" + std::to_string(a), "p" + std::to_string(b));
-    }
-  }
-  return s;
+  return testutil::random_conditional_space(seed);
 }
 
 /// Independent recomputation of the divisibility constraints registered by

@@ -12,7 +12,9 @@
 # the space-layer property tests (tests/test_space_properties.cpp:
 # streamed candidate generation over conditional/constrained spaces,
 # pooled-vs-streamed bitwise parity, sentinel round trips, enumerate
-# guards); then a ThreadSanitizer build running the concurrency-sensitive
+# guards), and the SIMD dispatch-parity + streaming top-k tests
+# (tests/test_simd.cpp), re-run with HPB_SIMD forced to every tier this
+# machine can execute; then a ThreadSanitizer build running the concurrency-sensitive
 # subset (engine, thread pool, watchdog, shutdown, metrics hot path,
 # session manager, line server, recovery/overload/drain, streamed-sweep
 # thread-count invariance); then a fault-injected
@@ -43,7 +45,25 @@ cmake -B build-asan -S . -DHPB_SANITIZE=address \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs" \
-  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality|Acquisition|SuggestPending|Session|Eviction|JsonParser|JsonNumbers|Wire|LineServer|Async|SyncCancel|CrossMode|Recovery|FaultInjection|RidReplay|Overload|Drain|Health|SpaceProperties|StreamedSweep|SentinelRoundTrip|EnumerateGuard'
+  -R 'Engine|HiPerBOtPending|EnvParsing|Failure|ThreadPool|EvalStatus|HistoryCsv|FailEnv|Journal|Watchdog|Cancellation|GracefulShutdown|WallClock|AtomicHistory|DurabilityEnv|KillAndResume|Metrics|TraceSink|ObsEngine|RegressionQuality|Acquisition|SuggestPending|Session|Eviction|JsonParser|JsonNumbers|Wire|LineServer|Async|SyncCancel|CrossMode|Recovery|FaultInjection|RidReplay|Overload|Drain|Health|SpaceProperties|StreamedSweep|SentinelRoundTrip|EnumerateGuard|SimdDispatch|StreamingTopk'
+
+echo
+echo "== ASan, HPB_SIMD forced: dispatch parity under every runnable tier =="
+# Every tier the build + CPU can run: scalar always; avx2 on x86-64 CPUs
+# advertising it; neon on aarch64. The strict override makes a wrong guess
+# here an error, so the probe mirrors src/core/simd.cpp's detection.
+simd_tiers="off"
+case "$(uname -m)" in
+  x86_64)
+    grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null && simd_tiers="$simd_tiers avx2" ;;
+  aarch64|arm64)
+    simd_tiers="$simd_tiers neon" ;;
+esac
+for tier in $simd_tiers; do
+  echo "-- HPB_SIMD=$tier --"
+  HPB_SIMD="$tier" ctest --test-dir build-asan --output-on-failure -j "$jobs" \
+    -R 'SimdDispatch|StreamingTopk|Acquisition|SuggestPending'
+done
 
 echo
 echo "== TSan: engine / thread-pool / watchdog / shutdown / metrics / service tests =="
@@ -51,7 +71,15 @@ cmake -B build-tsan -S . -DHPB_SANITIZE=thread \
   -DHPB_BUILD_BENCH=OFF -DHPB_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality|Acquisition|SessionManager|LineServer|AsyncFuzz|AsyncEvictionResume|Recovery|FaultInjection|Overload|Drain|SpaceProperties|StreamedSweep'
+  -R 'Engine|ThreadPool|Watchdog|Cancellation|GracefulShutdown|WallClock|Failure|Metrics|JournalFuzz|RegressionQuality|Acquisition|SessionManager|LineServer|AsyncFuzz|AsyncEvictionResume|Recovery|FaultInjection|Overload|Drain|SpaceProperties|StreamedSweep|SimdDispatch|StreamingTopk'
+
+echo
+echo "== TSan, HPB_SIMD forced: threaded sweeps under every runnable tier =="
+for tier in $simd_tiers; do
+  echo "-- HPB_SIMD=$tier --"
+  HPB_SIMD="$tier" ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'SimdDispatch|StreamingTopk'
+done
 
 echo
 echo "== acquisition sweep micro-bench smoke =="
